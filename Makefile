@@ -1,0 +1,29 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench examples bugs clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest --force
+
+bench:
+	dune exec bench/main.exe
+
+# Reproduce the corpus (exits non-zero if any case regresses).
+bugs:
+	dune exec bin/sieve_cli.exe -- bugs
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/rolling_upgrade.exe
+	dune exec examples/cassandra_scaledown.exe
+	dune exec examples/epoch_model.exe
+	dune exec examples/replicated_store.exe
+	dune exec examples/hbase_regions.exe
+
+clean:
+	dune clean
