@@ -1,0 +1,1227 @@
+(* Benchmark & experiment harness.
+
+   One entry per paper artifact (see DESIGN.md's experiment index):
+     fig1       architecture / cache topology with live revision lags
+     fig2       the reproduced Kubernetes-59848 walkthrough
+     fig3a      staleness divergence series
+     fig3b      time-travel series (view revision moves backwards)
+     fig3c      observability gaps (cancelled events, compacted windows)
+     bugs       Section 7 results: the five-bug reproduction matrix
+     baselines  Sieve planner vs CrashTuner / CoFI / random fault injection
+     epochs     Section 6.2: epoch-bounded delivery trade-off
+     perf       Section 4.1: cache offload + the HBase-3136/3137 trade-off
+     micro      Bechamel micro-benchmarks of the substrate
+
+   `dune exec bench/main.exe` runs everything; pass experiment names to
+   run a subset. *)
+
+let sec n = n * 1_000_000
+let ms n = n * 1_000
+
+let pct num den = if den = 0 then 0.0 else 100.0 *. float_of_int num /. float_of_int den
+
+(* ------------------------------------------------------------------ *)
+(* FIG1: architecture.                                                *)
+
+let fig1 () =
+  Sieve.Report.section "FIG1 — architecture: etcd -> apiservers -> components (cached views)";
+  let cluster = Kube.Cluster.create () in
+  Kube.Cluster.start cluster;
+  Kube.Workload.schedule cluster (Kube.Workload.pod_churn ~n:4 ());
+  Kube.Workload.schedule cluster
+    (Kube.Workload.cassandra_scale ~dc:"cass" ~steps:[ (0, 2) ] ());
+  Kube.Cluster.run cluster ~until:(sec 4);
+  let truth_rev = Kube.Cluster.truth_rev cluster in
+  Printf.printf "\ncommitted history H at etcd: %d events; %d live objects in S\n" truth_rev
+    (History.State.cardinal (Kube.Cluster.truth cluster));
+  Sieve.Report.subsection "apiserver caches (S' updated by etcd watch streams)";
+  Sieve.Report.table ~header:[ "apiserver"; "cache rev"; "lag"; "subscribers" ]
+    (List.map
+       (fun api ->
+         [
+           Kube.Apiserver.name api;
+           string_of_int (Kube.Apiserver.rev api);
+           string_of_int (truth_rev - Kube.Apiserver.rev api);
+           string_of_int (Kube.Apiserver.subscriber_count api);
+         ])
+       (Kube.Cluster.apiservers cluster));
+  Sieve.Report.subsection "components (informer caches fed by apiserver watches)";
+  let component_rows =
+    List.map
+      (fun k ->
+        let informer = Kube.Kubelet.informer k in
+        [
+          Kube.Kubelet.name k;
+          "pods/";
+          Kube.Informer.current_endpoint informer;
+          string_of_int (Kube.Informer.rev informer);
+          String.concat "," (Kube.Kubelet.running k);
+        ])
+      (Kube.Cluster.kubelets cluster)
+    @ (match Kube.Cluster.scheduler cluster with
+      | Some s ->
+          [
+            [
+              "scheduler";
+              "pods/ nodes/";
+              Kube.Informer.current_endpoint (Kube.Scheduler.pods_informer s);
+              string_of_int (Kube.Informer.rev (Kube.Scheduler.pods_informer s));
+              Printf.sprintf "%d binds" (Kube.Scheduler.binds s);
+            ];
+          ]
+      | None -> [])
+    @ (match Kube.Cluster.volume_controller cluster with
+      | Some v ->
+          [
+            [
+              "volumectl";
+              "pods/ pvcs/";
+              Kube.Informer.current_endpoint (Kube.Volume_controller.pods_informer v);
+              string_of_int (Kube.Informer.rev (Kube.Volume_controller.pods_informer v));
+              Printf.sprintf "%d releases" (Kube.Volume_controller.releases v);
+            ];
+          ]
+      | None -> [])
+    @
+    match Kube.Cluster.operator cluster with
+    | Some o ->
+        [
+          [
+            "cassop";
+            "cassdcs/ pods/ pvcs/";
+            Kube.Informer.current_endpoint (Kube.Cassandra_operator.pods_informer o);
+            string_of_int (Kube.Informer.rev (Kube.Cassandra_operator.pods_informer o));
+            Printf.sprintf "%d members created" (Kube.Cassandra_operator.member_creates o);
+          ];
+        ]
+    | None -> []
+  in
+  Sieve.Report.table ~header:[ "component"; "watches"; "upstream"; "view rev"; "state" ]
+    component_rows;
+  Printf.printf
+    "\nEvery component below etcd operates on a partial history H' of H;\n\
+     in steady state the lags above are transient (bounded by stream latency).\n"
+
+(* ------------------------------------------------------------------ *)
+(* FIG2: Kubernetes-59848 walkthrough.                                *)
+
+let fig2 () =
+  Sieve.Report.section "FIG2 — Kubernetes-59848 reproduced (time travel after kubelet restart)";
+  let case = Sieve.Bugs.k8s_59848 () in
+  Printf.printf "\nstrategy: %s\n" (Sieve.Strategy.describe case.Sieve.Bugs.sieve_strategy);
+  let outcome = Sieve.Runner.run_test (Sieve.Bugs.test_of_case case) in
+  let interesting = [ "workload.step"; "kubelet.run"; "kubelet.stop"; "node.crash";
+                      "node.restart"; "net.partition"; "informer.list"; "oracle.violation" ] in
+  Printf.printf "\n";
+  List.iter
+    (fun e ->
+      if List.mem e.Dsim.Trace.kind interesting then
+        Printf.printf "  [%7.3f s] %-10s %-18s %s\n"
+          (float_of_int e.Dsim.Trace.time /. 1e6)
+          e.Dsim.Trace.actor e.Dsim.Trace.kind e.Dsim.Trace.detail)
+    (Dsim.Trace.entries (Kube.Cluster.trace outcome.Sieve.Runner.cluster));
+  (match outcome.Sieve.Runner.violations with
+  | (time, v) :: _ ->
+      Printf.printf "\n=> safety violated at %.3f s: %s\n" (float_of_int time /. 1e6)
+        (Sieve.Oracle.describe v)
+  | [] -> Printf.printf "\n=> (no violation — unexpected)\n");
+  List.iter
+    (fun k ->
+      Printf.printf "   %s finally running: [%s]\n" (Kube.Kubelet.name k)
+        (String.concat ", " (Kube.Kubelet.running k)))
+    (Kube.Cluster.kubelets outcome.Sieve.Runner.cluster)
+
+(* ------------------------------------------------------------------ *)
+(* FIG3a: staleness.                                                  *)
+
+let fig3a () =
+  Sieve.Report.section "FIG3a — staleness: (H', S') at api-2 lags (H, S) during a partition";
+  let cluster = Kube.Cluster.create () in
+  Kube.Cluster.start cluster;
+  Kube.Workload.schedule cluster (Kube.Workload.pod_churn ~n:8 ~spacing:(ms 500) ());
+  Sieve.Strategy.apply cluster
+    (Sieve.Strategy.Partition_window { a = "etcd"; b = "api-2"; from = sec 2; until = ms 4_500 });
+  let divergence = History.Divergence.create () in
+  let api_2 = List.nth (Kube.Cluster.apiservers cluster) 1 in
+  Dsim.Engine.every (Kube.Cluster.engine cluster) ~period:(ms 250) (fun () ->
+      History.Divergence.record divergence
+        ~time:(Dsim.Engine.now (Kube.Cluster.engine cluster))
+        ~truth_rev:(Kube.Cluster.truth_rev cluster) ~view_rev:(Kube.Apiserver.rev api_2);
+      true);
+  Kube.Cluster.run cluster ~until:(sec 7);
+  Printf.printf "\npartition etcd <-/-> api-2 during [2.0 s, 4.5 s]\n\n";
+  Format.printf "%a" History.Divergence.pp_series divergence;
+  Sieve.Report.kv
+    [
+      ("max lag (revisions)", string_of_int (History.Divergence.max_lag divergence));
+      ("mean lag", Printf.sprintf "%.2f" (History.Divergence.mean_lag divergence));
+      ( "fraction of samples stale",
+        Printf.sprintf "%.0f%%" (100.0 *. History.Divergence.stale_fraction divergence) );
+    ];
+  Printf.printf
+    "\nExpected shape: lag 0 before the cut, growing during it, snapping back\n\
+     to ~0 after the heal + watchdog re-list.\n"
+
+(* ------------------------------------------------------------------ *)
+(* FIG3b: time travel.                                                *)
+
+let fig3b () =
+  Sieve.Report.section "FIG3b — time travel: kubelet-1's view revision moves backwards";
+  let case = Sieve.Bugs.k8s_59848 () in
+  let cluster = Kube.Cluster.create ~config:case.Sieve.Bugs.config () in
+  let divergence = History.Divergence.create () in
+  Sieve.Strategy.apply cluster case.Sieve.Bugs.sieve_strategy;
+  Kube.Cluster.start cluster;
+  Kube.Workload.schedule cluster case.Sieve.Bugs.workload;
+  let kubelet_1 = List.hd (Kube.Cluster.kubelets cluster) in
+  Dsim.Engine.every (Kube.Cluster.engine cluster) ~period:(ms 250) (fun () ->
+      History.Divergence.record divergence
+        ~time:(Dsim.Engine.now (Kube.Cluster.engine cluster))
+        ~truth_rev:(Kube.Cluster.truth_rev cluster)
+        ~view_rev:(Kube.Informer.rev (Kube.Kubelet.informer kubelet_1));
+      true);
+  Kube.Cluster.run cluster ~until:(sec 6);
+  Printf.printf "\n(kubelet-1 crashes at 3.6 s and re-lists from api-2, frozen since 2.8 s)\n\n";
+  Format.printf "%a" History.Divergence.pp_series divergence;
+  match History.Divergence.time_travel_points divergence with
+  | [] -> Printf.printf "\n=> no backwards movement (unexpected)\n"
+  | points ->
+      List.iter
+        (fun p ->
+          Printf.printf "\n=> TIME TRAVEL at %.3f s: view revision fell to %d (truth at %d)\n"
+            (float_of_int p.History.Divergence.time /. 1e6)
+            p.History.Divergence.view_rev p.History.Divergence.truth_rev)
+        points
+
+(* ------------------------------------------------------------------ *)
+(* FIG3c: observability gaps.                                         *)
+
+let fig3c () =
+  Sieve.Report.section "FIG3c — observability gaps";
+  Sieve.Report.subsection "(i) events cancelled in S': sparse reads cannot recover H";
+  let cluster = Kube.Cluster.create () in
+  let events = ref [] in
+  Kube.Etcd.on_commit (Kube.Cluster.etcd cluster) (fun e -> events := e :: !events);
+  Kube.Cluster.start cluster;
+  Kube.Workload.schedule cluster (Kube.Workload.pod_churn ~n:5 ~lifetime:(sec 1) ());
+  Kube.Cluster.run cluster ~until:(sec 8);
+  let history = List.rev !events in
+  let shadowed = History.Partial.unobservable_in_state history in
+  Printf.printf
+    "history H has %d events; %d of them (%.0f%%) are invisible in the final state S\n\
+     (a later event on the same key shadows them — every churn pod's\n\
+     create/bind/run/mark/delete sequence collapses to nothing).\n"
+    (List.length history) (List.length shadowed)
+    (pct (List.length shadowed) (List.length history));
+  Sieve.Report.subsection "(ii) rolling watch windows: resuming too late fails";
+  let rows =
+    List.map
+      (fun window ->
+        let kv = Etcdlike.Kv.create () in
+        (* 200 committed events; a subscriber disconnected after rev 40
+           tries to resume. *)
+        for i = 1 to 200 do
+          ignore (Etcdlike.Kv.put kv (Printf.sprintf "k%d" (i mod 37)) "v");
+          match window with Some w -> Etcdlike.Kv.compact_keep_last kv w | None -> ()
+        done;
+        let outcome =
+          match Etcdlike.Kv.since kv ~rev:40 with
+          | Ok events -> Printf.sprintf "resume ok (%d events replayed)" (List.length events)
+          | Error (`Compacted rev) ->
+              Printf.sprintf "ERR_COMPACTED (window starts at %d): re-list; gap permanent" rev
+        in
+        [
+          (match window with Some w -> string_of_int w | None -> "unlimited");
+          outcome;
+        ])
+      [ None; Some 180; Some 100; Some 20 ]
+  in
+  Sieve.Report.table ~header:[ "retained window"; "watch resume from rev 40" ] rows;
+  Sieve.Report.subsection "(iii) a dropped notification is undetectable while bookmarks flow";
+  let case = Sieve.Bugs.k8s_56261 () in
+  let outcome = Sieve.Runner.run_test (Sieve.Bugs.test_of_case case) in
+  let trace = Kube.Cluster.trace outcome.Sieve.Runner.cluster in
+  Printf.printf
+    "dropped 1 node-deletion event to the scheduler: %d stream deaths detected,\n\
+     %d total (re-)lists — the gap never heals; violation: %s\n"
+    (List.length (Dsim.Trace.find_all trace ~kind:"informer.stream-dead"))
+    (List.length (Dsim.Trace.find_all trace ~kind:"informer.list"))
+    (match outcome.Sieve.Runner.violations with
+    | (_, v) :: _ -> Sieve.Oracle.describe v
+    | [] -> "(none)")
+
+(* ------------------------------------------------------------------ *)
+(* T-BUGS: the Section 7 matrix.                                      *)
+
+let pattern_name = function
+  | `Staleness -> "staleness"
+  | `Obs_gap -> "observability gap"
+  | `Time_travel -> "time travel"
+
+let bugs () =
+  Sieve.Report.section "T-BUGS — Section 7 results: 2 known + 3 new bugs, reproduced";
+  let rows cases =
+    List.map
+      (fun case ->
+        let reference = Sieve.Runner.run_test (Sieve.Bugs.reference_test_of_case case) in
+        let sieve = Sieve.Runner.run_test (Sieve.Bugs.test_of_case case) in
+        let fixed = Sieve.Runner.run_test (Sieve.Bugs.fixed_test_of_case case) in
+        let hit (o : Sieve.Runner.outcome) =
+          List.find_opt (fun (_, v) -> case.Sieve.Bugs.matches v) o.Sieve.Runner.violations
+        in
+        [
+          case.Sieve.Bugs.id;
+          pattern_name case.Sieve.Bugs.pattern;
+          (if reference.Sieve.Runner.violations = [] then "clean" else "VIOLATION!");
+          (match hit sieve with
+          | Some (t, _) -> Printf.sprintf "yes @ %.1f s" (float_of_int t /. 1e6)
+          | None -> "NO");
+          (match hit fixed with None -> "closed" | Some _ -> "STILL OPEN");
+        ])
+      cases
+  in
+  Printf.printf "\n";
+  Sieve.Report.table
+    ~header:[ "bug"; "pattern (4.2)"; "unperturbed"; "Sieve reproduces"; "with fix" ]
+    (rows (Sieve.Bugs.all ()));
+  Sieve.Report.subsection
+    "extension corpus (bugs in the extra controllers this reproduction adds)";
+  Sieve.Report.table
+    ~header:[ "bug"; "pattern (4.2)"; "unperturbed"; "Sieve reproduces"; "with fix" ]
+    (rows (Sieve.Bugs.extras ()));
+  Printf.printf "\nper-bug strategy:\n";
+  List.iter
+    (fun case ->
+      Printf.printf "  %-10s %s\n" case.Sieve.Bugs.id
+        (Sieve.Strategy.describe case.Sieve.Bugs.sieve_strategy))
+    (Sieve.Bugs.all_with_extras ())
+
+(* ------------------------------------------------------------------ *)
+(* T-BASE: planner vs baseline testers.                               *)
+
+let baselines () =
+  Sieve.Report.section
+    "T-BASE — tests-to-first-reproduction: partial-history planner vs prior heuristics";
+  let random_budget = 400 in
+  let rows =
+    List.map
+      (fun case ->
+        let config = case.Sieve.Bugs.config in
+        let horizon = case.Sieve.Bugs.horizon in
+        let commits = Sieve.Runner.reference_commits (Sieve.Bugs.reference_test_of_case case) in
+        let events =
+          List.map
+            (fun c -> (c.Sieve.Runner.time, c.Sieve.Runner.key, c.Sieve.Runner.op))
+            commits
+        in
+        let components =
+          List.map (fun t -> t.Sieve.Planner.component) (Sieve.Planner.targets_of_config config)
+        in
+        let apiservers =
+          List.init config.Kube.Cluster.apiservers (fun i -> Printf.sprintf "api-%d" (i + 1))
+        in
+        let campaign strategies =
+          let arr = Array.of_list strategies in
+          let result =
+            Sieve.Runner.run_campaign
+              ~make_test:(fun i ->
+                Sieve.Runner.base_test ~config ~workload:case.Sieve.Bugs.workload ~horizon arr.(i))
+              ~candidates:(Array.length arr) ~target:case.Sieve.Bugs.matches ()
+          in
+          match result.Sieve.Runner.found with
+          | Some _ -> string_of_int result.Sieve.Runner.tests_run
+          | None -> Printf.sprintf "miss (%d)" result.Sieve.Runner.tests_run
+        in
+        [
+          case.Sieve.Bugs.id;
+          pattern_name case.Sieve.Bugs.pattern;
+          campaign
+            (List.map
+               (fun p -> p.Sieve.Planner.strategy)
+               (Sieve.Planner.candidates ~config ~events ~horizon ()));
+          campaign
+            (List.map
+               (fun p -> p.Sieve.Planner.strategy)
+               (Sieve.Planner.candidates_causal ~config ~commits ~horizon ()));
+          campaign (Sieve.Baselines.crashtuner ~events ~components ());
+          campaign (Sieve.Baselines.cofi ~events ~components ~apiservers ());
+          campaign
+            (Sieve.Baselines.random_faults ~seed:42L ~components ~apiservers ~horizon
+               ~n:random_budget);
+        ])
+      (Sieve.Bugs.all_with_extras ())
+  in
+  Printf.printf "\n(all approaches share workloads and oracles; numbers are tests until the\n\
+                 target bug first fires; 'miss (n)' = not found within n candidates)\n\n";
+  Sieve.Report.table
+    ~header:
+      [ "bug"; "pattern"; "planner"; "planner+causal"; "CrashTuner-like"; "CoFI-like"; "random" ]
+    rows;
+  Printf.printf
+    "\nExpected shape (paper sections 5-7): the partial-history planner finds every\n\
+     bug; the crash-recovery heuristic finds none of them; the partition heuristic\n\
+     finds only bugs whose buggy logic makes transient divergence permanent; random\n\
+     needs many more tests where it succeeds at all.\n";
+  (* Why: the perturbation-space cells each approach can even touch
+     (measured on the K8s-56261 scenario's space). *)
+  Sieve.Report.subsection
+    "coverage of the (component x object x pattern) space per approach (56261 scenario)";
+  let case = Sieve.Bugs.k8s_56261 () in
+  let events = Sieve.Runner.reference_events (Sieve.Bugs.reference_test_of_case case) in
+  let config = case.Sieve.Bugs.config in
+  let components =
+    List.map (fun t -> t.Sieve.Planner.component) (Sieve.Planner.targets_of_config config)
+  in
+  let apiservers = [ "api-1"; "api-2" ] in
+  let coverage_row name strategies =
+    let c = Sieve.Coverage.create ~config ~events in
+    List.iter (Sieve.Coverage.note c) strategies;
+    let cell pattern =
+      let _, covered, total =
+        List.find (fun (p, _, _) -> p = pattern) (Sieve.Coverage.by_pattern c)
+      in
+      Printf.sprintf "%d/%d" covered total
+    in
+    [
+      name;
+      cell `Staleness;
+      cell `Obs_gap;
+      cell `Time_travel;
+      Printf.sprintf "%.0f%%" (100.0 *. Sieve.Coverage.ratio c);
+    ]
+  in
+  Sieve.Report.table
+    ~header:[ "approach"; "staleness"; "obs-gap"; "time-travel"; "overall" ]
+    [
+      coverage_row "planner"
+        (List.map (fun p -> p.Sieve.Planner.strategy)
+           (Sieve.Planner.candidates ~config ~events ~horizon:case.Sieve.Bugs.horizon ()));
+      coverage_row "CrashTuner-like" (Sieve.Baselines.crashtuner ~events ~components ());
+      coverage_row "CoFI-like" (Sieve.Baselines.cofi ~events ~components ~apiservers ());
+      coverage_row "random (400)"
+        (Sieve.Baselines.random_faults ~seed:42L ~components ~apiservers
+           ~horizon:case.Sieve.Bugs.horizon ~n:random_budget);
+    ];
+  Printf.printf
+    "\nNo amount of crash or partition injection reaches an observability-gap\n\
+     cell: those perturbations need event-level suppression, which is exactly\n\
+     what the partial-history interceptor adds.\n"
+
+(* ------------------------------------------------------------------ *)
+(* T-YIELD: distinct bugs per test budget on one rich workload.       *)
+
+let yield_curve () =
+  Sieve.Report.section
+    "T-YIELD — distinct bugs found per test budget (one combined workload)";
+  let config =
+    {
+      Kube.Cluster.default_config with
+      Kube.Cluster.with_replicaset = true;
+      with_deployment = true;
+    }
+  in
+  let horizon = sec 12 in
+  let workload =
+    Kube.Workload.pods_with_claims ~start:(sec 1) ~lifetime:(sec 2) ~n:2 ()
+    @ Kube.Workload.cassandra_scale ~start:(ms 1_200) ~dc:"dc" ~steps:[ (0, 2); (ms 2_500, 3) ] ()
+    @ Kube.Workload.node_churn ~start:(sec 2) ~node:"node-3" ~pods_after:3 ()
+    @ Kube.Workload.deployment_rollout ~start:(ms 1_400) ~dep:"front" ~replicas:2
+        ~generations:2 ~gap:(sec 4) ()
+  in
+  let reference = Sieve.Runner.base_test ~config ~workload ~horizon Sieve.Strategy.No_perturbation in
+  let commits = Sieve.Runner.reference_commits reference in
+  let events =
+    List.map (fun c -> (c.Sieve.Runner.time, c.Sieve.Runner.key, c.Sieve.Runner.op)) commits
+  in
+  let components =
+    List.map (fun t -> t.Sieve.Planner.component) (Sieve.Planner.targets_of_config config)
+  in
+  let apiservers = [ "api-1"; "api-2" ] in
+  let budgets = [ 50; 100; 200; 400 ] in
+  let distinct_bugs strategies budget =
+    let found = Hashtbl.create 8 in
+    List.iteri
+      (fun i strategy ->
+        if i < budget then
+          let outcome =
+            Sieve.Runner.run_test (Sieve.Runner.base_test ~config ~workload ~horizon strategy)
+          in
+          List.iter
+            (fun (_, v) -> Hashtbl.replace found (Sieve.Oracle.bug_id v) ())
+            outcome.Sieve.Runner.violations)
+      strategies;
+    Hashtbl.length found
+  in
+  let row name strategies =
+    name :: List.map (fun budget -> string_of_int (distinct_bugs strategies budget)) budgets
+  in
+  let rows =
+    [
+      row "planner+causal"
+        (List.map (fun p -> p.Sieve.Planner.strategy)
+           (Sieve.Planner.candidates_causal ~config ~commits ~horizon ()));
+      row "planner"
+        (List.map (fun p -> p.Sieve.Planner.strategy)
+           (Sieve.Planner.candidates ~config ~events ~horizon ()));
+      row "CrashTuner-like" (Sieve.Baselines.crashtuner ~events ~components ());
+      row "CoFI-like" (Sieve.Baselines.cofi ~events ~components ~apiservers ());
+      row "random"
+        (Sieve.Baselines.random_faults ~seed:42L ~components ~apiservers ~horizon ~n:400);
+    ]
+  in
+  Printf.printf
+    "\n(distinct bug classes — by oracle id — exposed within the first N tests;\n\
+     a claims + Cassandra + node-churn + rollout workload on one cluster)\n\n";
+  Sieve.Report.table
+    ~header:("approach" :: List.map (fun b -> Printf.sprintf "N=%d" b) budgets)
+    rows;
+  Printf.printf
+    "\nExpected shape: the planner's yield dominates at every budget and the\n\
+     causal ranking pulls discoveries earlier; fault-injection baselines\n\
+     plateau at the classes reachable without event-level suppression.\n"
+
+(* ------------------------------------------------------------------ *)
+(* T-EPOCH: the Section 6.2 programming model.                        *)
+
+let epochs () =
+  Sieve.Report.section "T-EPOCH — epoch-bounded delivery: anomalies vs coordination cost";
+  let rng = Dsim.Rng.create 2024L in
+  let n = 2_000 in
+  (* Commit times 1 ms apart; per-event delivery latency is exponential,
+     so notifications arrive out of order: the raw consumer observes
+     history out of order, the epoch consumer never does. *)
+  let commit_time rev = rev * 1_000 in
+  let arrival =
+    Array.init (n + 1) (fun rev ->
+        if rev = 0 then 0
+        else commit_time rev + int_of_float (Dsim.Rng.exponential rng ~mean:20_000.0))
+  in
+  let order = List.init n (fun i -> i + 1) in
+  let by_arrival = List.sort (fun a b -> compare arrival.(a) arrival.(b)) order in
+  let raw_anomalies = ref 0 and raw_frontier = ref 0 in
+  List.iter
+    (fun rev -> if rev < !raw_frontier then incr raw_anomalies else raw_frontier := rev)
+    by_arrival;
+  let raw_latency =
+    List.fold_left (fun acc rev -> acc + (arrival.(rev) - commit_time rev)) 0 order
+  in
+  let rows =
+    [
+      "raw (no epochs)";
+      string_of_int !raw_anomalies;
+      Printf.sprintf "%.1f" (float_of_int raw_latency /. float_of_int n /. 1000.0);
+    ]
+    :: List.map
+         (fun g ->
+           let deliveries = ref [] in
+           let batcher =
+             History.Epoch.create ~granularity:g ~deliver:(fun batch ->
+                 deliveries := batch :: !deliveries)
+           in
+           let clock = ref 0 in
+           let latency = ref 0 and delivered = ref 0 and anomalies = ref 0 and frontier = ref 0 in
+           List.iter
+             (fun rev ->
+               clock := arrival.(rev);
+               History.Epoch.offer batcher
+                 (History.Event.make ~rev ~key:"k" ~op:History.Event.Update (Some rev));
+               List.iter
+                 (fun batch ->
+                   List.iter
+                     (fun (e : int History.Event.t) ->
+                       let rev = e.History.Event.rev in
+                       if rev < !frontier then incr anomalies else frontier := rev;
+                       latency := !latency + (!clock - commit_time rev);
+                       incr delivered)
+                     batch)
+                 (List.rev !deliveries);
+               deliveries := [])
+             by_arrival;
+           [
+             Printf.sprintf "epochs g=%d" g;
+             string_of_int !anomalies;
+             Printf.sprintf "%.1f"
+               (float_of_int !latency /. float_of_int (max 1 !delivered) /. 1000.0);
+           ])
+         [ 1; 2; 5; 10; 25; 50 ]
+  in
+  Printf.printf "\n%d events, 1 ms apart; delivery latency ~ Exp(20 ms) per event\n\n" n;
+  Sieve.Report.table ~header:[ "consumer"; "order anomalies observed"; "mean latency (ms)" ] rows;
+  Printf.printf
+    "\nExpected shape: the raw consumer observes many out-of-order (time-traveling)\n\
+     events; epoch delivery eliminates them at a latency cost that grows with the\n\
+     granularity — the coordination cost the paper predicts for bounding partial\n\
+     histories.\n"
+
+(* ------------------------------------------------------------------ *)
+(* T-SEAL: the Section 6.2 epoch protocol, in vivo.                   *)
+
+let seals () =
+  Sieve.Report.section
+    "T-SEAL — epoch seals in vivo: which corpus bugs the 6.2 protocol closes";
+  let rows =
+    List.map
+      (fun case ->
+        let run config =
+          Sieve.Runner.run_test
+            (Sieve.Runner.base_test ~config ~workload:case.Sieve.Bugs.workload
+               ~horizon:case.Sieve.Bugs.horizon case.Sieve.Bugs.sieve_strategy)
+        in
+        let hit (o : Sieve.Runner.outcome) =
+          List.exists (fun (_, v) -> case.Sieve.Bugs.matches v) o.Sieve.Runner.violations
+        in
+        let plain = run case.Sieve.Bugs.config in
+        let sealed =
+          run { case.Sieve.Bugs.config with Kube.Cluster.api_epoch_seal = Some 5 }
+        in
+        [
+          case.Sieve.Bugs.id;
+          pattern_name case.Sieve.Bugs.pattern;
+          (if hit plain then "reproduced" else "clean");
+          (if hit sealed then "still reproduced" else "CLOSED");
+        ])
+      (Sieve.Bugs.all_with_extras ())
+  in
+  (* CA-400/402 are staleness-pattern bugs whose corpus strategies use the
+     drop *vector*; show that the pure-delay vector for the same bug
+     survives seals. *)
+  let delay_variant =
+    let case = Sieve.Bugs.ca_402 () in
+    let strategy =
+      Sieve.Strategy.staleness ~dst:"cassop" ~key_prefix:Kube.Resource.pods_prefix
+        ~from:(sec 3) ~until:(sec 5) ~extra:(ms 1_200) ()
+    in
+    let run config =
+      Sieve.Runner.run_test
+        (Sieve.Runner.base_test ~config ~workload:case.Sieve.Bugs.workload
+           ~horizon:case.Sieve.Bugs.horizon strategy)
+    in
+    let hit (o : Sieve.Runner.outcome) =
+      List.exists (fun (_, v) -> case.Sieve.Bugs.matches v) o.Sieve.Runner.violations
+    in
+    let plain = run case.Sieve.Bugs.config in
+    let sealed = run { case.Sieve.Bugs.config with Kube.Cluster.api_epoch_seal = Some 5 } in
+    [
+      "CA-402 (delay vector)";
+      "staleness";
+      (if hit plain then "reproduced" else "clean");
+      (if hit sealed then "still reproduced" else "CLOSED");
+    ]
+  in
+  Printf.printf
+    "\n(apiserver watch streams seal every 5 revisions and at every bookmark tick;\n\
+     a consumer whose event count disagrees with a seal re-lists immediately)\n\n";
+  Sieve.Report.table ~header:[ "bug"; "pattern"; "without seals"; "with seals" ]
+    (rows @ [ delay_variant ]);
+  Printf.printf
+    "\nExpected shape: every silent-loss vector closes — a dropped notification\n\
+     becomes a detected integrity failure healed within one epoch. Freshness\n\
+     failures rightly survive: seals prove *completeness*, not *recency* — a\n\
+     frozen apiserver seals its own stale stream consistently (59848), FIFO\n\
+     delays arrive before their seal (EXT-RS and CA-402's delay vector). Those\n\
+     need monotonicity/quorum medicine — the division of labor section 6.2\n\
+     anticipates when it says epochs eliminate staleness and gaps only\n\
+     *within* an epoch.\n"
+
+(* ------------------------------------------------------------------ *)
+(* T-PERF: why caches exist, and what the HBase fix costs.            *)
+
+let perf_read_offload () =
+  Sieve.Report.subsection "(a) read path: apiserver caches shield etcd (section 4.1)";
+  let run_mode ~quorum =
+    let cluster = Kube.Cluster.create () in
+    Kube.Cluster.start cluster;
+    Kube.Workload.schedule cluster (Kube.Workload.pod_churn ~n:4 ());
+    let engine = Kube.Cluster.engine cluster in
+    let net = Kube.Cluster.net cluster in
+    let latencies = ref [] and reads = ref 0 in
+    let readers = 8 in
+    for r = 1 to readers do
+      let name = Printf.sprintf "reader-%d" r in
+      Dsim.Network.register net name ~serve:(fun ~src:_ _ _ -> ()) ();
+      let api = Printf.sprintf "api-%d" (1 + (r mod 2)) in
+      Dsim.Engine.every engine ~period:(ms 20) (fun () ->
+          let t0 = Dsim.Engine.now engine in
+          Dsim.Network.call net ~src:name ~dst:api
+            (Kube.Messages.Api_list { prefix = "pods/"; quorum })
+            (fun _ ->
+              incr reads;
+              latencies := float_of_int (Dsim.Engine.now engine - t0) :: !latencies);
+          true)
+    done;
+    let etcd_before = Kube.Etcd.requests_served (Kube.Cluster.etcd cluster) in
+    Kube.Cluster.run cluster ~until:(sec 6);
+    let etcd_load = Kube.Etcd.requests_served (Kube.Cluster.etcd cluster) - etcd_before in
+    let mean =
+      List.fold_left ( +. ) 0.0 !latencies /. float_of_int (max 1 (List.length !latencies))
+    in
+    (!reads, etcd_load, mean /. 1000.0)
+  in
+  let cached_reads, cached_etcd, cached_lat = run_mode ~quorum:false in
+  let quorum_reads, quorum_etcd, quorum_lat = run_mode ~quorum:true in
+  Sieve.Report.table
+    ~header:[ "read mode"; "reads served"; "etcd RPCs"; "mean latency (ms)" ]
+    [
+      [ "apiserver cache (watch-fed)"; string_of_int cached_reads; string_of_int cached_etcd;
+        Printf.sprintf "%.2f" cached_lat ];
+      [ "quorum (forwarded to etcd)"; string_of_int quorum_reads; string_of_int quorum_etcd;
+        Printf.sprintf "%.2f" quorum_lat ];
+    ];
+  Printf.printf
+    "\nExpected shape: cached reads keep etcd load near zero (watch stream only)\n\
+     and halve latency; quorum reads put every read on etcd — the bottleneck\n\
+     pressure that makes partial histories unavoidable.\n"
+
+let perf_hbase_cas () =
+  Sieve.Report.subsection "(b) HBase-3136/3137: CAS on cached state vs sync-before-CAS";
+  let run_mode ~quorum_read =
+    let cluster = Kube.Cluster.create () in
+    (* Make api-1's view of the contended key persistently ~40 ms stale,
+       as the HBase report describes for the cached ZooKeeper state. *)
+    Sieve.Strategy.apply cluster
+      (Sieve.Strategy.Delay_stream
+         {
+           src = Some "etcd";
+           dst = Some "api-1";
+           matching = Sieve.Strategy.match_event ~key_prefix:"pods/region" ();
+           from = 0;
+           until = sec 30;
+           extra = ms 40;
+         });
+    Kube.Cluster.start cluster;
+    let engine = Kube.Cluster.engine cluster in
+    let net = Kube.Cluster.net cluster in
+    (* Background writer: region state changes every 120 ms. *)
+    Dsim.Engine.every engine ~period:(ms 120) (fun () ->
+        Kube.Workload.create_pod ~node:"node-1" cluster "region";
+        Kube.Workload.delete_pod_now cluster "region";
+        true);
+    Dsim.Network.register net "cas-client" ~serve:(fun ~src:_ _ _ -> ()) ();
+    let attempts = ref 0 and successes = ref 0 in
+    let etcd = Kube.Cluster.etcd cluster in
+    Dsim.Engine.every engine ~period:(ms 60) (fun () ->
+        Dsim.Network.call net ~src:"cas-client" ~dst:"api-1"
+          (Kube.Messages.Api_get { key = "pods/region"; quorum = quorum_read })
+          (function
+            | Ok (Kube.Messages.Value { value = Some (_, mod_rev); _ }) ->
+                incr attempts;
+                Dsim.Network.call net ~src:"cas-client" ~dst:"api-1"
+                  (Kube.Messages.Api_txn
+                     {
+                       txn =
+                         Etcdlike.Txn.put_if_unchanged ~key:"pods/region"
+                           ~expected_mod_rev:mod_rev
+                           (Kube.Resource.make_pod ~node:"node-1" "region");
+                       origin = "cas-client";
+                       lease = None;
+                     })
+                  (function
+                    | Ok (Kube.Messages.Txn_result { succeeded = true; _ }) -> incr successes
+                    | _ -> ())
+            | _ -> ());
+        true);
+    let etcd_before = Kube.Etcd.requests_served etcd in
+    Kube.Cluster.run cluster ~until:(sec 10);
+    (!attempts, !successes, Kube.Etcd.requests_served etcd - etcd_before)
+  in
+  let c_att, c_succ, c_load = run_mode ~quorum_read:false in
+  let q_att, q_succ, q_load = run_mode ~quorum_read:true in
+  Sieve.Report.table
+    ~header:[ "CAS read path"; "attempts"; "successes"; "success rate"; "etcd RPCs" ]
+    [
+      [ "cached read (HBASE-3136)"; string_of_int c_att; string_of_int c_succ;
+        Printf.sprintf "%.0f%%" (pct c_succ c_att); string_of_int c_load ];
+      [ "sync-before-CAS (HBASE-3137)"; string_of_int q_att; string_of_int q_succ;
+        Printf.sprintf "%.0f%%" (pct q_succ q_att); string_of_int q_load ];
+    ];
+  Printf.printf
+    "\nExpected shape: CAS against the stale cache mostly fails (the 3136 bug);\n\
+     forcing a sync first restores success at the cost of extra etcd load (the\n\
+     3137 regression) — staleness cannot be eliminated for free.\n"
+
+let perf () =
+  Sieve.Report.section "T-PERF — the cache/consistency trade-off (sections 4.1, 4.2.1)";
+  perf_read_offload ();
+  perf_hbase_cas ()
+
+(* ------------------------------------------------------------------ *)
+(* ROBUST: reproductions are not knife-edge.                          *)
+
+let robustness () =
+  Sieve.Report.section
+    "ROBUST — reproductions across seeds and latency distributions";
+  let latency_models =
+    [
+      ("uniform 0.5-2 ms (default)", None);
+      ("uniform 2-8 ms", Some (Dsim.Network.Uniform { min = 2_000; max = 8_000 }));
+      ("exponential mean 1.5 ms", Some (Dsim.Network.Exponential { mean = 1_500.0; floor = 200 }));
+    ]
+  in
+  let seeds = 10 in
+  let rows =
+    List.map
+      (fun case ->
+        case.Sieve.Bugs.id
+        :: List.map
+             (fun (_, model) ->
+               let hits = ref 0 in
+               for seed = 1 to seeds do
+                 let config =
+                   { case.Sieve.Bugs.config with Kube.Cluster.seed = Int64.of_int seed }
+                 in
+                 let cluster = Kube.Cluster.create ~config () in
+                 (match model with
+                 | Some m -> Dsim.Network.set_latency_model (Kube.Cluster.net cluster) m
+                 | None -> ());
+                 let oracle = Sieve.Oracle.attach cluster in
+                 Sieve.Strategy.apply cluster case.Sieve.Bugs.sieve_strategy;
+                 Kube.Cluster.start cluster;
+                 Kube.Workload.schedule cluster case.Sieve.Bugs.workload;
+                 Kube.Cluster.run cluster ~until:case.Sieve.Bugs.horizon;
+                 if
+                   List.exists (fun (_, v) -> case.Sieve.Bugs.matches v)
+                     (Sieve.Oracle.violations oracle)
+                 then incr hits
+               done;
+               Printf.sprintf "%d/%d" !hits seeds)
+             latency_models)
+      (Sieve.Bugs.all_with_extras ())
+  in
+  Printf.printf "\n(each cell: seeds on which the corpus strategy reproduces the bug)\n\n";
+  Sieve.Report.table ~header:("bug" :: List.map fst latency_models) rows;
+  Printf.printf
+    "\nExpected shape: near-total reproduction everywhere — the strategies aim at\n\
+     structural windows (hundreds of milliseconds), not lucky interleavings, so\n\
+     neither the seed nor the latency distribution matters much.\n"
+
+(* ------------------------------------------------------------------ *)
+(* SCALE: cluster growth and the cache architecture (section 4.1).    *)
+
+let scale () =
+  Sieve.Report.section
+    "SCALE — why the architecture looks like this: growth vs store load";
+  let run ~nodes =
+    let config =
+      { Kube.Cluster.default_config with Kube.Cluster.nodes; with_operator = false }
+    in
+    let cluster = Kube.Cluster.create ~config () in
+    Kube.Cluster.start cluster;
+    Kube.Workload.schedule cluster
+      (Kube.Workload.pod_churn ~start:(sec 1) ~spacing:(ms 50) ~lifetime:(sec 3)
+         ~n:(nodes * 2) ());
+    let wall_start = Unix.gettimeofday () in
+    Kube.Cluster.run cluster ~until:(sec 10);
+    let wall = Unix.gettimeofday () -. wall_start in
+    let lags =
+      List.map
+        (fun k ->
+          Kube.Cluster.truth_rev cluster - Kube.Informer.rev (Kube.Kubelet.informer k))
+        (Kube.Cluster.kubelets cluster)
+    in
+    let max_lag = List.fold_left max 0 lags in
+    ( Kube.Cluster.truth_rev cluster,
+      Kube.Etcd.requests_served (Kube.Cluster.etcd cluster),
+      max_lag,
+      wall )
+  in
+  let rows =
+    List.map
+      (fun nodes ->
+        let rev, etcd_rpcs, max_lag, wall = run ~nodes in
+        [
+          string_of_int nodes;
+          string_of_int (nodes * 2);
+          string_of_int rev;
+          string_of_int etcd_rpcs;
+          string_of_int max_lag;
+          Printf.sprintf "%.2f s" wall;
+        ])
+      [ 5; 15; 40 ]
+  in
+  Sieve.Report.table
+    ~header:
+      [ "nodes"; "pods churned"; "events in H"; "etcd RPCs"; "max view lag"; "wall time" ]
+    rows;
+  Printf.printf
+    "\nExpected shape: the committed history grows with the workload, but etcd's\n\
+     request count stays a small multiple of component count (writes + initial\n\
+     lists) because every read is absorbed by the cache tiers — the design\n\
+     pressure (section 4.1) that makes partial histories unavoidable. Views\n\
+     stay in lockstep (lag ~0) in a calm cluster regardless of scale.\n"
+
+(* ------------------------------------------------------------------ *)
+(* HBASE: the same patterns in a second infrastructure.               *)
+
+let hbase () =
+  Sieve.Report.section
+    "HBASE — generality: the same patterns in a ZooKeeper/HBase-style system";
+  Sieve.Report.subsection
+    "(a) HBASE-3136/3137 on the native system: CAS vs follower replication lag";
+  let run ~lag ~sync =
+    let engine = Dsim.Engine.create ~seed:13L () in
+    let net = Dsim.Network.create engine in
+    let zk = Hbaselike.Zk.create ~net ~replication_lag:lag () in
+    let master =
+      Hbaselike.Master.create ~net ~name:"master-1" ~zk
+        ~regions:[ "r1"; "r2"; "r3"; "r4"; "r5"; "r6" ] ~sync_before_cas:sync ()
+    in
+    let region_servers =
+      List.init 3 (fun i ->
+          Hbaselike.Regionserver.create ~net ~name:(Printf.sprintf "rs-%d" (i + 1)) ~zk ())
+    in
+    Hbaselike.Master.start master;
+    List.iter Hbaselike.Regionserver.start region_servers;
+    Dsim.Engine.run ~until:(sec 6) engine;
+    (Hbaselike.Master.transitions master, Hbaselike.Master.cas_failures master,
+     Hbaselike.Zk.leader_ops zk)
+  in
+  let rows =
+    List.concat_map
+      (fun lag ->
+        let bt, bf, bl = run ~lag ~sync:false in
+        let ft, ff, fl = run ~lag ~sync:true in
+        [
+          [ Printf.sprintf "%d ms" (lag / 1000); "cached read (3136)"; string_of_int bt;
+            string_of_int bf; string_of_int bl ];
+          [ ""; "sync-before-CAS (3137)"; string_of_int ft; string_of_int ff;
+            string_of_int fl ];
+        ])
+      [ ms 10; ms 100; ms 400 ]
+  in
+  Sieve.Report.table
+    ~header:[ "replication lag"; "read path"; "transitions"; "CAS failures"; "leader ops" ]
+    rows;
+  Printf.printf
+    "\nExpected shape: CAS failures grow with follower lag on the cached path and\n\
+     stay near zero with sync-before-CAS — which pays for it in leader load.\n";
+  Sieve.Report.subsection "(b) HBASE-5755: cached master location after failover";
+  let run_5755 ~relookup =
+    let engine = Dsim.Engine.create ~seed:13L () in
+    let net = Dsim.Network.create engine in
+    let zk = Hbaselike.Zk.create ~net () in
+    let master =
+      Hbaselike.Master.create ~net ~name:"master-1" ~zk ~regions:[ "r1"; "r2" ] ()
+    in
+    let rs =
+      Hbaselike.Regionserver.create ~net ~name:"rs-1" ~zk ~relookup_on_failure:relookup ()
+    in
+    Hbaselike.Master.start master;
+    Hbaselike.Regionserver.start rs;
+    Dsim.Engine.run ~until:(sec 2) engine;
+    Dsim.Network.crash net "master-1";
+    let master2 =
+      Hbaselike.Master.create ~net ~name:"master-2" ~zk ~regions:[ "r1"; "r2" ] ()
+    in
+    Hbaselike.Master.start master2;
+    Dsim.Engine.run ~until:(sec 8) engine;
+    (Option.value (Hbaselike.Regionserver.cached_master rs) ~default:"-",
+     Hbaselike.Regionserver.consecutive_failures rs)
+  in
+  let stale_master, stale_failures = run_5755 ~relookup:false in
+  let fixed_master, fixed_failures = run_5755 ~relookup:true in
+  Sieve.Report.table
+    ~header:[ "region server"; "believes master is"; "consecutive heartbeat failures" ]
+    [
+      [ "bug-era (cached forever)"; stale_master; string_of_int stale_failures ];
+      [ "fixed (re-lookup on failure)"; fixed_master; string_of_int fixed_failures ];
+    ];
+  Printf.printf
+    "\n'Region server looking for master forever with cached stale data' — the\n\
+     reference [27] bug, on a different infrastructure, same staleness pattern.\n"
+
+(* ------------------------------------------------------------------ *)
+(* T-LEASE: the lease trade-off (section 4.1).                        *)
+
+let leases () =
+  Sieve.Report.section
+    "T-LEASE — leases: exclusive access at the price of blocked failover (section 4.1)";
+  let run_ttl ttl =
+    let config = { Kube.Cluster.default_config with Kube.Cluster.with_operator = false } in
+    let cluster = Kube.Cluster.create ~config () in
+    Kube.Cluster.start cluster;
+    let electors =
+      List.init 2 (fun i ->
+          Kube.Elector.create
+            ~net:(Kube.Cluster.net cluster)
+            ~name:(Printf.sprintf "cand-%d" (i + 1))
+            ~lock:"controller"
+            ~endpoints:(Kube.Cluster.apiserver_names cluster)
+            ~ttl ())
+    in
+    List.iter Kube.Elector.start electors;
+    Kube.Cluster.run cluster ~until:(sec 3);
+    let leader = List.find Kube.Elector.believes_leader electors in
+    Dsim.Network.crash (Kube.Cluster.net cluster) (Kube.Elector.name leader);
+    Kube.Cluster.run cluster ~until:(sec 3 + (4 * ttl) + sec 2);
+    let standby =
+      List.find
+        (fun e -> not (String.equal (Kube.Elector.name e) (Kube.Elector.name leader)))
+        electors
+    in
+    let takeover =
+      List.find_map (fun (at, gained) -> if gained then Some (at - sec 3) else None)
+        (Kube.Elector.transitions standby)
+    in
+    let lost =
+      List.find_map (fun (at, gained) -> if gained then None else Some at)
+        (Kube.Elector.transitions leader)
+    in
+    ( ttl,
+      takeover,
+      match takeover, lost with
+      | Some gained_delta, Some lost_at -> lost_at <= sec 3 + gained_delta
+      | _ -> false )
+  in
+  let rows =
+    List.map
+      (fun ttl ->
+        let ttl, takeover, safe = run_ttl ttl in
+        [
+          Printf.sprintf "%d ms" (ttl / 1000);
+          (match takeover with
+          | Some us -> Printf.sprintf "%d ms" (us / 1000)
+          | None -> "no takeover");
+          (if safe then "no overlap" else "OVERLAP!");
+        ])
+      [ ms 500; sec 1; sec 2; sec 4 ]
+  in
+  Printf.printf "\n(active/standby controllers; active crashes at 3 s)\n\n";
+  Sieve.Report.table
+    ~header:[ "lease TTL"; "standby takeover after crash"; "belief handoff" ] rows;
+  Printf.printf
+    "\nExpected shape: takeover latency tracks the lease term — the availability\n\
+     cost the paper names — while beliefs never overlap (the old holder's local\n\
+     deadline is always at or before the store-side expiry). And leases bound\n\
+     *who acts*, not *what they see*: the new leader starts from its own cached\n\
+     view, which can be just as stale as anyone's.\n"
+
+(* ------------------------------------------------------------------ *)
+(* RAFT: the store tier itself (footnote 1 + section 4.1).            *)
+
+let raft () =
+  Sieve.Report.section
+    "RAFT — the replicated store tier: failover cost and committed-only histories";
+  (* (a) Leader failover latency across seeds. *)
+  let failover_times =
+    List.filter_map
+      (fun seed ->
+        let engine = Dsim.Engine.create ~seed:(Int64.of_int seed) () in
+        let net = Dsim.Network.create engine in
+        let group = Raftlite.Group.create ~net ~n:5 () in
+        Raftlite.Group.start group;
+        Dsim.Engine.run ~until:(sec 2) engine;
+        match Raftlite.Group.leader group with
+        | None -> None
+        | Some leader ->
+            let crash_at = Dsim.Engine.now engine in
+            Dsim.Network.crash net (Raftlite.Node.id leader);
+            let elected_at = ref None in
+            Dsim.Engine.every engine ~period:(ms 5) (fun () ->
+                (match Raftlite.Group.leader group, !elected_at with
+                | Some fresh, None
+                  when not (String.equal (Raftlite.Node.id fresh) (Raftlite.Node.id leader)) ->
+                    elected_at := Some (Dsim.Engine.now engine)
+                | _ -> ());
+                true);
+            Dsim.Engine.run ~until:(crash_at + sec 3) engine;
+            Option.map (fun at -> float_of_int (at - crash_at) /. 1000.0) !elected_at)
+      (List.init 30 (fun i -> i + 1))
+  in
+  let n = List.length failover_times in
+  let mean = List.fold_left ( +. ) 0.0 failover_times /. float_of_int (max 1 n) in
+  let sorted = List.sort compare failover_times in
+  let pick p = List.nth sorted (min (n - 1) (int_of_float (p *. float_of_int n))) in
+  Sieve.Report.subsection "(a) leader failover, 5 replicas, 30 seeded runs";
+  Sieve.Report.kv
+    [
+      ("elections completed", Printf.sprintf "%d/30" n);
+      ("mean time to new leader", Printf.sprintf "%.0f ms" mean);
+      ("median / p90", Printf.sprintf "%.0f ms / %.0f ms" (pick 0.5) (pick 0.9));
+    ];
+  Printf.printf
+    "\n(election timeouts are uniform in [150,300] ms, so the shape to expect is\n\
+     a little over one timeout — randomization avoids split votes)\n";
+  (* (b) Footnote 1: H contains only committed events; a minority
+     leader's replicated-but-uncommitted suffix is NOT a partial
+     history and disappears on heal. *)
+  Sieve.Report.subsection "(b) a partial history is not a partially-replicated log (footnote 1)";
+  let engine = Dsim.Engine.create ~seed:11L () in
+  let net = Dsim.Network.create engine in
+  let group = Raftlite.Group.create ~net ~n:5 () in
+  Raftlite.Group.start group;
+  Dsim.Engine.run ~until:(sec 2) engine;
+  ignore (Raftlite.Group.propose_via_leader group "committed-1");
+  Dsim.Engine.run ~until:(Dsim.Engine.now engine + ms 500) engine;
+  let leader = Option.get (Raftlite.Group.leader group) in
+  let leader_id = Raftlite.Node.id leader in
+  let rest =
+    List.filter (fun id -> not (String.equal id leader_id)) (Raftlite.Group.names group)
+  in
+  let minority_peer = List.hd rest and majority = List.tl rest in
+  List.iter
+    (fun a -> List.iter (fun b -> Dsim.Network.partition net a b) majority)
+    [ leader_id; minority_peer ];
+  for i = 1 to 3 do
+    ignore (Raftlite.Node.propose leader (Printf.sprintf "doomed-%d" i))
+  done;
+  Dsim.Engine.run ~until:(Dsim.Engine.now engine + sec 2) engine;
+  ignore (Raftlite.Group.propose_via_leader group "committed-2");
+  Dsim.Engine.run ~until:(Dsim.Engine.now engine + sec 1) engine;
+  Printf.printf "during the partition:\n";
+  Printf.printf "  minority leader %s: log length %d, applied (= H view) %d\n" leader_id
+    (Raftlite.Node.log_length leader)
+    (List.length (Raftlite.Group.applied group leader_id));
+  Printf.printf "  committed history H: [%s]\n"
+    (String.concat "; " (Raftlite.Group.committed_prefix group));
+  Dsim.Network.heal_all net;
+  Dsim.Engine.run ~until:(Dsim.Engine.now engine + sec 2) engine;
+  Printf.printf "after healing:\n";
+  Printf.printf "  %s log length %d (doomed suffix erased by the new leader)\n" leader_id
+    (Raftlite.Node.log_length leader);
+  Printf.printf "  committed history H everywhere: [%s]\n"
+    (String.concat "; " (Raftlite.Group.committed_prefix group));
+  Printf.printf
+    "\nThe replicated-but-uncommitted suffix was never observable as history:\n\
+     H' in the paper's model is a subsequence of *committed* events only.\n"
+
+(* ------------------------------------------------------------------ *)
+(* T-MIN: strategy minimization.                                      *)
+
+let minimize () =
+  Sieve.Report.section "T-MIN — minimized reproductions: what each bug actually needs";
+  let rows =
+    List.map
+      (fun case ->
+        let test = Sieve.Bugs.test_of_case case in
+        let minimized, cost =
+          Sieve.Minimize.minimize ~test ~target:case.Sieve.Bugs.matches ()
+        in
+        [
+          case.Sieve.Bugs.id;
+          Sieve.Strategy.describe minimized.Sieve.Runner.strategy;
+          string_of_int cost;
+        ])
+      (Sieve.Bugs.all_with_extras ())
+  in
+  Printf.printf "\n";
+  Sieve.Report.table ~header:[ "bug"; "locally minimal strategy"; "runs" ] rows;
+  Printf.printf
+    "\nEverything left in a minimized strategy is load-bearing: the windows say\n\
+     *when* the partial history must diverge, the limits say *how little* —\n\
+     several bugs need exactly one suppressed or delayed notification.\n"
+
+(* ------------------------------------------------------------------ *)
+(* MICRO: Bechamel micro-benchmarks.                                  *)
+
+let micro () =
+  Sieve.Report.section "MICRO — substrate micro-benchmarks (Bechamel, wall clock)";
+  let open Bechamel in
+  let test_kv_put =
+    Test.make ~name:"kv.put x100" (Staged.stage (fun () ->
+        let kv = Etcdlike.Kv.create () in
+        for i = 1 to 100 do
+          ignore (Etcdlike.Kv.put kv (Printf.sprintf "k%d" (i mod 10)) i)
+        done))
+  in
+  let test_state_apply =
+    let events =
+      List.init 100 (fun i ->
+          History.Event.make ~rev:(i + 1) ~key:(Printf.sprintf "k%d" (i mod 10))
+            ~op:History.Event.Update (Some i))
+    in
+    Test.make ~name:"state.apply x100" (Staged.stage (fun () ->
+        ignore (List.fold_left History.State.apply History.State.empty events)))
+  in
+  let test_log_since =
+    let log = History.Log.create () in
+    for i = 1 to 1_000 do
+      ignore
+        (History.Log.append log ~key:(Printf.sprintf "k%d" (i mod 50)) ~op:History.Event.Update
+           (Some i))
+    done;
+    Test.make ~name:"log.since (1k events)" (Staged.stage (fun () ->
+        ignore (History.Log.since log ~rev:500)))
+  in
+  let test_engine =
+    Test.make ~name:"engine: 1k timer events" (Staged.stage (fun () ->
+        let e = Dsim.Engine.create () in
+        for i = 1 to 1_000 do
+          ignore (Dsim.Engine.schedule e ~delay:i (fun () -> ()))
+        done;
+        Dsim.Engine.run e))
+  in
+  let test_cluster_second =
+    Test.make ~name:"cluster: 1 virtual second" (Staged.stage (fun () ->
+        let cluster = Kube.Cluster.create () in
+        Kube.Cluster.start cluster;
+        Kube.Cluster.run cluster ~until:(sec 1)))
+  in
+  let test_bug_repro =
+    Test.make ~name:"full CA-402 sieve test" (Staged.stage (fun () ->
+        ignore (Sieve.Runner.run_test (Sieve.Bugs.test_of_case (Sieve.Bugs.ca_402 ())))))
+  in
+  let tests =
+    [ test_kv_put; test_state_apply; test_log_since; test_engine; test_cluster_second;
+      test_bug_repro ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.3) ~kde:None () in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let instance = Toolkit.Instance.monotonic_clock in
+  Printf.printf "\n";
+  let rows =
+    List.concat_map
+      (fun test ->
+        let results = Benchmark.all cfg [ instance ] test in
+        let analyzed = Analyze.all ols instance results in
+        Hashtbl.fold
+          (fun name ols_result acc ->
+            match Analyze.OLS.estimates ols_result with
+            | Some (estimate :: _) ->
+                [ name; Printf.sprintf "%.1f us/run" (estimate /. 1000.0) ] :: acc
+            | _ -> [ name; "?" ] :: acc)
+          analyzed [])
+      tests
+  in
+  Sieve.Report.table ~header:[ "benchmark"; "wall time" ] rows
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("fig1", fig1);
+    ("fig2", fig2);
+    ("fig3a", fig3a);
+    ("fig3b", fig3b);
+    ("fig3c", fig3c);
+    ("bugs", bugs);
+    ("baselines", baselines);
+    ("yield", yield_curve);
+    ("epochs", epochs);
+    ("seals", seals);
+    ("perf", perf);
+    ("robust", robustness);
+    ("scale", scale);
+    ("hbase", hbase);
+    ("leases", leases);
+    ("raft", raft);
+    ("minimize", minimize);
+    ("micro", micro);
+  ]
+
+let () =
+  let requested = List.tl (Array.to_list Sys.argv) in
+  let to_run =
+    match requested with
+    | [] -> experiments
+    | names ->
+        List.map
+          (fun name ->
+            match List.assoc_opt name experiments with
+            | Some f -> (name, f)
+            | None ->
+                Printf.eprintf "unknown experiment %S (available: %s)\n" name
+                  (String.concat ", " (List.map fst experiments));
+                exit 1)
+          names
+  in
+  List.iter (fun (_, f) -> f ()) to_run

@@ -1,0 +1,356 @@
+(* `sieve` — command-line front end for the partial-history testing tool.
+
+   Subcommands:
+     list                      the bug corpus
+     bugs [ID...]              reproduce corpus bugs (reference / sieve / fixed)
+     trace ID                  annotated failing execution of one bug
+     campaign ID APPROACH      tests-to-first-reproduction for one approach
+     explore                   run the planner end-to-end on a workload *)
+
+open Cmdliner
+
+let ids_of cases = List.map (fun c -> c.Sieve.Bugs.id) cases
+
+let resolve_cases = function
+  | [] -> Ok (Sieve.Bugs.all_with_extras ())
+  | ids ->
+      let missing = List.filter (fun id -> Sieve.Bugs.find id = None) ids in
+      if missing <> [] then
+        Error (Printf.sprintf "unknown bug id(s): %s (known: %s)"
+                 (String.concat ", " missing)
+                 (String.concat ", " (ids_of (Sieve.Bugs.all_with_extras ()))))
+      else Ok (List.filter_map Sieve.Bugs.find ids)
+
+let pattern_name = function
+  | `Staleness -> "staleness"
+  | `Obs_gap -> "observability gap"
+  | `Time_travel -> "time travel"
+
+(* --- list ---------------------------------------------------------- *)
+
+let list_cmd =
+  let doc =
+    "List the bug corpus (two known Kubernetes bugs, three Cassandra-operator bugs) and the      extension cases."
+  in
+  let run () =
+    Sieve.Report.table ~header:[ "id"; "pattern"; "title" ]
+      (List.map
+         (fun c -> [ c.Sieve.Bugs.id; pattern_name c.Sieve.Bugs.pattern; c.Sieve.Bugs.title ])
+         (Sieve.Bugs.all_with_extras ()))
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* --- bugs ---------------------------------------------------------- *)
+
+let ids_arg =
+  Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Bug ids (default: all).")
+
+let bugs_cmd =
+  let doc = "Reproduce corpus bugs: reference must be clean, the Sieve strategy must fire, the fix must close it." in
+  let run ids =
+    match resolve_cases ids with
+    | Error message ->
+        prerr_endline message;
+        exit 2
+    | Ok cases ->
+        let failures = ref 0 in
+        let rows =
+          List.map
+            (fun case ->
+              let hit (o : Sieve.Runner.outcome) =
+                List.find_opt (fun (_, v) -> case.Sieve.Bugs.matches v) o.Sieve.Runner.violations
+              in
+              let reference = Sieve.Runner.run_test (Sieve.Bugs.reference_test_of_case case) in
+              let sieve = Sieve.Runner.run_test (Sieve.Bugs.test_of_case case) in
+              let fixed = Sieve.Runner.run_test (Sieve.Bugs.fixed_test_of_case case) in
+              let ok =
+                reference.Sieve.Runner.violations = [] && hit sieve <> None && hit fixed = None
+              in
+              if not ok then incr failures;
+              [
+                case.Sieve.Bugs.id;
+                (if reference.Sieve.Runner.violations = [] then "clean" else "VIOLATION");
+                (match hit sieve with
+                | Some (t, _) -> Printf.sprintf "reproduced @ %.1fs" (float_of_int t /. 1e6)
+                | None -> "MISSED");
+                (match hit fixed with None -> "closed" | Some _ -> "OPEN");
+                (if ok then "ok" else "FAIL");
+              ])
+            cases
+        in
+        Sieve.Report.table ~header:[ "bug"; "reference"; "sieve"; "fixed"; "verdict" ] rows;
+        if !failures > 0 then exit 1
+  in
+  Cmd.v (Cmd.info "bugs" ~doc) Term.(const run $ ids_arg)
+
+(* --- trace --------------------------------------------------------- *)
+
+let trace_cmd =
+  let doc = "Print the annotated failing execution of one corpus bug." in
+  let id_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Bug id.") in
+  let all_arg =
+    Arg.(value & flag & info [ "full" ] ~doc:"Print the raw trace instead of the curated one.")
+  in
+  let run id full =
+    match Sieve.Bugs.find id with
+    | None ->
+        Printf.eprintf "unknown bug id %s\n" id;
+        exit 2
+    | Some case ->
+        Printf.printf "%s — %s\npattern:  %s\nstrategy: %s\n\n" case.Sieve.Bugs.id
+          case.Sieve.Bugs.title (pattern_name case.Sieve.Bugs.pattern)
+          (Sieve.Strategy.describe case.Sieve.Bugs.sieve_strategy);
+        let outcome = Sieve.Runner.run_test (Sieve.Bugs.test_of_case case) in
+        let curated =
+          [ "workload.step"; "kubelet.run"; "kubelet.stop"; "kubelet.finalize"; "node.crash";
+            "node.restart"; "net.partition"; "net.heal"; "pipe.drop"; "informer.list";
+            "informer.stream-dead"; "sched.bind"; "sched.bind-fail"; "cassop.decommission";
+            "cassop.delete-pvc"; "cassop.create-member"; "volctl.release"; "oracle.violation" ]
+        in
+        List.iter
+          (fun e ->
+            if full || List.mem e.Dsim.Trace.kind curated then
+              Printf.printf "  [%8.3f s] %-10s %-22s %s\n"
+                (float_of_int e.Dsim.Trace.time /. 1e6)
+                e.Dsim.Trace.actor e.Dsim.Trace.kind e.Dsim.Trace.detail)
+          (Dsim.Trace.entries (Kube.Cluster.trace outcome.Sieve.Runner.cluster));
+        match outcome.Sieve.Runner.violations with
+        | (t, v) :: _ ->
+            Printf.printf "\n=> [%s] %s (at %.3f s)\n" (Sieve.Oracle.bug_id v)
+              (Sieve.Oracle.describe v) (float_of_int t /. 1e6)
+        | [] ->
+            Printf.printf "\n=> no violation (unexpected)\n";
+            exit 1
+  in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ id_arg $ all_arg)
+
+(* --- campaign ------------------------------------------------------ *)
+
+let approach_enum =
+  [ ("planner", `Planner); ("crashtuner", `Crashtuner); ("cofi", `Cofi); ("random", `Random) ]
+
+let campaign_cmd =
+  let doc = "Run a testing campaign for one bug with a given approach and report tests-to-first-reproduction." in
+  let id_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Bug id.") in
+  let approach_arg =
+    Arg.(
+      required
+      & pos 1 (some (enum approach_enum)) None
+      & info [] ~docv:"APPROACH" ~doc:"One of planner, crashtuner, cofi, random.")
+  in
+  let budget_arg =
+    Arg.(value & opt int 400 & info [ "budget" ] ~docv:"N" ~doc:"Maximum tests to run.")
+  in
+  let seed_arg =
+    Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"SEED" ~doc:"Seed for the random baseline.")
+  in
+  let run id approach budget seed =
+    match Sieve.Bugs.find id with
+    | None ->
+        Printf.eprintf "unknown bug id %s\n" id;
+        exit 2
+    | Some case ->
+        let config = case.Sieve.Bugs.config in
+        let horizon = case.Sieve.Bugs.horizon in
+        let events = Sieve.Runner.reference_events (Sieve.Bugs.reference_test_of_case case) in
+        let components =
+          List.map (fun t -> t.Sieve.Planner.component) (Sieve.Planner.targets_of_config config)
+        in
+        let apiservers =
+          List.init config.Kube.Cluster.apiservers (fun i -> Printf.sprintf "api-%d" (i + 1))
+        in
+        let strategies =
+          match approach with
+          | `Planner ->
+              List.map (fun p -> p.Sieve.Planner.strategy)
+                (Sieve.Planner.candidates ~config ~events ~horizon ())
+          | `Crashtuner -> Sieve.Baselines.crashtuner ~events ~components ()
+          | `Cofi -> Sieve.Baselines.cofi ~events ~components ~apiservers ()
+          | `Random ->
+              Sieve.Baselines.random_faults ~seed ~components ~apiservers ~horizon ~n:budget
+        in
+        let arr = Array.of_list strategies in
+        let candidates = min budget (Array.length arr) in
+        Printf.printf "%s: %d candidate tests (budget %d)\n" id (Array.length arr) budget;
+        let result =
+          Sieve.Runner.run_campaign
+            ~make_test:(fun i ->
+              Sieve.Runner.base_test ~config ~workload:case.Sieve.Bugs.workload ~horizon arr.(i))
+            ~candidates ~target:case.Sieve.Bugs.matches ()
+        in
+        (match result.Sieve.Runner.found with
+        | Some (test, time, v) ->
+            Printf.printf "reproduced after %d tests (violation at %.1f s)\n"
+              result.Sieve.Runner.tests_run (float_of_int time /. 1e6);
+            Printf.printf "winning strategy: %s\n" (Sieve.Strategy.describe test.Sieve.Runner.strategy);
+            Printf.printf "violation: %s\n" (Sieve.Oracle.describe v)
+        | None -> Printf.printf "not reproduced within %d tests\n" result.Sieve.Runner.tests_run)
+  in
+  Cmd.v (Cmd.info "campaign" ~doc)
+    Term.(const run $ id_arg $ approach_arg $ budget_arg $ seed_arg)
+
+(* --- explore ------------------------------------------------------- *)
+
+let explore_cmd =
+  let doc = "Run the planner over a workload with no target: report every distinct violation the candidates expose." in
+  let budget_arg =
+    Arg.(value & opt int 150 & info [ "budget" ] ~docv:"N" ~doc:"Maximum tests to run.")
+  in
+  let run budget =
+    let config = Kube.Cluster.default_config in
+    let horizon = 9_000_000 in
+    let workload =
+      Kube.Workload.pods_with_claims ~n:2 ()
+      @ Kube.Workload.cassandra_scale ~dc:"dc" ~steps:[ (0, 2); (2_500_000, 3) ] ()
+      @ Kube.Workload.node_churn ~start:2_000_000 ~node:"node-3" ~pods_after:3 ()
+    in
+    let reference = Sieve.Runner.base_test ~config ~workload ~horizon Sieve.Strategy.No_perturbation in
+    let events = Sieve.Runner.reference_events reference in
+    let plans = Sieve.Planner.candidates ~config ~events ~horizon () in
+    Printf.printf "workload commits %d events; planner proposes %d candidates; running %d\n\n"
+      (List.length events) (List.length plans) (min budget (List.length plans));
+    let found = Hashtbl.create 8 in
+    List.iteri
+      (fun i plan ->
+        if i < budget then begin
+          let outcome =
+            Sieve.Runner.run_test
+              (Sieve.Runner.base_test ~config ~workload ~horizon plan.Sieve.Planner.strategy)
+          in
+          List.iter
+            (fun (_, v) ->
+              let key = Sieve.Oracle.key v in
+              if not (Hashtbl.mem found key) then begin
+                Hashtbl.replace found key ();
+                Printf.printf "test %3d: [%s] %s\n          via %s\n" (i + 1)
+                  (Sieve.Oracle.bug_id v) (Sieve.Oracle.describe v) plan.Sieve.Planner.rationale
+              end)
+            outcome.Sieve.Runner.violations
+        end)
+      plans;
+    Printf.printf "\n%d distinct violations exposed\n" (Hashtbl.length found)
+  in
+  Cmd.v (Cmd.info "explore" ~doc) Term.(const run $ budget_arg)
+
+(* --- seals --------------------------------------------------------- *)
+
+let seals_cmd =
+  let doc =
+    "Run the corpus under the section 6.2 epoch-seal protocol and report which bugs it closes."
+  in
+  let granularity_arg =
+    Arg.(value & opt int 5 & info [ "granularity" ] ~docv:"G" ~doc:"Seal every G revisions.")
+  in
+  let run granularity =
+    let rows =
+      List.map
+        (fun case ->
+          let run config =
+            Sieve.Runner.run_test
+              (Sieve.Runner.base_test ~config ~workload:case.Sieve.Bugs.workload
+                 ~horizon:case.Sieve.Bugs.horizon case.Sieve.Bugs.sieve_strategy)
+          in
+          let hit (o : Sieve.Runner.outcome) =
+            List.exists (fun (_, v) -> case.Sieve.Bugs.matches v) o.Sieve.Runner.violations
+          in
+          let sealed =
+            run
+              { case.Sieve.Bugs.config with Kube.Cluster.api_epoch_seal = Some granularity }
+          in
+          [
+            case.Sieve.Bugs.id;
+            pattern_name case.Sieve.Bugs.pattern;
+            (if hit (run case.Sieve.Bugs.config) then "reproduced" else "clean");
+            (if hit sealed then "still reproduced" else "CLOSED");
+          ])
+        (Sieve.Bugs.all_with_extras ())
+    in
+    Sieve.Report.table ~header:[ "bug"; "pattern"; "without seals"; "with seals" ] rows
+  in
+  Cmd.v (Cmd.info "seals" ~doc) Term.(const run $ granularity_arg)
+
+(* --- coverage ------------------------------------------------------ *)
+
+let coverage_cmd =
+  let doc =
+    "Report how much of a bug scenario's (component x object x pattern) perturbation space an      approach's candidates cover."
+  in
+  let id_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Bug id.") in
+  let run id =
+    match Sieve.Bugs.find id with
+    | None ->
+        Printf.eprintf "unknown bug id %s\n" id;
+        exit 2
+    | Some case ->
+        let config = case.Sieve.Bugs.config in
+        let events = Sieve.Runner.reference_events (Sieve.Bugs.reference_test_of_case case) in
+        let components =
+          List.map (fun t -> t.Sieve.Planner.component) (Sieve.Planner.targets_of_config config)
+        in
+        let apiservers =
+          List.init config.Kube.Cluster.apiservers (fun i -> Printf.sprintf "api-%d" (i + 1))
+        in
+        let row name strategies =
+          let c = Sieve.Coverage.create ~config ~events in
+          List.iter (Sieve.Coverage.note c) strategies;
+          let cell pattern =
+            let _, covered, total =
+              List.find (fun (p, _, _) -> p = pattern) (Sieve.Coverage.by_pattern c)
+            in
+            Printf.sprintf "%d/%d" covered total
+          in
+          [
+            name; cell `Staleness; cell `Obs_gap; cell `Time_travel;
+            Printf.sprintf "%.0f%%" (100.0 *. Sieve.Coverage.ratio c);
+          ]
+        in
+        Sieve.Report.table
+          ~header:[ "approach"; "staleness"; "obs-gap"; "time-travel"; "overall" ]
+          [
+            row "planner"
+              (List.map (fun p -> p.Sieve.Planner.strategy)
+                 (Sieve.Planner.candidates ~config ~events ~horizon:case.Sieve.Bugs.horizon ()));
+            row "crashtuner" (Sieve.Baselines.crashtuner ~events ~components ());
+            row "cofi" (Sieve.Baselines.cofi ~events ~components ~apiservers ());
+            row "random(400)"
+              (Sieve.Baselines.random_faults ~seed:42L ~components ~apiservers
+                 ~horizon:case.Sieve.Bugs.horizon ~n:400);
+          ]
+  in
+  Cmd.v (Cmd.info "coverage" ~doc) Term.(const run $ id_arg)
+
+(* --- minimize ------------------------------------------------------ *)
+
+let minimize_cmd =
+  let doc = "Shrink a corpus bug's strategy to a locally minimal one that still triggers it." in
+  let id_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Bug id.") in
+  let budget_arg =
+    Arg.(value & opt int 200 & info [ "budget" ] ~docv:"N" ~doc:"Maximum test executions.")
+  in
+  let run id budget =
+    match Sieve.Bugs.find id with
+    | None ->
+        Printf.eprintf "unknown bug id %s\n" id;
+        exit 2
+    | Some case ->
+        let test = Sieve.Bugs.test_of_case case in
+        Printf.printf "original:  %s\n" (Sieve.Strategy.describe test.Sieve.Runner.strategy);
+        let minimized, cost =
+          Sieve.Minimize.minimize ~test ~target:case.Sieve.Bugs.matches ~budget ()
+        in
+        Printf.printf "minimized: %s\n(%d test executions)\n"
+          (Sieve.Strategy.describe minimized.Sieve.Runner.strategy)
+          cost
+  in
+  Cmd.v (Cmd.info "minimize" ~doc) Term.(const run $ id_arg $ budget_arg)
+
+let main_cmd =
+  let doc = "partial-history testing tool for the simulated Kubernetes-like control plane" in
+  let info = Cmd.info "sieve" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [
+      list_cmd; bugs_cmd; trace_cmd; campaign_cmd; explore_cmd; minimize_cmd; coverage_cmd;
+      seals_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

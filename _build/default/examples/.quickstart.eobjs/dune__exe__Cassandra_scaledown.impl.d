@@ -1,0 +1,1 @@
+examples/cassandra_scaledown.ml: Format Kube List Printf Sieve

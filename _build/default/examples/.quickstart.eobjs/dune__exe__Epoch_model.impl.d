@@ -1,0 +1,1 @@
+examples/epoch_model.ml: Format History List String

@@ -1,0 +1,1 @@
+examples/hbase_regions.ml: Dsim Format Hbaselike List Option Printf

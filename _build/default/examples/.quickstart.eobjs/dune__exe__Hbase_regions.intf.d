@@ -1,0 +1,1 @@
+examples/hbase_regions.mli:

@@ -1,0 +1,1 @@
+examples/replicated_store.ml: Dsim Etcdlike Format List Option Printf Raftlite String

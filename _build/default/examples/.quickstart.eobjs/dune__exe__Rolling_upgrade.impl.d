@@ -1,0 +1,1 @@
+examples/rolling_upgrade.ml: Format Kube List Sieve String

@@ -1,0 +1,1 @@
+lib/core/sieve.ml: Baselines Bugs Coverage Minimize Oracle Planner Report Runner Strategy

@@ -1,0 +1,1 @@
+lib/core/baselines.ml: Array Dsim Kube List Strategy

@@ -1,0 +1,1 @@
+lib/core/bugs.ml: History Kube List Oracle Runner Strategy String

@@ -1,0 +1,1 @@
+lib/core/bugs.mli: Kube Oracle Runner Strategy

@@ -1,0 +1,1 @@
+lib/core/oracle.ml: Dsim Hashtbl History Kube List Option Printf String

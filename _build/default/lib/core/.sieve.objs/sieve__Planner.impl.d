@@ -1,0 +1,1 @@
+lib/core/planner.ml: Hashtbl History Kube List Printf Runner Strategy String

@@ -1,0 +1,1 @@
+lib/core/planner.mli: History Kube Runner Strategy

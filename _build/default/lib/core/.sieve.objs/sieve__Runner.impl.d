@@ -1,0 +1,1 @@
+lib/core/runner.ml: Dsim History Kube List Oracle Strategy

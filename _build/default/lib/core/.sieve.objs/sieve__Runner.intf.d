@@ -1,0 +1,1 @@
+lib/core/runner.mli: History Kube Oracle Strategy

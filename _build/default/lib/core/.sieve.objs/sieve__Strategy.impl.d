@@ -1,0 +1,1 @@
+lib/core/strategy.ml: Dsim Format History Kube List Option Printf String

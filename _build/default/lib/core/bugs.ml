@@ -1,0 +1,231 @@
+type case = {
+  id : string;
+  title : string;
+  pattern : [ `Staleness | `Obs_gap | `Time_travel ];
+  config : Kube.Cluster.config;
+  workload : Kube.Workload.t;
+  horizon : int;
+  matches : Oracle.violation -> bool;
+  sieve_strategy : Strategy.t;
+  fixed_config : Kube.Cluster.config;
+}
+
+let sec n = n * 1_000_000
+let ms n = n * 1_000
+
+(* Kubernetes-59848 — Figure 2's walkthrough. Two apiservers, two
+   kubelets. p1 is created on node-1, then migrated to node-2 at 3.0 s.
+   api-2 loses etcd connectivity just before the migration, so its cache
+   still places p1 on node-1. kubelet-1 crashes at 3.6 s; its next
+   incarnation lists from api-2 (endpoint rotation) and dutifully starts
+   p1 again. *)
+let k8s_59848 () =
+  let config = { Kube.Cluster.default_config with Kube.Cluster.nodes = 2 } in
+  {
+    id = "K8s-59848";
+    title = "stale reads violate pod safety: duplicate pod after kubelet restart";
+    pattern = `Time_travel;
+    config;
+    workload =
+      Kube.Workload.rolling_upgrade ~start:(sec 1) ~pod:"p1" ~from_node:"node-1"
+        ~to_node:"node-2" ();
+    horizon = sec 8;
+    matches = (function Oracle.Duplicate_pod { pod; _ } -> String.equal pod "p1" | _ -> false);
+    sieve_strategy =
+      Strategy.time_travel ~stale_api:"api-2" ~victim:"kubelet-1" ~stale_from:(ms 2_800)
+        ~crash_at:(ms 3_600) ~downtime:(ms 150) ();
+    fixed_config = { config with Kube.Cluster.kubelet_monotonic = true };
+  }
+
+(* Kubernetes-56261 — the scheduler never hears that node-2 is gone and
+   keeps offering it; every bind fails at etcd's Exists guard and the
+   stale cache is never evicted. *)
+let k8s_56261 () =
+  let config = Kube.Cluster.default_config in
+  {
+    id = "K8s-56261";
+    title = "scheduler caches a deleted node and livelocks placement";
+    pattern = `Obs_gap;
+    config;
+    workload = Kube.Workload.node_churn ~start:(ms 1_500) ~node:"node-2" ~pods_after:6 ();
+    horizon = sec 8;
+    matches =
+      (function
+      | Oracle.Scheduler_livelock { node; _ } -> String.equal node "node-2" | _ -> false);
+    sieve_strategy =
+      Strategy.observability_gap ~dst:"scheduler" ~key_prefix:"nodes/node-2"
+        ~op:History.Event.Delete ~limit:1 ~from:0 ~until:(sec 8) ();
+    fixed_config = { config with Kube.Cluster.scheduler_fixed = true };
+  }
+
+(* cassandra-operator-398's pattern (= the Kubernetes controller bug the
+   paper cites as [17]): the volume controller only releases a claim when
+   it *sees* the owner pod marked for deletion; drop that one mark
+   notification and the claim is orphaned forever. *)
+let ca_398 () =
+  let config = Kube.Cluster.default_config in
+  {
+    id = "CA-398";
+    title = "claim never released: deletion mark unobservable between sparse reads";
+    pattern = `Obs_gap;
+    config;
+    workload = Kube.Workload.pods_with_claims ~start:(sec 1) ~lifetime:(sec 2) ~n:2 ();
+    horizon = sec 8;
+    matches = (function Oracle.Pvc_leak { pvc; _ } -> String.equal pvc "vol-0" | _ -> false);
+    sieve_strategy =
+      (* The mark is the only update to app-0 in this window. *)
+      Strategy.observability_gap ~dst:"volumectl" ~key_prefix:"pods/app-0"
+        ~op:History.Event.Update ~from:(ms 2_800) ~until:(sec 8) ();
+    fixed_config = { config with Kube.Cluster.volume_fixed = true };
+  }
+
+(* cassandra-operator-400 — hide the newest member (ordinal 3) from the
+   operator's view; when the user scales 4 -> 2 the operator picks the
+   max ordinal *it can see* (2) and decommissions a non-max member. *)
+let ca_400 () =
+  let config = Kube.Cluster.default_config in
+  {
+    id = "CA-400";
+    title = "wrong member decommissioned under a stale cached view";
+    pattern = `Staleness;
+    config;
+    workload =
+      Kube.Workload.cassandra_scale ~start:(sec 1) ~dc:"cass"
+        ~steps:[ (0, 2); (ms 2_500, 4); (sec 5, 2) ]
+        ();
+    horizon = sec 9;
+    matches =
+      (function Oracle.Wrong_decommission { dc; _ } -> String.equal dc "cass" | _ -> false);
+    sieve_strategy =
+      Strategy.observability_gap ~dst:"cassop" ~key_prefix:"pods/cass-3" ~from:(sec 3)
+        ~until:(sec 9) ();
+    fixed_config = { config with Kube.Cluster.operator_fixed = true };
+  }
+
+(* cassandra-operator-402 — hide the new member pod (but not its claim)
+   from the operator's view; orphan GC concludes the claim is garbage and
+   deletes the data of a live Cassandra node. *)
+let ca_402 () =
+  let config = Kube.Cluster.default_config in
+  {
+    id = "CA-402";
+    title = "live member's data claim deleted from stale apiserver data";
+    pattern = `Staleness;
+    config;
+    workload =
+      Kube.Workload.cassandra_scale ~start:(sec 1) ~dc:"cass" ~steps:[ (0, 2); (ms 2_500, 3) ] ();
+    horizon = sec 8;
+    matches =
+      (function
+      | Oracle.Live_claim_deleted { pvc; _ } -> String.equal pvc "data-cass-2" | _ -> false);
+    sieve_strategy =
+      Strategy.observability_gap ~dst:"cassop" ~key_prefix:"pods/cass-2" ~from:(sec 3)
+        ~until:(sec 8) ();
+    fixed_config = { config with Kube.Cluster.operator_fixed = true };
+  }
+
+let all () = [ k8s_59848 (); k8s_56261 (); ca_398 (); ca_400 (); ca_402 () ]
+
+let test_of_case case =
+  Runner.base_test ~name:(case.id ^ "/sieve") ~config:case.config ~workload:case.workload
+    ~horizon:case.horizon case.sieve_strategy
+
+let reference_test_of_case case =
+  Runner.base_test ~name:(case.id ^ "/reference") ~config:case.config ~workload:case.workload
+    ~horizon:case.horizon Strategy.No_perturbation
+
+let fixed_test_of_case case =
+  Runner.base_test ~name:(case.id ^ "/fixed") ~config:case.fixed_config ~workload:case.workload
+    ~horizon:case.horizon case.sieve_strategy
+
+(* ------------------------------------------------------------------ *)
+(* Extension corpus: partial-history bug instances beyond the paper's
+   five case studies, found in the extra controllers this reproduction
+   adds. They follow the same discipline: clean reference, deterministic
+   trigger, targeted fix. *)
+
+(* EXT-RS — controller over-provisioning: the ReplicaSet controller
+   counts replicas from its cached view; lag the view behind its own
+   creations and it creates a fresh batch every reconcile pass. The fix
+   is client-go's expectations mechanism. *)
+let ext_rs_surplus () =
+  let config =
+    { Kube.Cluster.default_config with Kube.Cluster.with_replicaset = true }
+  in
+  {
+    id = "EXT-RS";
+    title = "replica over-provisioning: controller counts from a lagging cache";
+    pattern = `Staleness;
+    config;
+    workload = Kube.Workload.replicaset_scale ~start:(sec 1) ~rs:"web" ~steps:[ (0, 3) ] ();
+    horizon = sec 7;
+    matches = (function Oracle.Replica_surplus { rs; _ } -> String.equal rs "web" | _ -> false);
+    sieve_strategy =
+      Strategy.staleness ~dst:"rsctl" ~key_prefix:Kube.Resource.pods_prefix ~from:(ms 900)
+        ~until:(ms 2_400) ~extra:(ms 1_500) ();
+    fixed_config = { config with Kube.Cluster.replicaset_fixed = true };
+  }
+
+(* EXT-NC — wrongful eviction: the node controller never observes a new
+   node's creation, concludes every pod scheduled there is orphaned, and
+   fails healthy workloads. The fix is a quorum read before acting. *)
+let ext_nc_evict () =
+  let config =
+    {
+      Kube.Cluster.default_config with
+      Kube.Cluster.with_replicaset = true;
+      with_node_controller = true;
+    }
+  in
+  {
+    id = "EXT-NC";
+    title = "healthy pods failed: node controller blind to a new node";
+    pattern = `Obs_gap;
+    config;
+    workload =
+      Kube.Workload.node_failover ~start:(sec 1) ~new_node:"node-4" ~rs:"web" ~replicas:2 ()
+      @ Kube.Workload.replicaset_scale ~start:(sec 3) ~rs:"web" ~steps:[ (0, 6) ] ();
+    horizon = sec 8;
+    matches = (function Oracle.Healthy_pod_failed _ -> true | _ -> false);
+    sieve_strategy =
+      Strategy.observability_gap ~dst:"nodectl" ~key_prefix:"nodes/node-4" ~from:0
+        ~until:(sec 8) ();
+    fixed_config = { config with Kube.Cluster.node_controller_fixed = true };
+  }
+
+(* EXT-DEP — a wedged rollout: the Deployment controller never observes
+   the new generation's pods running, so it never drains the old one;
+   ground truth says the rollout could complete, the view says otherwise,
+   forever. The fix is a quorum re-count when progress stalls. *)
+let ext_dep_wedged () =
+  let config =
+    {
+      Kube.Cluster.default_config with
+      Kube.Cluster.with_replicaset = true;
+      with_deployment = true;
+    }
+  in
+  {
+    id = "EXT-DEP";
+    title = "rollout wedged: controller blind to the new generation running";
+    pattern = `Obs_gap;
+    config;
+    workload =
+      Kube.Workload.deployment_rollout ~start:(sec 1) ~dep:"web" ~replicas:2 ~generations:2
+        ~gap:(sec 3) ();
+    horizon = sec 12;
+    matches = (function Oracle.Rollout_wedged { dep; _ } -> String.equal dep "web" | _ -> false);
+    sieve_strategy =
+      (* Hide the new generation's pods from the deployment controller:
+         it keeps one old pod up forever, waiting for readiness it will
+         never see. *)
+      Strategy.observability_gap ~dst:"depctl" ~key_prefix:"pods/web-g2" ~from:(ms 3_500)
+        ~until:(sec 12) ();
+    fixed_config = { config with Kube.Cluster.deployment_fixed = true };
+  }
+
+let extras () = [ ext_rs_surplus (); ext_nc_evict (); ext_dep_wedged () ]
+
+let all_with_extras () = all () @ extras ()
+
+let find id = List.find_opt (fun case -> String.equal case.id id) (all_with_extras ())

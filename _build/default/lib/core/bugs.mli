@@ -1,0 +1,84 @@
+(** The bug corpus: executable definitions of the five case-study bugs
+    from Section 7 — two known Kubernetes bugs the tool reproduced and
+    three new Cassandra-operator bugs it detected.
+
+    Each case bundles the cluster configuration, the workload that makes
+    the bug reachable, the oracle predicate identifying *this* bug, the
+    focused Sieve strategy that triggers it deterministically, and the
+    configuration with the corresponding fix enabled (for verifying the
+    fix actually closes the bug). *)
+
+type case = {
+  id : string;  (** upstream issue id, e.g. ["K8s-59848"] *)
+  title : string;
+  pattern : [ `Staleness | `Obs_gap | `Time_travel ];
+      (** the Section 4.2 pattern the bug instantiates *)
+  config : Kube.Cluster.config;
+  workload : Kube.Workload.t;
+  horizon : int;
+  matches : Oracle.violation -> bool;
+  sieve_strategy : Strategy.t;
+  fixed_config : Kube.Cluster.config;  (** same but with the fix flag on *)
+}
+
+val k8s_59848 : unit -> case
+(** Kubelet restarts, re-lists from an apiserver partitioned from etcd,
+    and re-runs a pod that was migrated away: duplicate pod (time
+    travel). *)
+
+val k8s_56261 : unit -> case
+(** Scheduler misses a node-deletion notification and binds pods to the
+    deleted node forever (observability gap). *)
+
+val ca_398 : unit -> case
+(** Volume controller never observes the deletion mark and leaks the
+    claim (observability gap). *)
+
+val ca_400 : unit -> case
+(** Operator's cached member list is missing the newest member; scale-down
+    decommissions the wrong node (staleness of the cached view). *)
+
+val ca_402 : unit -> case
+(** Operator's cached pod list is missing a live member; orphan GC deletes
+    the member's data claim (staleness of the cached view). *)
+
+val all : unit -> case list
+
+val find : string -> case option
+(** Look up by [id], across the corpus and the extension cases. *)
+
+val test_of_case : case -> Runner.test
+(** The case run under its focused Sieve strategy. *)
+
+val reference_test_of_case : case -> Runner.test
+(** The same scenario with no perturbation (must be violation-free). *)
+
+val fixed_test_of_case : case -> Runner.test
+(** The Sieve strategy against the fixed configuration (must be
+    violation-free if the fix is real). *)
+
+(** {2 Extension corpus}
+
+    Partial-history bug instances beyond the paper's five case studies,
+    living in the extra controllers this reproduction adds (ReplicaSet
+    controller, node controller). Same discipline as the corpus: clean
+    reference, deterministic trigger, targeted fix. *)
+
+val ext_rs_surplus : unit -> case
+(** Controller over-provisioning: replica counts read from a lagging
+    cache make the controller create a fresh batch per reconcile pass
+    (staleness); fixed by client-go-style expectations. *)
+
+val ext_nc_evict : unit -> case
+(** Wrongful eviction: a node controller that never observed a node's
+    creation fails every healthy pod scheduled there (observability
+    gap); fixed by a quorum read before acting. *)
+
+val ext_dep_wedged : unit -> case
+(** A Deployment rollout wedged by a view that never observes the new
+    generation running (observability gap); fixed by a quorum re-count
+    when progress stalls. *)
+
+val extras : unit -> case list
+
+val all_with_extras : unit -> case list

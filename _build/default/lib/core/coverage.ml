@@ -1,0 +1,106 @@
+type pattern = [ `Staleness | `Obs_gap | `Time_travel ]
+
+let pattern_to_string = function
+  | `Staleness -> "staleness"
+  | `Obs_gap -> "observability-gap"
+  | `Time_travel -> "time-travel"
+
+type cell = { component : string; key : string; pattern : pattern }
+
+type t = {
+  targets : Planner.target list;
+  keys : string list;  (** distinct reference keys *)
+  marked : (cell, unit) Hashtbl.t;
+}
+
+let create ~config ~events =
+  let keys = List.sort_uniq String.compare (List.map (fun (_, key, _) -> key) events) in
+  { targets = Planner.targets_of_config config; keys; marked = Hashtbl.create 128 }
+
+let cells t =
+  List.concat_map
+    (fun target ->
+      List.concat_map
+        (fun key ->
+          if Planner.consumed_by target key then
+            List.map
+              (fun pattern -> { component = target.Planner.component; key; pattern })
+              [ `Staleness; `Obs_gap; `Time_travel ]
+          else [])
+        t.keys)
+    t.targets
+
+let mark t cell = if List.mem cell (cells t) then Hashtbl.replace t.marked cell ()
+
+let matching_keys t prefix =
+  match prefix with
+  | None -> t.keys
+  | Some p ->
+      List.filter
+        (fun key ->
+          String.length key >= String.length p
+          && String.equal (String.sub key 0 (String.length p)) p)
+        t.keys
+
+let mark_component_pattern t ~component ~key_prefix pattern =
+  List.iter
+    (fun key -> mark t { component; key; pattern })
+    (matching_keys t key_prefix)
+
+let all_components t = List.map (fun target -> target.Planner.component) t.targets
+
+let is_apiserver name =
+  String.length name >= 4 && String.equal (String.sub name 0 4) "api-"
+
+let rec note t (strategy : Strategy.t) =
+  match strategy with
+  | Strategy.No_perturbation -> ()
+  | Strategy.Drop_events { dst; matching; _ } ->
+      let components = match dst with Some c -> [ c ] | None -> all_components t in
+      List.iter
+        (fun component ->
+          mark_component_pattern t ~component ~key_prefix:matching.Strategy.key_prefix `Obs_gap)
+        components
+  | Strategy.Delay_stream { dst; matching; _ } ->
+      let components = match dst with Some c -> [ c ] | None -> all_components t in
+      List.iter
+        (fun component ->
+          mark_component_pattern t ~component ~key_prefix:matching.Strategy.key_prefix
+            `Staleness)
+        components
+  | Strategy.Partition_window { a; b; _ } ->
+      (* Freezing an apiserver makes every component potentially stale;
+         cutting a component's own link makes that component stale. *)
+      let components =
+        if is_apiserver a || is_apiserver b || String.equal a "etcd" || String.equal b "etcd"
+        then all_components t
+        else List.filter (fun c -> String.equal c a || String.equal c b) (all_components t)
+      in
+      List.iter
+        (fun component -> mark_component_pattern t ~component ~key_prefix:None `Staleness)
+        components
+  | Strategy.Crash_restart { victim; _ } ->
+      if List.mem victim (all_components t) then
+        mark_component_pattern t ~component:victim ~key_prefix:None `Time_travel
+  | Strategy.Combo parts -> List.iter (note t) parts
+
+let total t = List.length (cells t)
+
+let covered t = Hashtbl.length t.marked
+
+let ratio t =
+  let n = total t in
+  if n = 0 then 0.0 else float_of_int (covered t) /. float_of_int n
+
+let by_pattern t =
+  List.map
+    (fun pattern ->
+      let in_pattern = List.filter (fun c -> c.pattern = pattern) (cells t) in
+      let done_ = List.filter (Hashtbl.mem t.marked) in_pattern in
+      (pattern, List.length done_, List.length in_pattern))
+    [ `Staleness; `Obs_gap; `Time_travel ]
+
+let uncovered t =
+  cells t
+  |> List.filter (fun c -> not (Hashtbl.mem t.marked c))
+  |> List.sort compare

@@ -1,0 +1,48 @@
+(** Perturbation-space coverage.
+
+    Section 6.2 poses the coverage problem: "the coverage of the tool
+    depends on the coverage of test workloads." The partial-history model
+    makes the space *enumerable*: for a given workload, the perturbable
+    cells are (component, consumed object, pattern) triples — which
+    component's view, of which object's events, diverges in which of the
+    three ways. A campaign's coverage is then the fraction of cells its
+    strategies exercised, and the uncovered cells say exactly what was
+    never tested.
+
+    This also quantifies why the baseline heuristics miss bugs: crash
+    injection only reaches time-travel cells, partition injection only
+    staleness cells; neither can touch an observability-gap cell at
+    all. *)
+
+type pattern = [ `Staleness | `Obs_gap | `Time_travel ]
+
+val pattern_to_string : pattern -> string
+
+type cell = { component : string; key : string; pattern : pattern }
+
+type t
+
+val create :
+  config:Kube.Cluster.config -> events:(int * string * History.Event.op) list -> t
+(** The space: every planner target × every distinct reference key the
+    target consumes × the three patterns. *)
+
+val note : t -> Strategy.t -> unit
+(** Marks the cells a strategy exercises. Scoping is conservative: a
+    delay/drop with a key filter marks the matching keys for its
+    destination; one without marks all of the destination's consumed
+    keys; a partition of an apiserver marks staleness cells for every
+    component (they may be downstream of it); a crash marks the victim's
+    time-travel cells. *)
+
+val total : t -> int
+
+val covered : t -> int
+
+val ratio : t -> float
+
+val by_pattern : t -> (pattern * int * int) list
+(** (pattern, covered, total) per pattern. *)
+
+val uncovered : t -> cell list
+(** Cells no strategy has touched, sorted. *)

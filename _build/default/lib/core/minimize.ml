@@ -1,0 +1,95 @@
+let halve_gap ~from ~until = from + ((until - from) / 2)
+
+(* Strictly smaller variants of one node. Time windows shrink from both
+   ends; magnitudes halve; combos lose parts. *)
+let rec shrink_candidates strategy =
+  match strategy with
+  | Strategy.No_perturbation -> []
+  | Strategy.Combo parts ->
+      let drop_one =
+        List.mapi
+          (fun i _ ->
+            let rest = List.filteri (fun j _ -> j <> i) parts in
+            match rest with [ single ] -> single | rest -> Strategy.Combo rest)
+          parts
+      in
+      let shrink_one =
+        List.concat
+          (List.mapi
+             (fun i part ->
+               List.map
+                 (fun part' ->
+                   Strategy.Combo (List.mapi (fun j p -> if j = i then part' else p) parts))
+                 (shrink_candidates part))
+             parts)
+      in
+      drop_one @ shrink_one
+  | Strategy.Drop_events ({ from; until; _ } as d) ->
+      let narrower = halve_gap ~from ~until in
+      (if until - from > 200_000 then
+         [
+           Strategy.Drop_events { d with until = narrower };
+           Strategy.Drop_events { d with from = narrower };
+         ]
+       else [])
+      @
+      (match d.matching.Strategy.limit with
+      | None -> [ Strategy.Drop_events { d with matching = { d.matching with Strategy.limit = Some 1 } } ]
+      | Some l when l > 1 ->
+          [ Strategy.Drop_events { d with matching = { d.matching with Strategy.limit = Some (l / 2) } } ]
+      | Some _ -> [])
+  | Strategy.Delay_stream ({ from; until; extra; _ } as d) ->
+      (if until - from > 200_000 then
+         let narrower = halve_gap ~from ~until in
+         [
+           Strategy.Delay_stream { d with until = narrower };
+           Strategy.Delay_stream { d with from = narrower };
+         ]
+       else [])
+      @ (if extra > 100_000 then [ Strategy.Delay_stream { d with extra = extra / 2 } ]
+         else [])
+  | Strategy.Crash_restart ({ downtime; _ } as c) ->
+      if downtime > 50_000 then
+        [ Strategy.Crash_restart { c with downtime = downtime / 2 } ]
+      else []
+  | Strategy.Partition_window ({ from; until; _ } as p) ->
+      if until = max_int then
+        (* Unbounded cuts shrink to something finite first. *)
+        [ Strategy.Partition_window { p with until = from + 8_000_000 } ]
+      else if until - from > 200_000 then
+        [
+          Strategy.Partition_window { p with until = halve_gap ~from ~until };
+          Strategy.Partition_window { p with from = halve_gap ~from ~until };
+        ]
+      else []
+
+let still_fails ~test ~target strategy =
+  let outcome = Runner.run_test { test with Runner.strategy } in
+  List.exists (fun (_, v) -> target v) outcome.Runner.violations
+
+let minimize ~test ~target ?(budget = 200) () =
+  let executions = ref 1 in
+  if not (still_fails ~test ~target test.Runner.strategy) then (test, !executions)
+  else begin
+    let current = ref test.Runner.strategy in
+    let progress = ref true in
+    while !progress && !executions < budget do
+      progress := false;
+      let candidates = shrink_candidates !current in
+      let rec try_candidates = function
+        | [] -> ()
+        | candidate :: rest ->
+            if !executions >= budget then ()
+            else begin
+              incr executions;
+              if still_fails ~test ~target candidate then begin
+                current := candidate;
+                progress := true
+              end
+              else try_candidates rest
+            end
+      in
+      try_candidates candidates
+    done;
+    ({ test with Runner.strategy = !current }, !executions)
+  end

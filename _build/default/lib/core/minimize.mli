@@ -1,0 +1,23 @@
+(** Strategy minimization: shrink a failing perturbation to a locally
+    minimal one that still triggers the target violation.
+
+    Useful after a campaign: the winning candidate often perturbs more
+    than necessary (wide windows, composite faults). Minimization runs a
+    greedy delta-debugging loop — drop combo parts, narrow time windows,
+    shorten delays and downtimes — re-running the (deterministic) test
+    after each proposed shrink and keeping it only if the violation still
+    fires. The result explains the bug: everything left is needed. *)
+
+val shrink_candidates : Strategy.t -> Strategy.t list
+(** One round of strictly-smaller variants of a strategy (no
+    execution). Exposed for testing; {!minimize} drives it. *)
+
+val minimize :
+  test:Runner.test ->
+  target:(Oracle.violation -> bool) ->
+  ?budget:int ->
+  unit ->
+  Runner.test * int
+(** Returns the minimized test and the number of test executions spent.
+    [budget] caps executions (default 200). The input test must already
+    trigger the target; otherwise it is returned unchanged with cost 1. *)

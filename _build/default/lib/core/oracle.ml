@@ -1,0 +1,341 @@
+type violation =
+  | Duplicate_pod of { pod : string; kubelets : string list }
+  | Scheduler_livelock of { pod : string; node : string; failures : int }
+  | Pvc_leak of { pvc : string; owner_pod : string }
+  | Wrong_decommission of { dc : string; marked : int; live_max : int }
+  | Live_claim_deleted of { pvc : string; owner_pod : string }
+  | Replica_surplus of { rs : string; live : int; desired : int }
+  | Healthy_pod_failed of { pod : string; node : string }
+  | Rollout_wedged of { dep : string; generation : int }
+
+let describe = function
+  | Duplicate_pod { pod; kubelets } ->
+      Printf.sprintf "pod %s running on several kubelets: %s" pod (String.concat ", " kubelets)
+  | Scheduler_livelock { pod; node; failures } ->
+      Printf.sprintf "scheduler bound %s to deleted node %s %d times" pod node failures
+  | Pvc_leak { pvc; owner_pod } ->
+      Printf.sprintf "claim %s never released after owner pod %s vanished" pvc owner_pod
+  | Wrong_decommission { dc; marked; live_max } ->
+      Printf.sprintf "dc %s: decommissioned ordinal %d while ordinal %d is live" dc marked
+        live_max
+  | Live_claim_deleted { pvc; owner_pod } ->
+      Printf.sprintf "claim %s of live pod %s was deleted" pvc owner_pod
+  | Replica_surplus { rs; live; desired } ->
+      Printf.sprintf "rset %s over-provisioned: %d live pods for %d desired" rs live desired
+  | Healthy_pod_failed { pod; node } ->
+      Printf.sprintf "healthy pod %s failed while its node %s exists" pod node
+  | Rollout_wedged { dep; generation } ->
+      Printf.sprintf
+        "deployment %s wedged: generation %d fully Running in truth, old pods never drained" dep
+        generation
+
+let bug_id = function
+  | Duplicate_pod _ -> "K8s-59848"
+  | Scheduler_livelock _ -> "K8s-56261"
+  | Pvc_leak _ -> "CA-398"
+  | Wrong_decommission _ -> "CA-400"
+  | Live_claim_deleted _ -> "CA-402"
+  | Replica_surplus _ -> "EXT-RS"
+  | Healthy_pod_failed _ -> "EXT-NC"
+  | Rollout_wedged _ -> "EXT-DEP"
+
+let key v =
+  match v with
+  | Duplicate_pod { pod; _ } -> "dup:" ^ pod
+  | Scheduler_livelock { pod; node; _ } -> Printf.sprintf "livelock:%s:%s" pod node
+  | Pvc_leak { pvc; _ } -> "leak:" ^ pvc
+  | Wrong_decommission { dc; marked; _ } -> Printf.sprintf "decom:%s:%d" dc marked
+  | Live_claim_deleted { pvc; _ } -> "claimdel:" ^ pvc
+  | Replica_surplus { rs; _ } -> "surplus:" ^ rs
+  | Healthy_pod_failed { pod; _ } -> "evict:" ^ pod
+  | Rollout_wedged { dep; _ } -> "wedged:" ^ dep
+
+type t = {
+  cluster : Kube.Cluster.t;
+  livelock_threshold : int;
+  leak_grace : int;
+  duplicate_confirmations : int;
+  mutable mirror : Kube.Resource.value History.State.t;
+  pod_deleted_at : (string, int) Hashtbl.t;  (* pod name -> removal time *)
+  duplicate_streak : (string, int) Hashtbl.t;  (* pod -> consecutive dup sightings *)
+  wedge_streak : (string, (int * (string * int) list) * int) Hashtbl.t;
+      (* deployment -> (intent fingerprint, consecutive unchanged sightings) *)
+  seen : (string, unit) Hashtbl.t;  (* dedup keys *)
+  mutable violations : (int * violation) list;  (* newest first *)
+}
+
+let mirror t = t.mirror
+
+let violations t = List.rev t.violations
+
+let first t = match violations t with [] -> None | v :: _ -> Some v
+
+let violated t = t.violations <> []
+
+let report t v =
+  let k = key v in
+  if not (Hashtbl.mem t.seen k) then begin
+    Hashtbl.replace t.seen k ();
+    let now = Dsim.Engine.now (Kube.Cluster.engine t.cluster) in
+    t.violations <- (now, v) :: t.violations;
+    Dsim.Engine.record (Kube.Cluster.engine t.cluster) ~actor:"oracle" ~kind:"oracle.violation"
+      (Printf.sprintf "[%s] %s" (bug_id v) (describe v))
+  end
+
+(* A decommission is the operator setting deletion_timestamp on a member
+   pod; it is wrong if any *other* live member of the same datacenter has
+   a higher ordinal in the ground truth at that moment. *)
+let check_decommission t (p : Kube.Resource.pod) =
+  match p.Kube.Resource.owner, p.Kube.Resource.ordinal with
+  | Some owner_key, Some marked when p.Kube.Resource.deletion_timestamp <> None ->
+      let live_max =
+        History.State.fold
+          (fun _ (value, _) acc ->
+            match value with
+            | Kube.Resource.Pod q
+              when q.Kube.Resource.owner = Some owner_key
+                   && q.Kube.Resource.deletion_timestamp = None ->
+                max acc (Option.value q.Kube.Resource.ordinal ~default:(-1))
+            | _ -> acc)
+          t.mirror (-1)
+      in
+      if live_max > marked then
+        report t
+          (Wrong_decommission { dc = Kube.Resource.name_of_key owner_key; marked; live_max })
+  | _ -> ()
+
+(* Deleting a claim is only safe if its owner pod is gone or going. *)
+let check_claim_delete t pvc_name =
+  match History.State.get t.mirror (Kube.Resource.pvc_key pvc_name) with
+  | Some (Kube.Resource.Pvc c) -> begin
+      match c.Kube.Resource.owner_pod with
+      | None -> ()
+      | Some owner -> begin
+          match History.State.get t.mirror (Kube.Resource.pod_key owner) with
+          | Some (Kube.Resource.Pod p) when p.Kube.Resource.deletion_timestamp = None ->
+              report t (Live_claim_deleted { pvc = pvc_name; owner_pod = owner })
+          | Some _ | None -> ()
+        end
+    end
+  | Some _ | None -> ()
+
+(* A pod flipping Running -> Failed is only legitimate when its node is
+   really gone; judged against the pre-update mirror. *)
+let check_failed_transition t (e : Kube.Resource.value History.Event.t) =
+  match e.History.Event.value with
+  | Some (Kube.Resource.Pod after) when after.Kube.Resource.phase = Kube.Resource.Failed -> begin
+      match History.State.get t.mirror e.History.Event.key with
+      | Some (Kube.Resource.Pod before)
+        when before.Kube.Resource.phase <> Kube.Resource.Failed
+             && before.Kube.Resource.deletion_timestamp = None -> begin
+          match before.Kube.Resource.node with
+          | Some node when History.State.mem t.mirror (Kube.Resource.node_key node) ->
+              report t (Healthy_pod_failed { pod = before.Kube.Resource.pod_name; node })
+          | Some _ | None -> ()
+        end
+      | Some _ | None -> ()
+    end
+  | Some _ | None -> ()
+
+let on_commit t (e : Kube.Resource.value History.Event.t) =
+  let now = Dsim.Engine.now (Kube.Cluster.engine t.cluster) in
+  (match Kube.Resource.kind_of_key e.History.Event.key, e.History.Event.op with
+  | `Pod, History.Event.Update ->
+      Hashtbl.remove t.pod_deleted_at (Kube.Resource.name_of_key e.History.Event.key);
+      check_failed_transition t e
+  | `Pvc, History.Event.Delete ->
+      (* Judge against the pre-delete mirror, which still has the claim. *)
+      check_claim_delete t (Kube.Resource.name_of_key e.History.Event.key)
+  | `Pod, History.Event.Delete ->
+      Hashtbl.replace t.pod_deleted_at (Kube.Resource.name_of_key e.History.Event.key) now
+  | `Pod, History.Event.Create ->
+      Hashtbl.remove t.pod_deleted_at (Kube.Resource.name_of_key e.History.Event.key)
+  | _ -> ());
+  t.mirror <- History.State.apply t.mirror e;
+  match e.History.Event.op, e.History.Event.value with
+  | (History.Event.Create | History.Event.Update), Some (Kube.Resource.Pod p) ->
+      check_decommission t p
+  | _ -> ()
+
+let check_duplicates t =
+  let sightings = Hashtbl.create 16 in
+  List.iter
+    (fun kubelet ->
+      List.iter
+        (fun pod ->
+          let owners = Option.value (Hashtbl.find_opt sightings pod) ~default:[] in
+          Hashtbl.replace sightings pod (Kube.Kubelet.name kubelet :: owners))
+        (Kube.Kubelet.running kubelet))
+    (Kube.Cluster.kubelets t.cluster);
+  let confirmed_this_round = Hashtbl.create 4 in
+  Hashtbl.iter
+    (fun pod kubelets ->
+      if List.length kubelets >= 2 then begin
+        let streak = 1 + Option.value (Hashtbl.find_opt t.duplicate_streak pod) ~default:0 in
+        Hashtbl.replace confirmed_this_round pod ();
+        Hashtbl.replace t.duplicate_streak pod streak;
+        if streak >= t.duplicate_confirmations then
+          report t (Duplicate_pod { pod; kubelets = List.sort String.compare kubelets })
+      end)
+    sightings;
+  Hashtbl.iter
+    (fun pod _ -> if not (Hashtbl.mem confirmed_this_round pod) then
+        Hashtbl.remove t.duplicate_streak pod)
+    (Hashtbl.copy t.duplicate_streak)
+
+let check_livelock t =
+  match Kube.Cluster.scheduler t.cluster with
+  | None -> ()
+  | Some scheduler ->
+      List.iter
+        (fun ((pod, node), failures) ->
+          if
+            failures >= t.livelock_threshold
+            && not (History.State.mem t.mirror (Kube.Resource.node_key node))
+          then report t (Scheduler_livelock { pod; node; failures }))
+        (Kube.Scheduler.bind_failures scheduler)
+
+let managed_claim name =
+  not (String.length name >= 5 && String.equal (String.sub name 0 5) "data-")
+
+let check_leaks t =
+  let now = Dsim.Engine.now (Kube.Cluster.engine t.cluster) in
+  History.State.fold
+    (fun _ (value, _) () ->
+      match value with
+      | Kube.Resource.Pvc c when managed_claim c.Kube.Resource.pvc_name -> begin
+          match c.Kube.Resource.owner_pod with
+          | None -> ()
+          | Some owner ->
+              if not (History.State.mem t.mirror (Kube.Resource.pod_key owner)) then begin
+                match Hashtbl.find_opt t.pod_deleted_at owner with
+                | Some deleted_at when now - deleted_at > t.leak_grace ->
+                    report t (Pvc_leak { pvc = c.Kube.Resource.pvc_name; owner_pod = owner })
+                | Some _ | None -> ()
+              end
+        end
+      | _ -> ())
+    t.mirror ()
+
+(* Over-provisioning: flagrantly more live pods than a set wants. The
+   2x threshold ignores the off-by-a-few churn of normal replacement. *)
+let check_surplus t =
+  History.State.fold
+    (fun key (value, _) () ->
+      match value with
+      | Kube.Resource.Rset spec ->
+          let rs_key = key in
+          let live =
+            History.State.fold
+              (fun _ (v, _) acc ->
+                match v with
+                | Kube.Resource.Pod p
+                  when p.Kube.Resource.owner = Some rs_key
+                       && p.Kube.Resource.deletion_timestamp = None
+                       && p.Kube.Resource.phase <> Kube.Resource.Failed ->
+                    acc + 1
+                | _ -> acc)
+              t.mirror 0
+          in
+          let desired = spec.Kube.Resource.rs_replicas in
+          if desired > 0 && live > 2 * desired then
+            report t
+              (Replica_surplus { rs = spec.Kube.Resource.rs_name; live; desired })
+      | _ -> ())
+    t.mirror ()
+
+(* A rollout is wedged when, for a long stretch, (a) an old generation's
+   set is still deployed, (b) ground truth shows every new-generation pod
+   the controller asked for actually Running — so nothing real blocks
+   progress — and (c) none of the sets' intents change. A healthy
+   rollout changes some intent every pass or two, and even a view frozen
+   behind a partition thaws within ~4.5 s (partition + watchdog +
+   re-list); 60 consecutive unchanged checks (6 s) means only the
+   controller's view stands in the way, permanently. *)
+let check_wedged_rollouts t =
+  let confirmed = Hashtbl.create 4 in
+  History.State.fold
+    (fun _ (value, _) () ->
+      match value with
+      | Kube.Resource.Deployment d ->
+          let dep = d.Kube.Resource.dep_name in
+          let target_rs =
+            Kube.Resource.rset_key (Printf.sprintf "%s-g%d" dep d.Kube.Resource.template)
+          in
+          let target_running =
+            History.State.fold
+              (fun _ (v, _) acc ->
+                match v with
+                | Kube.Resource.Pod p
+                  when p.Kube.Resource.owner = Some target_rs
+                       && p.Kube.Resource.deletion_timestamp = None
+                       && p.Kube.Resource.phase = Kube.Resource.Running ->
+                    acc + 1
+                | _ -> acc)
+              t.mirror 0
+          in
+          let target_intent =
+            match History.State.get t.mirror target_rs with
+            | Some (Kube.Resource.Rset r) -> Some r.Kube.Resource.rs_replicas
+            | _ -> None
+          in
+          let old_intents =
+            History.State.fold
+              (fun key (v, _) acc ->
+                match v with
+                | Kube.Resource.Rset r ->
+                    let prefix = Kube.Resource.rsets_prefix ^ dep ^ "-g" in
+                    if
+                      (not (String.equal key target_rs))
+                      && String.length key >= String.length prefix
+                      && String.equal (String.sub key 0 (String.length prefix)) prefix
+                    then (key, r.Kube.Resource.rs_replicas) :: acc
+                    else acc
+                | _ -> acc)
+              t.mirror []
+            |> List.sort compare
+          in
+          (match target_intent with
+          | Some intent when old_intents <> [] && target_running >= intent ->
+              Hashtbl.replace confirmed dep ();
+              let fingerprint = (intent, old_intents) in
+              let streak =
+                match Hashtbl.find_opt t.wedge_streak dep with
+                | Some (previous, n) when previous = fingerprint -> n + 1
+                | _ -> 1
+              in
+              Hashtbl.replace t.wedge_streak dep (fingerprint, streak);
+              if streak >= 60 then
+                report t (Rollout_wedged { dep; generation = d.Kube.Resource.template })
+          | _ -> ())
+      | _ -> ())
+    t.mirror ();
+  Hashtbl.iter
+    (fun dep _ -> if not (Hashtbl.mem confirmed dep) then Hashtbl.remove t.wedge_streak dep)
+    (Hashtbl.copy t.wedge_streak)
+
+let attach ?(check_period = 100_000) ?(livelock_threshold = 15) ?(leak_grace = 2_000_000)
+    ?(duplicate_confirmations = 20) cluster =
+  let t =
+    {
+      cluster;
+      livelock_threshold;
+      leak_grace;
+      duplicate_confirmations;
+      mirror = History.State.empty;
+      pod_deleted_at = Hashtbl.create 16;
+      duplicate_streak = Hashtbl.create 16;
+      wedge_streak = Hashtbl.create 16;
+      seen = Hashtbl.create 16;
+      violations = [];
+    }
+  in
+  Kube.Etcd.on_commit (Kube.Cluster.etcd cluster) (fun e -> on_commit t e);
+  Dsim.Engine.every (Kube.Cluster.engine cluster) ~period:check_period (fun () ->
+      check_duplicates t;
+      check_livelock t;
+      check_leaks t;
+      check_surplus t;
+      check_wedged_rollouts t;
+      true);
+  t

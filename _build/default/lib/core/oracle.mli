@@ -1,0 +1,74 @@
+(** Safety oracles: global invariants checked against the ground truth.
+
+    The oracle sits where no real deployment can: it sees every etcd
+    commit synchronously and every component's private state (kubelet
+    running sets, scheduler failure counters). Each violation corresponds
+    to one of the case-study bugs; the oracle reports the first occurrence
+    of each distinct violation with its virtual timestamp. *)
+
+type violation =
+  | Duplicate_pod of { pod : string; kubelets : string list }
+      (** one pod name running on two kubelets — Kubernetes-59848's
+          broken safety guarantee *)
+  | Scheduler_livelock of { pod : string; node : string; failures : int }
+      (** repeated bind attempts against a node that no longer exists —
+          Kubernetes-56261 *)
+  | Pvc_leak of { pvc : string; owner_pod : string }
+      (** owner pod long gone but its claim never released —
+          the observability-gap controller bug (cassandra-operator-398
+          pattern / Kubernetes controller bug [17]) *)
+  | Wrong_decommission of { dc : string; marked : int; live_max : int }
+      (** a non-maximal member was decommissioned — cassandra-operator-400 *)
+  | Live_claim_deleted of { pvc : string; owner_pod : string }
+      (** a live member's data claim was deleted — cassandra-operator-402 *)
+  | Replica_surplus of { rs : string; live : int; desired : int }
+      (** a ReplicaSet-style controller over-provisioned by more than 2x —
+          the counting-from-a-lagging-cache incident class (extension
+          beyond the paper's corpus) *)
+  | Healthy_pod_failed of { pod : string; node : string }
+      (** the node controller failed a pod whose node exists — acting on
+          a view that never observed the node (extension) *)
+  | Rollout_wedged of { dep : string; generation : int }
+      (** a Deployment rollout that ground truth says could complete never
+          drains the old generation — the controller's view never
+          observed the new pods running (extension) *)
+
+val describe : violation -> string
+
+val bug_id : violation -> string
+(** The upstream issue this violation reproduces, e.g. ["K8s-59848"]. *)
+
+val key : violation -> string
+(** Deduplication key (violation type + principal object). *)
+
+type t
+
+val attach :
+  ?check_period:int ->
+  ?livelock_threshold:int ->
+  ?leak_grace:int ->
+  ?duplicate_confirmations:int ->
+  Kube.Cluster.t ->
+  t
+(** Installs the etcd commit listener and the periodic checker. Attach
+    before {!Kube.Cluster.start}.
+
+    The thresholds are chosen to separate *persistent* safety violations
+    (the bugs) from transient divergence that any failure causes and the
+    system heals on its own: a livelock needs 15 failed binds of the same
+    pod to the same vanished node (a partition-induced stale cache is
+    re-listed by the stream watchdog well before that); a duplicate pod
+    must persist for 20 consecutive 100 ms checks (2 s — a kubelet that
+    merely missed a deletion behind a partition re-lists and stops the
+    pod sooner); a claim counts as leaked 2 s after its owner vanished.
+    Defaults: check every 100 ms. *)
+
+val violations : t -> (int * violation) list
+(** Time-stamped, first occurrence per {!key}, oldest first. *)
+
+val first : t -> (int * violation) option
+
+val violated : t -> bool
+
+val mirror : t -> Kube.Resource.value History.State.t
+(** The oracle's replica of the ground truth (kept from commit events). *)

@@ -1,0 +1,214 @@
+type target = {
+  component : string;
+  watched_prefixes : string list;
+  restartable : bool;
+}
+
+let targets_of_config (config : Kube.Cluster.config) =
+  let kubelets =
+    List.init config.Kube.Cluster.nodes (fun i ->
+        {
+          component = Printf.sprintf "kubelet-%d" (i + 1);
+          watched_prefixes = [ Kube.Resource.pods_prefix ];
+          restartable = true;
+        })
+  in
+  let scheduler =
+    if config.Kube.Cluster.with_scheduler then
+      [
+        {
+          component = "scheduler";
+          watched_prefixes = [ Kube.Resource.pods_prefix; Kube.Resource.nodes_prefix ];
+          restartable = true;
+        };
+      ]
+    else []
+  in
+  let volume =
+    if config.Kube.Cluster.with_volume_controller then
+      [
+        {
+          component = "volumectl";
+          watched_prefixes = [ Kube.Resource.pods_prefix; Kube.Resource.pvcs_prefix ];
+          restartable = true;
+        };
+      ]
+    else []
+  in
+  let operator =
+    if config.Kube.Cluster.with_operator then
+      [
+        {
+          component = "cassop";
+          watched_prefixes =
+            [ Kube.Resource.cassdcs_prefix; Kube.Resource.pods_prefix; Kube.Resource.pvcs_prefix ];
+          restartable = true;
+        };
+      ]
+    else []
+  in
+  let replicaset =
+    if config.Kube.Cluster.with_replicaset then
+      [
+        {
+          component = "rsctl";
+          watched_prefixes = [ Kube.Resource.rsets_prefix; Kube.Resource.pods_prefix ];
+          restartable = true;
+        };
+      ]
+    else []
+  in
+  let deployment =
+    if config.Kube.Cluster.with_deployment then
+      [
+        {
+          component = "depctl";
+          watched_prefixes =
+            [ Kube.Resource.deployments_prefix; Kube.Resource.rsets_prefix;
+              Kube.Resource.pods_prefix ];
+          restartable = true;
+        };
+      ]
+    else []
+  in
+  let node_controller =
+    if config.Kube.Cluster.with_node_controller then
+      [
+        {
+          component = "nodectl";
+          watched_prefixes = [ Kube.Resource.nodes_prefix; Kube.Resource.pods_prefix ];
+          restartable = true;
+        };
+      ]
+    else []
+  in
+  kubelets @ scheduler @ volume @ operator @ replicaset @ deployment @ node_controller
+
+let has_prefix key p =
+  String.length key >= String.length p && String.equal (String.sub key 0 (String.length p)) p
+
+let consumed_by target key = List.exists (has_prefix key) target.watched_prefixes
+
+type plan = { strategy : Strategy.t; rationale : string }
+
+let api_names (config : Kube.Cluster.config) =
+  List.init config.Kube.Cluster.apiservers (fun i -> Printf.sprintf "api-%d" (i + 1))
+
+(* One anchor per (key, op): perturbing the same logical change twice adds
+   nothing, and keeping the first occurrence perturbs it earliest. *)
+let dedup_anchors events =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun (_, key, op) ->
+      if Hashtbl.mem seen (key, op) then false
+      else begin
+        Hashtbl.replace seen (key, op) ();
+        true
+      end)
+    events
+
+(* Shared enumeration. [score] orders candidates within each pattern
+   queue: lower scores first (stable within a score). *)
+let enumerate ~config ~anchors ~horizon ~slack ~stale_window ~downtime ~score =
+  let targets = targets_of_config config in
+  let apis = api_names config in
+  let obs_gaps = ref [] and stales = ref [] and travels = ref [] in
+  let emit acc s plan = acc := (s, plan) :: !acc in
+  List.iter
+    (fun (time, key, op, origin) ->
+      let from = max 0 (time - slack) in
+      List.iter
+        (fun target ->
+          if consumed_by target key then begin
+            let s = score ~target ~origin in
+            emit obs_gaps s
+              {
+                strategy =
+                  Strategy.observability_gap ~dst:target.component ~key_prefix:key ~op ~from
+                    ~until:horizon ();
+                rationale =
+                  Printf.sprintf "hide %s %s from %s" (History.Event.op_to_string op) key
+                    target.component;
+              };
+            emit stales s
+              {
+                strategy =
+                  Strategy.staleness ~dst:target.component ~from ~until:(time + stale_window)
+                    ~extra:stale_window ();
+                rationale =
+                  Printf.sprintf "lag %s's view across %s %s" target.component
+                    (History.Event.op_to_string op) key;
+              };
+            if target.restartable then
+              List.iter
+                (fun api ->
+                  emit travels s
+                    {
+                      strategy =
+                        Strategy.time_travel ~stale_api:api ~victim:target.component
+                          ~stale_from:from
+                          ~crash_at:(time + (7 * slack))
+                          ~downtime ();
+                      rationale =
+                        Printf.sprintf "freeze %s before %s %s, then bounce %s onto it" api
+                          (History.Event.op_to_string op) key target.component;
+                    })
+                apis
+          end)
+        targets)
+    anchors;
+  let order queue =
+    List.rev !queue
+    |> List.stable_sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map snd
+  in
+  (* Interleave the three pattern queues so an i-th-candidate budget sees
+     a balanced mixture. *)
+  let rec interleave queues =
+    let heads, rest =
+      List.fold_right
+        (fun queue (heads, rest) ->
+          match queue with
+          | [] -> (heads, rest)
+          | plan :: tail -> (plan :: heads, tail :: rest))
+        queues ([], [])
+    in
+    if heads = [] then [] else heads @ interleave rest
+  in
+  interleave [ order obs_gaps; order stales; order travels ]
+
+let candidates ~config ~events ~horizon ?(slack = 100_000) ?(stale_window = 1_500_000)
+    ?(downtime = 150_000) () =
+  let anchors =
+    dedup_anchors events |> List.map (fun (time, key, op) -> (time, key, op, "unknown"))
+  in
+  enumerate ~config ~anchors ~horizon ~slack ~stale_window ~downtime
+    ~score:(fun ~target:_ ~origin:_ -> 0)
+
+let candidates_causal ~config ~commits ~horizon ?(slack = 100_000) ?(stale_window = 1_500_000)
+    ?(downtime = 150_000) () =
+  let anchors =
+    dedup_anchors
+      (List.map (fun c -> (c.Runner.time, c.Runner.key, c.Runner.op)) commits)
+    |> List.map (fun (time, key, op) ->
+           let origin =
+             match
+               List.find_opt
+                 (fun c -> String.equal c.Runner.key key && c.Runner.op = op)
+                 commits
+             with
+             | Some c -> c.Runner.origin
+             | None -> "unknown"
+           in
+           (time, key, op, origin))
+  in
+  (* A component's own writes are causally downstream of its view;
+     perturbing how it observes its own effects closes a reconcile
+     feedback loop. Those candidates go first, then perturbations of
+     other controllers' writes, then environment/user writes. *)
+  let score ~target ~origin =
+    if String.equal origin target.component then 0
+    else if String.equal origin "boot" then 2
+    else 1
+  in
+  enumerate ~config ~anchors ~horizon ~slack ~stale_window ~downtime ~score

@@ -1,0 +1,35 @@
+let section title =
+  let bar = String.make (String.length title + 4) '=' in
+  Printf.printf "\n%s\n= %s =\n%s\n" bar title bar
+
+let subsection title = Printf.printf "\n--- %s ---\n" title
+
+let table ~header rows =
+  let all = header :: rows in
+  let arity = List.length header in
+  List.iter
+    (fun row ->
+      if List.length row <> arity then invalid_arg "Report.table: ragged row")
+    rows;
+  let widths =
+    List.init arity (fun i ->
+        List.fold_left (fun acc row -> max acc (String.length (List.nth row i))) 0 all)
+  in
+  let print_row row =
+    let cells =
+      List.mapi (fun i cell -> Printf.sprintf "%-*s" (List.nth widths i) cell) row
+    in
+    Printf.printf "| %s |\n" (String.concat " | " cells)
+  in
+  let rule =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "+"
+  in
+  print_endline rule;
+  print_row header;
+  print_endline rule;
+  List.iter print_row rows;
+  print_endline rule
+
+let kv pairs =
+  let width = List.fold_left (fun acc (k, _) -> max acc (String.length k)) 0 pairs in
+  List.iter (fun (k, v) -> Printf.printf "%-*s : %s\n" width k v) pairs

@@ -1,0 +1,13 @@
+(** Plain-text reporting helpers shared by the benchmark harness and the
+    CLI: section banners and aligned tables. *)
+
+val section : string -> unit
+(** Prints a banner to stdout. *)
+
+val subsection : string -> unit
+
+val table : header:string list -> string list list -> unit
+(** Prints an aligned table; every row must have the header's arity. *)
+
+val kv : (string * string) list -> unit
+(** Prints aligned "key: value" lines. *)

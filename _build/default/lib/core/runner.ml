@@ -1,0 +1,74 @@
+type test = {
+  name : string;
+  config : Kube.Cluster.config;
+  workload : Kube.Workload.t;
+  horizon : int;
+  strategy : Strategy.t;
+}
+
+let base_test ?(name = "test") ?(config = Kube.Cluster.default_config) ~workload ~horizon strategy
+    =
+  { name; config; workload; horizon; strategy }
+
+type outcome = {
+  test : test;
+  violations : (int * Oracle.violation) list;
+  truth_rev : int;
+  cluster : Kube.Cluster.t;
+}
+
+let run_test test =
+  let cluster = Kube.Cluster.create ~config:test.config () in
+  let oracle = Oracle.attach cluster in
+  Strategy.apply cluster test.strategy;
+  Kube.Cluster.start cluster;
+  Kube.Workload.schedule cluster test.workload;
+  Kube.Cluster.run cluster ~until:test.horizon;
+  {
+    test;
+    violations = Oracle.violations oracle;
+    truth_rev = Kube.Cluster.truth_rev cluster;
+    cluster;
+  }
+
+type commit = { time : int; key : string; op : History.Event.op; origin : string }
+
+let reference_commits test =
+  let cluster = Kube.Cluster.create ~config:test.config () in
+  let etcd = Kube.Cluster.etcd cluster in
+  let commits = ref [] in
+  let engine = Kube.Cluster.engine cluster in
+  Kube.Etcd.on_commit etcd (fun e ->
+      (* The origin table is filled by the server before listeners run
+         only for txn-committed events; look it up lazily afterwards
+         instead. Record the revision now. *)
+      commits :=
+        (Dsim.Engine.now engine, e.History.Event.key, e.History.Event.op, e.History.Event.rev)
+        :: !commits);
+  Kube.Cluster.start cluster;
+  Kube.Workload.schedule cluster test.workload;
+  Kube.Cluster.run cluster ~until:test.horizon;
+  List.rev_map
+    (fun (time, key, op, rev) -> { time; key; op; origin = Kube.Etcd.origin_of_rev etcd rev })
+    !commits
+
+let reference_events test =
+  List.map (fun c -> (c.time, c.key, c.op)) (reference_commits test)
+
+type campaign_result = {
+  tests_run : int;
+  found : (test * int * Oracle.violation) option;
+}
+
+let run_campaign ~make_test ~candidates ?(target = fun _ -> true) () =
+  let rec go i =
+    if i >= candidates then { tests_run = candidates; found = None }
+    else begin
+      let test = make_test i in
+      let outcome = run_test test in
+      match List.find_opt (fun (_, v) -> target v) outcome.violations with
+      | Some (time, violation) -> { tests_run = i + 1; found = Some (test, time, violation) }
+      | None -> go (i + 1)
+    end
+  in
+  go 0

@@ -1,0 +1,59 @@
+(** Test runner: executes (workload × strategy) tests on fresh clusters
+    and drives campaigns until an oracle violation is found.
+
+    Every test builds its own cluster from its config, so tests are
+    hermetic and a failing test is replayable from its record alone. *)
+
+type test = {
+  name : string;
+  config : Kube.Cluster.config;
+  workload : Kube.Workload.t;
+  horizon : int;  (** virtual microseconds to run *)
+  strategy : Strategy.t;
+}
+
+val base_test :
+  ?name:string ->
+  ?config:Kube.Cluster.config ->
+  workload:Kube.Workload.t ->
+  horizon:int ->
+  Strategy.t ->
+  test
+
+type outcome = {
+  test : test;
+  violations : (int * Oracle.violation) list;
+  truth_rev : int;
+  cluster : Kube.Cluster.t;  (** post-run handle: trace, components, truth *)
+}
+
+val run_test : test -> outcome
+
+type commit = { time : int; key : string; op : History.Event.op; origin : string }
+(** One committed reference event; [origin] is the component whose
+    transaction produced it. *)
+
+val reference_commits : test -> commit list
+(** Runs the test *without* its strategy and returns every committed
+    event with its originating component — the planner's raw material
+    (the causality record Section 7 calls for). *)
+
+val reference_events : test -> (int * string * History.Event.op) list
+(** {!reference_commits} without the origins. *)
+
+type campaign_result = {
+  tests_run : int;
+  found : (test * int * Oracle.violation) option;
+      (** first test whose oracle reported a matching violation, with the
+          violation's virtual time *)
+}
+
+val run_campaign :
+  make_test:(int -> test) ->
+  candidates:int ->
+  ?target:(Oracle.violation -> bool) ->
+  unit ->
+  campaign_result
+(** Runs [make_test 0 .. make_test (candidates-1)] in order, stopping at
+    the first test that produces a violation satisfying [target]
+    (default: any violation). *)

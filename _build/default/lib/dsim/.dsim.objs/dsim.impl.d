@@ -1,0 +1,1 @@
+lib/dsim/dsim.ml: Engine Fault Metrics Network Pqueue Rng Trace

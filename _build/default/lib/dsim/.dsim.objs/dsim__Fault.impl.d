@@ -1,0 +1,1 @@
+lib/dsim/fault.ml: Array Engine Format List Network Rng String

@@ -1,0 +1,1 @@
+lib/dsim/fault.mli: Format Network Rng

@@ -1,0 +1,1 @@
+lib/dsim/network.ml: Engine Format Hashtbl List Printf Rng String

@@ -1,0 +1,1 @@
+lib/dsim/network.mli: Engine Format

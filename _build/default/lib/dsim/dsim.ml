@@ -1,0 +1,17 @@
+(** Deterministic discrete-event simulation kernel.
+
+    Everything in this reproduction runs on one {!Engine}: a virtual
+    clock, a deterministic event heap ({!Pqueue}) and a splittable PRNG
+    ({!Rng}). {!Network} models RPC and one-way messaging between named
+    nodes with latency, partitions and crash/restart (with incarnation
+    fencing); {!Fault} turns failure schedules into replayable data;
+    {!Trace} records everything that happened; {!Metrics} aggregates
+    counters and latency histograms for experiments. *)
+
+module Rng = Rng
+module Pqueue = Pqueue
+module Engine = Engine
+module Network = Network
+module Fault = Fault
+module Trace = Trace
+module Metrics = Metrics

@@ -1,0 +1,74 @@
+type timer = { mutable cancelled : bool; action : unit -> unit }
+
+type t = {
+  mutable clock : int;
+  mutable seq : int;
+  heap : timer Pqueue.t;
+  rng : Rng.t;
+  trace : Trace.t;
+}
+
+let create ?(seed = 1L) ?trace () =
+  let trace = match trace with Some tr -> tr | None -> Trace.create () in
+  { clock = 0; seq = 0; heap = Pqueue.create (); rng = Rng.create seed; trace }
+
+let now t = t.clock
+
+let rng t = t.rng
+
+let trace t = t.trace
+
+let record t ~actor ~kind detail = Trace.record t.trace ~time:t.clock ~actor ~kind detail
+
+let schedule_at t ~time action =
+  let time = max time t.clock in
+  let timer = { cancelled = false; action } in
+  t.seq <- t.seq + 1;
+  Pqueue.push t.heap ~time ~seq:t.seq timer;
+  timer
+
+let schedule t ~delay action = schedule_at t ~time:(t.clock + max 0 delay) action
+
+let cancel timer = timer.cancelled <- true
+
+let pending t = Pqueue.length t.heap
+
+let step t =
+  match Pqueue.pop t.heap with
+  | None -> false
+  | Some (time, _seq, timer) ->
+      t.clock <- max t.clock time;
+      if not timer.cancelled then timer.action ();
+      true
+
+let run ?until ?max_events t =
+  let executed = ref 0 in
+  let continue () =
+    match max_events with Some m -> !executed < m | None -> true
+  in
+  let within_horizon () =
+    match until with
+    | None -> true
+    | Some horizon -> (
+        match Pqueue.peek t.heap with
+        | None -> false
+        | Some (time, _, _) -> time <= horizon)
+  in
+  while (not (Pqueue.is_empty t.heap)) && continue () && within_horizon () do
+    if step t then incr executed
+  done;
+  (* If we stopped on the horizon, advance the clock to it so that callers
+     observe a consistent "ran until" time. *)
+  match until with
+  | Some horizon when t.clock < horizon && Pqueue.is_empty t.heap -> ()
+  | Some horizon when t.clock < horizon -> t.clock <- horizon
+  | _ -> ()
+
+let every t ?(jitter = 0) ~period f =
+  let rec tick () =
+    if f () then begin
+      let extra = if jitter > 0 then Rng.int t.rng (jitter + 1) else 0 in
+      ignore (schedule t ~delay:(period + extra) tick)
+    end
+  in
+  ignore (schedule t ~delay:0 tick)

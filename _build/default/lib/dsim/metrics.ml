@@ -1,0 +1,65 @@
+type t = {
+  counts : (string, int ref) Hashtbl.t;
+  histograms : (string, float list ref) Hashtbl.t;
+}
+
+let create () = { counts = Hashtbl.create 16; histograms = Hashtbl.create 16 }
+
+let counter t name =
+  match Hashtbl.find_opt t.counts name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.replace t.counts name r;
+      r
+
+let incr t name = Stdlib.incr (counter t name)
+
+let add t name n =
+  let r = counter t name in
+  r := !r + n
+
+let count t name = match Hashtbl.find_opt t.counts name with Some r -> !r | None -> 0
+
+let histogram t name =
+  match Hashtbl.find_opt t.histograms name with
+  | Some r -> r
+  | None ->
+      let r = ref [] in
+      Hashtbl.replace t.histograms name r;
+      r
+
+let observe t name sample =
+  let r = histogram t name in
+  r := sample :: !r
+
+let samples t name =
+  match Hashtbl.find_opt t.histograms name with Some r -> List.length !r | None -> 0
+
+let mean t name =
+  match Hashtbl.find_opt t.histograms name with
+  | None | Some { contents = [] } -> 0.0
+  | Some r ->
+      let sum = List.fold_left ( +. ) 0.0 !r in
+      sum /. float_of_int (List.length !r)
+
+let percentile t name p =
+  match Hashtbl.find_opt t.histograms name with
+  | None | Some { contents = [] } -> 0.0
+  | Some r ->
+      let sorted = List.sort compare !r in
+      let n = List.length sorted in
+      let rank = int_of_float (ceil (p *. float_of_int n)) in
+      let index = min (n - 1) (max 0 (rank - 1)) in
+      List.nth sorted index
+
+let counters t =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counts []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset t =
+  Hashtbl.reset t.counts;
+  Hashtbl.reset t.histograms
+
+let pp ppf t =
+  List.iter (fun (name, v) -> Format.fprintf ppf "%-32s %d@." name v) (counters t)

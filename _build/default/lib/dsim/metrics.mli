@@ -1,0 +1,30 @@
+(** Lightweight counters and latency histograms for the benchmark
+    harness. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> string -> unit
+
+val add : t -> string -> int -> unit
+
+val count : t -> string -> int
+
+val observe : t -> string -> float -> unit
+(** Records a sample into the named histogram. *)
+
+val mean : t -> string -> float
+(** 0.0 when the histogram is empty. *)
+
+val percentile : t -> string -> float -> float
+(** [percentile t name 0.99] is the nearest-rank p99; 0.0 when empty. *)
+
+val samples : t -> string -> int
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val reset : t -> unit
+
+val pp : Format.formatter -> t -> unit

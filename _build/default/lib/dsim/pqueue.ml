@@ -1,0 +1,75 @@
+(* Array-based binary min-heap. The invariant is the usual heap property on
+   the lexicographic (time, seq) key; [data.(0)] is the minimum. *)
+
+type 'a entry = { time : int; seq : int; value : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+
+let is_empty t = t.size = 0
+
+let length t = t.size
+
+let clear t =
+  t.data <- [||];
+  t.size <- 0
+
+let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t entry =
+  let capacity = Array.length t.data in
+  if t.size = capacity then begin
+    let next = max 16 (2 * capacity) in
+    let data = Array.make next entry in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less t.data.(i) t.data.(parent) then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && less t.data.(l) t.data.(!smallest) then smallest := l;
+  if r < t.size && less t.data.(r) t.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(!smallest);
+    t.data.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let push t ~time ~seq value =
+  let entry = { time; seq; value } in
+  grow t entry;
+  t.data.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      sift_down t 0
+    end;
+    Some (top.time, top.seq, top.value)
+  end
+
+let peek t =
+  if t.size = 0 then None
+  else
+    let top = t.data.(0) in
+    Some (top.time, top.seq, top.value)

@@ -1,0 +1,22 @@
+(** Minimum priority queue used as the simulator's event heap.
+
+    Keys are [(time, seq)] pairs compared lexicographically; the sequence
+    number makes the pop order total and therefore the whole simulation
+    deterministic even when many events share a timestamp. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+val push : 'a t -> time:int -> seq:int -> 'a -> unit
+
+val pop : 'a t -> (int * int * 'a) option
+(** Removes and returns the minimum [(time, seq, value)]. *)
+
+val peek : 'a t -> (int * int * 'a) option
+
+val clear : 'a t -> unit

@@ -1,0 +1,27 @@
+type entry = { time : int; actor : string; kind : string; detail : string }
+
+let pp_entry ppf e =
+  Format.fprintf ppf "[%8d us] %-14s %-22s %s" e.time e.actor e.kind e.detail
+
+type t = { mutable entries : entry list; mutable length : int }
+
+let create ?capacity:_ () = { entries = []; length = 0 }
+
+let record t ~time ~actor ~kind detail =
+  t.entries <- { time; actor; kind; detail } :: t.entries;
+  t.length <- t.length + 1
+
+let entries t = List.rev t.entries
+
+let length t = t.length
+
+let clear t =
+  t.entries <- [];
+  t.length <- 0
+
+let find_all t ~kind = List.filter (fun e -> String.equal e.kind kind) (entries t)
+
+let filter t f = List.filter f (entries t)
+
+let pp ppf t =
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_entry e) (entries t)

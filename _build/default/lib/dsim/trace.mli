@@ -1,0 +1,35 @@
+(** Simulation trace: a time-ordered log of everything observable.
+
+    The trace serves three purposes: it is what the Sieve planner mines for
+    perturbation points, it is the evidence printed when an oracle fires
+    (the Figure-2-style walkthrough), and it is the reference execution a
+    perturbed run is compared against. *)
+
+type entry = {
+  time : int;  (** virtual microseconds *)
+  actor : string;  (** component that produced the event *)
+  kind : string;  (** category, e.g. "watch.deliver", "crash", "read" *)
+  detail : string;  (** human-readable payload *)
+}
+
+val pp_entry : Format.formatter -> entry -> unit
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val record : t -> time:int -> actor:string -> kind:string -> string -> unit
+
+val entries : t -> entry list
+(** All entries in chronological (recording) order. *)
+
+val length : t -> int
+
+val clear : t -> unit
+
+val find_all : t -> kind:string -> entry list
+
+val filter : t -> (entry -> bool) -> entry list
+
+val pp : Format.formatter -> t -> unit
+(** Prints the whole trace, one entry per line. *)

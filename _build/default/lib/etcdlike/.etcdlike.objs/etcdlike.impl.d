@@ -1,0 +1,1 @@
+lib/etcdlike/etcdlike.ml: Kv Lease Txn Watch

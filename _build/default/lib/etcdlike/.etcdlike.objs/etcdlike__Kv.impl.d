@@ -1,0 +1,1 @@
+lib/etcdlike/kv.ml: History List

@@ -1,0 +1,1 @@
+lib/etcdlike/lease.ml: Hashtbl List

@@ -1,0 +1,1 @@
+lib/etcdlike/txn.ml: History Kv List

@@ -1,0 +1,1 @@
+lib/etcdlike/txn.mli: History Kv

@@ -1,0 +1,1 @@
+lib/etcdlike/watch.ml: History Kv List String

@@ -1,0 +1,1 @@
+lib/etcdlike/watch.mli: History Kv

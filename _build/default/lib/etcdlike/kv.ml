@@ -1,0 +1,43 @@
+type 'v t = {
+  history : 'v History.Log.t;
+  mutable listeners : ('v History.Event.t -> unit) list;  (* registration order *)
+}
+
+let create () = { history = History.Log.create (); listeners = [] }
+
+let rev t = History.Log.rev t.history
+
+let compacted_rev t = History.Log.compacted_rev t.history
+
+let state t = History.Log.state t.history
+
+let history t = t.history
+
+let get t key = History.State.find (state t) key
+
+let range t ~prefix =
+  History.State.keys_with_prefix (state t) ~prefix
+  |> List.filter_map (fun key ->
+         match History.State.find (state t) key with
+         | Some (v, mod_rev) -> Some (key, v, mod_rev)
+         | None -> None)
+
+let commit t ~key ~op value =
+  let event = History.Log.append t.history ~key ~op value in
+  List.iter (fun listener -> listener event) t.listeners;
+  event
+
+let put t key value =
+  let op = if History.State.mem (state t) key then History.Event.Update else History.Event.Create in
+  commit t ~key ~op (Some value)
+
+let delete t key =
+  if History.State.mem (state t) key then Some (commit t ~key ~op:History.Event.Delete None) else None
+
+let since t ~rev = History.Log.since t.history ~rev
+
+let compact t ~before = History.Log.compact t.history ~before
+
+let compact_keep_last t n = History.Log.compact_keep_last t.history n
+
+let on_commit t listener = t.listeners <- t.listeners @ [ listener ]

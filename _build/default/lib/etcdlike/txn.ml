@@ -1,0 +1,39 @@
+type 'v cmp =
+  | Mod_rev_eq of string * int
+  | Value_eq of string * 'v
+  | Exists of string
+  | Absent of string
+
+type 'v op = Put of string * 'v | Delete of string
+
+type 'v t = { guards : 'v cmp list; success : 'v op list; failure : 'v op list }
+
+type 'v outcome = { succeeded : bool; events : 'v History.Event.t list; rev : int }
+
+let guard_holds kv = function
+  | Mod_rev_eq (key, expected) ->
+      let actual = match Kv.get kv key with Some (_, mod_rev) -> mod_rev | None -> 0 in
+      actual = expected
+  | Value_eq (key, expected) -> (
+      match Kv.get kv key with Some (v, _) -> v = expected | None -> false)
+  | Exists key -> Kv.get kv key <> None
+  | Absent key -> Kv.get kv key = None
+
+let run_op kv = function
+  | Put (key, value) -> Some (Kv.put kv key value)
+  | Delete key -> Kv.delete kv key
+
+let eval kv t =
+  let succeeded = List.for_all (guard_holds kv) t.guards in
+  let branch = if succeeded then t.success else t.failure in
+  let events = List.filter_map (run_op kv) branch in
+  { succeeded; events; rev = Kv.rev kv }
+
+let put_if_unchanged ~key ~expected_mod_rev value =
+  { guards = [ Mod_rev_eq (key, expected_mod_rev) ]; success = [ Put (key, value) ]; failure = [] }
+
+let create_if_absent ~key value =
+  { guards = [ Absent key ]; success = [ Put (key, value) ]; failure = [] }
+
+let delete_if_unchanged ~key ~expected_mod_rev =
+  { guards = [ Mod_rev_eq (key, expected_mod_rev) ]; success = [ Delete key ]; failure = [] }

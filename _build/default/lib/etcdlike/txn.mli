@@ -1,0 +1,35 @@
+(** Mini-transactions: etcd's compare-and-swap primitive.
+
+    A transaction evaluates a conjunction of guards against the current
+    store and atomically applies the success branch when they all hold,
+    else the failure branch. This is the primitive HBase-3136's "atomic
+    CAS on cached ZooKeeper state" boils down to, and what controllers
+    use for optimistic-concurrency updates keyed on mod-revisions. *)
+
+type 'v cmp =
+  | Mod_rev_eq of string * int
+      (** the key's mod-revision equals the given value; 0 means absent *)
+  | Value_eq of string * 'v
+  | Exists of string
+  | Absent of string
+
+type 'v op = Put of string * 'v | Delete of string
+
+type 'v t = { guards : 'v cmp list; success : 'v op list; failure : 'v op list }
+
+type 'v outcome = {
+  succeeded : bool;
+  events : 'v History.Event.t list;  (** events committed by the taken branch *)
+  rev : int;  (** store revision after the transaction *)
+}
+
+val eval : 'v Kv.t -> 'v t -> 'v outcome
+(** Guards and the chosen branch are evaluated with no interleaving —
+    the store is single-threaded, so atomicity is structural. *)
+
+val put_if_unchanged : key:string -> expected_mod_rev:int -> 'v -> 'v t
+(** The classic optimistic update. *)
+
+val create_if_absent : key:string -> 'v -> 'v t
+
+val delete_if_unchanged : key:string -> expected_mod_rev:int -> 'v t

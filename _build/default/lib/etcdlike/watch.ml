@@ -1,0 +1,44 @@
+type 'v watcher = {
+  id : int;
+  prefix : string option;
+  deliver : 'v History.Event.t -> unit;
+  mutable last_sent : int;
+}
+
+type handle = int
+
+type 'v t = { kv : 'v Kv.t; mutable watchers : 'v watcher list; mutable next_id : int }
+
+let matches prefix (e : 'v History.Event.t) =
+  match prefix with
+  | None -> true
+  | Some p ->
+      String.length e.History.Event.key >= String.length p
+      && String.equal (String.sub e.History.Event.key 0 (String.length p)) p
+
+let push watcher (e : 'v History.Event.t) =
+  if e.History.Event.rev > watcher.last_sent && matches watcher.prefix e then begin
+    watcher.last_sent <- e.History.Event.rev;
+    watcher.deliver e
+  end
+
+let create kv =
+  let t = { kv; watchers = []; next_id = 0 } in
+  Kv.on_commit kv (fun event -> List.iter (fun w -> push w event) t.watchers);
+  t
+
+let watch t ?prefix ~start_rev ~deliver () =
+  match Kv.since t.kv ~rev:start_rev with
+  | Error (`Compacted rev) -> Error (`Compacted rev)
+  | Ok backlog ->
+      t.next_id <- t.next_id + 1;
+      let watcher = { id = t.next_id; prefix; deliver; last_sent = start_rev } in
+      t.watchers <- t.watchers @ [ watcher ];
+      List.iter (fun event -> push watcher event) backlog;
+      Ok watcher.id
+
+let cancel t handle = t.watchers <- List.filter (fun w -> w.id <> handle) t.watchers
+
+let active t = List.length t.watchers
+
+let fan_out t event = List.iter (fun w -> push w event) t.watchers

@@ -1,0 +1,1 @@
+lib/hbase/hbaselike.ml: Master Regionserver Zk

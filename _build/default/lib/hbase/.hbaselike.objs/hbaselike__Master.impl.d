@@ -1,0 +1,1 @@
+lib/hbase/master.ml: Dsim Hashtbl List Printf String Zk

@@ -1,0 +1,1 @@
+lib/hbase/master.mli: Dsim Zk

@@ -1,0 +1,1 @@
+lib/hbase/regionserver.ml: Dsim List Master Printf String Zk

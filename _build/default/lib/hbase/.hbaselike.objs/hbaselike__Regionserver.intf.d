@@ -1,0 +1,1 @@
+lib/hbase/regionserver.mli: Dsim Zk

@@ -1,0 +1,1 @@
+lib/hbase/zk.ml: Dsim Etcdlike History List Option

@@ -1,0 +1,1 @@
+lib/hbase/zk.mli: Dsim Etcdlike

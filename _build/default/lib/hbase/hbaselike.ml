@@ -1,0 +1,12 @@
+(** A second infrastructure on the same substrates: ZooKeeper-style
+    ensemble + HBase-style control plane.
+
+    {!Zk} is a leader/follower pair where the follower replica lags by a
+    configurable replication delay (a store-tier partial history);
+    {!Master} performs CAS region transitions against state read from
+    the follower (HBASE-3136/3137); {!Regionserver} caches the master's
+    location from ZooKeeper (HBASE-5755). *)
+
+module Zk = Zk
+module Master = Master
+module Regionserver = Regionserver

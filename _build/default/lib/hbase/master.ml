@@ -1,0 +1,87 @@
+type Dsim.Network.request += Rs_heartbeat of { server : string }
+type Dsim.Network.response += Heartbeat_ack
+
+type t = {
+  net : Dsim.Network.t;
+  name : string;
+  zk : Zk.t;
+  regions : string list;
+  sync_before_cas : bool;
+  period : int;
+  mutable transitions : int;
+  mutable cas_failures : int;
+  mutable heartbeats_served : int;
+}
+
+let name t = t.name
+
+let transitions t = t.transitions
+
+let cas_failures t = t.cas_failures
+
+let heartbeats_served t = t.heartbeats_served
+
+let engine t = Dsim.Network.engine t.net
+
+let record t detail = Dsim.Engine.record (engine t) ~actor:t.name ~kind:"hbase.master" detail
+
+(* One region repair: read the assignment and the live-server set from
+   the follower, pick the right server, CAS the transition at the
+   leader. A stale follower makes the CAS fail (HBASE-3136). *)
+let balance_region t region live_servers =
+  match live_servers with
+  | [] -> ()
+  | servers ->
+      let desired =
+        List.nth servers (Hashtbl.hash region mod List.length servers)
+      in
+      Zk.read t.zk ~src:t.name ~sync:t.sync_before_cas ("region/" ^ region) (function
+        | Ok (current, mod_rev) ->
+            if current <> Some desired then
+              Zk.cas t.zk ~src:t.name ~key:("region/" ^ region) ~expected_mod_rev:mod_rev
+                (Some desired) (function
+                | Ok true ->
+                    t.transitions <- t.transitions + 1;
+                    record t (Printf.sprintf "%s -> %s" region desired)
+                | Ok false ->
+                    t.cas_failures <- t.cas_failures + 1;
+                    record t (Printf.sprintf "CAS failed for %s (stale read)" region)
+                | Error `Unavailable -> ())
+        | Error `Unavailable -> ())
+
+let balance_pass t =
+  (* The live-server set also comes from the (possibly stale) follower. *)
+  let kv = Zk.leader_kv t.zk in
+  ignore kv;
+  Zk.read t.zk ~src:t.name ~sync:t.sync_before_cas "rs/registry" (function
+    | Ok (Some registry, _) ->
+        let servers = String.split_on_char ',' registry |> List.filter (fun s -> s <> "") in
+        List.iter (fun region -> balance_region t region servers) t.regions
+    | Ok (None, _) | Error `Unavailable -> ())
+
+let serve t ~src:_ request reply =
+  match request with
+  | Rs_heartbeat { server = _ } ->
+      t.heartbeats_served <- t.heartbeats_served + 1;
+      reply Heartbeat_ack
+  | _ -> ()
+
+let create ~net ~name ~zk ~regions ?(sync_before_cas = false) ?(period = 100_000) () =
+  {
+    net;
+    name;
+    zk;
+    regions;
+    sync_before_cas;
+    period;
+    transitions = 0;
+    cas_failures = 0;
+    heartbeats_served = 0;
+  }
+
+let start t =
+  Dsim.Network.register t.net t.name ~serve:(serve t) ();
+  Zk.write t.zk ~src:t.name ~key:"master" t.name (fun _ -> ());
+  Dsim.Engine.every (engine t) ~period:t.period (fun () ->
+      if Dsim.Network.is_up t.net t.name then balance_pass t;
+      true)

@@ -1,0 +1,91 @@
+type t = {
+  net : Dsim.Network.t;
+  name : string;
+  zk : Zk.t;
+  relookup_on_failure : bool;
+  heartbeat_period : int;
+  mutable cached_master : string option;
+  mutable heartbeats_ok : int;
+  mutable heartbeat_failures : int;
+  mutable consecutive_failures : int;
+}
+
+let name t = t.name
+
+let cached_master t = t.cached_master
+
+let heartbeats_ok t = t.heartbeats_ok
+
+let heartbeat_failures t = t.heartbeat_failures
+
+let consecutive_failures t = t.consecutive_failures
+
+let engine t = Dsim.Network.engine t.net
+
+let record t detail = Dsim.Engine.record (engine t) ~actor:t.name ~kind:"hbase.rs" detail
+
+let lookup_master t k =
+  (* A fresh lookup uses a synced read: finding the coordinator is worth
+     a linearizable round-trip. *)
+  Zk.read t.zk ~src:t.name ~sync:true "master" (function
+    | Ok (Some master, _) ->
+        if t.cached_master <> Some master then
+          record t (Printf.sprintf "master located at %s" master);
+        t.cached_master <- Some master;
+        k (Some master)
+    | Ok (None, _) | Error `Unavailable -> k None)
+
+(* Join the comma-separated registry (idempotent). *)
+let register t =
+  Zk.read t.zk ~src:t.name ~sync:true "rs/registry" (function
+    | Ok (current, _) ->
+        let members =
+          match current with
+          | Some s -> String.split_on_char ',' s |> List.filter (fun x -> x <> "")
+          | None -> []
+        in
+        if not (List.mem t.name members) then
+          Zk.write t.zk ~src:t.name ~key:"rs/registry"
+            (String.concat "," (members @ [ t.name ]))
+            (fun _ -> ())
+    | Error `Unavailable -> ())
+
+let heartbeat t =
+  match t.cached_master with
+  | None -> lookup_master t (fun _ -> ())
+  | Some master ->
+      Dsim.Network.call t.net ~src:t.name ~dst:master ~timeout:100_000
+        (Master.Rs_heartbeat { server = t.name })
+        (function
+        | Ok Master.Heartbeat_ack ->
+            t.heartbeats_ok <- t.heartbeats_ok + 1;
+            t.consecutive_failures <- 0
+        | _ ->
+            t.heartbeat_failures <- t.heartbeat_failures + 1;
+            t.consecutive_failures <- t.consecutive_failures + 1;
+            (* The bug-era server keeps hammering the cached address; the
+               fixed one asks ZooKeeper where the master is now. *)
+            if t.relookup_on_failure then begin
+              t.cached_master <- None;
+              lookup_master t (fun _ -> ())
+            end)
+
+let create ~net ~name ~zk ?(relookup_on_failure = false) ?(heartbeat_period = 150_000) () =
+  {
+    net;
+    name;
+    zk;
+    relookup_on_failure;
+    heartbeat_period;
+    cached_master = None;
+    heartbeats_ok = 0;
+    heartbeat_failures = 0;
+    consecutive_failures = 0;
+  }
+
+let start t =
+  Dsim.Network.register t.net t.name ~serve:(fun ~src:_ _ _ -> ()) ();
+  register t;
+  Dsim.Engine.every (engine t) ~period:t.heartbeat_period (fun () ->
+      if Dsim.Network.is_up t.net t.name then heartbeat t;
+      true)

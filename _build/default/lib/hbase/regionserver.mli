@@ -1,0 +1,35 @@
+(** HBase-style region server: registers itself in ZooKeeper, looks up
+    the master's address once, and heartbeats it.
+
+    HBASE-5755 ("region server looking for master forever with cached
+    stale data"): the master's location is cached at lookup time; after a
+    master failover the cached address points at a corpse and the
+    bug-era server retries it forever instead of re-reading ZooKeeper.
+    [relookup_on_failure] applies the fix. *)
+
+type t
+
+val create :
+  net:Dsim.Network.t ->
+  name:string ->
+  zk:Zk.t ->
+  ?relookup_on_failure:bool ->
+  ?heartbeat_period:int ->
+  unit ->
+  t
+(** Default heartbeat period: 150 ms. *)
+
+val start : t -> unit
+
+val name : t -> string
+
+val cached_master : t -> string option
+(** The master address this server currently believes in. *)
+
+val heartbeats_ok : t -> int
+
+val heartbeat_failures : t -> int
+
+val consecutive_failures : t -> int
+(** The HBASE-5755 signature: grows without bound when the cached master
+    is dead and no re-lookup happens. *)

@@ -1,0 +1,139 @@
+type Dsim.Network.request +=
+  | Zk_read of { key : string; sync : bool }
+  | Zk_cas of { key : string; expected_mod_rev : int; value : string option }
+  | Zk_write of { key : string; value : string }
+  | Zk_pull of { since : int }  (* follower catching up with the leader *)
+
+type Dsim.Network.response +=
+  | Zk_value of { value : (string * int) option; rev : int }
+  | Zk_cas_result of bool
+  | Zk_written
+  | Zk_events of string History.Event.t list
+
+type t = {
+  net : Dsim.Network.t;
+  leader_name : string;
+  follower_name : string;
+  replication_lag : int;
+  leader_kv : string Etcdlike.Kv.t;
+  follower_kv : string Etcdlike.Kv.t;  (* replica applied with lag *)
+  mutable leader_ops : int;
+}
+
+let leader t = t.leader_name
+
+let follower t = t.follower_name
+
+let leader_kv t = t.leader_kv
+
+let follower_rev t = History.State.rev (Etcdlike.Kv.state t.follower_kv)
+
+let leader_ops t = t.leader_ops
+
+let engine t = Dsim.Network.engine t.net
+
+(* Events the follower has not yet applied, by revision. *)
+let follower_apply t (e : string History.Event.t) =
+  match e.History.Event.op, e.History.Event.value with
+  | History.Event.Delete, _ -> ignore (Etcdlike.Kv.delete t.follower_kv e.History.Event.key)
+  | (History.Event.Create | History.Event.Update), Some v ->
+      ignore (Etcdlike.Kv.put t.follower_kv e.History.Event.key v)
+  | (History.Event.Create | History.Event.Update), None -> ()
+
+(* The follower replica's revisions differ from the leader's (it assigns
+   its own), so track the leader revision it has caught up to. *)
+let serve_leader t ~src:_ request reply =
+  t.leader_ops <- t.leader_ops + 1;
+  match request with
+  | Zk_cas { key; expected_mod_rev; value } ->
+      let outcome =
+        match value with
+        | Some v ->
+            Etcdlike.Txn.eval t.leader_kv
+              (Etcdlike.Txn.put_if_unchanged ~key ~expected_mod_rev v)
+        | None ->
+            Etcdlike.Txn.eval t.leader_kv
+              (Etcdlike.Txn.delete_if_unchanged ~key ~expected_mod_rev)
+      in
+      reply (Zk_cas_result outcome.Etcdlike.Txn.succeeded)
+  | Zk_write { key; value } ->
+      ignore (Etcdlike.Kv.put t.leader_kv key value);
+      reply Zk_written
+  | Zk_read { key; sync = _ } ->
+      (* Reads addressed directly at the leader are linearizable. *)
+      reply (Zk_value { value = Etcdlike.Kv.get t.leader_kv key; rev = Etcdlike.Kv.rev t.leader_kv })
+  | Zk_pull { since } -> (
+      match Etcdlike.Kv.since t.leader_kv ~rev:since with
+      | Ok events -> reply (Zk_events events)
+      | Error (`Compacted _) -> reply (Zk_events []))
+  | _ -> ()
+
+type follower_state = { mutable caught_up_to : int (* leader revision *) }
+
+let follower_read t key =
+  Zk_value { value = Etcdlike.Kv.get t.follower_kv key; rev = follower_rev t }
+
+let serve_follower t state ~src:_ request reply =
+  match request with
+  | Zk_read { key; sync } ->
+      if not sync then reply (follower_read t key)
+      else
+        (* HBASE-3137's cost: catch up with the leader before serving. *)
+        Dsim.Network.call t.net ~src:t.follower_name ~dst:t.leader_name
+          (Zk_pull { since = state.caught_up_to })
+          (function
+          | Ok (Zk_events events) ->
+              List.iter
+                (fun (e : string History.Event.t) ->
+                  if e.History.Event.rev > state.caught_up_to then begin
+                    follower_apply t e;
+                    state.caught_up_to <- e.History.Event.rev
+                  end)
+                events;
+              reply (follower_read t key)
+          | _ -> reply (follower_read t key))
+  | _ -> ()
+
+let create ~net ?(leader = "zk-leader") ?(follower = "zk-follower")
+    ?(replication_lag = 10_000) () =
+  let t =
+    {
+      net;
+      leader_name = leader;
+      follower_name = follower;
+      replication_lag;
+      leader_kv = Etcdlike.Kv.create ();
+      follower_kv = Etcdlike.Kv.create ();
+      leader_ops = 0;
+    }
+  in
+  let state = { caught_up_to = 0 } in
+  (* Stream replication: each leader commit reaches the replica one lag
+     later, in order (the follower's (H', S')). *)
+  Etcdlike.Kv.on_commit t.leader_kv (fun event ->
+      ignore
+        (Dsim.Engine.schedule (engine t) ~delay:t.replication_lag (fun () ->
+             if event.History.Event.rev > state.caught_up_to then begin
+               follower_apply t event;
+               state.caught_up_to <- event.History.Event.rev
+             end)));
+  Dsim.Network.register net t.leader_name ~serve:(serve_leader t) ();
+  Dsim.Network.register net t.follower_name ~serve:(serve_follower t state) ();
+  t
+
+let read t ~src ?(sync = false) key k =
+  Dsim.Network.call t.net ~src ~dst:t.follower_name (Zk_read { key; sync }) (function
+    | Ok (Zk_value { value; rev = _ }) ->
+        k (Ok (Option.map fst value, Option.value (Option.map snd value) ~default:0))
+    | _ -> k (Error `Unavailable))
+
+let cas t ~src ~key ~expected_mod_rev value k =
+  Dsim.Network.call t.net ~src ~dst:t.leader_name (Zk_cas { key; expected_mod_rev; value })
+    (function
+    | Ok (Zk_cas_result ok) -> k (Ok ok)
+    | _ -> k (Error `Unavailable))
+
+let write t ~src ~key value k =
+  Dsim.Network.call t.net ~src ~dst:t.leader_name (Zk_write { key; value }) (function
+    | Ok Zk_written -> k (Ok ())
+    | _ -> k (Error `Unavailable))

@@ -1,0 +1,67 @@
+(** ZooKeeper-style ensemble: a leader serving linearizable writes and
+    compare-and-set, and a follower serving reads from a replica that
+    lags by a configurable replication delay.
+
+    This is the substrate of the paper's HBase examples (§4.2.1): region
+    transitions CAS against state *read from a follower's cache*
+    (HBASE-3136), and the fix — forcing a [sync] before reading — trades
+    leader load for freshness (HBASE-3137). The same partial-history
+    model, one infrastructure over: the follower's replica is an
+    [(H', S')] of the leader's [(H, S)].
+
+    Values are strings; keys are free-form paths. *)
+
+type t
+
+val create :
+  net:Dsim.Network.t ->
+  ?leader:string ->
+  ?follower:string ->
+  ?replication_lag:int ->
+  unit ->
+  t
+(** Defaults: nodes ["zk-leader"] / ["zk-follower"], replication lag
+    10 ms. The follower applies each committed leader event
+    [replication_lag] later (in order). *)
+
+val leader : t -> string
+
+val follower : t -> string
+
+val leader_kv : t -> string Etcdlike.Kv.t
+(** Ground truth, for oracles and seeding. *)
+
+val follower_rev : t -> int
+(** The follower replica's applied revision (≤ leader rev). *)
+
+val leader_ops : t -> int
+(** Requests the leader has served — the load the HBASE-3137 fix
+    inflates. *)
+
+(** {2 Client operations} (asynchronous, over the network) *)
+
+val read :
+  t ->
+  src:string ->
+  ?sync:bool ->
+  string ->
+  ((string option * int, [ `Unavailable ]) result -> unit) ->
+  unit
+(** Reads from the *follower*. Returns the value and the mod-revision the
+    follower sees. With [sync:true] the follower first catches up with
+    the leader (one extra leader round-trip — the HBASE-3137 cost). *)
+
+val cas :
+  t ->
+  src:string ->
+  key:string ->
+  expected_mod_rev:int ->
+  string option ->
+  ((bool, [ `Unavailable ]) result -> unit) ->
+  unit
+(** Linearizable compare-and-set at the leader: writes (or deletes, when
+    the value is [None]) only if the key's mod-revision still matches. *)
+
+val write :
+  t -> src:string -> key:string -> string -> ((unit, [ `Unavailable ]) result -> unit) -> unit
+(** Unconditional write at the leader. *)

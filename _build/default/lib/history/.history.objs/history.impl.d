@@ -1,0 +1,1 @@
+lib/history/history.ml: Causality Divergence Epoch Event Log Partial State View

@@ -1,0 +1,1 @@
+lib/history/causality.ml: Format Map String

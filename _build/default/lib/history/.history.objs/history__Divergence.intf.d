@@ -1,0 +1,1 @@
+lib/history/divergence.mli: Format

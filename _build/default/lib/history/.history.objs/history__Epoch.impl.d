@@ -1,0 +1,1 @@
+lib/history/epoch.ml: Event Hashtbl

@@ -1,0 +1,1 @@
+lib/history/epoch.mli: Event

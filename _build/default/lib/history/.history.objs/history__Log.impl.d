@@ -1,0 +1,1 @@
+lib/history/log.ml: Event List State

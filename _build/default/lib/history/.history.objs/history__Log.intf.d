@@ -1,0 +1,1 @@
+lib/history/log.mli: Event State

@@ -1,0 +1,1 @@
+lib/history/partial.ml: Event List State String

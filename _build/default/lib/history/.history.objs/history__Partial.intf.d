@@ -1,0 +1,1 @@
+lib/history/partial.mli: Event State

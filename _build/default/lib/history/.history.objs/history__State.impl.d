@@ -1,0 +1,1 @@
+lib/history/state.ml: Event List Map Option String

@@ -1,0 +1,1 @@
+lib/history/state.mli: Event

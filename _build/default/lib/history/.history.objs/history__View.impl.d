@@ -1,0 +1,1 @@
+lib/history/view.ml: Event Format Hashtbl List State

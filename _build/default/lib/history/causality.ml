@@ -1,0 +1,40 @@
+module Smap = Map.Make (String)
+
+type t = int Smap.t
+
+let empty = Smap.empty
+
+let get t ~actor = match Smap.find_opt actor t with Some n -> n | None -> 0
+
+let tick t ~actor = Smap.add actor (get t ~actor + 1) t
+
+let merge a b = Smap.union (fun _ x y -> Some (max x y)) a b
+
+let leq a b = Smap.for_all (fun actor n -> n <= get b ~actor) a
+
+type relation = Equal | Before | After | Concurrent
+
+let pp_relation ppf r =
+  Format.pp_print_string ppf
+    (match r with
+    | Equal -> "equal"
+    | Before -> "before"
+    | After -> "after"
+    | Concurrent -> "concurrent")
+
+let relation a b =
+  match leq a b, leq b a with
+  | true, true -> Equal
+  | true, false -> Before
+  | false, true -> After
+  | false, false -> Concurrent
+
+let pp ppf t =
+  Format.fprintf ppf "{";
+  Smap.iter (fun actor n -> Format.fprintf ppf "%s:%d " actor n) t;
+  Format.fprintf ppf "}"
+
+type 'a stamped = { clock : t; item : 'a }
+
+let causally_related a b =
+  match relation a.clock b.clock with Concurrent -> false | Equal | Before | After -> true

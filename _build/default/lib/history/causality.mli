@@ -1,0 +1,35 @@
+(** Vector clocks for happens-before over named actors.
+
+    Section 7 notes that recording causal relationships between events
+    helps the tool pick perturbations that matter: perturbing an event
+    causally upstream of a component's action is far likelier to expose a
+    bug than perturbing a concurrent one. *)
+
+type t
+
+val empty : t
+
+val tick : t -> actor:string -> t
+(** Increments the actor's own component. *)
+
+val get : t -> actor:string -> int
+
+val merge : t -> t -> t
+(** Pointwise maximum — the receive rule. *)
+
+type relation = Equal | Before | After | Concurrent
+
+val pp_relation : Format.formatter -> relation -> unit
+
+val relation : t -> t -> relation
+(** [relation a b] is [Before] when [a] happens-before [b]. *)
+
+val leq : t -> t -> bool
+(** [leq a b] iff every component of [a] ≤ the corresponding one in [b]. *)
+
+val pp : Format.formatter -> t -> unit
+
+type 'a stamped = { clock : t; item : 'a }
+
+val causally_related : 'a stamped -> 'b stamped -> bool
+(** True unless the two stamps are concurrent. *)

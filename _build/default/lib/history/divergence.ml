@@ -1,0 +1,42 @@
+type sample = { time : int; truth_rev : int; view_rev : int }
+
+type t = { mutable samples : sample list (* newest first *) }
+
+let create () = { samples = [] }
+
+let record t ~time ~truth_rev ~view_rev =
+  t.samples <- { time; truth_rev; view_rev } :: t.samples
+
+let samples t = List.rev t.samples
+
+let lag s = max 0 (s.truth_rev - s.view_rev)
+
+let max_lag t = List.fold_left (fun acc s -> max acc (lag s)) 0 t.samples
+
+let mean_lag t =
+  match t.samples with
+  | [] -> 0.0
+  | samples ->
+      let sum = List.fold_left (fun acc s -> acc + lag s) 0 samples in
+      float_of_int sum /. float_of_int (List.length samples)
+
+let stale_fraction t =
+  match t.samples with
+  | [] -> 0.0
+  | samples ->
+      let stale = List.length (List.filter (fun s -> lag s > 0) samples) in
+      float_of_int stale /. float_of_int (List.length samples)
+
+let time_travel_points t =
+  let rec scan = function
+    | a :: (b :: _ as rest) ->
+        if b.view_rev < a.view_rev then b :: scan rest else scan rest
+    | _ -> []
+  in
+  scan (samples t)
+
+let pp_series ppf t =
+  Format.fprintf ppf "%10s %9s %9s %5s@." "time_us" "truth_rev" "view_rev" "lag";
+  List.iter
+    (fun s -> Format.fprintf ppf "%10d %9d %9d %5d@." s.time s.truth_rev s.view_rev (lag s))
+    (samples t)

@@ -1,0 +1,31 @@
+(** Divergence series: quantifying how far a view [(H', S')] trails the
+    ground truth [(H, S)] over time.
+
+    This backs the Figure 3a/3b experiment output: sample the global
+    revision and a component's view revision on a clock, then report lag
+    statistics and the intervals during which the view was stale. *)
+
+type sample = { time : int; truth_rev : int; view_rev : int }
+
+type t
+
+val create : unit -> t
+
+val record : t -> time:int -> truth_rev:int -> view_rev:int -> unit
+
+val samples : t -> sample list
+(** Chronological order. *)
+
+val max_lag : t -> int
+
+val mean_lag : t -> float
+
+val stale_fraction : t -> float
+(** Fraction of samples with positive lag. *)
+
+val time_travel_points : t -> sample list
+(** Samples where the view revision moved strictly backwards relative to
+    the previous sample — the Figure 3b signature. *)
+
+val pp_series : Format.formatter -> t -> unit
+(** Prints "time truth_rev view_rev lag" rows, one per sample. *)

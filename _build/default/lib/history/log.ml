@@ -1,0 +1,66 @@
+type 'v t = {
+  mutable events : 'v Event.t list;  (* newest first *)
+  mutable retained : int;
+  mutable rev : int;
+  mutable compacted_rev : int;
+  mutable base_state : 'v State.t;  (* S as of compacted_rev *)
+  mutable state : 'v State.t;
+}
+
+let create () =
+  {
+    events = [];
+    retained = 0;
+    rev = 0;
+    compacted_rev = 0;
+    base_state = State.empty;
+    state = State.empty;
+  }
+
+let append t ~key ~op value =
+  t.rev <- t.rev + 1;
+  let event = Event.make ~rev:t.rev ~key ~op value in
+  t.events <- event :: t.events;
+  t.retained <- t.retained + 1;
+  t.state <- State.apply t.state event;
+  event
+
+let rev t = t.rev
+
+let compacted_rev t = t.compacted_rev
+
+let state t = t.state
+
+let events t = List.rev t.events
+
+let length t = t.retained
+
+let since t ~rev =
+  if rev < t.compacted_rev then Error (`Compacted t.compacted_rev)
+  else
+    let newer = List.filter (fun (e : 'v Event.t) -> e.Event.rev > rev) t.events in
+    Ok (List.rev newer)
+
+let state_at t ~rev =
+  if rev < t.compacted_rev then None
+  else begin
+    let prefix = List.filter (fun (e : 'v Event.t) -> e.Event.rev <= rev) (events t) in
+    (* Every event in (compacted_rev, rev] is retained, so replaying them
+       over the snapshot taken at compaction reconstructs S exactly. *)
+    Some (List.fold_left State.apply t.base_state prefix)
+  end
+
+let compact t ~before =
+  let before = min before t.rev in
+  if before > t.compacted_rev then begin
+    let discarded, kept =
+      List.partition (fun (e : 'v Event.t) -> e.Event.rev <= before) (events t)
+    in
+    t.base_state <- List.fold_left State.apply t.base_state discarded;
+    t.events <- List.rev kept;
+    t.retained <- List.length kept;
+    t.compacted_rev <- before
+  end
+
+let compact_keep_last t n =
+  if t.retained > n then compact t ~before:(t.rev - n)

@@ -1,0 +1,50 @@
+(** The committed history [H]: an append-only, compactable event log with
+    its incrementally-materialized state [S].
+
+    This is the ground truth that lives in the strongly-consistent store.
+    Revisions are assigned densely starting at 1. Compaction discards the
+    prefix of the log (the store keeps only a rolling window of recent
+    events, Section 4.2.3) — after compaction, a request for older events
+    fails with [`Compacted], which is how observability gaps arise even
+    for clients that use the event API. *)
+
+type 'v t
+
+val create : unit -> 'v t
+
+val append : 'v t -> key:string -> op:Event.op -> 'v option -> 'v Event.t
+(** Commits a change, assigning the next revision, and returns the event. *)
+
+val rev : 'v t -> int
+(** Latest committed revision; 0 when empty. *)
+
+val compacted_rev : 'v t -> int
+(** Highest revision removed by compaction; 0 if never compacted. *)
+
+val state : 'v t -> 'v State.t
+(** The current materialized [S]. *)
+
+val state_at : 'v t -> rev:int -> 'v State.t option
+(** Replays retained events to reconstruct [S] as of [rev]; [None] if that
+    prefix has been compacted away (you cannot recover history from a
+    compacted log). [state_at t ~rev:0] is the empty state only while
+    nothing is compacted. *)
+
+val since : 'v t -> rev:int -> ('v Event.t list, [ `Compacted of int ]) result
+(** [since t ~rev] returns the committed events with revision > [rev] in
+    order, or [`Compacted compacted_rev] if [rev < compacted_rev] so the
+    caller has missed events it can never see. *)
+
+val events : 'v t -> 'v Event.t list
+(** All retained events, oldest first. *)
+
+val length : 'v t -> int
+(** Number of retained (non-compacted) events. *)
+
+val compact : 'v t -> before:int -> unit
+(** Discards events with revision <= [before]. Compacting beyond the head
+    is clamped. *)
+
+val compact_keep_last : 'v t -> int -> unit
+(** Keeps only the last [n] events — the "rolling window of recent
+    events" the Kubernetes apiserver maintains. *)

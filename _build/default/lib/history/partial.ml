@@ -1,0 +1,65 @@
+type 'v t = 'v Event.t list
+
+let revs events = List.map (fun (e : 'v Event.t) -> e.Event.rev) events
+
+let is_ordered events =
+  let rec check = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) -> a < b && check rest
+  in
+  check (revs events)
+
+let is_partial_of partial ~of_ =
+  is_ordered partial
+  &&
+  let full = revs of_ in
+  List.for_all (fun r -> List.mem r full) (revs partial)
+
+let is_prefix_of partial ~of_ =
+  let rec check p f =
+    match p, f with
+    | [], _ -> true
+    | _, [] -> false
+    | (pe : 'v Event.t) :: p', (fe : 'v Event.t) :: f' ->
+        pe.Event.rev = fe.Event.rev && check p' f'
+  in
+  check partial of_
+
+let apply_mask events ~mask =
+  let rec go events mask acc =
+    match events, mask with
+    | [], _ | _, [] -> List.rev acc
+    | e :: events', keep :: mask' -> go events' mask' (if keep then e :: acc else acc)
+  in
+  go events mask []
+
+let missing_revs partial ~of_ =
+  let seen = revs partial in
+  List.filter (fun r -> not (List.mem r seen)) (revs of_)
+
+let last_rev partial =
+  List.fold_left (fun acc (e : 'v Event.t) -> max acc e.Event.rev) 0 partial
+
+let interior_gaps partial ~of_ =
+  let horizon = last_rev partial in
+  List.filter (fun r -> r < horizon) (missing_revs partial ~of_)
+
+let lag partial ~of_ =
+  let horizon = last_rev partial in
+  List.length (List.filter (fun r -> r > horizon) (revs of_))
+
+let state_of partial = List.fold_left State.apply State.empty partial
+
+let unobservable_in_state events =
+  (* An event is unobservable when a later event targets the same key:
+     its value (or its very existence, for create+delete pairs) cannot be
+     recovered from the final state alone. *)
+  let rec go = function
+    | [] -> []
+    | (e : 'v Event.t) :: rest ->
+        let shadowed =
+          List.exists (fun (later : 'v Event.t) -> String.equal later.Event.key e.Event.key) rest
+        in
+        if shadowed then e.Event.rev :: go rest else go rest
+  in
+  go events

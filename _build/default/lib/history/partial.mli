@@ -1,0 +1,47 @@
+(** Partial histories [H' ⊑ H]: order-preserving subsequences of the
+    committed history.
+
+    Because revisions are unique and strictly increasing in [H], a list of
+    events is a partial history of [H] exactly when it is sorted by
+    revision and every element appears in [H]. These are the objects the
+    Sieve strategies manufacture: a *stale* H' is a strict prefix-lagging
+    subsequence, an *incomplete* H' has interior gaps, and a view that
+    re-observes its own past is consuming a non-suffix of its previous
+    H'. *)
+
+type 'v t = 'v Event.t list
+(** Events ordered by ascending revision. *)
+
+val is_ordered : 'v t -> bool
+(** Strictly ascending revisions. *)
+
+val is_partial_of : 'v t -> of_:'v Event.t list -> bool
+(** Order-preserving-subsequence check (by revision). *)
+
+val is_prefix_of : 'v t -> of_:'v Event.t list -> bool
+
+val apply_mask : 'v Event.t list -> mask:bool list -> 'v t
+(** Keeps the events whose mask position is [true]; masks shorter than the
+    history leave the tail out, longer masks are truncated. Every value
+    produced this way satisfies {!is_partial_of}. *)
+
+val missing_revs : 'v t -> of_:'v Event.t list -> int list
+(** Revisions of [of_] absent from the partial history, ascending. *)
+
+val interior_gaps : 'v t -> of_:'v Event.t list -> int list
+(** Missing revisions that are *followed* by an observed revision — the
+    events a component skipped over (as opposed to merely lagging). *)
+
+val lag : 'v t -> of_:'v Event.t list -> int
+(** Number of trailing events of [of_] not yet observed. *)
+
+val last_rev : 'v t -> int
+(** 0 when empty. *)
+
+val state_of : 'v t -> 'v State.t
+(** Materializes [S'] from [H'] by folding. *)
+
+val unobservable_in_state : 'v Event.t list -> int list
+(** Revisions whose effect is invisible in the final state because a later
+    event on the same key overwrote or removed it — Figure 3c's cancelled
+    events. A sparse reader of [S'] can never learn these happened. *)

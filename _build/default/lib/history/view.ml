@@ -1,0 +1,57 @@
+type anomaly =
+  | Time_travel of { seen_rev : int; got_rev : int }
+  | Replay of { rev : int }
+
+let pp_anomaly ppf = function
+  | Time_travel { seen_rev; got_rev } ->
+      Format.fprintf ppf "time-travel: frontier @%d but observed @%d" seen_rev got_rev
+  | Replay { rev } -> Format.fprintf ppf "replay of @%d" rev
+
+type 'v t = {
+  actor : string;
+  observed : 'v Event.t list;  (* newest first *)
+  state : 'v State.t;
+  rev : int;
+  seen_revs : (int, unit) Hashtbl.t;
+}
+
+let create ~actor =
+  { actor; observed = []; state = State.empty; rev = 0; seen_revs = Hashtbl.create 64 }
+
+let actor t = t.actor
+
+let rev t = t.rev
+
+let state t = t.state
+
+let observed t = List.rev t.observed
+
+let observe t (e : 'v Event.t) =
+  let anomaly =
+    if Hashtbl.mem t.seen_revs e.Event.rev then Some (Replay { rev = e.Event.rev })
+    else if e.Event.rev < t.rev then Some (Time_travel { seen_rev = t.rev; got_rev = e.Event.rev })
+    else None
+  in
+  let seen_revs = Hashtbl.copy t.seen_revs in
+  Hashtbl.replace seen_revs e.Event.rev ();
+  let t' =
+    {
+      t with
+      observed = e :: t.observed;
+      state = State.apply t.state e;
+      rev = max t.rev e.Event.rev;
+      seen_revs;
+    }
+  in
+  (t', anomaly)
+
+let reset_to_state t snapshot =
+  {
+    actor = t.actor;
+    observed = [];
+    state = snapshot;
+    rev = State.rev snapshot;
+    seen_revs = Hashtbl.create 64;
+  }
+
+let staleness t ~against = max 0 (against - t.rev)

@@ -1,0 +1,45 @@
+(** A component's local view [(H', S')] with anomaly detection.
+
+    A view is what a service actually holds: the partial history it has
+    observed so far and the state materialized from it. [observe] applies
+    an incoming event and reports the partial-history anomalies the paper
+    names — time travel (the view moves backwards) and skipped events
+    (interior gaps relative to what the view itself has seen). *)
+
+type anomaly =
+  | Time_travel of { seen_rev : int; got_rev : int }
+      (** observed an event older than the view's frontier *)
+  | Replay of { rev : int }  (** observed an event a second time *)
+
+val pp_anomaly : Format.formatter -> anomaly -> unit
+
+type 'v t
+
+val create : actor:string -> 'v t
+
+val actor : 'v t -> string
+
+val rev : 'v t -> int
+(** The view's frontier: highest revision ever observed. *)
+
+val state : 'v t -> 'v State.t
+(** The materialized [S']. *)
+
+val observed : 'v t -> 'v Event.t list
+(** The accumulated [H'], oldest first. *)
+
+val observe : 'v t -> 'v Event.t -> 'v t * anomaly option
+(** Applies the event to [S'] and appends it to [H'] regardless of
+    anomalies — a buggy component does consume time-traveled events; the
+    anomaly report is for the observer (oracle), not the component. *)
+
+val reset_to_state : 'v t -> 'v State.t -> 'v t
+(** Models a restart that re-lists the current state from some upstream:
+    [H'] is discarded (it cannot be recovered from [S]) and [S'] becomes
+    the listed snapshot. The frontier becomes the snapshot's revision —
+    which may be *lower* than the old frontier if the upstream was stale;
+    that is exactly the Kubernetes-59848 hazard. *)
+
+val staleness : 'v t -> against:int -> int
+(** [staleness v ~against:h_rev] is [max 0 (h_rev - rev v)]: how many
+    committed revisions the view has not seen. *)

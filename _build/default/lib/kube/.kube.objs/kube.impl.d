@@ -1,0 +1,1 @@
+lib/kube/kube.ml: Apiserver Cassandra_operator Client Cluster Deployment Elector Etcd Informer Intercept Kubelet Messages Node_controller Pipe Replicaset Resource Scheduler Volume_controller Workload

@@ -1,0 +1,1 @@
+lib/kube/apiserver.ml: Dsim Hashtbl History Intercept List Messages Pipe Printf Resource String

@@ -1,0 +1,1 @@
+lib/kube/apiserver.mli: Dsim History Intercept Resource

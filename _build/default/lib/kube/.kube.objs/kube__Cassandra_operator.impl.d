@@ -1,0 +1,1 @@
+lib/kube/cassandra_operator.ml: Client Dsim Etcdlike Hashtbl History Informer List Option Printf Resource String

@@ -1,0 +1,1 @@
+lib/kube/cassandra_operator.mli: Dsim Informer

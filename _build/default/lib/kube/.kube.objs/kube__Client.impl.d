@@ -1,0 +1,1 @@
+lib/kube/client.ml: Array Dsim Messages Option Result

@@ -1,0 +1,1 @@
+lib/kube/client.mli: Dsim Etcdlike Resource

@@ -1,0 +1,1 @@
+lib/kube/cluster.ml: Apiserver Cassandra_operator Client Deployment Dsim Etcd Etcdlike Intercept Kubelet List Node_controller Option Printf Replicaset Resource Scheduler String Volume_controller

@@ -1,0 +1,1 @@
+lib/kube/cluster.mli: Apiserver Cassandra_operator Client Deployment Dsim Etcd History Intercept Kubelet Node_controller Replicaset Resource Scheduler Volume_controller

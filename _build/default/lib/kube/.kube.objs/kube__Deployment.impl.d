@@ -1,0 +1,1 @@
+lib/kube/deployment.ml: Client Dsim Hashtbl History Informer List Messages Option Printf Resource String

@@ -1,0 +1,1 @@
+lib/kube/deployment.mli: Dsim Informer

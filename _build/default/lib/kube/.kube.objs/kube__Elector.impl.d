@@ -1,0 +1,1 @@
+lib/kube/elector.ml: Client Dsim Etcdlike List Option Resource

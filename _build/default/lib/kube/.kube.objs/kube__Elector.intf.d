@@ -1,0 +1,1 @@
+lib/kube/elector.mli: Dsim

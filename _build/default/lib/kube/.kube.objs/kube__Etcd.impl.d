@@ -1,0 +1,1 @@
+lib/kube/etcd.ml: Dsim Etcdlike Hashtbl History Intercept List Messages Option Pipe Resource String

@@ -1,0 +1,1 @@
+lib/kube/etcd.mli: Dsim Etcdlike History Intercept Resource

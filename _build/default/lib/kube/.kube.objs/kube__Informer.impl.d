@@ -1,0 +1,1 @@
+lib/kube/informer.ml: Array Dsim History List Messages Pipe Printf Resource

@@ -1,0 +1,1 @@
+lib/kube/informer.mli: Dsim History Resource

@@ -1,0 +1,1 @@
+lib/kube/intercept.ml: Format History Resource

@@ -1,0 +1,1 @@
+lib/kube/intercept.mli: Format History Resource

@@ -1,0 +1,1 @@
+lib/kube/kubelet.ml: Client Dsim Etcdlike Hashtbl History Informer List Resource String

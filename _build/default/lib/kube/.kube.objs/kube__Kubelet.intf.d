@@ -1,0 +1,1 @@
+lib/kube/kubelet.mli: Dsim Informer

@@ -1,0 +1,1 @@
+lib/kube/messages.ml: Dsim Etcdlike History List Pipe Resource

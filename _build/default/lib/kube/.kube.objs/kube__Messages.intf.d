@@ -1,0 +1,1 @@
+lib/kube/messages.mli: Dsim Etcdlike History Pipe Resource

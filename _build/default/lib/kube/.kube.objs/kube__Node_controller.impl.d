@@ -1,0 +1,1 @@
+lib/kube/node_controller.ml: Client Dsim Etcdlike Hashtbl History Informer List Option Printf Resource

@@ -1,0 +1,1 @@
+lib/kube/node_controller.mli: Dsim Informer

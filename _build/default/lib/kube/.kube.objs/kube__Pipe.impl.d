@@ -1,0 +1,1 @@
+lib/kube/pipe.ml: Dsim Format History Intercept Resource

@@ -1,0 +1,1 @@
+lib/kube/pipe.mli: Dsim History Intercept Resource

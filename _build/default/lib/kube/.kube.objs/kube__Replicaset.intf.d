@@ -1,0 +1,1 @@
+lib/kube/replicaset.mli: Dsim Informer

@@ -1,0 +1,1 @@
+lib/kube/resource.ml: Format Option Printf String

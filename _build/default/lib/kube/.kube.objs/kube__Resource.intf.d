@@ -1,0 +1,1 @@
+lib/kube/resource.mli: Format

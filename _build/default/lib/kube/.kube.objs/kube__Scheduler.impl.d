@@ -1,0 +1,1 @@
+lib/kube/scheduler.ml: Client Dsim Etcdlike Hashtbl History Informer List Option Printf Resource String

@@ -1,0 +1,1 @@
+lib/kube/scheduler.mli: Dsim Informer

@@ -1,0 +1,1 @@
+lib/kube/volume_controller.ml: Client Dsim Etcdlike History Informer List Resource String

@@ -1,0 +1,1 @@
+lib/kube/volume_controller.mli: Dsim Informer

@@ -1,0 +1,1 @@
+lib/kube/workload.ml: Client Cluster Dsim Etcdlike List Messages Printf Resource

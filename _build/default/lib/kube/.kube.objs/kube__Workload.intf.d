@@ -1,0 +1,1 @@
+lib/kube/workload.mli: Cluster

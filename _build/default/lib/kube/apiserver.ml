@@ -1,0 +1,271 @@
+type subscription = {
+  pipe : Pipe.t;
+  prefix : string option;
+  mutable last_sent : int;
+  mutable epoch_sent : int;  (* matching events pushed since the last seal *)
+}
+
+type t = {
+  name : string;
+  net : Dsim.Network.t;
+  intercept : Intercept.t;
+  etcd : string;
+  window_size : int;
+  bookmark_period : int;
+  heartbeat_timeout : int;
+  retry_delay : int;
+  mutable cache : Resource.value History.State.t;
+  mutable last_rev : int;
+  mutable window : Resource.value History.Event.t list;  (* newest first *)
+  mutable window_start : int;  (* revision preceding the oldest retained event *)
+  subs : (string, subscription) Hashtbl.t;
+  mutable ready : bool;
+  mutable generation : int;  (* invalidates in-flight callbacks across crashes *)
+  mutable last_heartbeat : int;
+  mutable resyncs : int;
+  epoch_seal : int option;  (* seal subscriber streams every N revisions *)
+  mutable last_seal_rev : int;
+}
+
+let name t = t.name
+
+let ready t = t.ready
+
+let rev t = t.last_rev
+
+let cache t = t.cache
+
+let subscriber_count t = Hashtbl.length t.subs
+
+let resync_count t = t.resyncs
+
+let engine t = Dsim.Network.engine t.net
+
+let matches prefix (e : Resource.value History.Event.t) =
+  match prefix with
+  | None -> true
+  | Some p ->
+      String.length e.History.Event.key >= String.length p
+      && String.equal (String.sub e.History.Event.key 0 (String.length p)) p
+
+let push_to_sub sub (e : Resource.value History.Event.t) =
+  if e.History.Event.rev > sub.last_sent && matches sub.prefix e then begin
+    sub.last_sent <- e.History.Event.rev;
+    sub.epoch_sent <- sub.epoch_sent + 1;
+    Pipe.send sub.pipe (Pipe.Event e)
+  end
+
+(* Section 6.2's epoch protocol: every [g] cache revisions, tell each
+   subscriber how many matching events this stream carried. A consumer
+   that counts fewer has a hole it could never otherwise detect. *)
+let maybe_seal t =
+  match t.epoch_seal with
+  | None -> ()
+  | Some g ->
+      if t.last_rev / g > t.last_seal_rev / g then begin
+        t.last_seal_rev <- t.last_rev;
+        Hashtbl.iter
+          (fun _ sub ->
+            Pipe.send sub.pipe (Pipe.Seal { upto_rev = t.last_rev; sent = sub.epoch_sent });
+            sub.epoch_sent <- 0)
+          t.subs
+      end
+
+let drop_subscriber t addr =
+  match Hashtbl.find_opt t.subs addr with
+  | Some sub ->
+      Pipe.close sub.pipe;
+      Hashtbl.remove t.subs addr
+  | None -> ()
+
+let clear_volatile_state t =
+  Hashtbl.iter (fun _ sub -> Pipe.close sub.pipe) t.subs;
+  Hashtbl.reset t.subs;
+  t.cache <- History.State.empty;
+  t.last_rev <- 0;
+  t.window <- [];
+  t.window_start <- 0;
+  t.ready <- false;
+  t.generation <- t.generation + 1
+
+let trim_window t =
+  let excess = List.length t.window - t.window_size in
+  if excess > 0 then begin
+    let kept = List.filteri (fun i _ -> i < t.window_size) t.window in
+    (match List.rev kept with
+    | oldest :: _ -> t.window_start <- oldest.History.Event.rev - 1
+    | [] -> ());
+    t.window <- kept
+  end
+
+let observe_event t (e : Resource.value History.Event.t) =
+  t.cache <- History.State.apply t.cache e;
+  t.last_rev <- max t.last_rev e.History.Event.rev;
+  t.window <- e :: t.window;
+  trim_window t;
+  t.last_heartbeat <- Dsim.Engine.now (engine t);
+  Hashtbl.iter (fun _ sub -> push_to_sub sub e) t.subs;
+  maybe_seal t
+
+let on_stream_item t gen item =
+  if gen = t.generation && Dsim.Network.is_up t.net t.name then
+    match item with
+    | Pipe.Event e -> observe_event t e
+    | Pipe.Bookmark rev ->
+        (* FIFO on the etcd pipe guarantees every event <= rev was already
+           delivered (or deliberately dropped by the interceptor), so it is
+           safe — and is what the real watch cache does — to advance. *)
+        t.last_rev <- max t.last_rev rev;
+        t.last_heartbeat <- Dsim.Engine.now (engine t);
+        maybe_seal t
+    | Pipe.Seal _ -> ()
+
+let rec bootstrap t gen =
+  if gen = t.generation && Dsim.Network.is_up t.net t.name then
+    Dsim.Network.call t.net ~src:t.name ~dst:t.etcd (Messages.Etcd_range { prefix = "" })
+      (function
+      | Ok (Messages.Items { items; rev }) when gen = t.generation -> begin
+          (* Rebuilding the watch cache breaks continuity for subscribers:
+             events between their last revision and the fresh list are not
+             in the (reset) window. Break their streams so they re-list,
+             as the real apiserver's "too old resource version" does. *)
+          Hashtbl.iter (fun _ sub -> Pipe.close sub.pipe) t.subs;
+          Hashtbl.reset t.subs;
+          t.cache <- Messages.items_to_state items;
+          t.last_rev <- rev;
+          t.window <- [];
+          t.window_start <- rev;
+          t.last_heartbeat <- Dsim.Engine.now (engine t);
+          Dsim.Engine.record (engine t) ~actor:t.name ~kind:"api.list"
+            (Printf.sprintf "listed %d items at rev %d" (List.length items) rev);
+          let watch =
+            Messages.Etcd_watch
+              {
+                prefix = None;
+                start_rev = rev;
+                subscriber = t.name;
+                stream_id = t.name;
+                deliver = (fun item -> on_stream_item t gen item);
+              }
+          in
+          Dsim.Network.call t.net ~src:t.name ~dst:t.etcd watch (function
+            | Ok (Messages.Watch_ok _) when gen = t.generation -> t.ready <- true
+            | _ -> retry t gen)
+        end
+      | _ -> retry t gen)
+
+and retry t gen =
+  if gen = t.generation then
+    ignore (Dsim.Engine.schedule (engine t) ~delay:t.retry_delay (fun () -> bootstrap t gen))
+
+let list_from_cache t prefix =
+  History.State.keys_with_prefix t.cache ~prefix
+  |> List.filter_map (fun key ->
+         match History.State.find t.cache key with
+         | Some (v, mod_rev) -> Some (key, v, mod_rev)
+         | None -> None)
+
+let forward t request reply =
+  Dsim.Network.call t.net ~src:t.name ~dst:t.etcd request (function
+    | Ok response -> reply response
+    | Error _ -> reply Messages.Backend_unavailable)
+
+let handle_watch t (w : Messages.watch_request) reply =
+  if not t.ready then reply Messages.Backend_unavailable
+  else if w.Messages.start_rev < t.window_start then
+    reply (Messages.Watch_compacted { compacted_rev = t.window_start })
+  else begin
+    drop_subscriber t w.Messages.stream_id;
+    let edge = Intercept.{ src = t.name; dst = w.Messages.subscriber } in
+    let pipe =
+      Pipe.create ~net:t.net ~intercept:t.intercept ~edge ~deliver:w.Messages.deliver ()
+    in
+    let sub =
+      { pipe; prefix = w.Messages.prefix; last_sent = w.Messages.start_rev; epoch_sent = 0 }
+    in
+    Hashtbl.replace t.subs w.Messages.stream_id sub;
+    List.iter (push_to_sub sub) (List.rev t.window);
+    reply (Messages.Watch_ok { rev = t.last_rev })
+  end
+
+let serve t ~src:_ request reply =
+  match request with
+  | Messages.Api_list { prefix; quorum } ->
+      if quorum then forward t (Messages.Etcd_range { prefix }) reply
+      else if not t.ready then reply Messages.Backend_unavailable
+      else reply (Messages.Items { items = list_from_cache t prefix; rev = t.last_rev })
+  | Messages.Api_get { key; quorum } ->
+      if quorum then forward t (Messages.Etcd_get { key }) reply
+      else if not t.ready then reply Messages.Backend_unavailable
+      else reply (Messages.Value { value = History.State.find t.cache key; rev = t.last_rev })
+  | Messages.Api_txn { txn; origin; lease } ->
+      forward t (Messages.Etcd_txn { txn; origin; lease }) reply
+  | Messages.Api_lease_grant { ttl } -> forward t (Messages.Etcd_lease_grant { ttl }) reply
+  | Messages.Api_lease_keepalive { lease } ->
+      forward t (Messages.Etcd_lease_keepalive { lease }) reply
+  | Messages.Api_lease_revoke { lease } -> forward t (Messages.Etcd_lease_revoke { lease }) reply
+  | Messages.Api_watch w -> handle_watch t w reply
+  | _ -> ()
+
+let create ~net ~intercept ~name ~etcd ?(window_size = 1000) ?(bookmark_period = 200_000)
+    ?(heartbeat_timeout = 1_000_000) ?(retry_delay = 300_000) ?epoch_seal () =
+  {
+    name;
+    net;
+    intercept;
+    etcd;
+    window_size;
+    bookmark_period;
+    heartbeat_timeout;
+    retry_delay;
+    cache = History.State.empty;
+    last_rev = 0;
+    window = [];
+    window_start = 0;
+    subs = Hashtbl.create 8;
+    ready = false;
+    generation = 0;
+    last_heartbeat = 0;
+    resyncs = 0;
+    epoch_seal;
+    last_seal_rev = 0;
+  }
+
+let start t =
+  Dsim.Network.register t.net t.name ~serve:(serve t) ();
+  Dsim.Network.set_lifecycle t.net t.name
+    ~on_crash:(fun () -> clear_volatile_state t)
+    ~on_restart:(fun () ->
+      Dsim.Network.register t.net t.name ~serve:(serve t) ();
+      bootstrap t t.generation);
+  bootstrap t t.generation;
+  (* Watchdog: a stream that stopped carrying events *and* bookmarks is
+     dead (broken TCP connection / partitioned upstream); re-list then. A
+     stream whose events are being silently dropped still carries
+     bookmarks and is NOT detected — that asymmetry is the point. *)
+  Dsim.Engine.every (engine t) ~period:(t.heartbeat_timeout / 2) (fun () ->
+      (if
+         t.ready
+         && Dsim.Network.is_up t.net t.name
+         && Dsim.Engine.now (engine t) - t.last_heartbeat > t.heartbeat_timeout
+       then begin
+         t.resyncs <- t.resyncs + 1;
+         Dsim.Engine.record (engine t) ~actor:t.name ~kind:"api.resync"
+           "etcd stream silent; re-listing";
+         bootstrap t t.generation
+       end);
+      true);
+  (* Bookmarks toward our own subscribers — and, under the epoch
+     protocol, a time-based close of the current partial epoch, so that a
+     hole in a quiet stream is still detected within one period. *)
+  Dsim.Engine.every (engine t) ~period:t.bookmark_period (fun () ->
+      if t.ready && Dsim.Network.is_up t.net t.name then
+        Hashtbl.iter
+          (fun _ sub ->
+            Pipe.send sub.pipe (Pipe.Bookmark t.last_rev);
+            if t.epoch_seal <> None then begin
+              Pipe.send sub.pipe (Pipe.Seal { upto_rev = t.last_rev; sent = sub.epoch_sent });
+              sub.epoch_sent <- 0
+            end)
+          t.subs;
+      true)

@@ -1,0 +1,196 @@
+type config = {
+  seed : int64;
+  apiservers : int;
+  nodes : int;
+  etcd_watch_window : int option;
+  api_window : int;
+  min_latency : int;
+  max_latency : int;
+  with_scheduler : bool;
+  with_volume_controller : bool;
+  with_operator : bool;
+  scheduler_fixed : bool;
+  volume_fixed : bool;
+  operator_fixed : bool;
+  kubelet_monotonic : bool;
+  with_replicaset : bool;
+  with_node_controller : bool;
+  with_deployment : bool;
+  replicaset_fixed : bool;
+  node_controller_fixed : bool;
+  deployment_fixed : bool;
+  api_epoch_seal : int option;
+}
+
+let default_config =
+  {
+    seed = 1L;
+    apiservers = 2;
+    nodes = 3;
+    etcd_watch_window = None;
+    api_window = 1000;
+    min_latency = 500;
+    max_latency = 2000;
+    with_scheduler = true;
+    with_volume_controller = true;
+    with_operator = true;
+    scheduler_fixed = false;
+    volume_fixed = false;
+    operator_fixed = false;
+    kubelet_monotonic = false;
+    with_replicaset = false;
+    with_node_controller = false;
+    with_deployment = false;
+    replicaset_fixed = false;
+    node_controller_fixed = false;
+    deployment_fixed = false;
+    api_epoch_seal = None;
+  }
+
+type t = {
+  config : config;
+  engine : Dsim.Engine.t;
+  net : Dsim.Network.t;
+  intercept : Intercept.t;
+  etcd : Etcd.t;
+  apiservers : Apiserver.t list;
+  kubelets : Kubelet.t list;
+  scheduler : Scheduler.t option;
+  volume_controller : Volume_controller.t option;
+  operator : Cassandra_operator.t option;
+  replicaset : Replicaset.t option;
+  node_controller : Node_controller.t option;
+  deployment : Deployment.t option;
+  user : Client.t;
+}
+
+let config t = t.config
+let engine t = t.engine
+let net t = t.net
+let intercept t = t.intercept
+let etcd t = t.etcd
+let apiservers t = t.apiservers
+let kubelets t = t.kubelets
+let scheduler t = t.scheduler
+let volume_controller t = t.volume_controller
+let operator t = t.operator
+let replicaset t = t.replicaset
+let node_controller t = t.node_controller
+let deployment t = t.deployment
+let user t = t.user
+
+let truth t = Etcdlike.Kv.state (Etcd.kv t.etcd)
+
+let truth_rev t = Etcd.rev t.etcd
+
+let apiserver_names t = List.map Apiserver.name t.apiservers
+
+let node_names t = List.map Kubelet.node_name t.kubelets
+
+let kubelet_for_node t node =
+  List.find_opt (fun k -> String.equal (Kubelet.node_name k) node) t.kubelets
+
+let trace t = Dsim.Engine.trace t.engine
+
+let create ?(config = default_config) () =
+  let engine = Dsim.Engine.create ~seed:config.seed () in
+  let net =
+    Dsim.Network.create ~min_latency:config.min_latency ~max_latency:config.max_latency engine
+  in
+  let intercept = Intercept.create () in
+  let etcd =
+    Etcd.create ~net ~intercept ?watch_window:config.etcd_watch_window ()
+  in
+  let api_names = List.init config.apiservers (fun i -> Printf.sprintf "api-%d" (i + 1)) in
+  let apiservers =
+    List.map
+      (fun name ->
+        Apiserver.create ~net ~intercept ~name ~etcd:(Etcd.name etcd)
+          ~window_size:config.api_window ?epoch_seal:config.api_epoch_seal ())
+      api_names
+  in
+  let kubelets =
+    List.init config.nodes (fun i ->
+        let name = Printf.sprintf "kubelet-%d" (i + 1) in
+        let node = Printf.sprintf "node-%d" (i + 1) in
+        Kubelet.create ~net ~name ~node ~endpoints:api_names
+          ~monotonic:config.kubelet_monotonic ())
+  in
+  let scheduler =
+    if config.with_scheduler then
+      Some
+        (Scheduler.create ~net ~name:"scheduler" ~endpoints:api_names
+           ~evict_on_bind_failure:config.scheduler_fixed ())
+    else None
+  in
+  let volume_controller =
+    if config.with_volume_controller then
+      Some
+        (Volume_controller.create ~net ~name:"volumectl" ~endpoints:api_names
+           ~release_on_absent_owner:config.volume_fixed ())
+    else None
+  in
+  let operator =
+    if config.with_operator then
+      Some
+        (Cassandra_operator.create ~net ~name:"cassop" ~endpoints:api_names
+           ~quorum_guard:config.operator_fixed ())
+    else None
+  in
+  let replicaset =
+    if config.with_replicaset then
+      Some
+        (Replicaset.create ~net ~name:"rsctl" ~endpoints:api_names
+           ~expectations:config.replicaset_fixed ())
+    else None
+  in
+  let node_controller =
+    if config.with_node_controller then
+      Some
+        (Node_controller.create ~net ~name:"nodectl" ~endpoints:api_names
+           ~quorum_guard:config.node_controller_fixed ())
+    else None
+  in
+  let deployment =
+    if config.with_deployment then
+      Some
+        (Deployment.create ~net ~name:"depctl" ~endpoints:api_names
+           ~quorum_fallback:config.deployment_fixed ())
+    else None
+  in
+  let user = Client.create ~net ~owner:"user" ~endpoints:api_names () in
+  Dsim.Network.register net "user" ~serve:(fun ~src:_ _ _ -> ()) ();
+  {
+    config;
+    engine;
+    net;
+    intercept;
+    etcd;
+    apiservers;
+    kubelets;
+    scheduler;
+    volume_controller;
+    operator;
+    replicaset;
+    node_controller;
+    deployment;
+    user;
+  }
+
+let start t =
+  (* Seed node objects so schedulers and kubelets find the inventory. *)
+  List.iter
+    (fun k ->
+      let node = Kubelet.node_name k in
+      ignore (Etcdlike.Kv.put (Etcd.kv t.etcd) (Resource.node_key node) (Resource.make_node node)))
+    t.kubelets;
+  List.iter Apiserver.start t.apiservers;
+  List.iter Kubelet.start t.kubelets;
+  Option.iter Scheduler.start t.scheduler;
+  Option.iter Volume_controller.start t.volume_controller;
+  Option.iter Cassandra_operator.start t.operator;
+  Option.iter Replicaset.start t.replicaset;
+  Option.iter Node_controller.start t.node_controller;
+  Option.iter Deployment.start t.deployment
+
+let run t ~until = Dsim.Engine.run ~until t.engine

@@ -1,0 +1,78 @@
+(** Cluster assembly: wires etcd, apiservers, kubelets, the scheduler, the
+    volume controller and the Cassandra operator onto one simulated
+    network (the Figure 1 topology), and exposes the ground truth and all
+    component handles to oracles and testing strategies. *)
+
+type config = {
+  seed : int64;
+  apiservers : int;
+  nodes : int;  (** one kubelet per node *)
+  etcd_watch_window : int option;  (** rolling event window; [None] = unlimited *)
+  api_window : int;  (** apiserver watch-cache window *)
+  min_latency : int;
+  max_latency : int;
+  with_scheduler : bool;
+  with_volume_controller : bool;
+  with_operator : bool;
+  scheduler_fixed : bool;  (** evict nodes from cache on bind failure (56261 fix) *)
+  volume_fixed : bool;  (** release claims of absent owners ([17] fix) *)
+  operator_fixed : bool;  (** quorum guards before destructive actions (400/402 fix) *)
+  kubelet_monotonic : bool;  (** reject stale re-lists (59848 fix) *)
+  with_replicaset : bool;  (** run the ReplicaSet controller (off by default) *)
+  with_node_controller : bool;  (** run the node controller (off by default) *)
+  with_deployment : bool;
+      (** run the Deployment controller (off by default; needs
+          [with_replicaset]) *)
+  replicaset_fixed : bool;  (** client-go expectations (over-provisioning fix) *)
+  node_controller_fixed : bool;  (** quorum check before failing pods *)
+  deployment_fixed : bool;  (** quorum fallback for view-wedged rollouts *)
+  api_epoch_seal : int option;
+      (** enable the Section 6.2 epoch-seal protocol on apiserver watch
+          streams, sealing every N revisions ([None] = off, the bug-era
+          default) *)
+}
+
+val default_config : config
+(** seed 1, 2 apiservers, 3 nodes, unlimited etcd window, apiserver window
+    1000, latency 500–2000 us, all components enabled, every fix off
+    (the bug-era configuration). *)
+
+type t
+
+val create : ?config:config -> unit -> t
+(** Builds the engine, network and all components; nothing runs until
+    {!start}. *)
+
+val start : t -> unit
+(** Seeds node objects into etcd and starts every component. *)
+
+val run : t -> until:int -> unit
+(** Advances virtual time (microseconds since 0). *)
+
+val config : t -> config
+val engine : t -> Dsim.Engine.t
+val net : t -> Dsim.Network.t
+val intercept : t -> Intercept.t
+val etcd : t -> Etcd.t
+
+val truth : t -> Resource.value History.State.t
+(** The store's materialized ground truth [(S)]. *)
+
+val truth_rev : t -> int
+
+val apiservers : t -> Apiserver.t list
+val apiserver_names : t -> string list
+val kubelets : t -> Kubelet.t list
+val kubelet_for_node : t -> string -> Kubelet.t option
+val node_names : t -> string list
+val scheduler : t -> Scheduler.t option
+val volume_controller : t -> Volume_controller.t option
+val operator : t -> Cassandra_operator.t option
+val replicaset : t -> Replicaset.t option
+val node_controller : t -> Node_controller.t option
+val deployment : t -> Deployment.t option
+
+val user : t -> Client.t
+(** A client ("user") wired to the apiservers, for workloads. *)
+
+val trace : t -> Dsim.Trace.t

@@ -1,0 +1,136 @@
+type subscription = {
+  pipe : Pipe.t;
+  prefix : string option;
+  mutable last_sent : int;
+}
+
+type t = {
+  name : string;
+  net : Dsim.Network.t;
+  intercept : Intercept.t;
+  kv : Resource.value Etcdlike.Kv.t;
+  subs : (string, subscription) Hashtbl.t;
+  watch_window : int option;
+  mutable requests_served : int;
+  origins : (int, string) Hashtbl.t;  (* revision -> originating component *)
+  leases : Etcdlike.Lease.t;
+}
+
+let name t = t.name
+
+let kv t = t.kv
+
+let rev t = Etcdlike.Kv.rev t.kv
+
+let subscribers t =
+  Hashtbl.fold (fun addr _ acc -> addr :: acc) t.subs [] |> List.sort String.compare
+
+let on_commit t f = Etcdlike.Kv.on_commit t.kv f
+
+let requests_served t = t.requests_served
+
+let origin_of_rev t rev =
+  Option.value (Hashtbl.find_opt t.origins rev) ~default:"boot"
+
+let matches prefix (e : Resource.value History.Event.t) =
+  match prefix with
+  | None -> true
+  | Some p ->
+      String.length e.History.Event.key >= String.length p
+      && String.equal (String.sub e.History.Event.key 0 (String.length p)) p
+
+let push_to_sub sub (e : Resource.value History.Event.t) =
+  if e.History.Event.rev > sub.last_sent && matches sub.prefix e then begin
+    sub.last_sent <- e.History.Event.rev;
+    Pipe.send sub.pipe (Pipe.Event e)
+  end
+
+let handle_watch t (w : Messages.watch_request) reply =
+  match Etcdlike.Kv.since t.kv ~rev:w.Messages.start_rev with
+  | Error (`Compacted compacted_rev) -> reply (Messages.Watch_compacted { compacted_rev })
+  | Ok backlog ->
+      (match Hashtbl.find_opt t.subs w.Messages.stream_id with
+      | Some old -> Pipe.close old.pipe
+      | None -> ());
+      let edge = Intercept.{ src = t.name; dst = w.Messages.subscriber } in
+      let pipe =
+        Pipe.create ~net:t.net ~intercept:t.intercept ~edge ~deliver:w.Messages.deliver ()
+      in
+      let sub = { pipe; prefix = w.Messages.prefix; last_sent = w.Messages.start_rev } in
+      Hashtbl.replace t.subs w.Messages.stream_id sub;
+      List.iter (push_to_sub sub) backlog;
+      reply (Messages.Watch_ok { rev = Etcdlike.Kv.rev t.kv })
+
+let serve t ~src:_ request reply =
+  t.requests_served <- t.requests_served + 1;
+  match request with
+  | Messages.Etcd_range { prefix } ->
+      reply (Messages.Items { items = Etcdlike.Kv.range t.kv ~prefix; rev = Etcdlike.Kv.rev t.kv })
+  | Messages.Etcd_get { key } ->
+      reply (Messages.Value { value = Etcdlike.Kv.get t.kv key; rev = Etcdlike.Kv.rev t.kv })
+  | Messages.Etcd_txn { txn; origin; lease } ->
+      let outcome = Etcdlike.Txn.eval t.kv txn in
+      List.iter
+        (fun (e : Resource.value History.Event.t) ->
+          Hashtbl.replace t.origins e.History.Event.rev origin;
+          match lease, e.History.Event.op with
+          | Some lease, (History.Event.Create | History.Event.Update) ->
+              Etcdlike.Lease.attach t.leases ~lease ~key:e.History.Event.key
+          | _ -> ())
+        outcome.Etcdlike.Txn.events;
+      reply
+        (Messages.Txn_result
+           { succeeded = outcome.Etcdlike.Txn.succeeded; rev = outcome.Etcdlike.Txn.rev })
+  | Messages.Etcd_lease_grant { ttl } ->
+      let now = Dsim.Engine.now (Dsim.Network.engine t.net) in
+      reply (Messages.Lease_granted { lease = Etcdlike.Lease.grant t.leases ~ttl ~now })
+  | Messages.Etcd_lease_keepalive { lease } ->
+      let now = Dsim.Engine.now (Dsim.Network.engine t.net) in
+      if Etcdlike.Lease.keepalive t.leases ~lease ~now then reply Messages.Lease_ok
+      else reply Messages.Lease_gone
+  | Messages.Etcd_lease_revoke { lease } ->
+      List.iter (fun key -> ignore (Etcdlike.Kv.delete t.kv key))
+        (Etcdlike.Lease.revoke t.leases ~lease);
+      reply Messages.Lease_ok
+  | Messages.Etcd_watch w -> handle_watch t w reply
+  | _ -> ()
+
+let create ~net ~intercept ?(name = "etcd") ?watch_window ?(bookmark_period = 200_000) () =
+  let t =
+    {
+      name;
+      net;
+      intercept;
+      kv = Etcdlike.Kv.create ();
+      subs = Hashtbl.create 8;
+      watch_window;
+      requests_served = 0;
+      origins = Hashtbl.create 256;
+      leases = Etcdlike.Lease.create ();
+    }
+  in
+  Etcdlike.Kv.on_commit t.kv (fun event ->
+      Hashtbl.iter (fun _ sub -> push_to_sub sub event) t.subs;
+      match t.watch_window with
+      | Some window -> Etcdlike.Kv.compact_keep_last t.kv window
+      | None -> ());
+  Dsim.Network.register net name ~serve:(serve t) ();
+  let engine = Dsim.Network.engine net in
+  Dsim.Engine.every engine ~period:bookmark_period (fun () ->
+      let rev = Etcdlike.Kv.rev t.kv in
+      Hashtbl.iter (fun _ sub -> Pipe.send sub.pipe (Pipe.Bookmark rev)) t.subs;
+      true);
+  (* Expire leases against the virtual clock and delete their keys; the
+     deletions are ordinary committed events, so watchers see the lock
+     vanish. *)
+  Dsim.Engine.every engine ~period:100_000 (fun () ->
+      List.iter
+        (fun (_, keys) ->
+          List.iter
+            (fun key ->
+              Hashtbl.replace t.origins (Etcdlike.Kv.rev t.kv + 1) "lease-expiry";
+              ignore (Etcdlike.Kv.delete t.kv key))
+            keys)
+        (Etcdlike.Lease.expire t.leases ~now:(Dsim.Engine.now engine));
+      true);
+  t

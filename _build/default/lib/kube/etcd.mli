@@ -1,0 +1,44 @@
+(** The etcd node: the strongly-consistent store serving the ground-truth
+    [(H, S)] over the network.
+
+    Serves ranges, gets and transactions linearizably (there is one
+    instance; the paper's model likewise treats the data store as a
+    logically centralized, reliable component). Watch subscribers each get
+    a FIFO {!Pipe}; a configurable rolling window of retained events
+    bounds how far back a watch may start, replying [Watch_compacted]
+    beyond it. Periodic bookmarks keep healthy streams observably alive so
+    subscribers can distinguish "no events" from "dead stream". *)
+
+type t
+
+val create :
+  net:Dsim.Network.t ->
+  intercept:Intercept.t ->
+  ?name:string ->
+  ?watch_window:int ->
+  ?bookmark_period:int ->
+  unit ->
+  t
+(** Defaults: name ["etcd"], unlimited window, bookmarks every 200 ms of
+    virtual time. *)
+
+val name : t -> string
+
+val kv : t -> Resource.value Etcdlike.Kv.t
+(** Ground truth, for oracles and in-process seeding. Mutating it commits
+    real events (watchers see them). *)
+
+val rev : t -> int
+
+val subscribers : t -> string list
+
+val on_commit : t -> (Resource.value History.Event.t -> unit) -> unit
+(** Oracle hook: observe every committed event synchronously. *)
+
+val requests_served : t -> int
+(** RPCs this node has served — the load measure for the cache-offload
+    experiment (Section 4.1). *)
+
+val origin_of_rev : t -> int -> string
+(** The component whose transaction committed the given revision
+    (["boot"] for seeded state, ["user"] for workload writes). *)

@@ -1,0 +1,204 @@
+type t = {
+  net : Dsim.Network.t;
+  owner : string;
+  endpoints : string array;
+  prefix : string;
+  on_event : Resource.value History.Event.t -> unit;
+  on_reset : unit -> unit;
+  monotonic : bool;
+  heartbeat_timeout : int;
+  retry_delay : int;
+  mutable endpoint_index : int;
+  mutable store : Resource.value History.State.t;
+  mutable last_rev : int;
+  mutable generation : int;
+  mutable last_heartbeat : int;
+  mutable running : bool;
+  mutable watchdog_installed : bool;
+  mutable relists : int;
+  mutable rotations : int;
+  mutable consecutive_failures : int;
+  same_endpoint_retries : int;
+  mutable since_seal : int;  (* events received since the last seal *)
+  mutable gaps_detected : int;
+}
+
+let engine t = Dsim.Network.engine t.net
+
+let create ~net ~owner ~endpoints ~prefix ?(on_event = fun _ -> ()) ?(on_reset = fun () -> ())
+    ?(monotonic = false) ?(heartbeat_timeout = 1_000_000) ?(retry_delay = 300_000) () =
+  if endpoints = [] then invalid_arg "Informer.create: no endpoints";
+  {
+    net;
+    owner;
+    endpoints = Array.of_list endpoints;
+    prefix;
+    on_event;
+    on_reset;
+    monotonic;
+    heartbeat_timeout;
+    retry_delay;
+    endpoint_index = 0;
+    store = History.State.empty;
+    last_rev = 0;
+    generation = 0;
+    last_heartbeat = 0;
+    running = false;
+    watchdog_installed = false;
+    relists = 0;
+    rotations = 0;
+    consecutive_failures = 0;
+    same_endpoint_retries = 2;
+    since_seal = 0;
+    gaps_detected = 0;
+  }
+
+let running t = t.running
+
+let store t = t.store
+
+let get t key = History.State.get t.store key
+
+let rev t = t.last_rev
+
+let current_endpoint t = t.endpoints.(t.endpoint_index mod Array.length t.endpoints)
+
+let relists t = t.relists
+
+let rotations t = t.rotations
+
+let gaps_detected t = t.gaps_detected
+
+let alive t gen = t.running && gen = t.generation && Dsim.Network.is_up t.net t.owner
+
+let rotate t =
+  t.endpoint_index <- t.endpoint_index + 1;
+  t.rotations <- t.rotations + 1;
+  t.consecutive_failures <- 0
+
+(* Transient failures (endpoint still booting, lost packet) retry the same
+   endpoint; only repeated failure rotates. This keeps components homed on
+   their configured apiserver, as behind a session-sticky LB. *)
+let note_failure_and_maybe_rotate t =
+  t.consecutive_failures <- t.consecutive_failures + 1;
+  if t.consecutive_failures >= t.same_endpoint_retries then rotate t
+
+let rec on_stream_item t gen item =
+  if alive t gen then
+    match item with
+    | Pipe.Event e ->
+        t.store <- History.State.apply t.store e;
+        t.last_rev <- max t.last_rev e.History.Event.rev;
+        t.last_heartbeat <- Dsim.Engine.now (engine t);
+        t.since_seal <- t.since_seal + 1;
+        t.on_event e
+    | Pipe.Bookmark rev ->
+        t.last_rev <- max t.last_rev rev;
+        t.last_heartbeat <- Dsim.Engine.now (engine t)
+    | Pipe.Seal { upto_rev; sent } ->
+        t.last_heartbeat <- Dsim.Engine.now (engine t);
+        (* The epoch protocol's payoff: the counts either agree — and the
+           view provably holds every matching event up to [upto_rev] — or
+           an event was silently lost and we re-list right now. *)
+        if t.since_seal = sent then begin
+          t.since_seal <- 0;
+          t.last_rev <- max t.last_rev upto_rev
+        end
+        else begin
+          t.gaps_detected <- t.gaps_detected + 1;
+          Dsim.Engine.record (engine t) ~actor:t.owner ~kind:"informer.gap-detected"
+            (Printf.sprintf "seal says %d events up to rev %d, received %d; re-listing" sent
+               upto_rev t.since_seal);
+          t.generation <- t.generation + 1;
+          t.since_seal <- 0;
+          bootstrap t t.generation
+        end
+
+and bootstrap t gen =
+  if alive t gen then begin
+    let endpoint = current_endpoint t in
+    Dsim.Network.call t.net ~src:t.owner ~dst:endpoint
+      (Messages.Api_list { prefix = t.prefix; quorum = false })
+      (function
+      | Ok (Messages.Items { items; rev }) when alive t gen ->
+          if t.monotonic && rev < t.last_rev then begin
+            (* The 59848 fix: never adopt a list older than what we have
+               already observed; some other apiserver must be fresher. *)
+            Dsim.Engine.record (engine t) ~actor:t.owner ~kind:"informer.reject-stale"
+              (Printf.sprintf "%s served rev %d < frontier %d" endpoint rev t.last_rev);
+            rotate t;
+            retry t gen
+          end
+          else begin
+            t.consecutive_failures <- 0;
+            t.store <- Messages.items_to_state items;
+            t.last_rev <- rev;
+            t.last_heartbeat <- Dsim.Engine.now (engine t);
+            t.relists <- t.relists + 1;
+            t.since_seal <- 0;
+            Dsim.Engine.record (engine t) ~actor:t.owner ~kind:"informer.list"
+              (Printf.sprintf "%s %s: %d items at rev %d" endpoint t.prefix (List.length items)
+                 rev);
+            t.on_reset ();
+            let watch =
+              Messages.Api_watch
+                {
+                  prefix = Some t.prefix;
+                  start_rev = rev;
+                  subscriber = t.owner;
+                  stream_id = t.owner ^ "#" ^ t.prefix;
+                  deliver = (fun item -> on_stream_item t gen item);
+                }
+            in
+            Dsim.Network.call t.net ~src:t.owner ~dst:endpoint watch (function
+              | Ok (Messages.Watch_ok _) -> ()
+              | Ok (Messages.Watch_compacted _) when alive t gen ->
+                  (* Our revision fell out of the apiserver's window; the
+                     only recovery is another (gap-leaving) re-list. *)
+                  retry t gen
+              | _ ->
+                  if alive t gen then begin
+                    note_failure_and_maybe_rotate t;
+                    retry t gen
+                  end)
+          end
+      | _ ->
+          if alive t gen then begin
+            note_failure_and_maybe_rotate t;
+            retry t gen
+          end)
+  end
+
+and retry t gen =
+  if alive t gen then
+    ignore (Dsim.Engine.schedule (engine t) ~delay:t.retry_delay (fun () -> bootstrap t gen))
+
+let install_watchdog t =
+  if not t.watchdog_installed then begin
+    t.watchdog_installed <- true;
+    Dsim.Engine.every (engine t) ~period:(t.heartbeat_timeout / 2) (fun () ->
+        (if
+           t.running
+           && Dsim.Network.is_up t.net t.owner
+           && Dsim.Engine.now (engine t) - t.last_heartbeat > t.heartbeat_timeout
+         then begin
+           Dsim.Engine.record (engine t) ~actor:t.owner ~kind:"informer.stream-dead"
+             (Printf.sprintf "no traffic from %s; rotating" (current_endpoint t));
+           rotate t;
+           t.generation <- t.generation + 1;
+           bootstrap t t.generation
+         end);
+        true)
+  end
+
+let start t ?endpoint () =
+  (match endpoint with Some i -> t.endpoint_index <- i | None -> ());
+  t.generation <- t.generation + 1;
+  t.running <- true;
+  t.last_heartbeat <- Dsim.Engine.now (engine t);
+  install_watchdog t;
+  bootstrap t t.generation
+
+let stop t =
+  t.running <- false;
+  t.generation <- t.generation + 1

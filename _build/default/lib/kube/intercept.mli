@@ -1,0 +1,42 @@
+(** Interception points: the hooks the Sieve tool uses to regulate how a
+    view [(H', S')] advances relative to the ground truth.
+
+    Every notification edge in the cluster — etcd→apiserver watch streams
+    and apiserver→informer watch streams — consults the cluster's
+    interceptor before delivering an event. The default policy passes
+    everything through; a testing strategy installs a policy that delays
+    (staleness), drops (observability gaps) or merely observes (for
+    planning) specific events on specific edges. *)
+
+type edge = {
+  src : string;  (** upstream address, e.g. ["etcd"] or ["api-2"] *)
+  dst : string;  (** downstream address, e.g. ["api-2"] or ["kubelet-1"] *)
+}
+
+val pp_edge : Format.formatter -> edge -> unit
+
+type decision =
+  | Pass
+  | Drop  (** the event silently never arrives — the stream stays up *)
+  | Delay of int
+      (** hold the event (and, because streams are FIFO, everything behind
+          it) for this many extra microseconds *)
+
+val pp_decision : Format.formatter -> decision -> unit
+
+type policy = edge -> Resource.value History.Event.t -> decision
+
+type t
+
+val create : unit -> t
+
+val decide : t -> edge -> Resource.value History.Event.t -> decision
+
+val set_policy : t -> policy -> unit
+
+val clear : t -> unit
+(** Restores the pass-through policy. *)
+
+val set_observer : t -> (edge -> Resource.value History.Event.t -> decision -> unit) -> unit
+(** Callback invoked on every decision; the planner uses it to enumerate
+    perturbation points, the reporter to log what a strategy did. *)

@@ -1,0 +1,156 @@
+type t = {
+  name : string;
+  node : string;
+  net : Dsim.Network.t;
+  grace_period : int;
+  mutable informer : Informer.t option;
+  client : Client.t;
+  running_pods : (string, unit) Hashtbl.t;  (* containers outlive the kubelet *)
+  mutable starts : int;
+  mutable stops : int;
+  make_informer : t -> Informer.t;
+}
+
+let name t = t.name
+
+let node_name t = t.node
+
+let running t =
+  Hashtbl.fold (fun pod () acc -> pod :: acc) t.running_pods [] |> List.sort String.compare
+
+let is_running t pod = Hashtbl.mem t.running_pods pod
+
+let starts t = t.starts
+
+let stops t = t.stops
+
+let informer t =
+  match t.informer with Some i -> i | None -> invalid_arg "Kubelet.informer: not started"
+
+let engine t = Dsim.Network.engine t.net
+
+let record t kind detail = Dsim.Engine.record (engine t) ~actor:t.name ~kind detail
+
+let run_pod t pod_name =
+  if not (Hashtbl.mem t.running_pods pod_name) then begin
+    Hashtbl.replace t.running_pods pod_name ();
+    t.starts <- t.starts + 1;
+    record t "kubelet.run" pod_name
+  end
+
+let stop_pod t pod_name =
+  if Hashtbl.mem t.running_pods pod_name then begin
+    Hashtbl.remove t.running_pods pod_name;
+    t.stops <- t.stops + 1;
+    record t "kubelet.stop" pod_name
+  end
+
+(* Report the pod Running so controllers and users see status converge.
+   The mod-revision guard makes the write harmless when our view is
+   stale: etcd rejects it instead of resurrecting old state. *)
+let write_running_status t (p : Resource.pod) mod_rev =
+  if p.Resource.phase <> Resource.Running then
+    Client.txn_ t.client
+      (Etcdlike.Txn.put_if_unchanged ~key:(Resource.pod_key p.Resource.pod_name)
+         ~expected_mod_rev:mod_rev
+         (Resource.Pod { p with Resource.phase = Resource.Running }))
+
+(* Stop a marked pod, then remove its object after the grace period (the
+   kubelet acts as the finalizer, as in Kubernetes). *)
+let finalize_marked t (p : Resource.pod) mod_rev =
+  stop_pod t p.Resource.pod_name;
+  ignore
+    (Dsim.Engine.schedule (engine t) ~delay:t.grace_period (fun () ->
+         if Dsim.Network.is_up t.net t.name then begin
+           record t "kubelet.finalize" p.Resource.pod_name;
+           Client.txn_ t.client
+             (Etcdlike.Txn.delete_if_unchanged ~key:(Resource.pod_key p.Resource.pod_name)
+                ~expected_mod_rev:mod_rev)
+         end))
+
+let terminal (p : Resource.pod) =
+  match p.Resource.phase with
+  | Resource.Failed | Resource.Succeeded -> true
+  | Resource.Pending | Resource.Running -> false
+
+let handle_pod t (p : Resource.pod) mod_rev =
+  let mine = p.Resource.node = Some t.node in
+  if not mine then stop_pod t p.Resource.pod_name
+  else if p.Resource.deletion_timestamp <> None then finalize_marked t p mod_rev
+  else if terminal p then stop_pod t p.Resource.pod_name
+  else begin
+    run_pod t p.Resource.pod_name;
+    write_running_status t p mod_rev
+  end
+
+let on_event t (e : Resource.value History.Event.t) =
+  match Resource.kind_of_key e.History.Event.key with
+  | `Pod -> begin
+      match e.History.Event.op, e.History.Event.value with
+      | History.Event.Delete, _ -> stop_pod t (Resource.name_of_key e.History.Event.key)
+      | (History.Event.Create | History.Event.Update), Some (Resource.Pod p) ->
+          handle_pod t p e.History.Event.rev
+      | (History.Event.Create | History.Event.Update), _ -> ()
+    end
+  | `Node | `Pvc | `Cassdc | `Rset | `Lock | `Deployment | `Other -> ()
+
+(* After a (re-)list the event history is gone; all we can do is make the
+   running set match the listed state — including starting pods a stale
+   list claims are ours. *)
+let on_reset t =
+  match t.informer with
+  | None -> ()
+  | Some informer ->
+      let store = Informer.store informer in
+      let desired = Hashtbl.create 16 in
+      List.iter
+        (fun key ->
+          match History.State.find store key with
+          | Some (Resource.Pod p, mod_rev)
+            when p.Resource.node = Some t.node
+                 && p.Resource.deletion_timestamp = None
+                 && not (terminal p) ->
+              Hashtbl.replace desired p.Resource.pod_name ();
+              if not (Hashtbl.mem t.running_pods p.Resource.pod_name) then begin
+                run_pod t p.Resource.pod_name;
+                write_running_status t p mod_rev
+              end
+          | Some (Resource.Pod p, mod_rev)
+            when p.Resource.node = Some t.node && p.Resource.deletion_timestamp <> None ->
+              finalize_marked t p mod_rev
+          | Some _ | None -> ())
+        (History.State.keys_with_prefix store ~prefix:Resource.pods_prefix);
+      List.iter (fun pod -> if not (Hashtbl.mem desired pod) then stop_pod t pod) (running t)
+
+let create ~net ~name ~node ~endpoints ?(monotonic = false) ?(grace_period = 500_000) () =
+  let client = Client.create ~net ~owner:name ~endpoints () in
+  let make_informer t =
+    Informer.create ~net ~owner:name ~endpoints ~prefix:Resource.pods_prefix
+      ~on_event:(on_event t) ~on_reset:(fun () -> on_reset t) ~monotonic ()
+  in
+  {
+    name;
+    node;
+    net;
+    grace_period;
+    informer = None;
+    client;
+    running_pods = Hashtbl.create 16;
+    starts = 0;
+    stops = 0;
+    make_informer;
+  }
+
+let start t =
+  let informer = t.make_informer t in
+  t.informer <- Some informer;
+  Dsim.Network.register t.net t.name ~serve:(fun ~src:_ _ _ -> ()) ();
+  Dsim.Network.set_lifecycle t.net t.name
+    ~on_crash:(fun () -> Informer.stop informer)
+    ~on_restart:(fun () ->
+      Dsim.Network.register t.net t.name ~serve:(fun ~src:_ _ _ -> ()) ();
+      (* Each incarnation lands on a different apiserver behind the load
+         balancer — the hinge of Kubernetes-59848. *)
+      let endpoint = Dsim.Network.incarnation t.net t.name in
+      Informer.start informer ~endpoint ());
+  Informer.start informer ~endpoint:0 ()

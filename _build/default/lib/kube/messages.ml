@@ -1,0 +1,46 @@
+type watch_request = {
+  prefix : string option;
+  start_rev : int;
+  subscriber : string;
+  stream_id : string;
+  deliver : Pipe.item -> unit;
+}
+
+type Dsim.Network.request +=
+  | Etcd_range of { prefix : string }
+  | Etcd_get of { key : string }
+  | Etcd_txn of { txn : Resource.value Etcdlike.Txn.t; origin : string; lease : int option }
+  | Etcd_lease_grant of { ttl : int }
+  | Etcd_lease_keepalive of { lease : int }
+  | Etcd_lease_revoke of { lease : int }
+  | Etcd_watch of watch_request
+  | Api_list of { prefix : string; quorum : bool }
+  | Api_get of { key : string; quorum : bool }
+  | Api_txn of { txn : Resource.value Etcdlike.Txn.t; origin : string; lease : int option }
+  | Api_lease_grant of { ttl : int }
+  | Api_lease_keepalive of { lease : int }
+  | Api_lease_revoke of { lease : int }
+  | Api_watch of watch_request
+
+type Dsim.Network.response +=
+  | Items of { items : (string * Resource.value * int) list; rev : int }
+  | Value of { value : (Resource.value * int) option; rev : int }
+  | Txn_result of { succeeded : bool; rev : int }
+  | Watch_ok of { rev : int }
+  | Watch_compacted of { compacted_rev : int }
+  | Lease_granted of { lease : int }
+  | Lease_ok
+  | Lease_gone
+  | Backend_unavailable
+
+let put key value =
+  Etcdlike.Txn.{ guards = []; success = [ Put (key, value) ]; failure = [] }
+
+let delete key = Etcdlike.Txn.{ guards = []; success = [ Delete key ]; failure = [] }
+
+let items_to_state items =
+  List.fold_left
+    (fun state (key, value, mod_rev) ->
+      History.State.apply state
+        (History.Event.make ~rev:mod_rev ~key ~op:History.Event.Create (Some value)))
+    History.State.empty items

@@ -1,0 +1,68 @@
+(** RPC vocabulary of the control plane.
+
+    Extends the network's open request/response types with the etcd API
+    (ranges, transactions, watches) and the apiserver API (lists and gets
+    that may be served from the apiserver's cache, forwarded transactions,
+    and cache-fed watches). Watch requests carry the subscriber's delivery
+    closure; the resulting stream is a {!Pipe} so delivery stays FIFO and
+    interceptable. *)
+
+type watch_request = {
+  prefix : string option;
+  start_rev : int;  (** last revision the subscriber has already seen *)
+  subscriber : string;  (** subscriber's network address *)
+  stream_id : string;
+      (** unique per (subscriber, watched prefix); servers key
+          subscriptions by it so one component can hold several watches *)
+  deliver : Pipe.item -> unit;
+}
+
+type Dsim.Network.request +=
+  | Etcd_range of { prefix : string }
+  | Etcd_get of { key : string }
+  | Etcd_txn of { txn : Resource.value Etcdlike.Txn.t; origin : string; lease : int option }
+        (** [origin] is the component that initiated the write (carried
+            through apiserver forwarding) — the causality planner's raw
+            material. Keys written by the success branch are attached to
+            [lease] when given: they vanish when it expires. *)
+  | Etcd_lease_grant of { ttl : int }
+  | Etcd_lease_keepalive of { lease : int }
+  | Etcd_lease_revoke of { lease : int }
+  | Etcd_watch of watch_request
+  | Api_list of { prefix : string; quorum : bool }
+        (** [quorum = false] is served from the apiserver's cache — the
+            scalable, possibly stale read path every component uses *)
+  | Api_get of { key : string; quorum : bool }
+  | Api_txn of { txn : Resource.value Etcdlike.Txn.t; origin : string; lease : int option }
+  | Api_lease_grant of { ttl : int }
+  | Api_lease_keepalive of { lease : int }
+  | Api_lease_revoke of { lease : int }
+  | Api_watch of watch_request
+
+type Dsim.Network.response +=
+  | Items of { items : (string * Resource.value * int) list; rev : int }
+        (** key, value, mod-revision; [rev] is the serving view's revision *)
+  | Value of { value : (Resource.value * int) option; rev : int }
+  | Txn_result of { succeeded : bool; rev : int }
+  | Watch_ok of { rev : int }
+  | Watch_compacted of { compacted_rev : int }
+        (** requested start revision precedes the server's retained
+            window; subscriber must re-list *)
+  | Lease_granted of { lease : int }
+  | Lease_ok
+  | Lease_gone  (** keepalive/attach on an expired or unknown lease *)
+  | Backend_unavailable
+        (** the apiserver could not reach etcd to serve the request *)
+
+(** {2 Transaction shorthands} *)
+
+val put : string -> Resource.value -> Resource.value Etcdlike.Txn.t
+(** Unconditional write. *)
+
+val delete : string -> Resource.value Etcdlike.Txn.t
+
+val items_to_state :
+  (string * Resource.value * int) list -> Resource.value History.State.t
+(** Rebuilds a materialized state from a list response (used by caches
+    after a re-list). The state's revision is the max mod-revision of the
+    items; callers should track the response's [rev] separately. *)

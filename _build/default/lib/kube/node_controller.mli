@@ -1,0 +1,40 @@
+(** Node controller: fails over pods whose node has disappeared.
+
+    Watches nodes and pods; when a bound pod's node has been absent from
+    the node cache for a few consecutive passes, the pod is marked
+    [Failed] so its owning controller replaces it and its kubelet (if
+    any) stops it.
+
+    The failure-detection decision is made entirely from the cached view,
+    which is the hazard: a node whose *creation* the controller never
+    observed looks exactly like a node that is gone, and every healthy
+    pod scheduled onto it gets shot. [quorum_guard] applies the defensive
+    fix: confirm the node is really absent with a linearizable read
+    before failing anything. *)
+
+type t
+
+val create :
+  net:Dsim.Network.t ->
+  name:string ->
+  endpoints:string list ->
+  ?quorum_guard:bool ->
+  ?period:int ->
+  ?missing_strikes:int ->
+  unit ->
+  t
+(** Defaults: no quorum guard, reconcile every 200 ms, a node must be
+    missing for 3 consecutive passes before its pods are failed. *)
+
+val start : t -> unit
+
+val name : t -> string
+
+val reconciles : t -> int
+
+val evictions : t -> (string * string) list
+(** (pod, node) pairs this controller failed, oldest first. *)
+
+val pods_informer : t -> Informer.t
+
+val nodes_informer : t -> Informer.t

@@ -1,0 +1,74 @@
+type item =
+  | Event of Resource.value History.Event.t
+  | Bookmark of int
+  | Seal of { upto_rev : int; sent : int }
+
+type t = {
+  net : Dsim.Network.t;
+  intercept : Intercept.t;
+  edge : Intercept.edge;
+  deliver : item -> unit;
+  dst_incarnation : int;
+  mutable closed : bool;
+  mutable last_due : int;  (* FIFO frontier: delivery time of the previous item *)
+  mutable in_flight : int;
+}
+
+let create ~net ~intercept ~edge ~deliver () =
+  {
+    net;
+    intercept;
+    edge;
+    deliver;
+    dst_incarnation = Dsim.Network.incarnation net edge.Intercept.dst;
+    closed = false;
+    last_due = 0;
+    in_flight = 0;
+  }
+
+let edge t = t.edge
+
+let close t = t.closed <- true
+
+let is_closed t = t.closed
+
+let in_flight t = t.in_flight
+
+let deliverable t =
+  (not t.closed)
+  && (not (Dsim.Network.partitioned t.net t.edge.Intercept.src t.edge.Intercept.dst))
+  && Dsim.Network.is_up t.net t.edge.Intercept.dst
+  && Dsim.Network.incarnation t.net t.edge.Intercept.dst = t.dst_incarnation
+
+let enqueue t ~extra item =
+  let engine = Dsim.Network.engine t.net in
+  let due =
+    max (Dsim.Engine.now engine + Dsim.Network.sample_latency t.net + extra) t.last_due
+  in
+  t.last_due <- due;
+  t.in_flight <- t.in_flight + 1;
+  ignore
+    (Dsim.Engine.schedule_at engine ~time:due (fun () ->
+         t.in_flight <- t.in_flight - 1;
+         if deliverable t then t.deliver item
+         else if not t.closed then begin
+           (* A TCP stream does not lose one segment and carry on: a
+              blocked delivery kills the whole stream. The subscriber
+              notices the silence (no bookmarks) and re-lists. *)
+           t.closed <- true;
+           Dsim.Engine.record engine ~actor:t.edge.Intercept.dst ~kind:"pipe.broken"
+             (Format.asprintf "%a" Intercept.pp_edge t.edge)
+         end))
+
+let send t item =
+  if not t.closed then
+    match item with
+    | Bookmark _ | Seal _ -> enqueue t ~extra:0 item
+    | Event event -> (
+        match Intercept.decide t.intercept t.edge event with
+        | Intercept.Pass -> enqueue t ~extra:0 item
+        | Intercept.Drop ->
+            let engine = Dsim.Network.engine t.net in
+            Dsim.Engine.record engine ~actor:t.edge.Intercept.dst ~kind:"pipe.drop"
+              (Format.asprintf "%a %s" Intercept.pp_edge t.edge (History.Event.describe event))
+        | Intercept.Delay extra -> enqueue t ~extra item)

@@ -1,0 +1,1 @@
+lib/raft/raftlite.ml: Group Node

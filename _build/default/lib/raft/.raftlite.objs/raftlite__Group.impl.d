@@ -1,0 +1,1 @@
+lib/raft/group.ml: Hashtbl List Node Printf String

@@ -1,0 +1,1 @@
+lib/raft/group.mli: Dsim Node

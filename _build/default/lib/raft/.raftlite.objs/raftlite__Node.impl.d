@@ -1,0 +1,1 @@
+lib/raft/node.ml: Array Dsim Hashtbl List Option Printf

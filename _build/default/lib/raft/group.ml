@@ -1,0 +1,66 @@
+type t = {
+  nodes : Node.t list;
+  applied : (string, string list ref) Hashtbl.t;  (* id -> applied commands, newest first *)
+}
+
+let create ~net ~n ?(prefix = "raft") ?heartbeat_period ?election_timeout_min
+    ?election_timeout_max () =
+  let names = List.init n (fun i -> Printf.sprintf "%s-%d" prefix (i + 1)) in
+  let applied = Hashtbl.create 8 in
+  let nodes =
+    List.map
+      (fun id ->
+        let log = ref [] in
+        Hashtbl.replace applied id log;
+        let peers = List.filter (fun p -> not (String.equal p id)) names in
+        Node.create ~net ~id ~peers ?heartbeat_period ?election_timeout_min
+          ?election_timeout_max
+          ~on_apply:(fun ~index:_ ~command -> log := command :: !log)
+          ())
+      names
+  in
+  { nodes; applied }
+
+let start t = List.iter Node.start t.nodes
+
+let nodes t = t.nodes
+
+let names t = List.map Node.id t.nodes
+
+let node t id = List.find_opt (fun n -> String.equal (Node.id n) id) t.nodes
+
+let leaders t = List.filter Node.is_leader t.nodes
+
+let leader t =
+  leaders t
+  |> List.fold_left
+       (fun acc n ->
+         match acc with
+         | Some best when Node.term best >= Node.term n -> acc
+         | _ -> Some n)
+       None
+
+let propose_via_leader t command =
+  match leader t with Some n -> Node.propose n command | None -> false
+
+let applied t id =
+  match Hashtbl.find_opt t.applied id with Some log -> List.rev !log | None -> []
+
+let committed_prefix t =
+  let logs = List.map (fun n -> applied t (Node.id n)) t.nodes in
+  match logs with
+  | [] -> []
+  | first :: rest ->
+      let shortest =
+        List.fold_left (fun acc l -> if List.length l < List.length acc then l else acc) first rest
+      in
+      List.iteri
+        (fun i command ->
+          List.iter
+            (fun l ->
+              if List.length l > i && not (String.equal (List.nth l i) command) then
+                invalid_arg
+                  (Printf.sprintf "Raft safety violated: replicas disagree at index %d" (i + 1)))
+            logs)
+        shortest;
+      shortest

@@ -1,0 +1,44 @@
+(** Convenience wrapper: a whole Raft group on one engine, with the
+    cross-replica views a test or experiment needs. *)
+
+type t
+
+val create :
+  net:Dsim.Network.t ->
+  n:int ->
+  ?prefix:string ->
+  ?heartbeat_period:int ->
+  ?election_timeout_min:int ->
+  ?election_timeout_max:int ->
+  unit ->
+  t
+(** [n] replicas named [<prefix>-1 .. <prefix>-n] (default prefix
+    ["raft"]), each applying committed commands into a per-replica
+    list. *)
+
+val start : t -> unit
+
+val nodes : t -> Node.t list
+
+val node : t -> string -> Node.t option
+
+val names : t -> string list
+
+val leaders : t -> Node.t list
+(** Nodes currently believing they are leader (possibly several across
+    different terms during churn; at most one per term). *)
+
+val leader : t -> Node.t option
+(** The highest-term believer, if any. *)
+
+val propose_via_leader : t -> string -> bool
+(** Proposes on the current highest-term leader; [false] when none. *)
+
+val applied : t -> string -> string list
+(** Commands the named replica has applied, in order. *)
+
+val committed_prefix : t -> string list
+(** The longest applied prefix common to all replicas — with the log
+    matching property this is simply the shortest applied log. Raises if
+    replicas disagree on a shared index (a safety violation worth
+    crashing a test over). *)

@@ -1,0 +1,343 @@
+type entry = { term : int; command : string option }
+
+type role = Follower | Candidate | Leader
+
+let role_to_string = function
+  | Follower -> "follower"
+  | Candidate -> "candidate"
+  | Leader -> "leader"
+
+type Dsim.Network.request +=
+  | Request_vote of {
+      term : int;
+      candidate : string;
+      last_log_index : int;
+      last_log_term : int;
+    }
+  | Append_entries of {
+      term : int;
+      leader : string;
+      prev_log_index : int;
+      prev_log_term : int;
+      entries : entry list;
+      leader_commit : int;
+    }
+
+type Dsim.Network.response +=
+  | Vote of { term : int; granted : bool }
+  | Append_reply of { term : int; success : bool; match_index : int }
+
+type t = {
+  id : string;
+  peers : string list;
+  net : Dsim.Network.t;
+  rng : Dsim.Rng.t;
+  heartbeat_period : int;
+  election_timeout_min : int;
+  election_timeout_max : int;
+  on_apply : index:int -> command:string -> unit;
+  (* Persistent state: survives crashes (stable storage). *)
+  mutable current_term : int;
+  mutable voted_for : string option;
+  mutable log : entry array;  (* log.(i) is entry at index i+1 *)
+  (* Volatile state. *)
+  mutable role : role;
+  mutable commit_index : int;
+  mutable last_applied : int;
+  mutable leader_hint : string option;
+  mutable election_deadline : int;
+  mutable votes : string list;
+  next_index : (string, int) Hashtbl.t;
+  match_index : (string, int) Hashtbl.t;
+}
+
+let id t = t.id
+
+let role t = t.role
+
+let term t = t.current_term
+
+let is_leader t = t.role = Leader
+
+let leader_hint t = t.leader_hint
+
+let log_length t = Array.length t.log
+
+let commit_index t = t.commit_index
+
+let last_applied t = t.last_applied
+
+let log_entries t = Array.to_list t.log
+
+let engine t = Dsim.Network.engine t.net
+
+let now t = Dsim.Engine.now (engine t)
+
+let quorum t = ((List.length t.peers + 1) / 2) + 1
+
+let last_log_index t = Array.length t.log
+
+let last_log_term t = if Array.length t.log = 0 then 0 else t.log.(Array.length t.log - 1).term
+
+let term_at t index = if index = 0 then 0 else t.log.(index - 1).term
+
+let record t detail =
+  Dsim.Engine.record (engine t) ~actor:t.id ~kind:"raft" detail
+
+let reset_election_deadline t =
+  let spread = max 1 (t.election_timeout_max - t.election_timeout_min + 1) in
+  t.election_deadline <- now t + t.election_timeout_min + Dsim.Rng.int t.rng spread
+
+let become_follower t new_term =
+  if new_term > t.current_term then begin
+    t.current_term <- new_term;
+    t.voted_for <- None
+  end;
+  if t.role <> Follower then record t (Printf.sprintf "-> follower (term %d)" t.current_term);
+  t.role <- Follower;
+  t.votes <- [];
+  reset_election_deadline t
+
+(* Deliver newly committed entries to the state machine, in order.
+   Election no-ops are internal and skipped. *)
+let apply_committed t =
+  while t.last_applied < t.commit_index do
+    t.last_applied <- t.last_applied + 1;
+    match t.log.(t.last_applied - 1).command with
+    | Some command -> t.on_apply ~index:t.last_applied ~command
+    | None -> ()
+  done
+
+(* Leader: advance the commit index to the highest N replicated on a
+   quorum with log[N].term = currentTerm (Raft's commitment rule). *)
+let advance_commit t =
+  if t.role = Leader then begin
+    let candidates = ref [] in
+    for n = t.commit_index + 1 to last_log_index t do
+      if term_at t n = t.current_term then begin
+        let replicas =
+          1
+          + List.length
+              (List.filter
+                 (fun peer -> Option.value (Hashtbl.find_opt t.match_index peer) ~default:0 >= n)
+                 t.peers)
+        in
+        if replicas >= quorum t then candidates := n :: !candidates
+      end
+    done;
+    match !candidates with
+    | [] -> ()
+    | ns ->
+        t.commit_index <- List.fold_left max t.commit_index ns;
+        apply_committed t
+  end
+
+let entries_from t index =
+  if index > Array.length t.log then []
+  else Array.to_list (Array.sub t.log (index - 1) (Array.length t.log - index + 1))
+
+let send_append t peer =
+  let next = Option.value (Hashtbl.find_opt t.next_index peer) ~default:1 in
+  let prev_log_index = next - 1 in
+  let request =
+    Append_entries
+      {
+        term = t.current_term;
+        leader = t.id;
+        prev_log_index;
+        prev_log_term = term_at t prev_log_index;
+        entries = entries_from t next;
+        leader_commit = t.commit_index;
+      }
+  in
+  let sent_up_to = last_log_index t in
+  let request_term = t.current_term in
+  Dsim.Network.call t.net ~src:t.id ~dst:peer ~timeout:(t.heartbeat_period * 2) request
+    (function
+    | Ok (Append_reply reply) when t.role = Leader && t.current_term = request_term ->
+        if reply.term > t.current_term then become_follower t reply.term
+        else if reply.success then begin
+          Hashtbl.replace t.match_index peer (max reply.match_index sent_up_to);
+          Hashtbl.replace t.next_index peer (sent_up_to + 1);
+          advance_commit t
+        end
+        else begin
+          (* Log inconsistency: back off and retry on the next beat. *)
+          let next = Option.value (Hashtbl.find_opt t.next_index peer) ~default:1 in
+          Hashtbl.replace t.next_index peer (max 1 (next - 1))
+        end
+    | _ -> ())
+
+let broadcast_appends t = List.iter (send_append t) t.peers
+
+let become_leader t =
+  t.role <- Leader;
+  t.leader_hint <- Some t.id;
+  record t (Printf.sprintf "-> LEADER (term %d, log %d)" t.current_term (last_log_index t));
+  List.iter
+    (fun peer ->
+      Hashtbl.replace t.next_index peer (last_log_index t + 1);
+      Hashtbl.replace t.match_index peer 0)
+    t.peers;
+  (* The no-op of Raft §8: a leader can only advance the commit index
+     through an entry of its own term, so commit one immediately —
+     otherwise predecessors' entries can stay uncommitted at the new
+     leader forever on a quiet cluster. *)
+  t.log <- Array.append t.log [| { term = t.current_term; command = None } |];
+  broadcast_appends t;
+  advance_commit t
+
+let start_election t =
+  t.current_term <- t.current_term + 1;
+  t.role <- Candidate;
+  t.voted_for <- Some t.id;
+  t.votes <- [ t.id ];
+  reset_election_deadline t;
+  record t (Printf.sprintf "election (term %d)" t.current_term);
+  if List.length t.votes >= quorum t then become_leader t;
+  let election_term = t.current_term in
+  let request =
+    Request_vote
+      {
+        term = election_term;
+        candidate = t.id;
+        last_log_index = last_log_index t;
+        last_log_term = last_log_term t;
+      }
+  in
+  List.iter
+    (fun peer ->
+      Dsim.Network.call t.net ~src:t.id ~dst:peer ~timeout:t.election_timeout_min request
+        (function
+        | Ok (Vote vote) when t.role = Candidate && t.current_term = election_term ->
+            if vote.term > t.current_term then become_follower t vote.term
+            else if vote.granted && not (List.mem peer t.votes) then begin
+              t.votes <- peer :: t.votes;
+              if List.length t.votes >= quorum t then become_leader t
+            end
+        | _ -> ()))
+    t.peers
+
+(* A candidate's log is at least as up to date as ours when its last
+   entry wins the (term, index) lexicographic comparison. *)
+let candidate_log_ok t ~last_log_index:their_index ~last_log_term:their_term =
+  their_term > last_log_term t
+  || (their_term = last_log_term t && their_index >= last_log_index t)
+
+let handle_request_vote t ~term ~candidate ~last_log_index ~last_log_term reply =
+  if term > t.current_term then become_follower t term;
+  let granted =
+    term = t.current_term
+    && (t.voted_for = None || t.voted_for = Some candidate)
+    && candidate_log_ok t ~last_log_index ~last_log_term
+  in
+  if granted then begin
+    t.voted_for <- Some candidate;
+    reset_election_deadline t
+  end;
+  reply (Vote { term = t.current_term; granted })
+
+let truncate_and_append t ~prev_log_index entries =
+  List.iteri
+    (fun offset (entry : entry) ->
+      let index = prev_log_index + 1 + offset in
+      if index <= Array.length t.log then begin
+        if t.log.(index - 1).term <> entry.term then begin
+          (* Conflict: drop the entry and everything after it. *)
+          t.log <- Array.sub t.log 0 (index - 1);
+          t.log <- Array.append t.log [| entry |]
+        end
+      end
+      else t.log <- Array.append t.log [| entry |])
+    entries
+
+let handle_append_entries t ~term ~leader ~prev_log_index ~prev_log_term ~entries ~leader_commit
+    reply =
+  if term < t.current_term then
+    reply (Append_reply { term = t.current_term; success = false; match_index = 0 })
+  else begin
+    become_follower t term;
+    t.leader_hint <- Some leader;
+    let log_ok =
+      prev_log_index = 0
+      || (prev_log_index <= Array.length t.log && term_at t prev_log_index = prev_log_term)
+    in
+    if not log_ok then
+      reply (Append_reply { term = t.current_term; success = false; match_index = 0 })
+    else begin
+      truncate_and_append t ~prev_log_index entries;
+      let match_index = prev_log_index + List.length entries in
+      if leader_commit > t.commit_index then begin
+        t.commit_index <- min leader_commit (last_log_index t);
+        apply_committed t
+      end;
+      reply (Append_reply { term = t.current_term; success = true; match_index })
+    end
+  end
+
+let serve t ~src:_ request reply =
+  match request with
+  | Request_vote { term; candidate; last_log_index; last_log_term } ->
+      handle_request_vote t ~term ~candidate ~last_log_index ~last_log_term reply
+  | Append_entries { term; leader; prev_log_index; prev_log_term; entries; leader_commit } ->
+      handle_append_entries t ~term ~leader ~prev_log_index ~prev_log_term ~entries
+        ~leader_commit reply
+  | _ -> ()
+
+let propose t command =
+  if t.role <> Leader then false
+  else begin
+    t.log <- Array.append t.log [| { term = t.current_term; command = Some command } |];
+    broadcast_appends t;
+    (* Single-node groups commit immediately. *)
+    advance_commit t;
+    true
+  end
+
+let create ~net ~id ~peers ?(heartbeat_period = 50_000) ?(election_timeout_min = 150_000)
+    ?(election_timeout_max = 300_000) ?(on_apply = fun ~index:_ ~command:_ -> ()) () =
+  let engine = Dsim.Network.engine net in
+  {
+    id;
+    peers;
+    net;
+    rng = Dsim.Rng.split (Dsim.Engine.rng engine);
+    heartbeat_period;
+    election_timeout_min;
+    election_timeout_max;
+    on_apply;
+    current_term = 0;
+    voted_for = None;
+    log = [||];
+    role = Follower;
+    commit_index = 0;
+    last_applied = 0;
+    leader_hint = None;
+    election_deadline = 0;
+    votes = [];
+    next_index = Hashtbl.create 8;
+    match_index = Hashtbl.create 8;
+  }
+
+let start t =
+  Dsim.Network.register t.net t.id ~serve:(serve t) ();
+  Dsim.Network.set_lifecycle t.net t.id
+    ~on_crash:(fun () ->
+      (* Stable storage keeps term/vote/log; leadership and progress
+         trackers are volatile. The applied index also survives: the state
+         machine is persisted alongside the log in this model. *)
+      t.role <- Follower;
+      t.votes <- [];
+      t.leader_hint <- None)
+    ~on_restart:(fun () ->
+      Dsim.Network.register t.net t.id ~serve:(serve t) ();
+      reset_election_deadline t);
+  reset_election_deadline t;
+  (* One driving timer: leaders beat, others watch for election timeout. *)
+  Dsim.Engine.every (engine t) ~period:t.heartbeat_period (fun () ->
+      if Dsim.Network.is_up t.net t.id then begin
+        match t.role with
+        | Leader -> broadcast_appends t
+        | Follower | Candidate -> if now t >= t.election_deadline then start_election t
+      end;
+      true)

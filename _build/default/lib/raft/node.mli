@@ -1,0 +1,73 @@
+(** Raft-lite: leader election and replicated log over the simulated
+    network.
+
+    The paper's data-store tier is "a centralized, strongly-consistent
+    data store, built out of a small cluster of nodes (typically one to
+    nine)" — this module is that substrate: enough Raft to replicate a
+    command log with the standard safety arguments (election safety, log
+    matching, leader completeness) under crashes and partitions, driven
+    entirely by the deterministic engine.
+
+    Simplifications relative to full Raft: no snapshots/compaction, no
+    membership changes, no read-index protocol (clients read through
+    committed application). Persistent state (term, vote, log) survives
+    crashes, as stable storage would; volatile state does not.
+
+    Note that a partial history H' in the paper's sense is *not* a
+    replica's unreplicated suffix — H only contains committed entries;
+    this module is what manufactures that committed H. *)
+
+type entry = { term : int; command : string option }
+(** [command = None] is an internal no-op: appended by every new leader
+    so entries from earlier terms become committable (Raft §8's
+    recommendation); no-ops are never passed to [on_apply]. *)
+
+type role = Follower | Candidate | Leader
+
+val role_to_string : role -> string
+
+type t
+
+val create :
+  net:Dsim.Network.t ->
+  id:string ->
+  peers:string list ->
+  ?heartbeat_period:int ->
+  ?election_timeout_min:int ->
+  ?election_timeout_max:int ->
+  ?on_apply:(index:int -> command:string -> unit) ->
+  unit ->
+  t
+(** [peers] excludes [id]. Defaults: heartbeats every 50 ms, election
+    timeouts uniform in [150, 300] ms. [on_apply] fires exactly once per
+    committed entry, in log order. *)
+
+val start : t -> unit
+(** Registers RPC handlers and timers; installs crash/restart hooks
+    (crash preserves term/vote/log, resets volatile state). *)
+
+val id : t -> string
+
+val role : t -> role
+
+val term : t -> int
+
+val is_leader : t -> bool
+
+val leader_hint : t -> string option
+(** Where this node believes the leader is (from the last valid
+    AppendEntries). *)
+
+val propose : t -> string -> bool
+(** Appends a command to the local log if this node currently believes it
+    is leader; returns [false] otherwise (the caller retries elsewhere).
+    Commitment is asynchronous — watch [on_apply]. *)
+
+val log_length : t -> int
+
+val commit_index : t -> int
+
+val last_applied : t -> int
+
+val log_entries : t -> entry list
+(** Oldest first (for invariant checks in tests). *)

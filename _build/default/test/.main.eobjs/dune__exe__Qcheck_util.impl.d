@@ -1,0 +1,1 @@
+test/qcheck_util.ml: QCheck_alcotest Random

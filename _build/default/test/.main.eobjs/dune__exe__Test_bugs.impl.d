@@ -1,0 +1,1 @@
+test/test_bugs.ml: Alcotest History List Printf Sieve

@@ -1,0 +1,1 @@
+test/test_causality.ml: Alcotest Causality History List QCheck Qcheck_util

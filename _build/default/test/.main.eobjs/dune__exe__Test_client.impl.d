@@ -1,0 +1,1 @@
+test/test_client.ml: Alcotest Dsim Etcdlike Kube List Option

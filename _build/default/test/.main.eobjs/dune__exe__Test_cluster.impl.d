@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Dsim History Kube List Printf

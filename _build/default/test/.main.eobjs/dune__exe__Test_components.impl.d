@@ -1,0 +1,1 @@
+test/test_components.ml: Alcotest Dsim History Kube List Option Printf String

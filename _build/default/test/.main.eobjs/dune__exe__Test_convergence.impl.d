@@ -1,0 +1,1 @@
+test/test_convergence.ml: Dsim Format History Int64 Kube List Printf QCheck Qcheck_util Sieve String

@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest History Kube List Printf Sieve String

@@ -1,0 +1,1 @@
+test/test_deployment.ml: Alcotest Dsim History Kube List Option Printf String

@@ -1,0 +1,1 @@
+test/test_divergence.ml: Alcotest Divergence History List Printf

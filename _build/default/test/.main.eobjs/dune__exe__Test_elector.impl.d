@@ -1,0 +1,1 @@
+test/test_elector.ml: Alcotest Dsim History Kube List Printf String

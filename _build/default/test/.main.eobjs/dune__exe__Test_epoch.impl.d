@@ -1,0 +1,1 @@
+test/test_epoch.ml: Alcotest Epoch Event Gen History List Printf QCheck Qcheck_util

@@ -1,0 +1,1 @@
+test/test_event_state.ml: Alcotest Event Gen History List Printf QCheck Qcheck_util State

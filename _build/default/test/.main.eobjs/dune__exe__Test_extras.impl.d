@@ -1,0 +1,1 @@
+test/test_extras.ml: Alcotest Array Kube List Printf Sieve

@@ -1,0 +1,1 @@
+test/test_hbase.ml: Alcotest Dsim Etcdlike Hbaselike List Printf

@@ -1,0 +1,1 @@
+test/test_informer.ml: Alcotest Dsim Etcdlike History Kube List Printf

@@ -1,0 +1,1 @@
+test/test_intercept.ml: Alcotest Dsim Format History Kube List Sieve

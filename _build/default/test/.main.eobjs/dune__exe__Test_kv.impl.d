@@ -1,0 +1,1 @@
+test/test_kv.ml: Alcotest Etcdlike Gen History List Printf QCheck Qcheck_util

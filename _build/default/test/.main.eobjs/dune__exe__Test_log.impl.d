@@ -1,0 +1,1 @@
+test/test_log.ml: Alcotest Event History List Log Printf QCheck Qcheck_util State

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Dsim Gen List QCheck Qcheck_util

@@ -1,0 +1,1 @@
+test/test_node_controller.ml: Alcotest Dsim History Kube List Option Sieve

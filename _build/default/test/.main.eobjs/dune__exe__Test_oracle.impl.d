@@ -1,0 +1,1 @@
+test/test_oracle.ml: Alcotest History Kube List Sieve String

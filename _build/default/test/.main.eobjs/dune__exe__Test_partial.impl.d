@@ -1,0 +1,1 @@
+test/test_partial.ml: Alcotest Event History List Partial QCheck Qcheck_util State

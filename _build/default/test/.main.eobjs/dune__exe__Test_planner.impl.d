@@ -1,0 +1,1 @@
+test/test_planner.ml: Alcotest History Kube List Sieve String

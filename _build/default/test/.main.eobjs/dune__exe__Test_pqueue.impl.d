@@ -1,0 +1,1 @@
+test/test_pqueue.ml: Alcotest Dsim Gen List QCheck Qcheck_util

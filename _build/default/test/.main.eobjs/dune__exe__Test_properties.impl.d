@@ -1,0 +1,1 @@
+test/test_properties.ml: Dsim Hashtbl History Int64 Kube List QCheck Qcheck_util

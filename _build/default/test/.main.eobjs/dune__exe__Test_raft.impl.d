@@ -1,0 +1,1 @@
+test/test_raft.ml: Alcotest Dsim Int64 List Option Printf QCheck Qcheck_util Raftlite String

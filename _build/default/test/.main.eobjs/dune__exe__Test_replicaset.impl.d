@@ -1,0 +1,1 @@
+test/test_replicaset.ml: Alcotest Dsim History Kube List Option Printf Sieve String

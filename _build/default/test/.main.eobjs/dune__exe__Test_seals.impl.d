@@ -1,0 +1,1 @@
+test/test_seals.ml: Alcotest Kube List Option Sieve

@@ -1,0 +1,1 @@
+test/test_servers.ml: Alcotest Dsim Etcdlike History Kube List Printf

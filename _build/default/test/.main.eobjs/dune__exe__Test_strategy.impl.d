@@ -1,0 +1,1 @@
+test/test_strategy.ml: Alcotest Dsim History Kube List Sieve

@@ -1,0 +1,1 @@
+test/test_view.ml: Alcotest Event Gen History List QCheck Qcheck_util State View

@@ -1,0 +1,1 @@
+test/test_watch.ml: Alcotest Etcdlike History List Printf

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Dsim History Kube List String

@@ -1,0 +1,107 @@
+(* Vector clocks: the happens-before lattice. *)
+
+open History
+
+let tick actor clock = Causality.tick clock ~actor
+
+let before_after () =
+  let a = Causality.empty |> tick "x" in
+  let b = a |> tick "x" in
+  Alcotest.(check bool) "a <= b" true (Causality.leq a b);
+  Alcotest.(check bool) "b </= a" false (Causality.leq b a);
+  (match Causality.relation a b with
+  | Causality.Before -> ()
+  | _ -> Alcotest.fail "expected Before");
+  match Causality.relation b a with
+  | Causality.After -> ()
+  | _ -> Alcotest.fail "expected After"
+
+let concurrent () =
+  let a = Causality.empty |> tick "x" in
+  let b = Causality.empty |> tick "y" in
+  match Causality.relation a b with
+  | Causality.Concurrent -> ()
+  | _ -> Alcotest.fail "expected Concurrent"
+
+let equal () =
+  let a = Causality.empty |> tick "x" |> tick "y" in
+  let b = Causality.empty |> tick "y" |> tick "x" in
+  match Causality.relation a b with
+  | Causality.Equal -> ()
+  | _ -> Alcotest.fail "expected Equal"
+
+let merge_is_lub () =
+  let a = Causality.empty |> tick "x" |> tick "x" in
+  let b = Causality.empty |> tick "y" in
+  let m = Causality.merge a b in
+  Alcotest.(check bool) "a <= m" true (Causality.leq a m);
+  Alcotest.(check bool) "b <= m" true (Causality.leq b m);
+  Alcotest.(check int) "x component" 2 (Causality.get m ~actor:"x");
+  Alcotest.(check int) "y component" 1 (Causality.get m ~actor:"y")
+
+let message_passing_orders () =
+  (* send on x, receive on y: the receive is after the send. *)
+  let send = Causality.empty |> tick "x" in
+  let receive = Causality.merge send Causality.empty |> tick "y" in
+  match Causality.relation send receive with
+  | Causality.Before -> ()
+  | _ -> Alcotest.fail "send happens-before receive"
+
+let stamped_relatedness () =
+  let ca = Causality.empty |> tick "x" in
+  let cb = ca |> tick "x" in
+  let cc = Causality.empty |> tick "y" in
+  let a = { Causality.clock = ca; item = 1 } in
+  let b = { Causality.clock = cb; item = 2 } in
+  let c = { Causality.clock = cc; item = 3 } in
+  Alcotest.(check bool) "related" true (Causality.causally_related a b);
+  Alcotest.(check bool) "unrelated" false (Causality.causally_related a c)
+
+let gen_clock =
+  QCheck.Gen.(
+    map
+      (fun pairs ->
+        List.fold_left
+          (fun clock (actor, n) ->
+            let rec times c = function 0 -> c | k -> times (Causality.tick c ~actor) (k - 1) in
+            times clock n)
+          Causality.empty pairs)
+      (list_size (0 -- 4) (pair (oneofl [ "a"; "b"; "c" ]) (0 -- 3))))
+
+let arb_clock = QCheck.make gen_clock
+
+let qcheck_leq_reflexive =
+  QCheck.Test.make ~name:"leq reflexive" ~count:200 arb_clock (fun c -> Causality.leq c c)
+
+let qcheck_merge_upper_bound =
+  QCheck.Test.make ~name:"merge is an upper bound" ~count:200 (QCheck.pair arb_clock arb_clock)
+    (fun (a, b) ->
+      let m = Causality.merge a b in
+      Causality.leq a m && Causality.leq b m)
+
+let qcheck_relation_antisymmetric =
+  QCheck.Test.make ~name:"Before and After are mutually exclusive" ~count:200
+    (QCheck.pair arb_clock arb_clock) (fun (a, b) ->
+      match Causality.relation a b, Causality.relation b a with
+      | Causality.Before, Causality.After
+      | Causality.After, Causality.Before
+      | Causality.Equal, Causality.Equal
+      | Causality.Concurrent, Causality.Concurrent ->
+          true
+      | _ -> false)
+
+let suites =
+  [
+    ( "causality",
+      [
+        Alcotest.test_case "before/after" `Quick before_after;
+        Alcotest.test_case "concurrent" `Quick concurrent;
+        Alcotest.test_case "equal" `Quick equal;
+        Alcotest.test_case "merge is lub" `Quick merge_is_lub;
+        Alcotest.test_case "message passing orders" `Quick message_passing_orders;
+        Alcotest.test_case "stamped relatedness" `Quick stamped_relatedness;
+        Qcheck_util.to_alcotest qcheck_leq_reflexive;
+        Qcheck_util.to_alcotest qcheck_merge_upper_bound;
+        Qcheck_util.to_alcotest qcheck_relation_antisymmetric;
+      ] );
+  ]

@@ -1,0 +1,130 @@
+(* Self-stabilization property: with every fix enabled, an arbitrary
+   healed fault plan (crashes + partitions) leaves no persistent
+   violation, and once the network is quiet every cache converges back
+   to the ground truth. This is the system-level qcheck: each case is a
+   full cluster run under a random (but seeded, hence reproducible)
+   fault schedule. *)
+
+let fixed_config =
+  {
+    Kube.Cluster.default_config with
+    Kube.Cluster.scheduler_fixed = true;
+    volume_fixed = true;
+    operator_fixed = true;
+    kubelet_monotonic = true;
+    with_replicaset = true;
+    with_node_controller = true;
+    with_deployment = true;
+    replicaset_fixed = true;
+    node_controller_fixed = true;
+  }
+
+let components =
+  [ "kubelet-1"; "kubelet-2"; "kubelet-3"; "scheduler"; "volumectl"; "cassop"; "rsctl";
+    "nodectl"; "depctl"; "api-1"; "api-2" ]
+
+let workload =
+  Kube.Workload.pods_with_claims ~start:1_000_000 ~lifetime:2_000_000 ~n:2 ()
+  @ Kube.Workload.cassandra_scale ~start:1_200_000 ~dc:"dc" ~steps:[ (0, 2) ] ()
+  @ Kube.Workload.replicaset_scale ~start:1_400_000 ~rs:"web" ~steps:[ (0, 2) ] ()
+  @ Kube.Workload.deployment_rollout ~start:1_600_000 ~dep:"front" ~replicas:2 ~generations:2
+      ~gap:2_000_000 ()
+
+let run_under_faults seed =
+  let config = { fixed_config with Kube.Cluster.seed = Int64.of_int (1 + abs seed) } in
+  let cluster = Kube.Cluster.create ~config () in
+  let oracle = Sieve.Oracle.attach cluster in
+  let plan_rng = Dsim.Rng.create (Int64.of_int (97 * (1 + abs seed))) in
+  let plan =
+    Dsim.Fault.random_plan plan_rng ~nodes:components ~horizon:4_000_000 ~crashes:2
+      ~partitions:2 ~min_downtime:100_000 ~max_downtime:800_000 ()
+  in
+  Kube.Cluster.start cluster;
+  Kube.Workload.schedule cluster workload;
+  Dsim.Fault.apply (Kube.Cluster.net cluster) plan;
+  (* Belt and braces: everything heals, then a long quiet tail. *)
+  ignore
+    (Dsim.Engine.schedule_at (Kube.Cluster.engine cluster) ~time:5_000_000 (fun () ->
+         Dsim.Network.heal_all (Kube.Cluster.net cluster);
+         List.iter (fun c -> Dsim.Network.restart (Kube.Cluster.net cluster) c) components));
+  Kube.Cluster.run cluster ~until:14_000_000;
+  (cluster, oracle, plan)
+
+let pp_plan plan = Format.asprintf "%a" Dsim.Fault.pp_plan plan
+
+let no_persistent_violations =
+  QCheck.Test.make ~name:"all fixes on: healed faults leave no violation" ~count:15
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let _, oracle, plan = run_under_faults seed in
+      if Sieve.Oracle.violated oracle then
+        QCheck.Test.fail_reportf "violations under plan:@.%s@.%s" (pp_plan plan)
+          (String.concat "\n"
+             (List.map (fun (_, v) -> Sieve.Oracle.describe v) (Sieve.Oracle.violations oracle)))
+      else true)
+
+let caches_converge =
+  QCheck.Test.make ~name:"all fixes on: caches converge after quiet period" ~count:15
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let cluster, _, plan = run_under_faults seed in
+      let rev = Kube.Cluster.truth_rev cluster in
+      let lagging =
+        List.filter_map
+          (fun api ->
+            if Kube.Apiserver.rev api < rev then
+              Some (Printf.sprintf "%s at %d < %d" (Kube.Apiserver.name api)
+                      (Kube.Apiserver.rev api) rev)
+            else None)
+          (Kube.Cluster.apiservers cluster)
+      in
+      if lagging <> [] then
+        QCheck.Test.fail_reportf "stale apiservers %s under plan:@.%s"
+          (String.concat ", " lagging) (pp_plan plan)
+      else true)
+
+let execution_matches_truth =
+  QCheck.Test.make ~name:"all fixes on: kubelets run exactly the bound pods" ~count:15
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let cluster, _, plan = run_under_faults seed in
+      let truth = Kube.Cluster.truth cluster in
+      let expected_for node =
+        History.State.fold
+          (fun _ (v, _) acc ->
+            match v with
+            | Kube.Resource.Pod p
+              when p.Kube.Resource.node = Some node
+                   && p.Kube.Resource.deletion_timestamp = None
+                   && p.Kube.Resource.phase <> Kube.Resource.Failed
+                   && p.Kube.Resource.phase <> Kube.Resource.Succeeded ->
+                p.Kube.Resource.pod_name :: acc
+            | _ -> acc)
+          truth []
+        |> List.sort String.compare
+      in
+      let mismatches =
+        List.filter_map
+          (fun k ->
+            let want = expected_for (Kube.Kubelet.node_name k) in
+            let got = Kube.Kubelet.running k in
+            if want <> got then
+              Some (Printf.sprintf "%s wants [%s] got [%s]" (Kube.Kubelet.name k)
+                      (String.concat "," want) (String.concat "," got))
+            else None)
+          (Kube.Cluster.kubelets cluster)
+      in
+      if mismatches <> [] then
+        QCheck.Test.fail_reportf "execution drift: %s@.plan:@.%s"
+          (String.concat "; " mismatches) (pp_plan plan)
+      else true)
+
+let suites =
+  [
+    ( "convergence",
+      [
+        Qcheck_util.to_alcotest no_persistent_violations;
+        Qcheck_util.to_alcotest caches_converge;
+        Qcheck_util.to_alcotest execution_matches_truth;
+      ] );
+  ]

@@ -1,0 +1,59 @@
+(* Divergence series statistics. *)
+
+open History
+
+let record_series d specs =
+  List.iter (fun (time, truth, view) -> Divergence.record d ~time ~truth_rev:truth ~view_rev:view) specs
+
+let lag_statistics () =
+  let d = Divergence.create () in
+  record_series d [ (0, 10, 10); (1, 20, 15); (2, 30, 20); (3, 30, 30) ];
+  Alcotest.(check int) "max lag" 10 (Divergence.max_lag d);
+  Alcotest.(check (float 0.001)) "mean lag" 3.75 (Divergence.mean_lag d);
+  Alcotest.(check (float 0.001)) "stale fraction" 0.5 (Divergence.stale_fraction d)
+
+let empty_series () =
+  let d = Divergence.create () in
+  Alcotest.(check int) "max" 0 (Divergence.max_lag d);
+  Alcotest.(check (float 0.0)) "mean" 0.0 (Divergence.mean_lag d);
+  Alcotest.(check (float 0.0)) "fraction" 0.0 (Divergence.stale_fraction d)
+
+let view_never_behind () =
+  let d = Divergence.create () in
+  record_series d [ (0, 5, 9) ];
+  Alcotest.(check int) "lag clamped at 0" 0 (Divergence.max_lag d)
+
+let time_travel_points_found () =
+  let d = Divergence.create () in
+  (* View revision drops from 20 to 12 at t=2 — a restart onto a stale
+     source (Figure 3b). *)
+  record_series d [ (0, 10, 10); (1, 20, 20); (2, 21, 12); (3, 22, 22) ];
+  match Divergence.time_travel_points d with
+  | [ p ] ->
+      Alcotest.(check int) "at t=2" 2 p.Divergence.time;
+      Alcotest.(check int) "view rev 12" 12 p.Divergence.view_rev
+  | other -> Alcotest.fail (Printf.sprintf "expected 1 point, got %d" (List.length other))
+
+let monotone_series_has_no_travel () =
+  let d = Divergence.create () in
+  record_series d [ (0, 1, 1); (1, 2, 2); (2, 3, 3) ];
+  Alcotest.(check int) "none" 0 (List.length (Divergence.time_travel_points d))
+
+let samples_in_order () =
+  let d = Divergence.create () in
+  record_series d [ (5, 1, 1); (6, 2, 2) ];
+  Alcotest.(check (list int)) "chronological" [ 5; 6 ]
+    (List.map (fun s -> s.Divergence.time) (Divergence.samples d))
+
+let suites =
+  [
+    ( "divergence",
+      [
+        Alcotest.test_case "lag statistics" `Quick lag_statistics;
+        Alcotest.test_case "empty series" `Quick empty_series;
+        Alcotest.test_case "view ahead clamps to 0" `Quick view_never_behind;
+        Alcotest.test_case "time travel points found" `Quick time_travel_points_found;
+        Alcotest.test_case "monotone series has no travel" `Quick monotone_series_has_no_travel;
+        Alcotest.test_case "samples in order" `Quick samples_in_order;
+      ] );
+  ]

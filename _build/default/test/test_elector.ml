@@ -1,0 +1,133 @@
+(* Lease-based leader election: exclusivity, failover cost, safe belief
+   handoff. *)
+
+let setup ?(candidates = 2) ?(ttl = 1_000_000) () =
+  let config = { Kube.Cluster.default_config with Kube.Cluster.with_operator = false } in
+  let cluster = Kube.Cluster.create ~config () in
+  Kube.Cluster.start cluster;
+  let electors =
+    List.init candidates (fun i ->
+        Kube.Elector.create
+          ~net:(Kube.Cluster.net cluster)
+          ~name:(Printf.sprintf "cand-%d" (i + 1))
+          ~lock:"controller" ~endpoints:(Kube.Cluster.apiserver_names cluster) ~ttl ())
+  in
+  List.iter Kube.Elector.start electors;
+  (cluster, electors)
+
+let believers electors = List.filter Kube.Elector.believes_leader electors
+
+let run_to cluster t = Kube.Cluster.run cluster ~until:t
+
+let single_candidate_elected () =
+  let cluster, electors = setup ~candidates:1 () in
+  run_to cluster 2_000_000;
+  Alcotest.(check int) "leader" 1 (List.length (believers electors));
+  (* Lock object visible in the store. *)
+  match History.State.get (Kube.Cluster.truth cluster) (Kube.Resource.lock_key "controller") with
+  | Some (Kube.Resource.Lock l) ->
+      Alcotest.(check string) "holder" "cand-1" l.Kube.Resource.holder
+  | _ -> Alcotest.fail "lock object missing"
+
+let exclusive_leadership () =
+  let cluster, electors = setup ~candidates:3 () in
+  run_to cluster 3_000_000;
+  Alcotest.(check int) "exactly one believer" 1 (List.length (believers electors))
+
+let renewal_keeps_leadership () =
+  let cluster, electors = setup ~candidates:2 ~ttl:500_000 () in
+  run_to cluster 5_000_000;
+  (* Leadership never changed hands in a calm run despite a short TTL. *)
+  let total_transitions =
+    List.fold_left (fun acc e -> acc + List.length (Kube.Elector.transitions e)) 0 electors
+  in
+  Alcotest.(check int) "one election total" 1 total_transitions
+
+let crash_failover_within_ttl () =
+  let ttl = 1_000_000 in
+  let cluster, electors = setup ~candidates:2 ~ttl () in
+  run_to cluster 2_000_000;
+  let leader = List.hd (believers electors) in
+  let crash_at = 2_000_000 in
+  Dsim.Network.crash (Kube.Cluster.net cluster) (Kube.Elector.name leader);
+  run_to cluster 8_000_000;
+  let standby =
+    List.find (fun e -> not (String.equal (Kube.Elector.name e) (Kube.Elector.name leader)))
+      electors
+  in
+  Alcotest.(check bool) "standby took over" true (Kube.Elector.believes_leader standby);
+  match List.find_opt snd (Kube.Elector.transitions standby) with
+  | Some (at, _) ->
+      let takeover = at - crash_at in
+      Alcotest.(check bool)
+        (Printf.sprintf "takeover %dms blocked by lease term" (takeover / 1000))
+        true
+        (takeover >= ttl / 2 && takeover <= (3 * ttl) + 500_000)
+  | None -> Alcotest.fail "standby never elected"
+
+let graceful_stop_is_fast () =
+  let ttl = 2_000_000 in
+  let cluster, electors = setup ~candidates:2 ~ttl () in
+  run_to cluster 2_500_000;
+  let leader = List.hd (believers electors) in
+  let resigned_at = 2_500_000 in
+  Kube.Elector.stop leader;
+  run_to cluster 4_500_000;
+  let standby =
+    List.find (fun e -> not (String.equal (Kube.Elector.name e) (Kube.Elector.name leader)))
+      electors
+  in
+  Alcotest.(check bool) "standby took over" true (Kube.Elector.believes_leader standby);
+  match List.find_opt snd (Kube.Elector.transitions standby) with
+  | Some (at, _) ->
+      Alcotest.(check bool) "takeover well under the TTL" true (at - resigned_at < ttl)
+  | None -> Alcotest.fail "standby never elected"
+
+(* The paper's lease trade-off: a partitioned leader's *belief* dies at
+   its local deadline, at or before the store-side expiry — so beliefs
+   never overlap — but the lock stays blocked for up to a TTL. *)
+let beliefs_never_overlap_under_partition () =
+  let ttl = 1_000_000 in
+  let cluster, electors = setup ~candidates:2 ~ttl () in
+  run_to cluster 2_000_000;
+  let leader = List.hd (believers electors) in
+  let net = Kube.Cluster.net cluster in
+  (* Cut the leader from both apiservers: renewals stop, belief times out. *)
+  List.iter
+    (fun api -> Dsim.Network.partition net (Kube.Elector.name leader) api)
+    (Kube.Cluster.apiserver_names cluster);
+  run_to cluster 9_000_000;
+  let standby =
+    List.find (fun e -> not (String.equal (Kube.Elector.name e) (Kube.Elector.name leader)))
+      electors
+  in
+  Alcotest.(check bool) "old leader stepped down" false (Kube.Elector.believes_leader leader);
+  Alcotest.(check bool) "standby leads" true (Kube.Elector.believes_leader standby);
+  let lost_at =
+    List.find_map (fun (at, gained) -> if gained then None else Some at)
+      (Kube.Elector.transitions leader)
+  in
+  let gained_at = List.find_map (fun (at, gained) -> if gained then Some at else None)
+      (Kube.Elector.transitions standby)
+  in
+  match lost_at, gained_at with
+  | Some lost, Some gained ->
+      Alcotest.(check bool)
+        (Printf.sprintf "belief handoff safe (lost %dms <= gained %dms)" (lost / 1000)
+           (gained / 1000))
+        true (lost <= gained)
+  | _ -> Alcotest.fail "missing transitions"
+
+let suites =
+  [
+    ( "elector",
+      [
+        Alcotest.test_case "single candidate elected" `Quick single_candidate_elected;
+        Alcotest.test_case "exclusive leadership" `Quick exclusive_leadership;
+        Alcotest.test_case "renewal keeps leadership" `Quick renewal_keeps_leadership;
+        Alcotest.test_case "crash failover within lease term" `Quick crash_failover_within_ttl;
+        Alcotest.test_case "graceful stop is fast" `Quick graceful_stop_is_fast;
+        Alcotest.test_case "beliefs never overlap under partition" `Quick
+          beliefs_never_overlap_under_partition;
+      ] );
+  ]

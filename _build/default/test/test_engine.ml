@@ -1,0 +1,134 @@
+(* Virtual clock and event-loop semantics. *)
+
+let runs_in_time_order () =
+  let e = Dsim.Engine.create () in
+  let log = ref [] in
+  let note tag () = log := tag :: !log in
+  ignore (Dsim.Engine.schedule e ~delay:300 (note "c"));
+  ignore (Dsim.Engine.schedule e ~delay:100 (note "a"));
+  ignore (Dsim.Engine.schedule e ~delay:200 (note "b"));
+  Dsim.Engine.run e;
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !log)
+
+let clock_advances_to_event_time () =
+  let e = Dsim.Engine.create () in
+  let seen = ref (-1) in
+  ignore (Dsim.Engine.schedule e ~delay:5_000 (fun () -> seen := Dsim.Engine.now e));
+  Dsim.Engine.run e;
+  Alcotest.(check int) "now at fire time" 5_000 !seen
+
+let same_time_fifo () =
+  let e = Dsim.Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Dsim.Engine.schedule e ~delay:100 (fun () -> log := i :: !log))
+  done;
+  Dsim.Engine.run e;
+  Alcotest.(check (list int)) "fifo for equal timestamps" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let cancel_prevents_fire () =
+  let e = Dsim.Engine.create () in
+  let fired = ref false in
+  let timer = Dsim.Engine.schedule e ~delay:10 (fun () -> fired := true) in
+  Dsim.Engine.cancel timer;
+  Dsim.Engine.run e;
+  Alcotest.(check bool) "not fired" false !fired
+
+let run_until_stops () =
+  let e = Dsim.Engine.create () in
+  let count = ref 0 in
+  ignore (Dsim.Engine.schedule e ~delay:100 (fun () -> incr count));
+  ignore (Dsim.Engine.schedule e ~delay:200 (fun () -> incr count));
+  ignore (Dsim.Engine.schedule e ~delay:900 (fun () -> incr count));
+  Dsim.Engine.run ~until:500 e;
+  Alcotest.(check int) "two of three fired" 2 !count;
+  Alcotest.(check int) "clock at horizon" 500 (Dsim.Engine.now e);
+  Dsim.Engine.run ~until:1_000 e;
+  Alcotest.(check int) "third fired on resume" 3 !count
+
+let events_at_horizon_fire () =
+  let e = Dsim.Engine.create () in
+  let fired = ref false in
+  ignore (Dsim.Engine.schedule e ~delay:500 (fun () -> fired := true));
+  Dsim.Engine.run ~until:500 e;
+  Alcotest.(check bool) "boundary event fires" true !fired
+
+let nested_scheduling () =
+  let e = Dsim.Engine.create () in
+  let times = ref [] in
+  ignore
+    (Dsim.Engine.schedule e ~delay:10 (fun () ->
+         ignore
+           (Dsim.Engine.schedule e ~delay:10 (fun () -> times := Dsim.Engine.now e :: !times))));
+  Dsim.Engine.run e;
+  Alcotest.(check (list int)) "fires at 20" [ 20 ] !times
+
+let schedule_in_past_clamps () =
+  let e = Dsim.Engine.create () in
+  ignore (Dsim.Engine.schedule e ~delay:100 (fun () -> ()));
+  Dsim.Engine.run e;
+  let fired_at = ref (-1) in
+  ignore (Dsim.Engine.schedule_at e ~time:5 (fun () -> fired_at := Dsim.Engine.now e));
+  Dsim.Engine.run e;
+  Alcotest.(check int) "clamped to now" 100 !fired_at
+
+let every_repeats_until_false () =
+  let e = Dsim.Engine.create () in
+  let count = ref 0 in
+  Dsim.Engine.every e ~period:100 (fun () ->
+      incr count;
+      !count < 5);
+  Dsim.Engine.run e;
+  Alcotest.(check int) "five ticks" 5 !count
+
+let max_events_bounds_run () =
+  let e = Dsim.Engine.create () in
+  let count = ref 0 in
+  Dsim.Engine.every e ~period:10 (fun () ->
+      incr count;
+      true);
+  Dsim.Engine.run ~max_events:7 e;
+  Alcotest.(check int) "bounded" 7 !count
+
+let trace_records_at_now () =
+  let e = Dsim.Engine.create () in
+  ignore
+    (Dsim.Engine.schedule e ~delay:42 (fun () ->
+         Dsim.Engine.record e ~actor:"me" ~kind:"k" "detail"));
+  Dsim.Engine.run e;
+  match Dsim.Trace.entries (Dsim.Engine.trace e) with
+  | [ entry ] ->
+      Alcotest.(check int) "time" 42 entry.Dsim.Trace.time;
+      Alcotest.(check string) "actor" "me" entry.Dsim.Trace.actor
+  | other -> Alcotest.fail (Printf.sprintf "expected 1 entry, got %d" (List.length other))
+
+let deterministic_replay () =
+  let run () =
+    let e = Dsim.Engine.create ~seed:99L () in
+    let log = ref [] in
+    Dsim.Engine.every e ~period:10 (fun () ->
+        log := Dsim.Rng.int (Dsim.Engine.rng e) 1000 :: !log;
+        List.length !log < 20);
+    Dsim.Engine.run e;
+    !log
+  in
+  Alcotest.(check (list int)) "replay identical" (run ()) (run ())
+
+let suites =
+  [
+    ( "engine",
+      [
+        Alcotest.test_case "runs in time order" `Quick runs_in_time_order;
+        Alcotest.test_case "clock advances to event time" `Quick clock_advances_to_event_time;
+        Alcotest.test_case "same time fifo" `Quick same_time_fifo;
+        Alcotest.test_case "cancel prevents fire" `Quick cancel_prevents_fire;
+        Alcotest.test_case "run ~until stops and resumes" `Quick run_until_stops;
+        Alcotest.test_case "events at horizon fire" `Quick events_at_horizon_fire;
+        Alcotest.test_case "nested scheduling" `Quick nested_scheduling;
+        Alcotest.test_case "schedule in past clamps to now" `Quick schedule_in_past_clamps;
+        Alcotest.test_case "every repeats until false" `Quick every_repeats_until_false;
+        Alcotest.test_case "max_events bounds run" `Quick max_events_bounds_run;
+        Alcotest.test_case "trace records at now" `Quick trace_records_at_now;
+        Alcotest.test_case "deterministic replay" `Quick deterministic_replay;
+      ] );
+  ]

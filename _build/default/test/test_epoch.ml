@@ -1,0 +1,111 @@
+(* Epoch-bounded delivery: frontier arithmetic and all-or-nothing
+   batching (the Section 6.2 programming model). *)
+
+open History
+
+let ev rev = Event.make ~rev ~key:(Printf.sprintf "k%d" rev) ~op:Event.Create (Some rev)
+
+let epoch_arithmetic () =
+  Alcotest.(check int) "rev 1 -> epoch 0" 0 (Epoch.epoch_of ~granularity:5 ~rev:1);
+  Alcotest.(check int) "rev 5 -> epoch 0" 0 (Epoch.epoch_of ~granularity:5 ~rev:5);
+  Alcotest.(check int) "rev 6 -> epoch 1" 1 (Epoch.epoch_of ~granularity:5 ~rev:6);
+  Alcotest.(check int) "epoch 1 ends at 10" 10 (Epoch.epoch_end ~granularity:5 ~epoch:1);
+  Alcotest.(check int) "frontier at head 12" 10
+    (Epoch.deliverable_frontier ~granularity:5 ~head_rev:12);
+  Alcotest.(check int) "frontier at head 4" 0
+    (Epoch.deliverable_frontier ~granularity:5 ~head_rev:4)
+
+let invalid_granularity () =
+  Alcotest.check_raises "zero granularity"
+    (Invalid_argument "Epoch.epoch_of: granularity must be positive") (fun () ->
+      ignore (Epoch.epoch_of ~granularity:0 ~rev:1))
+
+let batches_whole_epochs_in_order () =
+  let batches = ref [] in
+  let b = Epoch.create ~granularity:3 ~deliver:(fun batch -> batches := batch :: !batches) in
+  List.iter (fun rev -> Epoch.offer b (ev rev)) [ 2; 1; 3 ];
+  Alcotest.(check int) "one batch" 1 (List.length !batches);
+  (match !batches with
+  | [ batch ] ->
+      Alcotest.(check (list int)) "ordered 1,2,3" [ 1; 2; 3 ]
+        (List.map (fun (e : int Event.t) -> e.Event.rev) batch)
+  | _ -> assert false);
+  Alcotest.(check int) "frontier 3" 3 (Epoch.delivered_frontier b)
+
+let holds_incomplete_epochs () =
+  let delivered = ref 0 in
+  let b = Epoch.create ~granularity:3 ~deliver:(fun batch -> delivered := !delivered + List.length batch) in
+  Epoch.offer b (ev 1);
+  Epoch.offer b (ev 3);
+  Alcotest.(check int) "nothing delivered" 0 !delivered;
+  Alcotest.(check int) "buffered 2" 2 (Epoch.buffered b);
+  Epoch.offer b (ev 2);
+  Alcotest.(check int) "whole epoch out" 3 !delivered;
+  Alcotest.(check int) "buffer drained" 0 (Epoch.buffered b)
+
+let consecutive_epochs_cascade () =
+  let batches = ref [] in
+  let b = Epoch.create ~granularity:2 ~deliver:(fun batch -> batches := batch :: !batches) in
+  (* Fill epoch 1 fully before epoch 0 completes. *)
+  List.iter (fun rev -> Epoch.offer b (ev rev)) [ 3; 4; 2 ];
+  Alcotest.(check int) "still waiting on rev 1" 0 (List.length !batches);
+  Epoch.offer b (ev 1);
+  Alcotest.(check int) "both epochs cascade" 2 (List.length !batches);
+  Alcotest.(check int) "frontier 4" 4 (Epoch.delivered_frontier b)
+
+let duplicates_ignored () =
+  let count = ref 0 in
+  let b = Epoch.create ~granularity:2 ~deliver:(fun batch -> count := !count + List.length batch) in
+  Epoch.offer b (ev 1);
+  Epoch.offer b (ev 1);
+  Epoch.offer b (ev 2);
+  Epoch.offer b (ev 2);
+  Alcotest.(check int) "each rev once" 2 !count
+
+let late_events_from_delivered_epochs_ignored () =
+  let count = ref 0 in
+  let b = Epoch.create ~granularity:2 ~deliver:(fun batch -> count := !count + List.length batch) in
+  List.iter (fun rev -> Epoch.offer b (ev rev)) [ 1; 2 ];
+  Epoch.offer b (ev 1);
+  Alcotest.(check int) "replay ignored" 2 !count
+
+let qcheck_delivery_multiple_of_granularity =
+  QCheck.Test.make ~name:"frontier is always a multiple of granularity" ~count:200
+    QCheck.(pair (int_range 1 7) (list_of_size Gen.(0 -- 40) (int_range 1 40)))
+    (fun (g, revs) ->
+      let b = Epoch.create ~granularity:g ~deliver:(fun _ -> ()) in
+      List.iter (fun rev -> Epoch.offer b (ev rev)) revs;
+      Epoch.delivered_frontier b mod g = 0)
+
+let qcheck_no_partial_epoch_delivered =
+  QCheck.Test.make ~name:"every delivered batch is one complete epoch" ~count:200
+    QCheck.(pair (int_range 1 6) (list_of_size Gen.(0 -- 40) (int_range 1 30)))
+    (fun (g, revs) ->
+      let ok = ref true in
+      let b =
+        Epoch.create ~granularity:g ~deliver:(fun batch ->
+            let rs = List.map (fun (e : int Event.t) -> e.Event.rev) batch in
+            match rs with
+            | [] -> ok := false
+            | first :: _ ->
+                let expected = List.init g (fun i -> first + i) in
+                if rs <> expected || (first - 1) mod g <> 0 then ok := false)
+      in
+      List.iter (fun rev -> Epoch.offer b (ev rev)) revs;
+      !ok)
+
+let suites =
+  [
+    ( "epoch",
+      [
+        Alcotest.test_case "epoch arithmetic" `Quick epoch_arithmetic;
+        Alcotest.test_case "invalid granularity" `Quick invalid_granularity;
+        Alcotest.test_case "batches whole epochs in order" `Quick batches_whole_epochs_in_order;
+        Alcotest.test_case "holds incomplete epochs" `Quick holds_incomplete_epochs;
+        Alcotest.test_case "consecutive epochs cascade" `Quick consecutive_epochs_cascade;
+        Alcotest.test_case "duplicates ignored" `Quick duplicates_ignored;
+        Alcotest.test_case "late replays ignored" `Quick late_events_from_delivered_epochs_ignored;
+        Qcheck_util.to_alcotest qcheck_delivery_multiple_of_granularity;
+        Qcheck_util.to_alcotest qcheck_no_partial_epoch_delivered;
+      ] );
+  ]

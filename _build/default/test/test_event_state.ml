@@ -1,0 +1,110 @@
+(* Events and materialized state, including the Figure 3c cancellation
+   property of State.diff. *)
+
+open History
+
+let ev rev key op value = Event.make ~rev ~key ~op value
+
+let apply_events events = List.fold_left State.apply State.empty events
+
+let create_then_find () =
+  let s = apply_events [ ev 1 "k" Event.Create (Some "v1") ] in
+  Alcotest.(check (option (pair string int))) "value and rev" (Some ("v1", 1)) (State.find s "k");
+  Alcotest.(check int) "state rev" 1 (State.rev s)
+
+let update_replaces () =
+  let s = apply_events [ ev 1 "k" Event.Create (Some "a"); ev 2 "k" Event.Update (Some "b") ] in
+  Alcotest.(check (option string)) "updated" (Some "b") (State.get s "k");
+  Alcotest.(check int) "rev advanced" 2 (State.rev s)
+
+let delete_removes () =
+  let s = apply_events [ ev 1 "k" Event.Create (Some "a"); ev 2 "k" Event.Delete None ] in
+  Alcotest.(check bool) "gone" false (State.mem s "k");
+  Alcotest.(check int) "rev still advances" 2 (State.rev s)
+
+let delete_absent_tolerated () =
+  let s = apply_events [ ev 1 "k" Event.Delete None ] in
+  Alcotest.(check int) "cardinal" 0 (State.cardinal s)
+
+let prefix_query () =
+  let s =
+    apply_events
+      [
+        ev 1 "pods/a" Event.Create (Some "1");
+        ev 2 "nodes/x" Event.Create (Some "2");
+        ev 3 "pods/b" Event.Create (Some "3");
+      ]
+  in
+  Alcotest.(check (list string)) "pods only" [ "pods/a"; "pods/b" ]
+    (State.keys_with_prefix s ~prefix:"pods/")
+
+let bindings_sorted () =
+  let s = apply_events [ ev 1 "b" Event.Create (Some "2"); ev 2 "a" Event.Create (Some "1") ] in
+  Alcotest.(check (list string)) "sorted keys" [ "a"; "b" ] (State.keys s)
+
+let diff_classifies () =
+  let before =
+    apply_events [ ev 1 "same" Event.Create (Some "x"); ev 2 "gone" Event.Create (Some "y") ]
+  in
+  let after =
+    apply_events
+      [
+        ev 1 "same" Event.Create (Some "x");
+        ev 3 "new" Event.Create (Some "z");
+        ev 4 "same2" Event.Create (Some "w");
+      ]
+  in
+  let after = State.apply after (ev 5 "same2" Event.Update (Some "w2")) in
+  let d = State.diff before after in
+  Alcotest.(check bool) "gone removed" true (List.mem ("gone", `Removed) d);
+  Alcotest.(check bool) "new added" true (List.mem ("new", `Added) d);
+  Alcotest.(check bool) "same absent" false (List.mem_assoc "same" d)
+
+let diff_hides_cancelled_event () =
+  (* e1 (create) is cancelled by e2 (delete) between two observations:
+     the sparse reader's diff is empty — Figure 3c. *)
+  let before = State.empty in
+  let after =
+    apply_events [ ev 1 "ghost" Event.Create (Some "v"); ev 2 "ghost" Event.Delete None ]
+  in
+  Alcotest.(check int) "no observable change" 0 (List.length (State.diff before after))
+
+let pp_op_strings () =
+  Alcotest.(check string) "create" "create" (Event.op_to_string Event.Create);
+  Alcotest.(check string) "update" "update" (Event.op_to_string Event.Update);
+  Alcotest.(check string) "delete" "delete" (Event.op_to_string Event.Delete);
+  Alcotest.(check string) "describe" "@3 delete k" (Event.describe (ev 3 "k" Event.Delete None))
+
+let qcheck_apply_monotone_rev =
+  QCheck.Test.make ~name:"state rev is max applied rev" ~count:200
+    QCheck.(list_of_size Gen.(0 -- 50) (pair (int_range 1 100) (int_range 0 2)))
+    (fun specs ->
+      let events =
+        List.map
+          (fun (rev, op) ->
+            let op =
+              match op with 0 -> Event.Create | 1 -> Event.Update | _ -> Event.Delete
+            in
+            ev rev (Printf.sprintf "k%d" (rev mod 5)) op
+              (if op = Event.Delete then None else Some "v"))
+          specs
+      in
+      let s = apply_events events in
+      State.rev s = List.fold_left (fun acc (e : string Event.t) -> max acc e.Event.rev) 0 events)
+
+let suites =
+  [
+    ( "event/state",
+      [
+        Alcotest.test_case "create then find" `Quick create_then_find;
+        Alcotest.test_case "update replaces" `Quick update_replaces;
+        Alcotest.test_case "delete removes" `Quick delete_removes;
+        Alcotest.test_case "delete absent tolerated" `Quick delete_absent_tolerated;
+        Alcotest.test_case "prefix query" `Quick prefix_query;
+        Alcotest.test_case "bindings sorted" `Quick bindings_sorted;
+        Alcotest.test_case "diff classifies" `Quick diff_classifies;
+        Alcotest.test_case "diff hides cancelled event (Fig 3c)" `Quick diff_hides_cancelled_event;
+        Alcotest.test_case "op rendering" `Quick pp_op_strings;
+        Qcheck_util.to_alcotest qcheck_apply_monotone_rev;
+      ] );
+  ]

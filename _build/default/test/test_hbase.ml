@@ -1,0 +1,168 @@
+(* The second infrastructure: ZooKeeper-style ensemble + HBase-style
+   master and region servers. Same partial-history patterns, different
+   system — the paper's generality claim. *)
+
+let setup ?(replication_lag = 10_000) ?(sync_before_cas = false) ?(relookup = false)
+    ?(servers = 2) () =
+  let engine = Dsim.Engine.create ~seed:13L () in
+  let net = Dsim.Network.create engine in
+  let zk = Hbaselike.Zk.create ~net ~replication_lag () in
+  let master =
+    Hbaselike.Master.create ~net ~name:"master-1" ~zk
+      ~regions:[ "r1"; "r2"; "r3"; "r4" ] ~sync_before_cas ()
+  in
+  let region_servers =
+    List.init servers (fun i ->
+        Hbaselike.Regionserver.create ~net
+          ~name:(Printf.sprintf "rs-%d" (i + 1))
+          ~zk ~relookup_on_failure:relookup ())
+  in
+  Hbaselike.Master.start master;
+  List.iter Hbaselike.Regionserver.start region_servers;
+  (engine, net, zk, master, region_servers)
+
+let run_to engine t = Dsim.Engine.run ~until:t engine
+
+let zk_replicates_with_lag () =
+  let engine = Dsim.Engine.create () in
+  let net = Dsim.Network.create engine in
+  let zk = Hbaselike.Zk.create ~net ~replication_lag:50_000 () in
+  Dsim.Network.register net "client" ~serve:(fun ~src:_ _ _ -> ()) ();
+  let done_ = ref false in
+  Hbaselike.Zk.write zk ~src:"client" ~key:"a" "1" (fun _ -> done_ := true);
+  Dsim.Engine.run ~until:10_000 engine;
+  Alcotest.(check bool) "written" true !done_;
+  (* Follower still behind before the lag elapses... *)
+  Alcotest.(check int) "replica behind" 0 (Hbaselike.Zk.follower_rev zk);
+  Dsim.Engine.run ~until:100_000 engine;
+  Alcotest.(check int) "replica caught up" 1 (Hbaselike.Zk.follower_rev zk)
+
+let zk_sync_read_is_fresh () =
+  let engine = Dsim.Engine.create () in
+  let net = Dsim.Network.create engine in
+  let zk = Hbaselike.Zk.create ~net ~replication_lag:500_000 () in
+  Dsim.Network.register net "client" ~serve:(fun ~src:_ _ _ -> ()) ();
+  Hbaselike.Zk.write zk ~src:"client" ~key:"a" "1" (fun _ -> ());
+  Dsim.Engine.run ~until:20_000 engine;
+  let stale = ref None and fresh = ref None in
+  Hbaselike.Zk.read zk ~src:"client" "a" (function
+    | Ok (v, _) -> stale := Some v
+    | Error _ -> ());
+  Hbaselike.Zk.read zk ~src:"client" ~sync:true "a" (function
+    | Ok (v, _) -> fresh := Some v
+    | Error _ -> ());
+  Dsim.Engine.run ~until:100_000 engine;
+  Alcotest.(check (option (option string))) "cached read misses" (Some None) !stale;
+  Alcotest.(check (option (option string))) "synced read sees it" (Some (Some "1")) !fresh
+
+let zk_cas_guards () =
+  let engine = Dsim.Engine.create () in
+  let net = Dsim.Network.create engine in
+  let zk = Hbaselike.Zk.create ~net () in
+  Dsim.Network.register net "client" ~serve:(fun ~src:_ _ _ -> ()) ();
+  Hbaselike.Zk.write zk ~src:"client" ~key:"a" "1" (fun _ -> ());
+  Dsim.Engine.run ~until:20_000 engine;
+  let stale_cas = ref None and fresh_cas = ref None in
+  Hbaselike.Zk.cas zk ~src:"client" ~key:"a" ~expected_mod_rev:0 (Some "2") (function
+    | Ok ok -> stale_cas := Some ok
+    | Error _ -> ());
+  Hbaselike.Zk.cas zk ~src:"client" ~key:"a" ~expected_mod_rev:1 (Some "2") (function
+    | Ok ok -> fresh_cas := Some ok
+    | Error _ -> ());
+  Dsim.Engine.run ~until:100_000 engine;
+  Alcotest.(check (option bool)) "stale rejected" (Some false) !stale_cas;
+  Alcotest.(check (option bool)) "fresh accepted" (Some true) !fresh_cas
+
+let master_assigns_all_regions () =
+  let engine, _, zk, master, _ = setup () in
+  run_to engine 3_000_000;
+  let kv = Hbaselike.Zk.leader_kv zk in
+  List.iter
+    (fun region ->
+      match Etcdlike.Kv.get kv ("region/" ^ region) with
+      | Some (server, _) ->
+          Alcotest.(check bool) (region ^ " on a live server") true
+            (List.mem server [ "rs-1"; "rs-2" ])
+      | None -> Alcotest.fail (region ^ " unassigned"))
+    [ "r1"; "r2"; "r3"; "r4" ];
+  Alcotest.(check bool) "some transitions happened" true (Hbaselike.Master.transitions master >= 4)
+
+let hbase_3136_stale_cas_failures () =
+  (* High replication lag + no sync: region transitions keep CASing
+     against stale reads and fail; with sync-before-CAS they succeed at
+     the cost of extra leader traffic (HBASE-3137). *)
+  let failures_with ~sync =
+    let engine, _, zk, master, _ = setup ~replication_lag:400_000 ~sync_before_cas:sync () in
+    run_to engine 6_000_000;
+    (Hbaselike.Master.cas_failures master, Hbaselike.Master.transitions master,
+     Hbaselike.Zk.leader_ops zk)
+  in
+  let buggy_failures, buggy_transitions, buggy_load = failures_with ~sync:false in
+  let fixed_failures, fixed_transitions, fixed_load = failures_with ~sync:true in
+  Alcotest.(check bool)
+    (Printf.sprintf "stale CAS fails often (%d failures)" buggy_failures)
+    true (buggy_failures > 5);
+  Alcotest.(check bool) "fixed mode converges" true (fixed_transitions >= 4);
+  Alcotest.(check bool)
+    (Printf.sprintf "fixed mode barely fails (%d vs %d)" fixed_failures buggy_failures)
+    true
+    (fixed_failures * 3 < buggy_failures);
+  Alcotest.(check bool)
+    (Printf.sprintf "3137 regression: leader load %d -> %d" buggy_load fixed_load)
+    true (fixed_load > buggy_load);
+  Alcotest.(check bool) "buggy mode still eventually assigns" true (buggy_transitions >= 4)
+
+let hbase_5755_stale_master_cache () =
+  let engine, net, zk, _, region_servers = setup ~servers:1 () in
+  run_to engine 2_000_000;
+  let rs = List.hd region_servers in
+  Alcotest.(check (option string)) "found master-1" (Some "master-1")
+    (Hbaselike.Regionserver.cached_master rs);
+  (* Fail the master over: master-1 dies, master-2 takes its place and
+     publishes itself in ZooKeeper. *)
+  Dsim.Network.crash net "master-1";
+  let master2 =
+    Hbaselike.Master.create ~net ~name:"master-2" ~zk ~regions:[ "r1"; "r2"; "r3"; "r4" ] ()
+  in
+  Hbaselike.Master.start master2;
+  run_to engine 8_000_000;
+  (* The bug: the cached address is never re-resolved; the server hammers
+     the corpse forever. *)
+  Alcotest.(check (option string)) "still pointing at the corpse" (Some "master-1")
+    (Hbaselike.Regionserver.cached_master rs);
+  Alcotest.(check bool)
+    (Printf.sprintf "looking for master forever (%d consecutive failures)"
+       (Hbaselike.Regionserver.consecutive_failures rs))
+    true
+    (Hbaselike.Regionserver.consecutive_failures rs > 10)
+
+let hbase_5755_fix_relookup () =
+  let engine, net, zk, _, region_servers = setup ~servers:1 ~relookup:true () in
+  run_to engine 2_000_000;
+  let rs = List.hd region_servers in
+  Dsim.Network.crash net "master-1";
+  let master2 =
+    Hbaselike.Master.create ~net ~name:"master-2" ~zk ~regions:[ "r1"; "r2"; "r3"; "r4" ] ()
+  in
+  Hbaselike.Master.start master2;
+  run_to engine 8_000_000;
+  Alcotest.(check (option string)) "re-resolved to master-2" (Some "master-2")
+    (Hbaselike.Regionserver.cached_master rs);
+  Alcotest.(check int) "heartbeats flowing again" 0
+    (Hbaselike.Regionserver.consecutive_failures rs)
+
+let suites =
+  [
+    ( "hbase",
+      [
+        Alcotest.test_case "zk replicates with lag" `Quick zk_replicates_with_lag;
+        Alcotest.test_case "zk sync read is fresh" `Quick zk_sync_read_is_fresh;
+        Alcotest.test_case "zk cas guards" `Quick zk_cas_guards;
+        Alcotest.test_case "master assigns all regions" `Quick master_assigns_all_regions;
+        Alcotest.test_case "HBASE-3136: stale CAS failures (+3137 cost)" `Quick
+          hbase_3136_stale_cas_failures;
+        Alcotest.test_case "HBASE-5755: stale master cache loops forever" `Quick
+          hbase_5755_stale_master_cache;
+        Alcotest.test_case "HBASE-5755 fix: re-lookup on failure" `Quick hbase_5755_fix_relookup;
+      ] );
+  ]

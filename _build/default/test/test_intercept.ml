@@ -1,0 +1,69 @@
+(* Interceptor, trace and report plumbing. *)
+
+let ev key = History.Event.make ~rev:1 ~key ~op:History.Event.Create (Some (Kube.Resource.make_node "n"))
+
+let default_passes () =
+  let i = Kube.Intercept.create () in
+  Alcotest.(check bool) "pass" true
+    (Kube.Intercept.decide i { Kube.Intercept.src = "a"; dst = "b" } (ev "k")
+    = Kube.Intercept.Pass)
+
+let policy_applies_and_clears () =
+  let i = Kube.Intercept.create () in
+  Kube.Intercept.set_policy i (fun _ _ -> Kube.Intercept.Drop);
+  let edge = { Kube.Intercept.src = "a"; dst = "b" } in
+  Alcotest.(check bool) "drop" true (Kube.Intercept.decide i edge (ev "k") = Kube.Intercept.Drop);
+  Kube.Intercept.clear i;
+  Alcotest.(check bool) "pass again" true
+    (Kube.Intercept.decide i edge (ev "k") = Kube.Intercept.Pass)
+
+let observer_sees_decisions () =
+  let i = Kube.Intercept.create () in
+  let seen = ref [] in
+  Kube.Intercept.set_observer i (fun edge _ decision ->
+      seen := (edge.Kube.Intercept.dst, decision) :: !seen);
+  Kube.Intercept.set_policy i (fun _ _ -> Kube.Intercept.Delay 5);
+  ignore (Kube.Intercept.decide i { Kube.Intercept.src = "a"; dst = "b" } (ev "k"));
+  Alcotest.(check bool) "observed" true (!seen = [ ("b", Kube.Intercept.Delay 5) ])
+
+let decision_printing () =
+  Alcotest.(check string) "pass" "pass"
+    (Format.asprintf "%a" Kube.Intercept.pp_decision Kube.Intercept.Pass);
+  Alcotest.(check string) "drop" "drop"
+    (Format.asprintf "%a" Kube.Intercept.pp_decision Kube.Intercept.Drop);
+  Alcotest.(check string) "edge" "a->b"
+    (Format.asprintf "%a" Kube.Intercept.pp_edge { Kube.Intercept.src = "a"; dst = "b" })
+
+(* Trace store. *)
+let trace_filters_and_orders () =
+  let tr = Dsim.Trace.create () in
+  Dsim.Trace.record tr ~time:5 ~actor:"x" ~kind:"a" "one";
+  Dsim.Trace.record tr ~time:6 ~actor:"y" ~kind:"b" "two";
+  Dsim.Trace.record tr ~time:7 ~actor:"x" ~kind:"a" "three";
+  Alcotest.(check int) "length" 3 (Dsim.Trace.length tr);
+  Alcotest.(check (list string)) "find_all by kind" [ "one"; "three" ]
+    (List.map (fun e -> e.Dsim.Trace.detail) (Dsim.Trace.find_all tr ~kind:"a"));
+  Alcotest.(check (list int)) "chronological" [ 5; 6; 7 ]
+    (List.map (fun e -> e.Dsim.Trace.time) (Dsim.Trace.entries tr));
+  Alcotest.(check int) "filter by actor" 2
+    (List.length (Dsim.Trace.filter tr (fun e -> e.Dsim.Trace.actor = "x")));
+  Dsim.Trace.clear tr;
+  Alcotest.(check int) "cleared" 0 (Dsim.Trace.length tr)
+
+(* Report table sanity. *)
+let report_rejects_ragged_rows () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Report.table: ragged row") (fun () ->
+      Sieve.Report.table ~header:[ "a"; "b" ] [ [ "only-one" ] ])
+
+let suites =
+  [
+    ( "intercept/trace/report",
+      [
+        Alcotest.test_case "default passes" `Quick default_passes;
+        Alcotest.test_case "policy applies and clears" `Quick policy_applies_and_clears;
+        Alcotest.test_case "observer sees decisions" `Quick observer_sees_decisions;
+        Alcotest.test_case "decision printing" `Quick decision_printing;
+        Alcotest.test_case "trace filters and orders" `Quick trace_filters_and_orders;
+        Alcotest.test_case "report rejects ragged rows" `Quick report_rejects_ragged_rows;
+      ] );
+  ]

@@ -1,0 +1,85 @@
+(* The MVCC store core. *)
+
+let put_get_roundtrip () =
+  let kv = Etcdlike.Kv.create () in
+  let e = Etcdlike.Kv.put kv "k" "v" in
+  Alcotest.(check int) "first rev" 1 e.History.Event.rev;
+  Alcotest.(check (option (pair string int))) "get" (Some ("v", 1)) (Etcdlike.Kv.get kv "k")
+
+let create_vs_update_op () =
+  let kv = Etcdlike.Kv.create () in
+  let e1 = Etcdlike.Kv.put kv "k" "a" in
+  let e2 = Etcdlike.Kv.put kv "k" "b" in
+  Alcotest.(check bool) "create" true (e1.History.Event.op = History.Event.Create);
+  Alcotest.(check bool) "update" true (e2.History.Event.op = History.Event.Update);
+  Alcotest.(check (option (pair string int))) "mod rev" (Some ("b", 2)) (Etcdlike.Kv.get kv "k")
+
+let delete_semantics () =
+  let kv = Etcdlike.Kv.create () in
+  ignore (Etcdlike.Kv.put kv "k" "v");
+  (match Etcdlike.Kv.delete kv "k" with
+  | Some e -> Alcotest.(check bool) "delete op" true (e.History.Event.op = History.Event.Delete)
+  | None -> Alcotest.fail "expected delete event");
+  Alcotest.(check (option (pair string int))) "gone" None (Etcdlike.Kv.get kv "k");
+  Alcotest.(check bool) "deleting absent yields no event" true (Etcdlike.Kv.delete kv "k" = None);
+  Alcotest.(check int) "rev counts only real events" 2 (Etcdlike.Kv.rev kv)
+
+let range_by_prefix () =
+  let kv = Etcdlike.Kv.create () in
+  ignore (Etcdlike.Kv.put kv "pods/a" "1");
+  ignore (Etcdlike.Kv.put kv "nodes/x" "2");
+  ignore (Etcdlike.Kv.put kv "pods/b" "3");
+  let items = Etcdlike.Kv.range kv ~prefix:"pods/" in
+  Alcotest.(check (list string)) "keys" [ "pods/a"; "pods/b" ] (List.map (fun (k, _, _) -> k) items);
+  Alcotest.(check (list int)) "mod revs" [ 1; 3 ] (List.map (fun (_, _, r) -> r) items)
+
+let listeners_fire_in_order () =
+  let kv = Etcdlike.Kv.create () in
+  let log = ref [] in
+  Etcdlike.Kv.on_commit kv (fun e -> log := ("first", e.History.Event.rev) :: !log);
+  Etcdlike.Kv.on_commit kv (fun e -> log := ("second", e.History.Event.rev) :: !log);
+  ignore (Etcdlike.Kv.put kv "k" "v");
+  Alcotest.(check (list (pair string int))) "registration order" [ ("first", 1); ("second", 1) ]
+    (List.rev !log)
+
+let compaction_flows_through () =
+  let kv = Etcdlike.Kv.create () in
+  for i = 1 to 10 do
+    ignore (Etcdlike.Kv.put kv (Printf.sprintf "k%d" i) "v")
+  done;
+  Etcdlike.Kv.compact_keep_last kv 2;
+  Alcotest.(check int) "compacted rev" 8 (Etcdlike.Kv.compacted_rev kv);
+  match Etcdlike.Kv.since kv ~rev:5 with
+  | Error (`Compacted 8) -> ()
+  | _ -> Alcotest.fail "expected Compacted 8"
+
+let qcheck_rev_equals_mutations =
+  QCheck.Test.make ~name:"rev counts committed mutations" ~count:100
+    QCheck.(list_of_size Gen.(0 -- 50) (pair (int_range 0 5) bool))
+    (fun ops ->
+      let kv = Etcdlike.Kv.create () in
+      let committed = ref 0 in
+      List.iter
+        (fun (k, is_put) ->
+          let key = Printf.sprintf "k%d" k in
+          if is_put then begin
+            ignore (Etcdlike.Kv.put kv key "v");
+            incr committed
+          end
+          else if Etcdlike.Kv.delete kv key <> None then incr committed)
+        ops;
+      Etcdlike.Kv.rev kv = !committed)
+
+let suites =
+  [
+    ( "kv",
+      [
+        Alcotest.test_case "put/get roundtrip" `Quick put_get_roundtrip;
+        Alcotest.test_case "create vs update op" `Quick create_vs_update_op;
+        Alcotest.test_case "delete semantics" `Quick delete_semantics;
+        Alcotest.test_case "range by prefix" `Quick range_by_prefix;
+        Alcotest.test_case "listeners fire in order" `Quick listeners_fire_in_order;
+        Alcotest.test_case "compaction flows through" `Quick compaction_flows_through;
+        Qcheck_util.to_alcotest qcheck_rev_equals_mutations;
+      ] );
+  ]

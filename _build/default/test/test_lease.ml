@@ -1,0 +1,74 @@
+(* Leases: TTLs against the virtual clock. *)
+
+let grant_and_expire () =
+  let l = Etcdlike.Lease.create () in
+  let id = Etcdlike.Lease.grant l ~ttl:100 ~now:0 in
+  Etcdlike.Lease.attach l ~lease:id ~key:"locks/a";
+  Etcdlike.Lease.attach l ~lease:id ~key:"locks/b";
+  Alcotest.(check int) "one lease" 1 (Etcdlike.Lease.active l);
+  Alcotest.(check (list (pair int (list string)))) "expired keys"
+    [ (id, [ "locks/a"; "locks/b" ]) ]
+    (Etcdlike.Lease.expire l ~now:100);
+  Alcotest.(check int) "lease gone" 0 (Etcdlike.Lease.active l)
+
+let keepalive_extends () =
+  let l = Etcdlike.Lease.create () in
+  let id = Etcdlike.Lease.grant l ~ttl:100 ~now:0 in
+  Alcotest.(check bool) "keepalive ok" true (Etcdlike.Lease.keepalive l ~lease:id ~now:80);
+  Alcotest.(check int) "not expired at 150" 0 (List.length (Etcdlike.Lease.expire l ~now:150));
+  Alcotest.(check int) "expired at 180" 1 (List.length (Etcdlike.Lease.expire l ~now:180))
+
+let keepalive_after_expiry_fails () =
+  let l = Etcdlike.Lease.create () in
+  let id = Etcdlike.Lease.grant l ~ttl:10 ~now:0 in
+  ignore (Etcdlike.Lease.expire l ~now:50);
+  Alcotest.(check bool) "dead lease" false (Etcdlike.Lease.keepalive l ~lease:id ~now:60)
+
+let revoke_returns_keys () =
+  let l = Etcdlike.Lease.create () in
+  let id = Etcdlike.Lease.grant l ~ttl:1000 ~now:0 in
+  Etcdlike.Lease.attach l ~lease:id ~key:"k";
+  Alcotest.(check (list string)) "keys back" [ "k" ] (Etcdlike.Lease.revoke l ~lease:id);
+  Alcotest.(check int) "gone" 0 (Etcdlike.Lease.active l)
+
+let attach_unknown_ignored () =
+  let l = Etcdlike.Lease.create () in
+  Etcdlike.Lease.attach l ~lease:42 ~key:"k";
+  Alcotest.(check (list string)) "nothing attached" [] (Etcdlike.Lease.keys l ~lease:42)
+
+let attach_is_idempotent () =
+  let l = Etcdlike.Lease.create () in
+  let id = Etcdlike.Lease.grant l ~ttl:10 ~now:0 in
+  Etcdlike.Lease.attach l ~lease:id ~key:"k";
+  Etcdlike.Lease.attach l ~lease:id ~key:"k";
+  Alcotest.(check (list string)) "single binding" [ "k" ] (Etcdlike.Lease.keys l ~lease:id)
+
+let ttl_remaining_reports () =
+  let l = Etcdlike.Lease.create () in
+  let id = Etcdlike.Lease.grant l ~ttl:100 ~now:0 in
+  Alcotest.(check (option int)) "75 left" (Some 75) (Etcdlike.Lease.ttl_remaining l ~lease:id ~now:25);
+  Alcotest.(check (option int)) "clamped" (Some 0)
+    (Etcdlike.Lease.ttl_remaining l ~lease:id ~now:500);
+  Alcotest.(check (option int)) "unknown lease" None
+    (Etcdlike.Lease.ttl_remaining l ~lease:999 ~now:0)
+
+let distinct_ids () =
+  let l = Etcdlike.Lease.create () in
+  let a = Etcdlike.Lease.grant l ~ttl:10 ~now:0 in
+  let b = Etcdlike.Lease.grant l ~ttl:10 ~now:0 in
+  Alcotest.(check bool) "fresh ids" true (a <> b)
+
+let suites =
+  [
+    ( "lease",
+      [
+        Alcotest.test_case "grant and expire" `Quick grant_and_expire;
+        Alcotest.test_case "keepalive extends" `Quick keepalive_extends;
+        Alcotest.test_case "keepalive after expiry fails" `Quick keepalive_after_expiry_fails;
+        Alcotest.test_case "revoke returns keys" `Quick revoke_returns_keys;
+        Alcotest.test_case "attach unknown ignored" `Quick attach_unknown_ignored;
+        Alcotest.test_case "attach is idempotent" `Quick attach_is_idempotent;
+        Alcotest.test_case "ttl remaining reports" `Quick ttl_remaining_reports;
+        Alcotest.test_case "distinct ids" `Quick distinct_ids;
+      ] );
+  ]

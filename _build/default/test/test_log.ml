@@ -1,0 +1,118 @@
+(* The committed history log: revisions, since, compaction, state_at. *)
+
+open History
+
+let fill log n =
+  for i = 1 to n do
+    ignore (Log.append log ~key:(Printf.sprintf "k%d" i) ~op:Event.Create (Some i))
+  done
+
+let revisions_dense () =
+  let log = Log.create () in
+  fill log 5;
+  Alcotest.(check int) "rev" 5 (Log.rev log);
+  Alcotest.(check (list int)) "dense 1..5" [ 1; 2; 3; 4; 5 ]
+    (List.map (fun (e : int Event.t) -> e.Event.rev) (Log.events log))
+
+let state_tracks_events () =
+  let log = Log.create () in
+  ignore (Log.append log ~key:"a" ~op:Event.Create (Some 1));
+  ignore (Log.append log ~key:"a" ~op:Event.Delete None);
+  Alcotest.(check bool) "a deleted" false (State.mem (Log.state log) "a");
+  Alcotest.(check int) "rev 2" 2 (Log.rev log)
+
+let since_returns_suffix () =
+  let log = Log.create () in
+  fill log 5;
+  match Log.since log ~rev:3 with
+  | Ok events ->
+      Alcotest.(check (list int)) "revs 4,5" [ 4; 5 ]
+        (List.map (fun (e : int Event.t) -> e.Event.rev) events)
+  | Error _ -> Alcotest.fail "unexpected compaction"
+
+let since_zero_is_everything () =
+  let log = Log.create () in
+  fill log 3;
+  match Log.since log ~rev:0 with
+  | Ok events -> Alcotest.(check int) "all three" 3 (List.length events)
+  | Error _ -> Alcotest.fail "unexpected compaction"
+
+let compaction_rejects_old_since () =
+  let log = Log.create () in
+  fill log 10;
+  Log.compact log ~before:6;
+  Alcotest.(check int) "compacted_rev" 6 (Log.compacted_rev log);
+  Alcotest.(check int) "retained" 4 (Log.length log);
+  (match Log.since log ~rev:3 with
+  | Error (`Compacted 6) -> ()
+  | _ -> Alcotest.fail "expected Compacted 6");
+  match Log.since log ~rev:6 with
+  | Ok events -> Alcotest.(check int) "boundary ok" 4 (List.length events)
+  | Error _ -> Alcotest.fail "rev = compacted_rev must still be servable"
+
+let compact_keep_last () =
+  let log = Log.create () in
+  fill log 10;
+  Log.compact_keep_last log 3;
+  Alcotest.(check int) "kept 3" 3 (Log.length log);
+  Alcotest.(check int) "compacted at 7" 7 (Log.compacted_rev log)
+
+let state_at_replays () =
+  let log = Log.create () in
+  ignore (Log.append log ~key:"a" ~op:Event.Create (Some 1));
+  ignore (Log.append log ~key:"b" ~op:Event.Create (Some 2));
+  ignore (Log.append log ~key:"a" ~op:Event.Delete None);
+  (match Log.state_at log ~rev:2 with
+  | Some s ->
+      Alcotest.(check bool) "a present at rev 2" true (State.mem s "a");
+      Alcotest.(check bool) "b present at rev 2" true (State.mem s "b")
+  | None -> Alcotest.fail "rev 2 should be reconstructable");
+  match Log.state_at log ~rev:3 with
+  | Some s -> Alcotest.(check bool) "a gone at rev 3" false (State.mem s "a")
+  | None -> Alcotest.fail "rev 3 should be reconstructable"
+
+let state_at_respects_compaction () =
+  let log = Log.create () in
+  fill log 10;
+  Log.compact log ~before:5;
+  Alcotest.(check bool) "rev 4 lost" true (Log.state_at log ~rev:4 = None);
+  match Log.state_at log ~rev:7 with
+  | Some s ->
+      (* Snapshot + replay must equal the full-history fold. *)
+      Alcotest.(check int) "7 keys live" 7 (State.cardinal s)
+  | None -> Alcotest.fail "rev 7 reconstructable from snapshot"
+
+let compact_beyond_head_clamps () =
+  let log = Log.create () in
+  fill log 3;
+  Log.compact log ~before:100;
+  Alcotest.(check int) "clamped to head" 3 (Log.compacted_rev log);
+  Alcotest.(check int) "nothing retained" 0 (Log.length log);
+  Alcotest.(check int) "state survives compaction" 3 (State.cardinal (Log.state log))
+
+let qcheck_since_partition =
+  QCheck.Test.make ~name:"since splits history at rev" ~count:200
+    QCheck.(pair (int_range 0 60) (int_range 0 60))
+    (fun (n, rev) ->
+      let log = Log.create () in
+      fill log n;
+      match Log.since log ~rev with
+      | Ok events -> List.length events = max 0 (n - rev)
+      | Error _ -> false)
+
+let suites =
+  [
+    ( "log",
+      [
+        Alcotest.test_case "revisions dense" `Quick revisions_dense;
+        Alcotest.test_case "state tracks events" `Quick state_tracks_events;
+        Alcotest.test_case "since returns suffix" `Quick since_returns_suffix;
+        Alcotest.test_case "since zero is everything" `Quick since_zero_is_everything;
+        Alcotest.test_case "compaction rejects old since" `Quick compaction_rejects_old_since;
+        Alcotest.test_case "compact_keep_last" `Quick compact_keep_last;
+        Alcotest.test_case "state_at replays" `Quick state_at_replays;
+        Alcotest.test_case "state_at respects compaction" `Quick state_at_respects_compaction;
+        Alcotest.test_case "compact beyond head clamps" `Quick compact_beyond_head_clamps;
+        Qcheck_util.to_alcotest qcheck_since_partition;
+      ] );
+  ]

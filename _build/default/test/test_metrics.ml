@@ -1,0 +1,58 @@
+(* Counters and histogram percentiles. *)
+
+let counters_accumulate () =
+  let m = Dsim.Metrics.create () in
+  Dsim.Metrics.incr m "a";
+  Dsim.Metrics.incr m "a";
+  Dsim.Metrics.add m "a" 3;
+  Alcotest.(check int) "a=5" 5 (Dsim.Metrics.count m "a");
+  Alcotest.(check int) "missing=0" 0 (Dsim.Metrics.count m "nope")
+
+let counters_listing_sorted () =
+  let m = Dsim.Metrics.create () in
+  Dsim.Metrics.incr m "z";
+  Dsim.Metrics.incr m "a";
+  Alcotest.(check (list (pair string int))) "sorted" [ ("a", 1); ("z", 1) ]
+    (Dsim.Metrics.counters m)
+
+let histogram_stats () =
+  let m = Dsim.Metrics.create () in
+  List.iter (Dsim.Metrics.observe m "lat") [ 1.0; 2.0; 3.0; 4.0; 100.0 ];
+  Alcotest.(check int) "samples" 5 (Dsim.Metrics.samples m "lat");
+  Alcotest.(check (float 0.001)) "mean" 22.0 (Dsim.Metrics.mean m "lat");
+  Alcotest.(check (float 0.001)) "p50" 3.0 (Dsim.Metrics.percentile m "lat" 0.5);
+  Alcotest.(check (float 0.001)) "p99" 100.0 (Dsim.Metrics.percentile m "lat" 0.99)
+
+let empty_histogram_zero () =
+  let m = Dsim.Metrics.create () in
+  Alcotest.(check (float 0.0)) "mean" 0.0 (Dsim.Metrics.mean m "none");
+  Alcotest.(check (float 0.0)) "p99" 0.0 (Dsim.Metrics.percentile m "none" 0.99)
+
+let reset_clears () =
+  let m = Dsim.Metrics.create () in
+  Dsim.Metrics.incr m "a";
+  Dsim.Metrics.observe m "h" 1.0;
+  Dsim.Metrics.reset m;
+  Alcotest.(check int) "counter cleared" 0 (Dsim.Metrics.count m "a");
+  Alcotest.(check int) "histogram cleared" 0 (Dsim.Metrics.samples m "h")
+
+let qcheck_percentile_is_member =
+  QCheck.Test.make ~name:"percentile returns an observed sample" ~count:200
+    QCheck.(pair (list_of_size Gen.(1 -- 50) (float_range 0.0 1000.0)) (float_range 0.01 1.0))
+    (fun (samples, p) ->
+      let m = Dsim.Metrics.create () in
+      List.iter (Dsim.Metrics.observe m "h") samples;
+      List.mem (Dsim.Metrics.percentile m "h" p) samples)
+
+let suites =
+  [
+    ( "metrics",
+      [
+        Alcotest.test_case "counters accumulate" `Quick counters_accumulate;
+        Alcotest.test_case "counters listing sorted" `Quick counters_listing_sorted;
+        Alcotest.test_case "histogram stats" `Quick histogram_stats;
+        Alcotest.test_case "empty histogram zero" `Quick empty_histogram_zero;
+        Alcotest.test_case "reset clears" `Quick reset_clears;
+        Qcheck_util.to_alcotest qcheck_percentile_is_member;
+      ] );
+  ]

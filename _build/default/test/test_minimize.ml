@@ -1,0 +1,96 @@
+(* Strategy minimization: shrink proposals and the greedy loop. *)
+
+let shrinks_combo_by_dropping_parts () =
+  let combo =
+    Sieve.Strategy.Combo
+      [
+        Sieve.Strategy.Crash_restart { victim = "a"; at = 0; downtime = 40_000 };
+        Sieve.Strategy.Partition_window { a = "x"; b = "y"; from = 0; until = 100_000 };
+      ]
+  in
+  let candidates = Sieve.Minimize.shrink_candidates combo in
+  (* Dropping either part yields the other, bare. *)
+  Alcotest.(check bool) "contains bare crash" true
+    (List.exists
+       (function Sieve.Strategy.Crash_restart { victim = "a"; _ } -> true | _ -> false)
+       candidates);
+  Alcotest.(check bool) "contains bare partition" true
+    (List.exists
+       (function Sieve.Strategy.Partition_window _ -> true | _ -> false)
+       candidates)
+
+let shrinks_windows_and_magnitudes () =
+  let drop =
+    Sieve.Strategy.observability_gap ~dst:"c" ~from:0 ~until:1_000_000 ()
+  in
+  let candidates = Sieve.Minimize.shrink_candidates drop in
+  Alcotest.(check bool) "narrower windows proposed" true
+    (List.exists
+       (function
+         | Sieve.Strategy.Drop_events { from; until; _ } -> until - from < 1_000_000
+         | _ -> false)
+       candidates);
+  Alcotest.(check bool) "limit-1 variant proposed" true
+    (List.exists
+       (function
+         | Sieve.Strategy.Drop_events { matching = { Sieve.Strategy.limit = Some 1; _ }; _ } ->
+             true
+         | _ -> false)
+       candidates)
+
+let unbounded_partition_becomes_finite () =
+  let p = Sieve.Strategy.Partition_window { a = "x"; b = "y"; from = 10; until = max_int } in
+  match Sieve.Minimize.shrink_candidates p with
+  | [ Sieve.Strategy.Partition_window { until; _ } ] ->
+      Alcotest.(check bool) "finite" true (until < max_int)
+  | _ -> Alcotest.fail "expected one finite variant"
+
+let no_shrink_for_nothing () =
+  Alcotest.(check int) "no candidates" 0
+    (List.length (Sieve.Minimize.shrink_candidates Sieve.Strategy.No_perturbation))
+
+let minimize_keeps_failure () =
+  let case = Sieve.Bugs.k8s_56261 () in
+  let test = Sieve.Bugs.test_of_case case in
+  let minimized, cost = Sieve.Minimize.minimize ~test ~target:case.Sieve.Bugs.matches () in
+  Alcotest.(check bool) "spent some executions" true (cost > 1);
+  (* The minimized strategy must still reproduce. *)
+  let outcome = Sieve.Runner.run_test minimized in
+  Alcotest.(check bool) "still fails" true
+    (List.exists (fun (_, v) -> case.Sieve.Bugs.matches v) outcome.Sieve.Runner.violations);
+  (* ... and must be no bigger: for 56261 it should pin the limit to 1. *)
+  match minimized.Sieve.Runner.strategy with
+  | Sieve.Strategy.Drop_events { matching = { Sieve.Strategy.limit = Some 1; _ }; _ } -> ()
+  | s -> Alcotest.fail ("expected a limit-1 drop, got " ^ Sieve.Strategy.describe s)
+
+let minimize_rejects_non_failing_input () =
+  let case = Sieve.Bugs.k8s_56261 () in
+  let test = Sieve.Bugs.reference_test_of_case case in
+  let minimized, cost = Sieve.Minimize.minimize ~test ~target:case.Sieve.Bugs.matches () in
+  Alcotest.(check int) "one execution only" 1 cost;
+  Alcotest.(check bool) "unchanged" true
+    (minimized.Sieve.Runner.strategy = Sieve.Strategy.No_perturbation)
+
+let minimize_respects_budget () =
+  let case = Sieve.Bugs.k8s_59848 () in
+  let test = Sieve.Bugs.test_of_case case in
+  let _, cost = Sieve.Minimize.minimize ~test ~target:case.Sieve.Bugs.matches ~budget:5 () in
+  Alcotest.(check bool) "bounded" true (cost <= 5)
+
+let suites =
+  [
+    ( "minimize",
+      [
+        Alcotest.test_case "shrinks combo by dropping parts" `Quick
+          shrinks_combo_by_dropping_parts;
+        Alcotest.test_case "shrinks windows and magnitudes" `Quick
+          shrinks_windows_and_magnitudes;
+        Alcotest.test_case "unbounded partition becomes finite" `Quick
+          unbounded_partition_becomes_finite;
+        Alcotest.test_case "no shrink for no-perturbation" `Quick no_shrink_for_nothing;
+        Alcotest.test_case "minimize keeps failure (56261)" `Slow minimize_keeps_failure;
+        Alcotest.test_case "minimize rejects non-failing input" `Quick
+          minimize_rejects_non_failing_input;
+        Alcotest.test_case "minimize respects budget" `Slow minimize_respects_budget;
+      ] );
+  ]

@@ -1,0 +1,108 @@
+(* Node controller: legitimate failover vs stale-view evictions. *)
+
+let boot ?(quorum_guard = false) () =
+  let config =
+    {
+      Kube.Cluster.default_config with
+      Kube.Cluster.with_node_controller = true;
+      node_controller_fixed = quorum_guard;
+    }
+  in
+  let cluster = Kube.Cluster.create ~config () in
+  Kube.Cluster.start cluster;
+  cluster
+
+let pod_phase cluster name =
+  match History.State.get (Kube.Cluster.truth cluster) (Kube.Resource.pod_key name) with
+  | Some (Kube.Resource.Pod p) -> Some p.Kube.Resource.phase
+  | _ -> None
+
+let fails_pods_of_deleted_node () =
+  let cluster = boot () in
+  ignore
+    (Dsim.Engine.schedule_at (Kube.Cluster.engine cluster) ~time:1_000_000 (fun () ->
+         Kube.Workload.create_pod ~node:"node-2" cluster "victim"));
+  ignore
+    (Dsim.Engine.schedule_at (Kube.Cluster.engine cluster) ~time:2_500_000 (fun () ->
+         Kube.Workload.delete_node cluster "node-2"));
+  Kube.Cluster.run cluster ~until:6_000_000;
+  Alcotest.(check (option bool)) "pod failed" (Some true)
+    (Option.map (fun p -> p = Kube.Resource.Failed) (pod_phase cluster "victim"));
+  let nc = Option.get (Kube.Cluster.node_controller cluster) in
+  Alcotest.(check (list (pair string string))) "eviction recorded" [ ("victim", "node-2") ]
+    (Kube.Node_controller.evictions nc);
+  (* The kubelet stopped the failed pod. *)
+  match Kube.Cluster.kubelet_for_node cluster "node-2" with
+  | Some k -> Alcotest.(check bool) "stopped" false (Kube.Kubelet.is_running k "victim")
+  | None -> Alcotest.fail "kubelet missing"
+
+let leaves_healthy_pods_alone () =
+  let cluster = boot () in
+  ignore
+    (Dsim.Engine.schedule_at (Kube.Cluster.engine cluster) ~time:1_000_000 (fun () ->
+         Kube.Workload.create_pod ~node:"node-1" cluster "healthy"));
+  Kube.Cluster.run cluster ~until:5_000_000;
+  Alcotest.(check (option bool)) "still running" (Some true)
+    (Option.map (fun p -> p = Kube.Resource.Running) (pod_phase cluster "healthy"));
+  let nc = Option.get (Kube.Cluster.node_controller cluster) in
+  Alcotest.(check int) "no evictions" 0 (List.length (Kube.Node_controller.evictions nc))
+
+let strikes_protect_against_blips () =
+  (* The node view must miss the node on several consecutive passes; a
+     freshly created binding to a node the controller has not yet seen
+     does not get shot within one pass. *)
+  let cluster = boot () in
+  ignore
+    (Dsim.Engine.schedule_at (Kube.Cluster.engine cluster) ~time:1_000_000 (fun () ->
+         Kube.Workload.create_node cluster "node-9"));
+  ignore
+    (Dsim.Engine.schedule_at (Kube.Cluster.engine cluster) ~time:1_050_000 (fun () ->
+         Kube.Workload.create_pod ~node:"node-9" cluster "early"));
+  Kube.Cluster.run cluster ~until:5_000_000;
+  let nc = Option.get (Kube.Cluster.node_controller cluster) in
+  Alcotest.(check int) "no evictions for the race" 0
+    (List.length (Kube.Node_controller.evictions nc))
+
+let blind_spot_evicts_healthy_pod () =
+  let cluster = boot () in
+  Sieve.Strategy.apply cluster
+    (Sieve.Strategy.observability_gap ~dst:"nodectl" ~key_prefix:"nodes/node-9" ~from:0
+       ~until:8_000_000 ());
+  ignore
+    (Dsim.Engine.schedule_at (Kube.Cluster.engine cluster) ~time:1_000_000 (fun () ->
+         Kube.Workload.create_node cluster "node-9"));
+  ignore
+    (Dsim.Engine.schedule_at (Kube.Cluster.engine cluster) ~time:2_000_000 (fun () ->
+         Kube.Workload.create_pod ~node:"node-9" cluster "unlucky"));
+  Kube.Cluster.run cluster ~until:6_000_000;
+  Alcotest.(check (option bool)) "healthy pod failed" (Some true)
+    (Option.map (fun p -> p = Kube.Resource.Failed) (pod_phase cluster "unlucky"))
+
+let quorum_guard_aborts () =
+  let cluster = boot ~quorum_guard:true () in
+  Sieve.Strategy.apply cluster
+    (Sieve.Strategy.observability_gap ~dst:"nodectl" ~key_prefix:"nodes/node-9" ~from:0
+       ~until:8_000_000 ());
+  ignore
+    (Dsim.Engine.schedule_at (Kube.Cluster.engine cluster) ~time:1_000_000 (fun () ->
+         Kube.Workload.create_node cluster "node-9"));
+  ignore
+    (Dsim.Engine.schedule_at (Kube.Cluster.engine cluster) ~time:2_000_000 (fun () ->
+         Kube.Workload.create_pod ~node:"node-9" cluster "lucky"));
+  Kube.Cluster.run cluster ~until:6_000_000;
+  Alcotest.(check (option bool)) "pod untouched" (Some false)
+    (Option.map (fun p -> p = Kube.Resource.Failed) (pod_phase cluster "lucky"));
+  let nc = Option.get (Kube.Cluster.node_controller cluster) in
+  Alcotest.(check int) "no evictions" 0 (List.length (Kube.Node_controller.evictions nc))
+
+let suites =
+  [
+    ( "node-controller",
+      [
+        Alcotest.test_case "fails pods of deleted node" `Quick fails_pods_of_deleted_node;
+        Alcotest.test_case "leaves healthy pods alone" `Quick leaves_healthy_pods_alone;
+        Alcotest.test_case "strikes protect against blips" `Quick strikes_protect_against_blips;
+        Alcotest.test_case "blind spot evicts healthy pod" `Quick blind_spot_evicts_healthy_pod;
+        Alcotest.test_case "quorum guard aborts wrongful eviction" `Quick quorum_guard_aborts;
+      ] );
+  ]

@@ -1,0 +1,98 @@
+(* Partial histories: subsequence structure, gaps, lag, unobservability. *)
+
+open History
+
+let ev rev key op = Event.make ~rev ~key ~op (if op = Event.Delete then None else Some rev)
+
+let full =
+  [
+    ev 1 "a" Event.Create;
+    ev 2 "b" Event.Create;
+    ev 3 "a" Event.Update;
+    ev 4 "b" Event.Delete;
+    ev 5 "c" Event.Create;
+  ]
+
+let mask_keeps_subsequence () =
+  let partial = Partial.apply_mask full ~mask:[ true; false; true; false; true ] in
+  Alcotest.(check (list int)) "revs 1,3,5" [ 1; 3; 5 ]
+    (List.map (fun (e : int Event.t) -> e.Event.rev) partial);
+  Alcotest.(check bool) "is partial" true (Partial.is_partial_of partial ~of_:full)
+
+let mask_shorter_than_history () =
+  let partial = Partial.apply_mask full ~mask:[ true ] in
+  Alcotest.(check int) "only first kept" 1 (List.length partial)
+
+let prefix_detection () =
+  let p = Partial.apply_mask full ~mask:[ true; true ] in
+  Alcotest.(check bool) "prefix" true (Partial.is_prefix_of p ~of_:full);
+  let q = Partial.apply_mask full ~mask:[ true; false; true ] in
+  Alcotest.(check bool) "not prefix" false (Partial.is_prefix_of q ~of_:full)
+
+let unordered_rejected () =
+  let scrambled = [ ev 3 "a" Event.Update; ev 1 "a" Event.Create ] in
+  Alcotest.(check bool) "unordered" false (Partial.is_ordered scrambled);
+  Alcotest.(check bool) "not a partial history" false
+    (Partial.is_partial_of scrambled ~of_:full)
+
+let missing_and_gaps () =
+  let partial = Partial.apply_mask full ~mask:[ true; false; true; false; false ] in
+  Alcotest.(check (list int)) "missing" [ 2; 4; 5 ] (Partial.missing_revs partial ~of_:full);
+  (* 2 is an interior gap (3 was observed after it); 4 and 5 are pure lag. *)
+  Alcotest.(check (list int)) "interior gaps" [ 2 ] (Partial.interior_gaps partial ~of_:full);
+  Alcotest.(check int) "lag" 2 (Partial.lag partial ~of_:full)
+
+let state_of_folds () =
+  let partial = Partial.apply_mask full ~mask:[ true; true; true; true; true ] in
+  let s = Partial.state_of partial in
+  Alcotest.(check bool) "b deleted" false (State.mem s "b");
+  Alcotest.(check bool) "a live" true (State.mem s "a")
+
+let unobservable_shadowed_events () =
+  (* a@1 shadowed by a@3; b@2 shadowed by b@4 (delete); 3,4,5 visible. *)
+  Alcotest.(check (list int)) "shadowed" [ 1; 2 ] (Partial.unobservable_in_state full)
+
+let last_rev_empty () =
+  Alcotest.(check int) "empty = 0" 0 (Partial.last_rev []);
+  Alcotest.(check int) "lag of empty = full length" 5 (Partial.lag [] ~of_:full)
+
+let gen_mask n = QCheck.Gen.(list_size (pure n) bool)
+
+let qcheck_mask_always_partial =
+  QCheck.Test.make ~name:"apply_mask yields a valid partial history" ~count:300
+    (QCheck.make (gen_mask 5))
+    (fun mask -> Partial.is_partial_of (Partial.apply_mask full ~mask) ~of_:full)
+
+let qcheck_missing_plus_kept_is_full =
+  QCheck.Test.make ~name:"kept + missing = full" ~count:300
+    (QCheck.make (gen_mask 5))
+    (fun mask ->
+      let partial = Partial.apply_mask full ~mask in
+      List.length partial + List.length (Partial.missing_revs partial ~of_:full)
+      = List.length full)
+
+let qcheck_prefix_has_no_interior_gaps =
+  QCheck.Test.make ~name:"prefixes have no interior gaps" ~count:100
+    QCheck.(int_range 0 5)
+    (fun n ->
+      let mask = List.init 5 (fun i -> i < n) in
+      let partial = Partial.apply_mask full ~mask in
+      Partial.interior_gaps partial ~of_:full = [])
+
+let suites =
+  [
+    ( "partial",
+      [
+        Alcotest.test_case "mask keeps subsequence" `Quick mask_keeps_subsequence;
+        Alcotest.test_case "mask shorter than history" `Quick mask_shorter_than_history;
+        Alcotest.test_case "prefix detection" `Quick prefix_detection;
+        Alcotest.test_case "unordered rejected" `Quick unordered_rejected;
+        Alcotest.test_case "missing and gaps" `Quick missing_and_gaps;
+        Alcotest.test_case "state_of folds" `Quick state_of_folds;
+        Alcotest.test_case "unobservable shadowed events" `Quick unobservable_shadowed_events;
+        Alcotest.test_case "empty partials" `Quick last_rev_empty;
+        Qcheck_util.to_alcotest qcheck_mask_always_partial;
+        Qcheck_util.to_alcotest qcheck_missing_plus_kept_is_full;
+        Qcheck_util.to_alcotest qcheck_prefix_has_no_interior_gaps;
+      ] );
+  ]

@@ -1,0 +1,91 @@
+(* Heap ordering, tie-breaking and bulk behaviour of the event queue. *)
+
+let drain q =
+  let rec go acc = match Dsim.Pqueue.pop q with None -> List.rev acc | Some e -> go (e :: acc) in
+  go []
+
+let empty_queue () =
+  let q = Dsim.Pqueue.create () in
+  Alcotest.(check bool) "is_empty" true (Dsim.Pqueue.is_empty q);
+  Alcotest.(check int) "length" 0 (Dsim.Pqueue.length q);
+  Alcotest.(check bool) "pop" true (Dsim.Pqueue.pop q = None);
+  Alcotest.(check bool) "peek" true (Dsim.Pqueue.peek q = None)
+
+let pops_in_time_order () =
+  let q = Dsim.Pqueue.create () in
+  List.iteri
+    (fun seq time -> Dsim.Pqueue.push q ~time ~seq "x")
+    [ 30; 10; 20; 5; 25 ];
+  Alcotest.(check (list int)) "times ascend" [ 5; 10; 20; 25; 30 ]
+    (List.map (fun (t, _, _) -> t) (drain q))
+
+let ties_break_by_seq () =
+  let q = Dsim.Pqueue.create () in
+  Dsim.Pqueue.push q ~time:5 ~seq:2 "second";
+  Dsim.Pqueue.push q ~time:5 ~seq:1 "first";
+  Dsim.Pqueue.push q ~time:5 ~seq:3 "third";
+  Alcotest.(check (list string)) "fifo within a timestamp" [ "first"; "second"; "third" ]
+    (List.map (fun (_, _, v) -> v) (drain q))
+
+let peek_does_not_remove () =
+  let q = Dsim.Pqueue.create () in
+  Dsim.Pqueue.push q ~time:1 ~seq:1 "a";
+  Alcotest.(check bool) "peek sees it" true (Dsim.Pqueue.peek q <> None);
+  Alcotest.(check int) "still there" 1 (Dsim.Pqueue.length q)
+
+let clear_empties () =
+  let q = Dsim.Pqueue.create () in
+  for i = 1 to 10 do
+    Dsim.Pqueue.push q ~time:i ~seq:i i
+  done;
+  Dsim.Pqueue.clear q;
+  Alcotest.(check bool) "empty after clear" true (Dsim.Pqueue.is_empty q)
+
+let interleaved_push_pop () =
+  let q = Dsim.Pqueue.create () in
+  Dsim.Pqueue.push q ~time:10 ~seq:1 "b";
+  Dsim.Pqueue.push q ~time:5 ~seq:2 "a";
+  (match Dsim.Pqueue.pop q with
+  | Some (5, _, "a") -> ()
+  | _ -> Alcotest.fail "expected (5, a)");
+  Dsim.Pqueue.push q ~time:1 ~seq:3 "c";
+  match Dsim.Pqueue.pop q with
+  | Some (1, _, "c") -> ()
+  | _ -> Alcotest.fail "expected (1, c)"
+
+let qcheck_sorted_drain =
+  QCheck.Test.make ~name:"drain yields sorted (time, seq)" ~count:200
+    QCheck.(list_of_size Gen.(0 -- 200) (int_range 0 1000))
+    (fun times ->
+      let q = Dsim.Pqueue.create () in
+      List.iteri (fun seq time -> Dsim.Pqueue.push q ~time ~seq ()) times;
+      let keys = List.map (fun (t, s, ()) -> (t, s)) (drain q) in
+      keys = List.sort compare keys)
+
+let qcheck_length_tracks =
+  QCheck.Test.make ~name:"length counts pushes minus pops" ~count:200
+    QCheck.(pair (int_range 0 100) (int_range 0 100))
+    (fun (pushes, pops) ->
+      let q = Dsim.Pqueue.create () in
+      for i = 1 to pushes do
+        Dsim.Pqueue.push q ~time:i ~seq:i ()
+      done;
+      for _ = 1 to pops do
+        ignore (Dsim.Pqueue.pop q)
+      done;
+      Dsim.Pqueue.length q = max 0 (pushes - pops))
+
+let suites =
+  [
+    ( "pqueue",
+      [
+        Alcotest.test_case "empty queue" `Quick empty_queue;
+        Alcotest.test_case "pops in time order" `Quick pops_in_time_order;
+        Alcotest.test_case "ties break by seq" `Quick ties_break_by_seq;
+        Alcotest.test_case "peek does not remove" `Quick peek_does_not_remove;
+        Alcotest.test_case "clear empties" `Quick clear_empties;
+        Alcotest.test_case "interleaved push/pop" `Quick interleaved_push_pop;
+        Qcheck_util.to_alcotest qcheck_sorted_drain;
+        Qcheck_util.to_alcotest qcheck_length_tracks;
+      ] );
+  ]

@@ -1,0 +1,183 @@
+(* Raft-lite: elections, replication, failover, and the classic safety
+   properties under randomized fault schedules. *)
+
+let setup ?(seed = 7L) ?(n = 3) () =
+  let engine = Dsim.Engine.create ~seed () in
+  let net = Dsim.Network.create engine in
+  let group = Raftlite.Group.create ~net ~n () in
+  Raftlite.Group.start group;
+  (engine, net, group)
+
+let run_for engine us = Dsim.Engine.run ~until:(Dsim.Engine.now engine + us) engine
+
+let elects_exactly_one_leader () =
+  let engine, _, group = setup () in
+  run_for engine 1_000_000;
+  Alcotest.(check int) "one leader" 1 (List.length (Raftlite.Group.leaders group))
+
+let replicates_to_all () =
+  let engine, _, group = setup () in
+  run_for engine 1_000_000;
+  for i = 1 to 10 do
+    Alcotest.(check bool) "proposed" true
+      (Raftlite.Group.propose_via_leader group (Printf.sprintf "c%d" i));
+    run_for engine 150_000
+  done;
+  run_for engine 500_000;
+  List.iter
+    (fun id ->
+      Alcotest.(check int) (id ^ " applied all") 10
+        (List.length (Raftlite.Group.applied group id)))
+    (Raftlite.Group.names group)
+
+let followers_reject_proposals () =
+  let engine, _, group = setup () in
+  run_for engine 1_000_000;
+  let leader = Option.get (Raftlite.Group.leader group) in
+  let follower =
+    List.find
+      (fun n -> not (String.equal (Raftlite.Node.id n) (Raftlite.Node.id leader)))
+      (Raftlite.Group.nodes group)
+  in
+  Alcotest.(check bool) "follower refuses" false (Raftlite.Node.propose follower "nope")
+
+let failover_preserves_committed () =
+  let engine, net, group = setup () in
+  run_for engine 1_000_000;
+  ignore (Raftlite.Group.propose_via_leader group "before");
+  run_for engine 500_000;
+  let old_leader = Option.get (Raftlite.Group.leader group) in
+  Dsim.Network.crash net (Raftlite.Node.id old_leader);
+  run_for engine 1_500_000;
+  let new_leader = Option.get (Raftlite.Group.leader group) in
+  Alcotest.(check bool) "different node" false
+    (String.equal (Raftlite.Node.id new_leader) (Raftlite.Node.id old_leader));
+  Alcotest.(check bool) "higher term" true
+    (Raftlite.Node.term new_leader > Raftlite.Node.term old_leader);
+  Alcotest.(check bool) "proposal accepted after failover" true
+    (Raftlite.Group.propose_via_leader group "after");
+  run_for engine 500_000;
+  (* Bring the old leader back so every replica can apply the suffix. *)
+  Dsim.Network.restart net (Raftlite.Node.id old_leader);
+  run_for engine 1_000_000;
+  Alcotest.(check (list string)) "prefix intact" [ "before"; "after" ]
+    (Raftlite.Group.committed_prefix group)
+
+let restarted_node_catches_up () =
+  let engine, net, group = setup () in
+  run_for engine 1_000_000;
+  let victim =
+    List.find (fun n -> not (Raftlite.Node.is_leader n)) (Raftlite.Group.nodes group)
+  in
+  Dsim.Network.crash net (Raftlite.Node.id victim);
+  for i = 1 to 5 do
+    ignore (Raftlite.Group.propose_via_leader group (Printf.sprintf "c%d" i));
+    run_for engine 150_000
+  done;
+  Dsim.Network.restart net (Raftlite.Node.id victim);
+  run_for engine 1_000_000;
+  Alcotest.(check int) "caught up" 5
+    (List.length (Raftlite.Group.applied group (Raftlite.Node.id victim)))
+
+let minority_partition_cannot_commit () =
+  let engine, net, group = setup ~n:5 () in
+  run_for engine 1_000_000;
+  let leader = Option.get (Raftlite.Group.leader group) in
+  let leader_id = Raftlite.Node.id leader in
+  (* Isolate the leader plus one follower from the other three. *)
+  let followers =
+    List.filter (fun id -> not (String.equal id leader_id)) (Raftlite.Group.names group)
+  in
+  let with_leader = List.hd followers and others = List.tl followers in
+  List.iter
+    (fun a -> List.iter (fun b -> Dsim.Network.partition net a b) others)
+    [ leader_id; with_leader ];
+  run_for engine 200_000;
+  let before = List.length (Raftlite.Group.committed_prefix group) in
+  ignore (Raftlite.Node.propose leader "doomed");
+  run_for engine 1_500_000;
+  (* The minority side cannot commit; the majority side elects a fresh
+     leader and moves on. *)
+  Alcotest.(check bool) "old leader applied nothing new" true
+    (List.length (Raftlite.Group.applied group leader_id) <= before);
+  let majority_leader = Option.get (Raftlite.Group.leader group) in
+  Alcotest.(check bool) "majority elected elsewhere" true
+    (List.mem (Raftlite.Node.id majority_leader) others);
+  (* Heal; the doomed entry must not survive (leader completeness). *)
+  Dsim.Network.heal_all net;
+  ignore (Raftlite.Group.propose_via_leader group "kept");
+  run_for engine 2_000_000;
+  let prefix = Raftlite.Group.committed_prefix group in
+  Alcotest.(check bool) "doomed entry gone" false (List.mem "doomed" prefix);
+  Alcotest.(check bool) "new entry committed everywhere" true (List.mem "kept" prefix);
+  Alcotest.(check int) "all five applied equally" 5
+    (List.length
+       (List.filter
+          (fun id -> Raftlite.Group.applied group id = prefix)
+          (Raftlite.Group.names group)))
+
+let single_node_group () =
+  let engine, _, group = setup ~n:1 () in
+  run_for engine 500_000;
+  Alcotest.(check int) "self-elected" 1 (List.length (Raftlite.Group.leaders group));
+  Alcotest.(check bool) "commits alone" true (Raftlite.Group.propose_via_leader group "solo");
+  run_for engine 100_000;
+  Alcotest.(check (list string)) "applied" [ "solo" ]
+    (Raftlite.Group.applied group (List.hd (Raftlite.Group.names group)))
+
+(* Safety properties under random crash/partition schedules. The group
+   churns while a client keeps proposing; at the end everything heals and
+   the three Raft safety arguments are checked. *)
+let random_churn_preserves_safety seed =
+  let engine, net, group = setup ~seed:(Int64.of_int (1 + abs seed)) ~n:3 () in
+  let rng = Dsim.Rng.create (Int64.of_int (31 + abs seed)) in
+  let names = Raftlite.Group.names group in
+  let plan =
+    Dsim.Fault.random_plan rng ~nodes:names ~horizon:4_000_000 ~crashes:2 ~partitions:2
+      ~min_downtime:200_000 ~max_downtime:900_000 ()
+  in
+  Dsim.Fault.apply net plan;
+  (* Client proposes every 100 ms on whoever claims leadership. *)
+  let proposed = ref 0 in
+  Dsim.Engine.every engine ~period:100_000 (fun () ->
+      (if Dsim.Engine.now engine < 5_000_000 then
+         let command = Printf.sprintf "p%d" !proposed in
+         if Raftlite.Group.propose_via_leader group command then incr proposed);
+      true);
+  ignore
+    (Dsim.Engine.schedule_at engine ~time:5_000_000 (fun () ->
+         Dsim.Network.heal_all net;
+         List.iter (fun id -> Dsim.Network.restart net id) names));
+  Dsim.Engine.run ~until:9_000_000 engine;
+  (* Election safety: at most one leader per term (checked over final
+     state: all claimed leaders have distinct terms). *)
+  let leader_terms = List.map Raftlite.Node.term (Raftlite.Group.leaders group) in
+  let election_safety = List.length (List.sort_uniq compare leader_terms) = List.length leader_terms in
+  (* Log matching / completeness: committed_prefix raises on divergence. *)
+  let prefix = Raftlite.Group.committed_prefix group in
+  (* Convergence after heal: every replica applied the same log. *)
+  let converged =
+    List.for_all (fun id -> Raftlite.Group.applied group id = prefix) names
+  in
+  election_safety && converged
+
+let qcheck_safety_under_churn =
+  QCheck.Test.make ~name:"raft safety under random crash/partition churn" ~count:20
+    QCheck.(int_range 0 10_000)
+    random_churn_preserves_safety
+
+let suites =
+  [
+    ( "raft",
+      [
+        Alcotest.test_case "elects exactly one leader" `Quick elects_exactly_one_leader;
+        Alcotest.test_case "replicates to all" `Quick replicates_to_all;
+        Alcotest.test_case "followers reject proposals" `Quick followers_reject_proposals;
+        Alcotest.test_case "failover preserves committed" `Quick failover_preserves_committed;
+        Alcotest.test_case "restarted node catches up" `Quick restarted_node_catches_up;
+        Alcotest.test_case "minority partition cannot commit" `Quick
+          minority_partition_cannot_commit;
+        Alcotest.test_case "single-node group" `Quick single_node_group;
+        Qcheck_util.to_alcotest qcheck_safety_under_churn;
+      ] );
+  ]

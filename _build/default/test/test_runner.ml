@@ -1,0 +1,79 @@
+(* Test runner and campaigns. *)
+
+let simple_test strategy =
+  Sieve.Runner.base_test ~config:Kube.Cluster.default_config
+    ~workload:(Kube.Workload.pod_churn ~n:1 ())
+    ~horizon:5_000_000 strategy
+
+let run_test_isolated () =
+  let outcome = Sieve.Runner.run_test (simple_test Sieve.Strategy.No_perturbation) in
+  Alcotest.(check bool) "committed something" true (outcome.Sieve.Runner.truth_rev > 0);
+  Alcotest.(check int) "clean" 0 (List.length outcome.Sieve.Runner.violations)
+
+let reference_events_ordered () =
+  let events = Sieve.Runner.reference_events (simple_test Sieve.Strategy.No_perturbation) in
+  Alcotest.(check bool) "non-empty" true (events <> []);
+  let times = List.map (fun (t, _, _) -> t) events in
+  Alcotest.(check (list int)) "chronological" (List.sort compare times) times;
+  Alcotest.(check bool) "contains the pod create" true
+    (List.exists (fun (_, key, op) -> key = "pods/churn-0" && op = History.Event.Create) events)
+
+let reference_ignores_strategy () =
+  (* reference_events must run unperturbed even when the test carries a
+     violent strategy. *)
+  let test =
+    simple_test (Sieve.Strategy.Crash_restart { victim = "kubelet-1"; at = 0; downtime = 10_000_000 })
+  in
+  let with_strategy = Sieve.Runner.reference_events test in
+  let without = Sieve.Runner.reference_events (simple_test Sieve.Strategy.No_perturbation) in
+  Alcotest.(check int) "same event count" (List.length without) (List.length with_strategy)
+
+let campaign_stops_at_first_hit () =
+  let case = Sieve.Bugs.k8s_56261 () in
+  let executed = ref 0 in
+  let make_test i =
+    incr executed;
+    if i = 2 then Sieve.Bugs.test_of_case case else Sieve.Bugs.reference_test_of_case case
+  in
+  let result = Sieve.Runner.run_campaign ~make_test ~candidates:10 ~target:case.Sieve.Bugs.matches () in
+  Alcotest.(check int) "stopped at third test" 3 result.Sieve.Runner.tests_run;
+  Alcotest.(check int) "no extra tests built" 3 !executed;
+  match result.Sieve.Runner.found with
+  | Some (_, _, Sieve.Oracle.Scheduler_livelock _) -> ()
+  | _ -> Alcotest.fail "expected livelock found"
+
+let campaign_exhausts_on_miss () =
+  let case = Sieve.Bugs.k8s_56261 () in
+  let result =
+    Sieve.Runner.run_campaign
+      ~make_test:(fun _ -> Sieve.Bugs.reference_test_of_case case)
+      ~candidates:3 ~target:case.Sieve.Bugs.matches ()
+  in
+  Alcotest.(check int) "all ran" 3 result.Sieve.Runner.tests_run;
+  Alcotest.(check bool) "nothing found" true (result.Sieve.Runner.found = None)
+
+let campaign_target_filters () =
+  (* The 56261 sieve test produces a livelock; a target looking for
+     duplicates must not accept it. *)
+  let case = Sieve.Bugs.k8s_56261 () in
+  let result =
+    Sieve.Runner.run_campaign
+      ~make_test:(fun _ -> Sieve.Bugs.test_of_case case)
+      ~candidates:2
+      ~target:(function Sieve.Oracle.Duplicate_pod _ -> true | _ -> false)
+      ()
+  in
+  Alcotest.(check bool) "not found under wrong target" true (result.Sieve.Runner.found = None)
+
+let suites =
+  [
+    ( "runner",
+      [
+        Alcotest.test_case "run_test isolated" `Quick run_test_isolated;
+        Alcotest.test_case "reference events ordered" `Quick reference_events_ordered;
+        Alcotest.test_case "reference ignores strategy" `Quick reference_ignores_strategy;
+        Alcotest.test_case "campaign stops at first hit" `Quick campaign_stops_at_first_hit;
+        Alcotest.test_case "campaign exhausts on miss" `Quick campaign_exhausts_on_miss;
+        Alcotest.test_case "campaign target filters" `Quick campaign_target_filters;
+      ] );
+  ]

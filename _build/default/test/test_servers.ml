@@ -1,0 +1,205 @@
+(* The etcd node and the apiserver, exercised over the simulated network. *)
+
+let setup () =
+  let engine = Dsim.Engine.create () in
+  let net = Dsim.Network.create engine in
+  let intercept = Kube.Intercept.create () in
+  let etcd = Kube.Etcd.create ~net ~intercept () in
+  Dsim.Network.register net "client" ~serve:(fun ~src:_ _ _ -> ()) ();
+  (engine, net, intercept, etcd)
+
+let call engine net req =
+  let result = ref None in
+  Dsim.Network.call net ~src:"client" ~dst:"etcd" req (fun r -> result := Some r);
+  Dsim.Engine.run ~until:(Dsim.Engine.now engine + 2_000_000) engine;
+  !result
+
+let etcd_range_and_txn () =
+  let engine, net, _, etcd = setup () in
+  ignore (Etcdlike.Kv.put (Kube.Etcd.kv etcd) "pods/a" (Kube.Resource.make_pod "a"));
+  (match call engine net (Kube.Messages.Etcd_range { prefix = "pods/" }) with
+  | Some (Ok (Kube.Messages.Items { items; rev })) ->
+      Alcotest.(check int) "one item" 1 (List.length items);
+      Alcotest.(check int) "rev 1" 1 rev
+  | _ -> Alcotest.fail "range failed");
+  match
+    call engine net
+      (Kube.Messages.Etcd_txn
+         { txn = Kube.Messages.put "pods/b" (Kube.Resource.make_pod "b"); origin = "client"; lease = None })
+  with
+  | Some (Ok (Kube.Messages.Txn_result { succeeded = true; rev = 2 })) -> ()
+  | _ -> Alcotest.fail "txn failed"
+
+let etcd_watch_streams_via_pipe () =
+  let engine, net, _, etcd = setup () in
+  let received = ref [] in
+  let watch =
+    Kube.Messages.Etcd_watch
+      {
+        prefix = Some "pods/";
+        start_rev = 0;
+        subscriber = "client";
+        stream_id = "client#pods";
+        deliver =
+          (fun item ->
+            match item with
+            | Kube.Pipe.Event e -> received := e.History.Event.rev :: !received
+            | Kube.Pipe.Bookmark _ | Kube.Pipe.Seal _ -> ());
+      }
+  in
+  (match call engine net watch with
+  | Some (Ok (Kube.Messages.Watch_ok _)) -> ()
+  | _ -> Alcotest.fail "watch failed");
+  ignore (Etcdlike.Kv.put (Kube.Etcd.kv etcd) "pods/a" (Kube.Resource.make_pod "a"));
+  ignore (Etcdlike.Kv.put (Kube.Etcd.kv etcd) "nodes/x" (Kube.Resource.make_node "x"));
+  Dsim.Engine.run ~until:(Dsim.Engine.now engine + 1_000_000) engine;
+  Alcotest.(check (list int)) "pod event only" [ 1 ] (List.rev !received);
+  Alcotest.(check (list string)) "subscribed" [ "client#pods" ] (Kube.Etcd.subscribers etcd)
+
+let etcd_watch_window_compaction () =
+  let engine, net, _, etcd = setup () in
+  let etcd_kv = Kube.Etcd.kv etcd in
+  ignore etcd_kv;
+  ignore engine;
+  ignore net;
+  (* Recreate with a tiny window on a fresh engine for isolation. *)
+  let engine = Dsim.Engine.create () in
+  let net = Dsim.Network.create engine in
+  let intercept = Kube.Intercept.create () in
+  let etcd = Kube.Etcd.create ~net ~intercept ~watch_window:2 () in
+  Dsim.Network.register net "client" ~serve:(fun ~src:_ _ _ -> ()) ();
+  for i = 1 to 6 do
+    ignore (Etcdlike.Kv.put (Kube.Etcd.kv etcd) (Printf.sprintf "k%d" i) (Kube.Resource.make_node "n"))
+  done;
+  let result = ref None in
+  Dsim.Network.call net ~src:"client" ~dst:"etcd"
+    (Kube.Messages.Etcd_watch
+       {
+         prefix = None;
+         start_rev = 1;
+         subscriber = "client";
+         stream_id = "client#all";
+         deliver = (fun _ -> ());
+       })
+    (fun r -> result := Some r);
+  Dsim.Engine.run ~until:2_000_000 engine;
+  match !result with
+  | Some (Ok (Kube.Messages.Watch_compacted { compacted_rev = 4 })) -> ()
+  | _ -> Alcotest.fail "expected compacted at 4"
+
+(* Apiserver serving from its cache. *)
+let api_setup () =
+  let engine = Dsim.Engine.create () in
+  let net = Dsim.Network.create engine in
+  let intercept = Kube.Intercept.create () in
+  let etcd = Kube.Etcd.create ~net ~intercept () in
+  let api = Kube.Apiserver.create ~net ~intercept ~name:"api-1" ~etcd:"etcd" () in
+  Kube.Apiserver.start api;
+  Dsim.Network.register net "client" ~serve:(fun ~src:_ _ _ -> ()) ();
+  Dsim.Engine.run ~until:100_000 engine;
+  (engine, net, etcd, api)
+
+let api_call engine net req =
+  let result = ref None in
+  Dsim.Network.call net ~src:"client" ~dst:"api-1" req (fun r -> result := Some r);
+  Dsim.Engine.run ~until:(Dsim.Engine.now engine + 2_000_000) engine;
+  !result
+
+let apiserver_becomes_ready_and_caches () =
+  let engine, net, etcd, api = api_setup () in
+  Alcotest.(check bool) "ready" true (Kube.Apiserver.ready api);
+  ignore (Etcdlike.Kv.put (Kube.Etcd.kv etcd) "pods/a" (Kube.Resource.make_pod "a"));
+  Dsim.Engine.run ~until:(Dsim.Engine.now engine + 100_000) engine;
+  Alcotest.(check int) "cache caught up" 1 (Kube.Apiserver.rev api);
+  match api_call engine net (Kube.Messages.Api_list { prefix = "pods/"; quorum = false }) with
+  | Some (Ok (Kube.Messages.Items { items; _ })) ->
+      Alcotest.(check int) "served from cache" 1 (List.length items)
+  | _ -> Alcotest.fail "list failed"
+
+let apiserver_stale_when_partitioned () =
+  let engine, net, etcd, _api = api_setup () in
+  Dsim.Network.partition net "etcd" "api-1";
+  ignore (Etcdlike.Kv.put (Kube.Etcd.kv etcd) "pods/late" (Kube.Resource.make_pod "late"));
+  Dsim.Engine.run ~until:(Dsim.Engine.now engine + 300_000) engine;
+  (* Cached list misses the new pod; quorum read cannot be served. *)
+  (match api_call engine net (Kube.Messages.Api_list { prefix = "pods/"; quorum = false }) with
+  | Some (Ok (Kube.Messages.Items { items; _ })) ->
+      Alcotest.(check int) "stale cache: no pod" 0 (List.length items)
+  | _ -> Alcotest.fail "cached list should still work");
+  (* Either the apiserver reports the backend gone, or the whole call
+     times out behind it — both are failures to serve a quorum read. *)
+  match api_call engine net (Kube.Messages.Api_get { key = "pods/late"; quorum = true }) with
+  | Some (Ok Kube.Messages.Backend_unavailable) | Some (Error _) -> ()
+  | _ -> Alcotest.fail "quorum read should fail during partition"
+
+let apiserver_txn_forwarded () =
+  let engine, net, etcd, _ = api_setup () in
+  (match
+     api_call engine net
+       (Kube.Messages.Api_txn
+          { txn = Kube.Messages.put "pods/w" (Kube.Resource.make_pod "w"); origin = "client"; lease = None })
+   with
+  | Some (Ok (Kube.Messages.Txn_result { succeeded = true; _ })) -> ()
+  | _ -> Alcotest.fail "txn failed");
+  Alcotest.(check bool) "landed in etcd" true
+    (Etcdlike.Kv.get (Kube.Etcd.kv etcd) "pods/w" <> None)
+
+let apiserver_watch_compacted_window () =
+  let engine = Dsim.Engine.create () in
+  let net = Dsim.Network.create engine in
+  let intercept = Kube.Intercept.create () in
+  let etcd = Kube.Etcd.create ~net ~intercept () in
+  let api = Kube.Apiserver.create ~net ~intercept ~name:"api-1" ~etcd:"etcd" ~window_size:2 () in
+  Kube.Apiserver.start api;
+  Dsim.Network.register net "client" ~serve:(fun ~src:_ _ _ -> ()) ();
+  Dsim.Engine.run ~until:100_000 engine;
+  for i = 1 to 6 do
+    ignore (Etcdlike.Kv.put (Kube.Etcd.kv etcd) (Printf.sprintf "pods/p%d" i) (Kube.Resource.make_pod "p"))
+  done;
+  Dsim.Engine.run ~until:400_000 engine;
+  let result = ref None in
+  Dsim.Network.call net ~src:"client" ~dst:"api-1"
+    (Kube.Messages.Api_watch
+       {
+         prefix = Some "pods/";
+         start_rev = 1;
+         subscriber = "client";
+         stream_id = "client#pods";
+         deliver = (fun _ -> ());
+       })
+    (fun r -> result := Some r);
+  Dsim.Engine.run ~until:1_000_000 engine;
+  match !result with
+  | Some (Ok (Kube.Messages.Watch_compacted _)) -> ()
+  | _ -> Alcotest.fail "expected window compaction"
+
+let apiserver_restart_relists () =
+  let engine, net, etcd, api = api_setup () in
+  ignore api;
+  ignore (Etcdlike.Kv.put (Kube.Etcd.kv etcd) "pods/a" (Kube.Resource.make_pod "a"));
+  Dsim.Engine.run ~until:(Dsim.Engine.now engine + 100_000) engine;
+  Dsim.Network.crash net "api-1";
+  Alcotest.(check bool) "not ready while down" false (Kube.Apiserver.ready api);
+  ignore (Etcdlike.Kv.put (Kube.Etcd.kv etcd) "pods/b" (Kube.Resource.make_pod "b"));
+  Dsim.Network.restart net "api-1";
+  Dsim.Engine.run ~until:(Dsim.Engine.now engine + 500_000) engine;
+  Alcotest.(check bool) "ready again" true (Kube.Apiserver.ready api);
+  Alcotest.(check int) "caught up past restart" 2 (Kube.Apiserver.rev api)
+
+let suites =
+  [
+    ( "servers",
+      [
+        Alcotest.test_case "etcd range and txn over rpc" `Quick etcd_range_and_txn;
+        Alcotest.test_case "etcd watch streams via pipe" `Quick etcd_watch_streams_via_pipe;
+        Alcotest.test_case "etcd watch window compaction" `Quick etcd_watch_window_compaction;
+        Alcotest.test_case "apiserver becomes ready and caches" `Quick
+          apiserver_becomes_ready_and_caches;
+        Alcotest.test_case "apiserver stale when partitioned" `Quick
+          apiserver_stale_when_partitioned;
+        Alcotest.test_case "apiserver txn forwarded" `Quick apiserver_txn_forwarded;
+        Alcotest.test_case "apiserver watch window compaction" `Quick
+          apiserver_watch_compacted_window;
+        Alcotest.test_case "apiserver restart relists" `Quick apiserver_restart_relists;
+      ] );
+  ]

@@ -1,0 +1,108 @@
+(* Mini-transactions: guards, branches, CAS helpers. *)
+
+let eval kv txn = Etcdlike.Txn.eval kv txn
+
+let guards_all_must_hold () =
+  let kv = Etcdlike.Kv.create () in
+  ignore (Etcdlike.Kv.put kv "a" "1");
+  let txn =
+    Etcdlike.Txn.
+      {
+        guards = [ Exists "a"; Absent "b" ];
+        success = [ Put ("b", "2") ];
+        failure = [];
+      }
+  in
+  let outcome = eval kv txn in
+  Alcotest.(check bool) "succeeded" true outcome.Etcdlike.Txn.succeeded;
+  Alcotest.(check (option string)) "b written" (Some "2")
+    (Option.map fst (Etcdlike.Kv.get kv "b"))
+
+let failure_branch_runs () =
+  let kv = Etcdlike.Kv.create () in
+  let txn =
+    Etcdlike.Txn.
+      {
+        guards = [ Exists "missing" ];
+        success = [ Put ("x", "s") ];
+        failure = [ Put ("x", "f") ];
+      }
+  in
+  let outcome = eval kv txn in
+  Alcotest.(check bool) "failed" false outcome.Etcdlike.Txn.succeeded;
+  Alcotest.(check (option string)) "failure branch wrote" (Some "f")
+    (Option.map fst (Etcdlike.Kv.get kv "x"))
+
+let mod_rev_guard () =
+  let kv = Etcdlike.Kv.create () in
+  ignore (Etcdlike.Kv.put kv "k" "v1") (* rev 1 *);
+  let stale = Etcdlike.Txn.put_if_unchanged ~key:"k" ~expected_mod_rev:0 "v2" in
+  Alcotest.(check bool) "stale CAS fails" false (eval kv stale).Etcdlike.Txn.succeeded;
+  let fresh = Etcdlike.Txn.put_if_unchanged ~key:"k" ~expected_mod_rev:1 "v2" in
+  Alcotest.(check bool) "fresh CAS succeeds" true (eval kv fresh).Etcdlike.Txn.succeeded;
+  Alcotest.(check (option (pair string int))) "new mod rev" (Some ("v2", 2))
+    (Etcdlike.Kv.get kv "k")
+
+let mod_rev_zero_means_absent () =
+  let kv = Etcdlike.Kv.create () in
+  let txn = Etcdlike.Txn.put_if_unchanged ~key:"new" ~expected_mod_rev:0 "v" in
+  Alcotest.(check bool) "create via rev 0" true (eval kv txn).Etcdlike.Txn.succeeded
+
+let create_if_absent_races () =
+  let kv = Etcdlike.Kv.create () in
+  let txn = Etcdlike.Txn.create_if_absent ~key:"once" "first" in
+  Alcotest.(check bool) "first wins" true (eval kv txn).Etcdlike.Txn.succeeded;
+  let again = Etcdlike.Txn.create_if_absent ~key:"once" "second" in
+  Alcotest.(check bool) "second no-ops" false (eval kv again).Etcdlike.Txn.succeeded;
+  Alcotest.(check (option string)) "value untouched" (Some "first")
+    (Option.map fst (Etcdlike.Kv.get kv "once"))
+
+let delete_if_unchanged_guard () =
+  let kv = Etcdlike.Kv.create () in
+  ignore (Etcdlike.Kv.put kv "k" "v1");
+  ignore (Etcdlike.Kv.put kv "k" "v2") (* mod rev 2 *);
+  let stale = Etcdlike.Txn.delete_if_unchanged ~key:"k" ~expected_mod_rev:1 in
+  Alcotest.(check bool) "stale delete blocked" false (eval kv stale).Etcdlike.Txn.succeeded;
+  Alcotest.(check bool) "still there" true (Etcdlike.Kv.get kv "k" <> None);
+  let fresh = Etcdlike.Txn.delete_if_unchanged ~key:"k" ~expected_mod_rev:2 in
+  Alcotest.(check bool) "fresh delete ok" true (eval kv fresh).Etcdlike.Txn.succeeded;
+  Alcotest.(check bool) "gone" true (Etcdlike.Kv.get kv "k" = None)
+
+let value_eq_guard () =
+  let kv = Etcdlike.Kv.create () in
+  ignore (Etcdlike.Kv.put kv "k" "expected");
+  let txn =
+    Etcdlike.Txn.{ guards = [ Value_eq ("k", "expected") ]; success = [ Delete "k" ]; failure = [] }
+  in
+  Alcotest.(check bool) "value guard holds" true (eval kv txn).Etcdlike.Txn.succeeded
+
+let outcome_reports_events_and_rev () =
+  let kv = Etcdlike.Kv.create () in
+  let txn =
+    Etcdlike.Txn.{ guards = []; success = [ Put ("a", "1"); Put ("b", "2") ]; failure = [] }
+  in
+  let outcome = eval kv txn in
+  Alcotest.(check int) "two events" 2 (List.length outcome.Etcdlike.Txn.events);
+  Alcotest.(check int) "rev after" 2 outcome.Etcdlike.Txn.rev
+
+let empty_txn_succeeds () =
+  let kv = Etcdlike.Kv.create () in
+  let outcome = eval kv Etcdlike.Txn.{ guards = []; success = []; failure = [] } in
+  Alcotest.(check bool) "vacuous" true outcome.Etcdlike.Txn.succeeded;
+  Alcotest.(check int) "no events" 0 (List.length outcome.Etcdlike.Txn.events)
+
+let suites =
+  [
+    ( "txn",
+      [
+        Alcotest.test_case "guards all must hold" `Quick guards_all_must_hold;
+        Alcotest.test_case "failure branch runs" `Quick failure_branch_runs;
+        Alcotest.test_case "mod-rev guard" `Quick mod_rev_guard;
+        Alcotest.test_case "mod-rev zero means absent" `Quick mod_rev_zero_means_absent;
+        Alcotest.test_case "create_if_absent races" `Quick create_if_absent_races;
+        Alcotest.test_case "delete_if_unchanged guard" `Quick delete_if_unchanged_guard;
+        Alcotest.test_case "value_eq guard" `Quick value_eq_guard;
+        Alcotest.test_case "outcome reports events and rev" `Quick outcome_reports_events_and_rev;
+        Alcotest.test_case "empty txn succeeds" `Quick empty_txn_succeeds;
+      ] );
+  ]

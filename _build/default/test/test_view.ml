@@ -1,0 +1,99 @@
+(* Component views: observation, anomalies, restart semantics. *)
+
+open History
+
+let ev rev key op value = Event.make ~rev ~key ~op value
+
+let observe_all view events =
+  List.fold_left
+    (fun (view, anomalies) e ->
+      let view, a = View.observe view e in
+      (view, match a with Some a -> a :: anomalies | None -> anomalies))
+    (view, []) events
+
+let in_order_observation_clean () =
+  let view = View.create ~actor:"c" in
+  let view, anomalies =
+    observe_all view
+      [ ev 1 "a" Event.Create (Some "x"); ev 2 "b" Event.Create (Some "y") ]
+  in
+  Alcotest.(check int) "no anomalies" 0 (List.length anomalies);
+  Alcotest.(check int) "frontier" 2 (View.rev view);
+  Alcotest.(check int) "observed H' length" 2 (List.length (View.observed view));
+  Alcotest.(check string) "actor" "c" (View.actor view)
+
+let skipping_is_allowed () =
+  (* A partial history may skip events; that alone is not an anomaly the
+     view can detect (it cannot know rev 2 existed). *)
+  let view = View.create ~actor:"c" in
+  let _, anomalies =
+    observe_all view [ ev 1 "a" Event.Create (Some "x"); ev 3 "b" Event.Create (Some "y") ]
+  in
+  Alcotest.(check int) "no anomaly for gap" 0 (List.length anomalies)
+
+let time_travel_detected () =
+  let view = View.create ~actor:"c" in
+  let view, _ = View.observe view (ev 5 "a" Event.Create (Some "x")) in
+  let _, anomaly = View.observe view (ev 3 "b" Event.Create (Some "y")) in
+  match anomaly with
+  | Some (View.Time_travel { seen_rev = 5; got_rev = 3 }) -> ()
+  | _ -> Alcotest.fail "expected time travel"
+
+let replay_detected () =
+  let view = View.create ~actor:"c" in
+  let e = ev 4 "a" Event.Create (Some "x") in
+  let view, _ = View.observe view e in
+  let _, anomaly = View.observe view e in
+  match anomaly with
+  | Some (View.Replay { rev = 4 }) -> ()
+  | _ -> Alcotest.fail "expected replay"
+
+let anomalous_events_still_applied () =
+  let view = View.create ~actor:"c" in
+  let view, _ = View.observe view (ev 5 "a" Event.Create (Some "new")) in
+  let view, _ = View.observe view (ev 3 "a" Event.Update (Some "old")) in
+  (* The buggy component does consume it: last writer wins in its S'. *)
+  Alcotest.(check (option string)) "stale value applied" (Some "old")
+    (State.get (View.state view) "a")
+
+let reset_discards_history () =
+  let view = View.create ~actor:"c" in
+  let view, _ = View.observe view (ev 9 "a" Event.Create (Some "x")) in
+  let snapshot = State.apply State.empty (ev 4 "b" Event.Create (Some "y")) in
+  let view = View.reset_to_state view snapshot in
+  Alcotest.(check int) "H' gone" 0 (List.length (View.observed view));
+  Alcotest.(check int) "frontier moved backwards" 4 (View.rev view);
+  Alcotest.(check bool) "new state adopted" true (State.mem (View.state view) "b")
+
+let staleness_measure () =
+  let view = View.create ~actor:"c" in
+  let view, _ = View.observe view (ev 3 "a" Event.Create (Some "x")) in
+  Alcotest.(check int) "lag 7" 7 (View.staleness view ~against:10);
+  Alcotest.(check int) "never negative" 0 (View.staleness view ~against:1)
+
+let qcheck_frontier_is_max_observed =
+  QCheck.Test.make ~name:"frontier = max observed rev" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 30) (int_range 1 100))
+    (fun revs ->
+      let view = View.create ~actor:"c" in
+      let view, _ =
+        List.fold_left
+          (fun (v, _) rev -> View.observe v (ev rev "k" Event.Update (Some "v")))
+          (view, None) revs
+      in
+      View.rev view = List.fold_left max 0 revs)
+
+let suites =
+  [
+    ( "view",
+      [
+        Alcotest.test_case "in-order observation clean" `Quick in_order_observation_clean;
+        Alcotest.test_case "skipping is allowed" `Quick skipping_is_allowed;
+        Alcotest.test_case "time travel detected" `Quick time_travel_detected;
+        Alcotest.test_case "replay detected" `Quick replay_detected;
+        Alcotest.test_case "anomalous events still applied" `Quick anomalous_events_still_applied;
+        Alcotest.test_case "reset discards history (restart)" `Quick reset_discards_history;
+        Alcotest.test_case "staleness measure" `Quick staleness_measure;
+        Qcheck_util.to_alcotest qcheck_frontier_is_max_observed;
+      ] );
+  ]

@@ -1,0 +1,109 @@
+(* Workload generators: step structure and primitive actions. *)
+
+let boot () =
+  let cluster = Kube.Cluster.create () in
+  Kube.Cluster.start cluster;
+  cluster
+
+let churn_steps_paired () =
+  let w = Kube.Workload.pod_churn ~start:100 ~spacing:10 ~lifetime:50 ~n:3 () in
+  Alcotest.(check int) "two steps per pod" 6 (List.length w);
+  let labels = Kube.Workload.labels w in
+  Alcotest.(check bool) "has create churn-0" true (List.mem_assoc 100 labels);
+  (* Creation at start + i*spacing; deletion lifetime later. *)
+  Alcotest.(check (list int)) "times" [ 100; 110; 120; 150; 160; 170 ]
+    (List.sort compare (List.map fst labels))
+
+let claims_workload_names () =
+  let w = Kube.Workload.pods_with_claims ~n:2 () in
+  let text = String.concat " " (List.map snd (Kube.Workload.labels w)) in
+  let contains needle =
+    let n = String.length needle and h = String.length text in
+    let rec go i = i + n <= h && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "mentions claim vol-0" true (contains "vol-0");
+  Alcotest.(check bool) "mentions app-1" true (contains "app-1")
+
+let rolling_upgrade_ordering () =
+  let w = Kube.Workload.rolling_upgrade ~start:1_000 ~pod:"p" ~from_node:"a" ~to_node:"b" () in
+  let times = List.map fst (Kube.Workload.labels w) in
+  Alcotest.(check (list int)) "create, delete, recreate" (List.sort compare times) times;
+  Alcotest.(check int) "three steps" 3 (List.length w)
+
+let create_pod_unpinned_gets_scheduled () =
+  let cluster = boot () in
+  ignore
+    (Dsim.Engine.schedule_at (Kube.Cluster.engine cluster) ~time:1_000_000 (fun () ->
+         Kube.Workload.create_pod cluster "loose"));
+  Kube.Cluster.run cluster ~until:3_000_000;
+  match History.State.get (Kube.Cluster.truth cluster) "pods/loose" with
+  | Some (Kube.Resource.Pod p) -> Alcotest.(check bool) "bound" true (p.Kube.Resource.node <> None)
+  | _ -> Alcotest.fail "pod missing"
+
+let create_pod_with_claim_creates_both () =
+  let cluster = boot () in
+  ignore
+    (Dsim.Engine.schedule_at (Kube.Cluster.engine cluster) ~time:1_000_000 (fun () ->
+         Kube.Workload.create_pod ~pvc:"data" cluster "app"));
+  Kube.Cluster.run cluster ~until:2_000_000;
+  let truth = Kube.Cluster.truth cluster in
+  Alcotest.(check bool) "pod" true (History.State.mem truth "pods/app");
+  match History.State.get truth "pvcs/data" with
+  | Some (Kube.Resource.Pvc c) ->
+      Alcotest.(check (option string)) "owner" (Some "app") c.Kube.Resource.owner_pod
+  | _ -> Alcotest.fail "claim missing"
+
+let mark_pod_deleted_noop_when_absent () =
+  let cluster = boot () in
+  ignore
+    (Dsim.Engine.schedule_at (Kube.Cluster.engine cluster) ~time:1_000_000 (fun () ->
+         Kube.Workload.mark_pod_deleted cluster "ghost"));
+  Kube.Cluster.run cluster ~until:2_000_000;
+  Alcotest.(check bool) "still absent" false
+    (History.State.mem (Kube.Cluster.truth cluster) "pods/ghost")
+
+let node_lifecycle_actions () =
+  let cluster = boot () in
+  let engine = Kube.Cluster.engine cluster in
+  ignore (Dsim.Engine.schedule_at engine ~time:1_000_000 (fun () ->
+      Kube.Workload.create_node cluster "extra"));
+  ignore (Dsim.Engine.schedule_at engine ~time:2_000_000 (fun () ->
+      Kube.Workload.delete_node cluster "node-3"));
+  Kube.Cluster.run cluster ~until:3_000_000;
+  let truth = Kube.Cluster.truth cluster in
+  Alcotest.(check bool) "extra created" true (History.State.mem truth "nodes/extra");
+  Alcotest.(check bool) "node-3 deleted" false (History.State.mem truth "nodes/node-3")
+
+let spec_scaling_actions () =
+  let cluster = boot () in
+  let engine = Kube.Cluster.engine cluster in
+  ignore (Dsim.Engine.schedule_at engine ~time:1_000_000 (fun () ->
+      Kube.Workload.set_cassdc_replicas cluster "dc" 2));
+  ignore (Dsim.Engine.schedule_at engine ~time:1_100_000 (fun () ->
+      Kube.Workload.set_rset_replicas cluster "rs" 4));
+  Kube.Cluster.run cluster ~until:2_000_000;
+  let truth = Kube.Cluster.truth cluster in
+  (match History.State.get truth "cassdcs/dc" with
+  | Some (Kube.Resource.Cassdc d) -> Alcotest.(check int) "dc replicas" 2 d.Kube.Resource.replicas
+  | _ -> Alcotest.fail "cassdc missing");
+  match History.State.get truth "rsets/rs" with
+  | Some (Kube.Resource.Rset r) -> Alcotest.(check int) "rs replicas" 4 r.Kube.Resource.rs_replicas
+  | _ -> Alcotest.fail "rset missing"
+
+let suites =
+  [
+    ( "workload",
+      [
+        Alcotest.test_case "churn steps paired" `Quick churn_steps_paired;
+        Alcotest.test_case "claims workload names" `Quick claims_workload_names;
+        Alcotest.test_case "rolling upgrade ordering" `Quick rolling_upgrade_ordering;
+        Alcotest.test_case "unpinned pod gets scheduled" `Quick
+          create_pod_unpinned_gets_scheduled;
+        Alcotest.test_case "pod with claim creates both" `Quick
+          create_pod_with_claim_creates_both;
+        Alcotest.test_case "mark absent pod is a no-op" `Quick mark_pod_deleted_noop_when_absent;
+        Alcotest.test_case "node lifecycle actions" `Quick node_lifecycle_actions;
+        Alcotest.test_case "spec scaling actions" `Quick spec_scaling_actions;
+      ] );
+  ]
