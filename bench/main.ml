@@ -1150,6 +1150,31 @@ let micro () =
         done;
         Dsim.Engine.run e))
   in
+  let test_trace_ring =
+    Test.make ~name:"trace: 1k caused emits (ring 256)" (Staged.stage (fun () ->
+        let t = Dsim.Trace.create ~capacity:256 () in
+        for i = 1 to 1_000 do
+          ignore (Dsim.Trace.emit t ~time:i ~actor:"a" ~kind:"k" ~cause:(max 1 (i - 1)) "d")
+        done))
+  in
+  let test_metrics_hist =
+    Test.make ~name:"metrics: 1k observes + p99" (Staged.stage (fun () ->
+        let m = Dsim.Metrics.create () in
+        for i = 1 to 1_000 do
+          Dsim.Metrics.observe m "h" (float_of_int (i mod 97))
+        done;
+        ignore (Dsim.Metrics.percentile m "h" 0.99)))
+  in
+  let test_trace_jsonl =
+    let trace = Dsim.Trace.create () in
+    for i = 1 to 1_000 do
+      ignore (Dsim.Trace.emit trace ~time:i ~actor:"etcd" ~kind:"etcd.commit" "rev detail")
+    done;
+    Test.make ~name:"trace: jsonl dump+parse (1k)" (Staged.stage (fun () ->
+        match Dsim.Trace.of_jsonl (Dsim.Trace.to_jsonl trace) with
+        | Ok _ -> ()
+        | Error msg -> failwith msg))
+  in
   let test_cluster_second =
     Test.make ~name:"cluster: 1 virtual second" (Staged.stage (fun () ->
         let cluster = Kube.Cluster.create () in
@@ -1161,8 +1186,8 @@ let micro () =
         ignore (Sieve.Runner.run_test (Sieve.Bugs.test_of_case (Sieve.Bugs.ca_402 ())))))
   in
   let tests =
-    [ test_kv_put; test_state_apply; test_log_since; test_engine; test_cluster_second;
-      test_bug_repro ]
+    [ test_kv_put; test_state_apply; test_log_since; test_engine; test_trace_ring;
+      test_metrics_hist; test_trace_jsonl; test_cluster_second; test_bug_repro ]
   in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.3) ~kde:None () in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in

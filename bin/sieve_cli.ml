@@ -3,9 +3,10 @@
    Subcommands:
      list                      the bug corpus
      bugs [ID...]              reproduce corpus bugs (reference / sieve / fixed)
-     trace ID                  annotated failing execution of one bug
+     trace ID [--json]         annotated failing execution of one bug (or JSONL)
+     timeline ID [--json]      per-component revision-lag timeline of one bug
      campaign ID APPROACH      tests-to-first-reproduction for one approach
-     explore                   run the planner end-to-end on a workload *)
+     explore [--json]          run the planner end-to-end on a workload *)
 
 open Cmdliner
 
@@ -91,38 +92,130 @@ let trace_cmd =
   let all_arg =
     Arg.(value & flag & info [ "full" ] ~doc:"Print the raw trace instead of the curated one.")
   in
-  let run id full =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Dump the full structured trace as JSONL (one entry per line) instead of text.")
+  in
+  let run id full json =
     match Sieve.Bugs.find id with
     | None ->
         Printf.eprintf "unknown bug id %s\n" id;
         exit 2
     | Some case ->
-        Printf.printf "%s — %s\npattern:  %s\nstrategy: %s\n\n" case.Sieve.Bugs.id
-          case.Sieve.Bugs.title (pattern_name case.Sieve.Bugs.pattern)
-          (Sieve.Strategy.describe case.Sieve.Bugs.sieve_strategy);
         let outcome = Sieve.Runner.run_test (Sieve.Bugs.test_of_case case) in
-        let curated =
-          [ "workload.step"; "kubelet.run"; "kubelet.stop"; "kubelet.finalize"; "node.crash";
-            "node.restart"; "net.partition"; "net.heal"; "pipe.drop"; "informer.list";
-            "informer.stream-dead"; "sched.bind"; "sched.bind-fail"; "cassop.decommission";
-            "cassop.delete-pvc"; "cassop.create-member"; "volctl.release"; "oracle.violation" ]
-        in
-        List.iter
-          (fun e ->
-            if full || List.mem e.Dsim.Trace.kind curated then
-              Printf.printf "  [%8.3f s] %-10s %-22s %s\n"
-                (float_of_int e.Dsim.Trace.time /. 1e6)
-                e.Dsim.Trace.actor e.Dsim.Trace.kind e.Dsim.Trace.detail)
-          (Dsim.Trace.entries (Kube.Cluster.trace outcome.Sieve.Runner.cluster));
-        match outcome.Sieve.Runner.violations with
-        | (t, v) :: _ ->
-            Printf.printf "\n=> [%s] %s (at %.3f s)\n" (Sieve.Oracle.bug_id v)
-              (Sieve.Oracle.describe v) (float_of_int t /. 1e6)
-        | [] ->
-            Printf.printf "\n=> no violation (unexpected)\n";
-            exit 1
+        if json then print_string (Sieve.Runner.trace_jsonl outcome)
+        else begin
+          Printf.printf "%s — %s\npattern:  %s\nstrategy: %s\n\n" case.Sieve.Bugs.id
+            case.Sieve.Bugs.title (pattern_name case.Sieve.Bugs.pattern)
+            (Sieve.Strategy.describe case.Sieve.Bugs.sieve_strategy);
+          let curated =
+            [ "workload.step"; "kubelet.run"; "kubelet.stop"; "kubelet.finalize"; "node.crash";
+              "node.restart"; "net.partition"; "net.heal"; "pipe.drop"; "informer.list";
+              "informer.stream-dead"; "sched.bind"; "sched.bind-fail"; "cassop.decommission";
+              "cassop.delete-pvc"; "cassop.create-member"; "volctl.release"; "oracle.violation" ]
+          in
+          List.iter
+            (fun e ->
+              if full || List.mem e.Dsim.Trace.kind curated then
+                Printf.printf "  [%8.3f s] %-10s %-22s %s\n"
+                  (float_of_int e.Dsim.Trace.time /. 1e6)
+                  e.Dsim.Trace.actor e.Dsim.Trace.kind e.Dsim.Trace.detail)
+            (Dsim.Trace.entries (Kube.Cluster.trace outcome.Sieve.Runner.cluster));
+          match outcome.Sieve.Runner.violations with
+          | (t, v) :: _ ->
+              Printf.printf "\n=> [%s] %s (at %.3f s)\n" (Sieve.Oracle.bug_id v)
+                (Sieve.Oracle.describe v) (float_of_int t /. 1e6);
+              Printf.printf "\nwhy (causal chain, oldest first):\n";
+              Sieve.Report.chain (Sieve.Runner.causal_chain outcome)
+          | [] ->
+              Printf.printf "\n=> no violation (unexpected)\n";
+              exit 1
+        end
   in
-  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ id_arg $ all_arg)
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ id_arg $ all_arg $ json_arg)
+
+(* --- timeline ------------------------------------------------------- *)
+
+(* Downsampled sparkline: the max of each bucket, not the mean — spikes
+   are the signal when plotting divergence. *)
+let sparkline ?(width = 60) values =
+  match values with
+  | [] -> ""
+  | _ ->
+      let arr = Array.of_list values in
+      let n = Array.length arr in
+      let width = min width n in
+      let blocks = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
+                      "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |] in
+      let peak = Array.fold_left max 0.0 arr in
+      let bucket i =
+        let lo = i * n / width in
+        let hi = max (lo + 1) ((i + 1) * n / width) in
+        let m = ref 0.0 in
+        for j = lo to hi - 1 do
+          m := max !m arr.(j)
+        done;
+        !m
+      in
+      String.concat ""
+        (List.init width (fun i ->
+             let v = bucket i in
+             if peak <= 0.0 || v <= 0.0 then " "
+             else blocks.(min 7 (int_of_float (v /. peak *. 8.0)))))
+
+let timeline_cmd =
+  let doc =
+    "Plot every component's revision lag over the failing run of one corpus bug — the live      measurement of partial-history divergence."
+  in
+  let id_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Bug id.") in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the full metrics snapshot as JSON instead of sparklines.")
+  in
+  let run id json =
+    match Sieve.Bugs.find id with
+    | None ->
+        Printf.eprintf "unknown bug id %s\n" id;
+        exit 2
+    | Some case ->
+        let outcome = Sieve.Runner.run_test (Sieve.Bugs.test_of_case case) in
+        if json then
+          Sieve.Report.json
+            (Dsim.Json.Obj
+               [
+                 ("bug", Dsim.Json.String case.Sieve.Bugs.id);
+                 ("metrics", Sieve.Runner.metrics_json outcome);
+               ])
+        else begin
+          let metrics = Kube.Cluster.metrics outcome.Sieve.Runner.cluster in
+          Printf.printf "%s — revision lag by component over 0 .. %.1f s\n\n" case.Sieve.Bugs.id
+            (float_of_int case.Sieve.Bugs.horizon /. 1e6);
+          let lag_names =
+            List.filter
+              (fun n -> String.length n > 4 && String.equal (String.sub n 0 4) "lag.")
+              (Dsim.Metrics.series_names metrics)
+          in
+          (* Printed by hand: sparkline glyphs are multi-byte, which would
+             defeat Report.table's byte-width alignment. *)
+          List.iter
+            (fun name ->
+              let values = List.map snd (Dsim.Metrics.series metrics name) in
+              let peak = List.fold_left max 0.0 values in
+              Printf.printf "  %-10s |%s| peak %.0f\n"
+                (String.sub name 4 (String.length name - 4))
+                (sparkline values) peak)
+            lag_names;
+          match outcome.Sieve.Runner.violations with
+          | (t, v) :: _ ->
+              Printf.printf "\nviolation [%s] at %.3f s: %s\n" (Sieve.Oracle.bug_id v)
+                (float_of_int t /. 1e6) (Sieve.Oracle.describe v)
+          | [] -> ()
+        end
+  in
+  Cmd.v (Cmd.info "timeline" ~doc) Term.(const run $ id_arg $ json_arg)
 
 (* --- campaign ------------------------------------------------------ *)
 
@@ -196,7 +289,13 @@ let explore_cmd =
   let budget_arg =
     Arg.(value & opt int 150 & info [ "budget" ] ~docv:"N" ~doc:"Maximum tests to run.")
   in
-  let run budget =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit one JSON object summarizing the exploration instead of progress text.")
+  in
+  let run budget json =
     let config = Kube.Cluster.default_config in
     let horizon = 9_000_000 in
     let workload =
@@ -207,9 +306,11 @@ let explore_cmd =
     let reference = Sieve.Runner.base_test ~config ~workload ~horizon Sieve.Strategy.No_perturbation in
     let events = Sieve.Runner.reference_events reference in
     let plans = Sieve.Planner.candidates ~config ~events ~horizon () in
-    Printf.printf "workload commits %d events; planner proposes %d candidates; running %d\n\n"
-      (List.length events) (List.length plans) (min budget (List.length plans));
+    if not json then
+      Printf.printf "workload commits %d events; planner proposes %d candidates; running %d\n\n"
+        (List.length events) (List.length plans) (min budget (List.length plans));
     let found = Hashtbl.create 8 in
+    let results = ref [] in
     List.iteri
       (fun i plan ->
         if i < budget then begin
@@ -218,19 +319,42 @@ let explore_cmd =
               (Sieve.Runner.base_test ~config ~workload ~horizon plan.Sieve.Planner.strategy)
           in
           List.iter
-            (fun (_, v) ->
+            (fun (time, v) ->
               let key = Sieve.Oracle.key v in
               if not (Hashtbl.mem found key) then begin
                 Hashtbl.replace found key ();
-                Printf.printf "test %3d: [%s] %s\n          via %s\n" (i + 1)
-                  (Sieve.Oracle.bug_id v) (Sieve.Oracle.describe v) plan.Sieve.Planner.rationale
+                results := (i + 1, time, v, plan.Sieve.Planner.rationale) :: !results;
+                if not json then
+                  Printf.printf "test %3d: [%s] %s\n          via %s\n" (i + 1)
+                    (Sieve.Oracle.bug_id v) (Sieve.Oracle.describe v) plan.Sieve.Planner.rationale
               end)
             outcome.Sieve.Runner.violations
         end)
       plans;
-    Printf.printf "\n%d distinct violations exposed\n" (Hashtbl.length found)
+    if json then
+      Sieve.Report.json
+        (Dsim.Json.Obj
+           [
+             ("events", Dsim.Json.Int (List.length events));
+             ("candidates", Dsim.Json.Int (List.length plans));
+             ("tests_run", Dsim.Json.Int (min budget (List.length plans)));
+             ( "violations",
+               Dsim.Json.List
+                 (List.rev_map
+                    (fun (test, time, v, rationale) ->
+                      Dsim.Json.Obj
+                        [
+                          ("test", Dsim.Json.Int test);
+                          ("time", Dsim.Json.Int time);
+                          ("bug", Dsim.Json.String (Sieve.Oracle.bug_id v));
+                          ("violation", Dsim.Json.String (Sieve.Oracle.describe v));
+                          ("rationale", Dsim.Json.String rationale);
+                        ])
+                    !results) );
+           ])
+    else Printf.printf "\n%d distinct violations exposed\n" (Hashtbl.length found)
   in
-  Cmd.v (Cmd.info "explore" ~doc) Term.(const run $ budget_arg)
+  Cmd.v (Cmd.info "explore" ~doc) Term.(const run $ budget_arg $ json_arg)
 
 (* --- seals --------------------------------------------------------- *)
 
@@ -349,8 +473,8 @@ let main_cmd =
   let info = Cmd.info "sieve" ~version:"1.0.0" ~doc in
   Cmd.group info
     [
-      list_cmd; bugs_cmd; trace_cmd; campaign_cmd; explore_cmd; minimize_cmd; coverage_cmd;
-      seals_cmd;
+      list_cmd; bugs_cmd; trace_cmd; timeline_cmd; campaign_cmd; explore_cmd; minimize_cmd;
+      coverage_cmd; seals_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

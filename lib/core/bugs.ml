@@ -228,4 +228,8 @@ let extras () = [ ext_rs_surplus (); ext_nc_evict (); ext_dep_wedged () ]
 
 let all_with_extras () = all () @ extras ()
 
-let find id = List.find_opt (fun case -> String.equal case.id id) (all_with_extras ())
+let find id =
+  let wanted = String.lowercase_ascii id in
+  List.find_opt
+    (fun case -> String.equal (String.lowercase_ascii case.id) wanted)
+    (all_with_extras ())

@@ -45,7 +45,8 @@ val ca_402 : unit -> case
 val all : unit -> case list
 
 val find : string -> case option
-(** Look up by [id], across the corpus and the extension cases. *)
+(** Look up by [id] (case-insensitive), across the corpus and the
+    extension cases. *)
 
 val test_of_case : case -> Runner.test
 (** The case run under its focused Sieve strategy. *)

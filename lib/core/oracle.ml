@@ -62,6 +62,8 @@ type t = {
       (* deployment -> (intent fingerprint, consecutive unchanged sightings) *)
   seen : (string, unit) Hashtbl.t;  (* dedup keys *)
   mutable violations : (int * violation) list;  (* newest first *)
+  commit_ids : (string, int) Hashtbl.t;  (* resource key -> last commit trace id *)
+  mutable last_commit_id : int option;
 }
 
 let mirror t = t.mirror
@@ -72,13 +74,34 @@ let first t = match violations t with [] -> None | v :: _ -> Some v
 
 let violated t = t.violations <> []
 
-let report t v =
+(* The trace id of the last store commit that touched [key] — the best
+   causal anchor for a violation about that resource — falling back to
+   the most recent commit of any kind. *)
+let cause_for t key =
+  match Hashtbl.find_opt t.commit_ids key with
+  | Some _ as c -> c
+  | None -> t.last_commit_id
+
+let report ?cause t v =
   let k = key v in
   if not (Hashtbl.mem t.seen k) then begin
     Hashtbl.replace t.seen k ();
-    let now = Dsim.Engine.now (Kube.Cluster.engine t.cluster) in
+    let engine = Kube.Cluster.engine t.cluster in
+    let now = Dsim.Engine.now engine in
     t.violations <- (now, v) :: t.violations;
-    Dsim.Engine.record (Kube.Cluster.engine t.cluster) ~actor:"oracle" ~kind:"oracle.violation"
+    (* Resolve the causal anchor: an explicit per-check cause wins, then
+       the live frontier (commit-driven checks run inside the commit),
+       then the most recent commit. *)
+    let cause =
+      match cause with
+      | Some _ as c -> c
+      | None -> (
+          match Dsim.Engine.current_cause engine with
+          | Some _ as c -> c
+          | None -> t.last_commit_id)
+    in
+    Dsim.Metrics.incr (Dsim.Engine.metrics engine) "oracle.violations";
+    Dsim.Engine.record engine ~actor:"oracle" ~kind:"oracle.violation" ?cause
       (Printf.sprintf "[%s] %s" (bug_id v) (describe v))
   end
 
@@ -139,6 +162,14 @@ let check_failed_transition t (e : Kube.Resource.value History.Event.t) =
 
 let on_commit t (e : Kube.Resource.value History.Event.t) =
   let now = Dsim.Engine.now (Kube.Cluster.engine t.cluster) in
+  (* The etcd commit listener runs first and emits the ["etcd.commit"]
+     trace entry, so the causal frontier here is that entry's id; index
+     it by resource key for the periodic checks. *)
+  (match Dsim.Engine.current_cause (Kube.Cluster.engine t.cluster) with
+  | Some id ->
+      Hashtbl.replace t.commit_ids e.History.Event.key id;
+      t.last_commit_id <- Some id
+  | None -> ());
   (match Kube.Resource.kind_of_key e.History.Event.key, e.History.Event.op with
   | `Pod, History.Event.Update ->
       Hashtbl.remove t.pod_deleted_at (Kube.Resource.name_of_key e.History.Event.key);
@@ -175,7 +206,9 @@ let check_duplicates t =
         Hashtbl.replace confirmed_this_round pod ();
         Hashtbl.replace t.duplicate_streak pod streak;
         if streak >= t.duplicate_confirmations then
-          report t (Duplicate_pod { pod; kubelets = List.sort String.compare kubelets })
+          report t
+            ?cause:(cause_for t (Kube.Resource.pod_key pod))
+            (Duplicate_pod { pod; kubelets = List.sort String.compare kubelets })
       end)
     sightings;
   Hashtbl.iter
@@ -192,7 +225,10 @@ let check_livelock t =
           if
             failures >= t.livelock_threshold
             && not (History.State.mem t.mirror (Kube.Resource.node_key node))
-          then report t (Scheduler_livelock { pod; node; failures }))
+          then
+            report t
+              ?cause:(cause_for t (Kube.Resource.node_key node))
+              (Scheduler_livelock { pod; node; failures }))
         (Kube.Scheduler.bind_failures scheduler)
 
 let managed_claim name =
@@ -210,7 +246,9 @@ let check_leaks t =
               if not (History.State.mem t.mirror (Kube.Resource.pod_key owner)) then begin
                 match Hashtbl.find_opt t.pod_deleted_at owner with
                 | Some deleted_at when now - deleted_at > t.leak_grace ->
-                    report t (Pvc_leak { pvc = c.Kube.Resource.pvc_name; owner_pod = owner })
+                    report t
+                      ?cause:(cause_for t (Kube.Resource.pod_key owner))
+                      (Pvc_leak { pvc = c.Kube.Resource.pvc_name; owner_pod = owner })
                 | Some _ | None -> ()
               end
         end
@@ -239,7 +277,7 @@ let check_surplus t =
           in
           let desired = spec.Kube.Resource.rs_replicas in
           if desired > 0 && live > 2 * desired then
-            report t
+            report t ?cause:(cause_for t rs_key)
               (Replica_surplus { rs = spec.Kube.Resource.rs_name; live; desired })
       | _ -> ())
     t.mirror ()
@@ -306,7 +344,9 @@ let check_wedged_rollouts t =
               in
               Hashtbl.replace t.wedge_streak dep (fingerprint, streak);
               if streak >= 60 then
-                report t (Rollout_wedged { dep; generation = d.Kube.Resource.template })
+                report t
+                  ?cause:(cause_for t (Kube.Resource.deployment_key dep))
+                  (Rollout_wedged { dep; generation = d.Kube.Resource.template })
           | _ -> ())
       | _ -> ())
     t.mirror ();
@@ -328,6 +368,8 @@ let attach ?(check_period = 100_000) ?(livelock_threshold = 15) ?(leak_grace = 2
       wedge_streak = Hashtbl.create 16;
       seen = Hashtbl.create 16;
       violations = [];
+      commit_ids = Hashtbl.create 64;
+      last_commit_id = None;
     }
   in
   Kube.Etcd.on_commit (Kube.Cluster.etcd cluster) (fun e -> on_commit t e);

@@ -33,3 +33,15 @@ let table ~header rows =
 let kv pairs =
   let width = List.fold_left (fun acc (k, _) -> max acc (String.length k)) 0 pairs in
   List.iter (fun (k, v) -> Printf.printf "%-*s : %s\n" width k v) pairs
+
+let json j = print_endline (Dsim.Json.to_string j)
+
+let chain entries =
+  match entries with
+  | [] -> print_endline "(no causal chain: the trace has no violation entry)"
+  | _ ->
+      List.iteri
+        (fun i (e : Dsim.Trace.entry) ->
+          Printf.printf "%2d. [%8d us] %-12s %-22s %s\n" (i + 1) e.Dsim.Trace.time
+            e.Dsim.Trace.actor e.Dsim.Trace.kind e.Dsim.Trace.detail)
+        entries

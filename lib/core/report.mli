@@ -11,3 +11,9 @@ val table : header:string list -> string list list -> unit
 
 val kv : (string * string) list -> unit
 (** Prints aligned "key: value" lines. *)
+
+val json : Dsim.Json.t -> unit
+(** Prints a JSON value on one line (machine-readable output mode). *)
+
+val chain : Dsim.Trace.entry list -> unit
+(** Prints a causal chain (oldest first) as a numbered walkthrough. *)

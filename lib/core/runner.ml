@@ -31,6 +31,44 @@ let run_test test =
     cluster;
   }
 
+let violation_entry outcome =
+  match Dsim.Trace.find_all (Kube.Cluster.trace outcome.cluster) ~kind:"oracle.violation" with
+  | [] -> None
+  | e :: _ -> Some e
+
+let causal_chain outcome =
+  match violation_entry outcome with
+  | None -> []
+  | Some e -> Dsim.Trace.chain (Kube.Cluster.trace outcome.cluster) ~id:e.Dsim.Trace.id
+
+let trace_jsonl outcome = Dsim.Trace.to_jsonl (Kube.Cluster.trace outcome.cluster)
+
+let metrics_json outcome = Dsim.Metrics.to_json (Kube.Cluster.metrics outcome.cluster)
+
+let artifact outcome =
+  let violations =
+    List.map
+      (fun (time, v) ->
+        Dsim.Json.Obj
+          [
+            ("time", Dsim.Json.Int time);
+            ("bug", Dsim.Json.String (Oracle.bug_id v));
+            ("violation", Dsim.Json.String (Oracle.describe v));
+          ])
+      outcome.violations
+  in
+  let chain = List.map Dsim.Trace.entry_to_json (causal_chain outcome) in
+  Dsim.Json.Obj
+    [
+      ("test", Dsim.Json.String outcome.test.name);
+      ("seed", Dsim.Json.Int (Int64.to_int outcome.test.config.Kube.Cluster.seed));
+      ("horizon", Dsim.Json.Int outcome.test.horizon);
+      ("truth_rev", Dsim.Json.Int outcome.truth_rev);
+      ("violations", Dsim.Json.List violations);
+      ("causal_chain", Dsim.Json.List chain);
+      ("metrics", metrics_json outcome);
+    ]
+
 type commit = { time : int; key : string; op : History.Event.op; origin : string }
 
 let reference_commits test =

@@ -29,6 +29,28 @@ type outcome = {
 
 val run_test : test -> outcome
 
+val violation_entry : outcome -> Dsim.Trace.entry option
+(** The trace entry of the run's first oracle violation, if any. *)
+
+val causal_chain : outcome -> Dsim.Trace.entry list
+(** The causal chain behind the first violation: cause links walked
+    backwards from the ["oracle.violation"] entry to the originating
+    store commit, returned oldest first — the Figure-2-style "why"
+    walkthrough. Empty when the run found no violation. *)
+
+val trace_jsonl : outcome -> string
+(** The whole run trace as JSONL, one entry per line
+    ({!Dsim.Trace.to_jsonl}). *)
+
+val metrics_json : outcome -> Dsim.Json.t
+(** Snapshot of the run's metrics registry ({!Dsim.Metrics.to_json}). *)
+
+val artifact : outcome -> Dsim.Json.t
+(** The machine-readable run artifact: test identity, violations with
+    bug ids, the causal chain of the first violation, and the full
+    metrics snapshot — everything a downstream tool needs to triage the
+    run without re-executing it. *)
+
 type commit = { time : int; key : string; op : History.Event.op; origin : string }
 (** One committed reference event; [origin] is the component whose
     transaction produced it. *)

@@ -5,8 +5,10 @@
     ({!Rng}). {!Network} models RPC and one-way messaging between named
     nodes with latency, partitions and crash/restart (with incarnation
     fencing); {!Fault} turns failure schedules into replayable data;
-    {!Trace} records everything that happened; {!Metrics} aggregates
-    counters and latency histograms for experiments. *)
+    {!Trace} records everything that happened as causally-linked
+    structured entries; {!Metrics} aggregates counters, gauges, latency
+    histograms and virtual-time series; {!Json} renders both as
+    machine-readable run artifacts. *)
 
 module Rng = Rng
 module Pqueue = Pqueue
@@ -15,3 +17,4 @@ module Network = Network
 module Fault = Fault
 module Trace = Trace
 module Metrics = Metrics
+module Json = Json

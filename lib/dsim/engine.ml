@@ -1,4 +1,8 @@
-type timer = { mutable cancelled : bool; action : unit -> unit }
+type timer = {
+  mutable cancelled : bool;
+  action : unit -> unit;
+  cause : int option;  (* causal frontier captured when the timer was scheduled *)
+}
 
 type t = {
   mutable clock : int;
@@ -6,11 +10,15 @@ type t = {
   heap : timer Pqueue.t;
   rng : Rng.t;
   trace : Trace.t;
+  metrics : Metrics.t;
+  mutable cause : int option;
 }
 
-let create ?(seed = 1L) ?trace () =
+let create ?(seed = 1L) ?trace ?metrics () =
   let trace = match trace with Some tr -> tr | None -> Trace.create () in
-  { clock = 0; seq = 0; heap = Pqueue.create (); rng = Rng.create seed; trace }
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  { clock = 0; seq = 0; heap = Pqueue.create (); rng = Rng.create seed; trace; metrics;
+    cause = None }
 
 let now t = t.clock
 
@@ -18,11 +26,25 @@ let rng t = t.rng
 
 let trace t = t.trace
 
-let record t ~actor ~kind detail = Trace.record t.trace ~time:t.clock ~actor ~kind detail
+let metrics t = t.metrics
+
+let current_cause t = t.cause
+
+let set_cause t cause = t.cause <- cause
+
+let record ?cause t ~actor ~kind detail =
+  let cause = match cause with Some _ as c -> c | None -> t.cause in
+  Trace.record t.trace ~time:t.clock ~actor ~kind ?cause detail
+
+let emit ?cause t ~actor ~kind detail =
+  let cause = match cause with Some _ as c -> c | None -> t.cause in
+  let id = Trace.emit t.trace ~time:t.clock ~actor ~kind ?cause detail in
+  t.cause <- Some id;
+  id
 
 let schedule_at t ~time action =
   let time = max time t.clock in
-  let timer = { cancelled = false; action } in
+  let timer = { cancelled = false; action; cause = t.cause } in
   t.seq <- t.seq + 1;
   Pqueue.push t.heap ~time ~seq:t.seq timer;
   timer
@@ -38,7 +60,11 @@ let step t =
   | None -> false
   | Some (time, _seq, timer) ->
       t.clock <- max t.clock time;
-      if not timer.cancelled then timer.action ();
+      if not timer.cancelled then begin
+        t.cause <- timer.cause;
+        timer.action ();
+        t.cause <- None
+      end;
       true
 
 let run ?until ?max_events t =
@@ -66,8 +92,13 @@ let run ?until ?max_events t =
 
 let every t ?(jitter = 0) ~period f =
   let rec tick () =
+    (* Remember the tick's own causal context: anything f emits must not
+       leak into the *next* tick's capture, or periodic loops would grow
+       spurious causal edges across unrelated periods. *)
+    let root = t.cause in
     if f () then begin
       let extra = if jitter > 0 then Rng.int t.rng (jitter + 1) else 0 in
+      t.cause <- root;
       ignore (schedule t ~delay:(period + extra) tick)
     end
   in

@@ -11,7 +11,7 @@ type t
 type timer
 (** Handle to a scheduled event; can be cancelled before it fires. *)
 
-val create : ?seed:int64 -> ?trace:Trace.t -> unit -> t
+val create : ?seed:int64 -> ?trace:Trace.t -> ?metrics:Metrics.t -> unit -> t
 (** [create ()] makes an engine at virtual time 0. The default seed is
     [1L]; pass an explicit seed to vary an experiment. *)
 
@@ -25,8 +25,33 @@ val rng : t -> Rng.t
 
 val trace : t -> Trace.t
 
-val record : t -> actor:string -> kind:string -> string -> unit
-(** Appends to the trace at the current virtual time. *)
+val metrics : t -> Metrics.t
+(** The engine's metrics registry: counters, gauges, histograms and
+    virtual-time series shared by every instrumented component. *)
+
+(** {2 Causality}
+
+    The engine maintains a *causal frontier*: the id of the trace entry
+    that explains whatever is currently executing. The frontier is
+    captured when a timer is scheduled and restored when it fires, so
+    causality flows through the event heap without any plumbing at the
+    call sites — an RPC reply is caused by whatever scheduled the
+    request, a watch delivery by the commit that pushed it. {!emit}
+    advances the frontier; {!record} does not. *)
+
+val current_cause : t -> int option
+(** The causal frontier of the event being executed right now. *)
+
+val set_cause : t -> int option -> unit
+(** Overrides the frontier; rarely needed outside the engine itself. *)
+
+val record : ?cause:int -> t -> actor:string -> kind:string -> string -> unit
+(** Appends to the trace at the current virtual time, linked to [cause]
+    (default: the current frontier). Does not move the frontier. *)
+
+val emit : ?cause:int -> t -> actor:string -> kind:string -> string -> int
+(** Like {!record}, but returns the new entry's id and makes it the
+    current frontier, so later records and scheduled work chain to it. *)
 
 val schedule : t -> delay:int -> (unit -> unit) -> timer
 (** [schedule t ~delay f] runs [f] at [now t + max 0 delay]. *)

@@ -1,9 +1,26 @@
-type t = {
-  counts : (string, int ref) Hashtbl.t;
-  histograms : (string, float list ref) Hashtbl.t;
+type hist = {
+  mutable data : float array;
+  mutable n : int;
+  mutable sum : float;
+  mutable sorted : float array option;  (* cache, invalidated by observe *)
 }
 
-let create () = { counts = Hashtbl.create 16; histograms = Hashtbl.create 16 }
+type t = {
+  counts : (string, int ref) Hashtbl.t;
+  histograms : (string, hist) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  series : (string, (int * float) list ref) Hashtbl.t;  (* newest first *)
+}
+
+let create () =
+  {
+    counts = Hashtbl.create 16;
+    histograms = Hashtbl.create 16;
+    gauges = Hashtbl.create 16;
+    series = Hashtbl.create 16;
+  }
+
+(* --- counters ------------------------------------------------------- *)
 
 let counter t name =
   match Hashtbl.find_opt t.counts name with
@@ -21,45 +38,142 @@ let add t name n =
 
 let count t name = match Hashtbl.find_opt t.counts name with Some r -> !r | None -> 0
 
-let histogram t name =
-  match Hashtbl.find_opt t.histograms name with
+let sorted_names tbl =
+  Hashtbl.fold (fun name _ acc -> name :: acc) tbl [] |> List.sort String.compare
+
+let counters t = List.map (fun name -> (name, count t name)) (sorted_names t.counts)
+
+(* --- gauges --------------------------------------------------------- *)
+
+let gauge_ref t name =
+  match Hashtbl.find_opt t.gauges name with
   | Some r -> r
   | None ->
-      let r = ref [] in
-      Hashtbl.replace t.histograms name r;
+      let r = ref 0.0 in
+      Hashtbl.replace t.gauges name r;
       r
 
+let set_gauge t name v = gauge_ref t name := v
+
+let add_gauge t name delta =
+  let r = gauge_ref t name in
+  r := !r +. delta
+
+let gauge t name = match Hashtbl.find_opt t.gauges name with Some r -> !r | None -> 0.0
+
+let gauges t = List.map (fun name -> (name, gauge t name)) (sorted_names t.gauges)
+
+(* --- histograms ----------------------------------------------------- *)
+
+let histogram t name =
+  match Hashtbl.find_opt t.histograms name with
+  | Some h -> h
+  | None ->
+      let h = { data = Array.make 16 0.0; n = 0; sum = 0.0; sorted = None } in
+      Hashtbl.replace t.histograms name h;
+      h
+
 let observe t name sample =
-  let r = histogram t name in
-  r := sample :: !r
+  let h = histogram t name in
+  if h.n = Array.length h.data then begin
+    let bigger = Array.make (2 * Array.length h.data) 0.0 in
+    Array.blit h.data 0 bigger 0 h.n;
+    h.data <- bigger
+  end;
+  h.data.(h.n) <- sample;
+  h.n <- h.n + 1;
+  h.sum <- h.sum +. sample;
+  h.sorted <- None
 
 let samples t name =
-  match Hashtbl.find_opt t.histograms name with Some r -> List.length !r | None -> 0
+  match Hashtbl.find_opt t.histograms name with Some h -> h.n | None -> 0
 
 let mean t name =
   match Hashtbl.find_opt t.histograms name with
-  | None | Some { contents = [] } -> 0.0
-  | Some r ->
-      let sum = List.fold_left ( +. ) 0.0 !r in
-      sum /. float_of_int (List.length !r)
+  | None -> 0.0
+  | Some h -> if h.n = 0 then 0.0 else h.sum /. float_of_int h.n
 
+let sorted_samples h =
+  match h.sorted with
+  | Some s -> s
+  | None ->
+      let s = Array.sub h.data 0 h.n in
+      Array.sort compare s;
+      h.sorted <- Some s;
+      s
+
+(* Nearest-rank with explicit edges: p clamped to [0,1], p=0 is the
+   minimum, p=1 the maximum; otherwise the 1-based rank ceil(p*n). *)
 let percentile t name p =
   match Hashtbl.find_opt t.histograms name with
-  | None | Some { contents = [] } -> 0.0
-  | Some r ->
-      let sorted = List.sort compare !r in
-      let n = List.length sorted in
-      let rank = int_of_float (ceil (p *. float_of_int n)) in
-      let index = min (n - 1) (max 0 (rank - 1)) in
-      List.nth sorted index
+  | None -> 0.0
+  | Some h ->
+      if h.n = 0 then 0.0
+      else begin
+        let s = sorted_samples h in
+        let p = Float.min 1.0 (Float.max 0.0 p) in
+        if p = 0.0 then s.(0)
+        else if p = 1.0 then s.(h.n - 1)
+        else begin
+          let rank = int_of_float (ceil (p *. float_of_int h.n)) in
+          s.(min (h.n - 1) (max 0 (rank - 1)))
+        end
+      end
 
-let counters t =
-  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counts []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+let histograms t = sorted_names t.histograms
+
+(* --- series --------------------------------------------------------- *)
+
+let sample t name ~time v =
+  match Hashtbl.find_opt t.series name with
+  | Some r -> r := (time, v) :: !r
+  | None -> Hashtbl.replace t.series name (ref [ (time, v) ])
+
+let series t name =
+  match Hashtbl.find_opt t.series name with Some r -> List.rev !r | None -> []
+
+let series_names t = sorted_names t.series
+
+(* --- export --------------------------------------------------------- *)
+
+let to_json t =
+  let hist_summary name =
+    let h = Hashtbl.find t.histograms name in
+    Json.Obj
+      [
+        ("count", Json.Int h.n);
+        ("mean", Json.Float (mean t name));
+        ("min", Json.Float (percentile t name 0.0));
+        ("p50", Json.Float (percentile t name 0.5));
+        ("p90", Json.Float (percentile t name 0.9));
+        ("p99", Json.Float (percentile t name 0.99));
+        ("max", Json.Float (percentile t name 1.0));
+      ]
+  in
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (counters t)));
+      ("gauges", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) (gauges t)));
+      ( "histograms",
+        Json.Obj (List.map (fun name -> (name, hist_summary name)) (histograms t)) );
+      ( "series",
+        Json.Obj
+          (List.map
+             (fun name ->
+               ( name,
+                 Json.List
+                   (List.map
+                      (fun (time, v) -> Json.List [ Json.Int time; Json.Float v ])
+                      (series t name)) ))
+             (series_names t)) );
+    ]
 
 let reset t =
   Hashtbl.reset t.counts;
-  Hashtbl.reset t.histograms
+  Hashtbl.reset t.histograms;
+  Hashtbl.reset t.gauges;
+  Hashtbl.reset t.series
 
 let pp ppf t =
-  List.iter (fun (name, v) -> Format.fprintf ppf "%-32s %d@." name v) (counters t)
+  List.iter (fun (name, v) -> Format.fprintf ppf "%-32s %d@." name v) (counters t);
+  List.iter (fun (name, v) -> Format.fprintf ppf "%-32s %g@." name v) (gauges t)

@@ -132,6 +132,7 @@ let heal_all t =
 let default_timeout = 1_000_000
 
 let call t ~src ~dst ?(timeout = default_timeout) req k =
+  Metrics.incr (Engine.metrics t.engine) "net.calls";
   match Hashtbl.find_opt t.nodes dst with
   | None -> k (Error Unreachable)
   | Some dst_node ->
@@ -140,6 +141,9 @@ let call t ~src ~dst ?(timeout = default_timeout) req k =
       let finish result =
         if not !completed then begin
           completed := true;
+          (match result with
+          | Error Timeout -> Metrics.incr (Engine.metrics t.engine) "net.timeouts"
+          | _ -> ());
           k result
         end
       in
@@ -166,6 +170,7 @@ let call t ~src ~dst ?(timeout = default_timeout) req k =
                dst_node.serve ~src req deliver_reply))
 
 let cast t ~src ~dst payload =
+  Metrics.incr (Engine.metrics t.engine) "net.casts";
   match Hashtbl.find_opt t.nodes dst with
   | None -> ()
   | Some dst_node ->

@@ -1,27 +1,182 @@
-type entry = { time : int; actor : string; kind : string; detail : string }
+type entry = {
+  id : int;
+  time : int;
+  actor : string;
+  kind : string;
+  detail : string;
+  cause : int option;
+}
 
 let pp_entry ppf e =
-  Format.fprintf ppf "[%8d us] %-14s %-22s %s" e.time e.actor e.kind e.detail
+  Format.fprintf ppf "[%8d us] %-14s %-22s %s" e.time e.actor e.kind e.detail;
+  match e.cause with
+  | Some c -> Format.fprintf ppf "  (#%d <- #%d)" e.id c
+  | None -> Format.fprintf ppf "  (#%d)" e.id
 
-type t = { mutable entries : entry list; mutable length : int }
+type t = {
+  mutable buf : entry option array;
+  mutable start : int;  (* physical index of the oldest live entry *)
+  mutable len : int;
+  capacity : int option;
+  mutable next_id : int;
+  mutable dropped : int;
+  by_id : (int, entry) Hashtbl.t;
+}
 
-let create ?capacity:_ () = { entries = []; length = 0 }
+let create ?capacity () =
+  (match capacity with
+  | Some c when c <= 0 -> invalid_arg "Trace.create: capacity must be positive"
+  | _ -> ());
+  let initial = match capacity with Some c -> c | None -> 64 in
+  {
+    buf = Array.make initial None;
+    start = 0;
+    len = 0;
+    capacity;
+    next_id = 1;
+    dropped = 0;
+    by_id = Hashtbl.create 256;
+  }
 
-let record t ~time ~actor ~kind detail =
-  t.entries <- { time; actor; kind; detail } :: t.entries;
-  t.length <- t.length + 1
+let push t e =
+  (match t.capacity with
+  | None ->
+      if t.len = Array.length t.buf then begin
+        let bigger = Array.make (2 * Array.length t.buf) None in
+        Array.blit t.buf 0 bigger 0 t.len;
+        t.buf <- bigger
+      end;
+      t.buf.(t.len) <- Some e;
+      t.len <- t.len + 1
+  | Some cap ->
+      if t.len < cap then begin
+        t.buf.((t.start + t.len) mod cap) <- Some e;
+        t.len <- t.len + 1
+      end
+      else begin
+        (match t.buf.(t.start) with
+        | Some evicted -> Hashtbl.remove t.by_id evicted.id
+        | None -> ());
+        t.buf.(t.start) <- Some e;
+        t.start <- (t.start + 1) mod cap;
+        t.dropped <- t.dropped + 1
+      end);
+  Hashtbl.replace t.by_id e.id e
 
-let entries t = List.rev t.entries
+let emit t ~time ~actor ~kind ?cause detail =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  push t { id; time; actor; kind; detail; cause };
+  id
 
-let length t = t.length
+let record t ~time ~actor ~kind ?cause detail =
+  ignore (emit t ~time ~actor ~kind ?cause detail)
+
+let nth_live t i =
+  match t.buf.((t.start + i) mod Array.length t.buf) with
+  | Some e -> e
+  | None -> assert false
+
+let entries t = List.init t.len (nth_live t)
+
+let length t = t.len
+
+let recorded t = t.next_id - 1
+
+let dropped t = t.dropped
+
+let capacity t = t.capacity
 
 let clear t =
-  t.entries <- [];
-  t.length <- 0
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.start <- 0;
+  t.len <- 0;
+  t.next_id <- 1;
+  t.dropped <- 0;
+  Hashtbl.reset t.by_id
+
+let find t ~id = Hashtbl.find_opt t.by_id id
 
 let find_all t ~kind = List.filter (fun e -> String.equal e.kind kind) (entries t)
 
 let filter t f = List.filter f (entries t)
+
+let chain t ~id =
+  let rec go acc visited id =
+    match Hashtbl.find_opt t.by_id id with
+    | None -> acc
+    | Some e ->
+        if List.mem id visited then acc
+        else begin
+          let acc = e :: acc in
+          match e.cause with
+          | Some c -> go acc (id :: visited) c
+          | None -> acc
+        end
+  in
+  go [] [] id
+
+let pp_chain ppf entries =
+  List.iteri
+    (fun i e ->
+      if i > 0 then Format.fprintf ppf "@.";
+      Format.fprintf ppf "%s%a" (if i = 0 then "  " else "  -> ") pp_entry e)
+    entries
+
+let entry_to_json e =
+  Json.Obj
+    [
+      ("id", Json.Int e.id);
+      ("time", Json.Int e.time);
+      ("actor", Json.String e.actor);
+      ("kind", Json.String e.kind);
+      ("detail", Json.String e.detail);
+      ("cause", match e.cause with Some c -> Json.Int c | None -> Json.Null);
+    ]
+
+let entry_of_json j =
+  let int_field name = Option.bind (Json.member name j) Json.to_int in
+  let str_field name = Option.bind (Json.member name j) Json.to_str in
+  match (int_field "id", int_field "time", str_field "actor", str_field "kind",
+         str_field "detail")
+  with
+  | Some id, Some time, Some actor, Some kind, Some detail -> begin
+      match Json.member "cause" j with
+      | None | Some Json.Null -> Ok { id; time; actor; kind; detail; cause = None }
+      | Some c -> (
+          match Json.to_int c with
+          | Some c -> Ok { id; time; actor; kind; detail; cause = Some c }
+          | None -> Error "trace entry: \"cause\" must be an integer or null")
+    end
+  | _ -> Error "trace entry: missing or ill-typed field (need id/time/actor/kind/detail)"
+
+let to_jsonl t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (Json.to_string (entry_to_json e));
+      Buffer.add_char buf '\n')
+    (entries t);
+  Buffer.contents buf
+
+let of_jsonl input =
+  let t = create () in
+  let err = ref None in
+  let line_no = ref 0 in
+  List.iter
+    (fun line ->
+      incr line_no;
+      if !err = None && String.trim line <> "" then
+        match Json.parse line with
+        | Error msg -> err := Some (Printf.sprintf "line %d: %s" !line_no msg)
+        | Ok j -> (
+            match entry_of_json j with
+            | Error msg -> err := Some (Printf.sprintf "line %d: %s" !line_no msg)
+            | Ok e ->
+                push t e;
+                t.next_id <- max t.next_id (e.id + 1)))
+    (String.split_on_char '\n' input);
+  match !err with Some msg -> Error msg | None -> Ok t
 
 let pp ppf t =
   List.iter (fun e -> Format.fprintf ppf "%a@." pp_entry e) (entries t)

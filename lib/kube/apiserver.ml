@@ -189,6 +189,7 @@ let handle_watch t (w : Messages.watch_request) reply =
   end
 
 let serve t ~src:_ request reply =
+  Dsim.Metrics.incr (Dsim.Engine.metrics (engine t)) ("rpc." ^ t.name);
   match request with
   | Messages.Api_list { prefix; quorum } ->
       if quorum then forward t (Messages.Etcd_range { prefix }) reply

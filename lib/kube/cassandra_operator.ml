@@ -31,6 +31,15 @@ let dc_informer t = informer_exn t.dc_informer
 let pods_informer t = informer_exn t.pods_informer
 let pvcs_informer t = informer_exn t.pvcs_informer
 
+let view_rev t =
+  match
+    List.filter_map
+      (Option.map Informer.rev)
+      [ t.dc_informer; t.pods_informer; t.pvcs_informer ]
+  with
+  | [] -> 0
+  | r :: rest -> List.fold_left min r rest
+
 let engine t = Dsim.Network.engine t.net
 
 let record t kind detail = Dsim.Engine.record (engine t) ~actor:t.name ~kind detail

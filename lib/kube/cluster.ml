@@ -20,6 +20,7 @@ type config = {
   node_controller_fixed : bool;
   deployment_fixed : bool;
   api_epoch_seal : int option;
+  obs_sample_period : int;  (* revision-lag sampling period, virtual us *)
 }
 
 let default_config =
@@ -45,6 +46,7 @@ let default_config =
     node_controller_fixed = false;
     deployment_fixed = false;
     api_epoch_seal = None;
+    obs_sample_period = 100_000;
   }
 
 type t = {
@@ -91,6 +93,42 @@ let kubelet_for_node t node =
   List.find_opt (fun k -> String.equal (Kubelet.node_name k) node) t.kubelets
 
 let trace t = Dsim.Engine.trace t.engine
+
+let metrics t = Dsim.Engine.metrics t.engine
+
+(* Revision lag is the live measurement of partial-history divergence:
+   how many committed revisions a component's view is behind the ground
+   truth right now. Sampled into both a gauge (latest value) and a
+   virtual-time series (for the timeline view). *)
+let sample_lags t =
+  let metrics = metrics t in
+  let now = Dsim.Engine.now t.engine in
+  let truth = truth_rev t in
+  let sample name rev =
+    let lag = float_of_int (max 0 (truth - rev)) in
+    Dsim.Metrics.set_gauge metrics ("lag." ^ name) lag;
+    Dsim.Metrics.sample metrics ("lag." ^ name) ~time:now lag
+  in
+  List.iter (fun a -> sample (Apiserver.name a) (Apiserver.rev a)) t.apiservers;
+  List.iter (fun k -> sample (Kubelet.name k) (Kubelet.view_rev k)) t.kubelets;
+  Option.iter (fun s -> sample (Scheduler.name s) (Scheduler.view_rev s)) t.scheduler;
+  Option.iter
+    (fun v -> sample (Volume_controller.name v) (Volume_controller.view_rev v))
+    t.volume_controller;
+  Option.iter
+    (fun o -> sample (Cassandra_operator.name o) (Cassandra_operator.view_rev o))
+    t.operator;
+  Option.iter (fun r -> sample (Replicaset.name r) (Replicaset.view_rev r)) t.replicaset;
+  Option.iter
+    (fun n -> sample (Node_controller.name n) (Node_controller.view_rev n))
+    t.node_controller;
+  Option.iter (fun d -> sample (Deployment.name d) (Deployment.view_rev d)) t.deployment;
+  List.iter
+    (fun a ->
+      Dsim.Metrics.set_gauge metrics
+        ("api.subscribers." ^ Apiserver.name a)
+        (float_of_int (Apiserver.subscriber_count a)))
+    t.apiservers
 
 let create ?(config = default_config) () =
   let engine = Dsim.Engine.create ~seed:config.seed () in
@@ -191,6 +229,9 @@ let start t =
   Option.iter Cassandra_operator.start t.operator;
   Option.iter Replicaset.start t.replicaset;
   Option.iter Node_controller.start t.node_controller;
-  Option.iter Deployment.start t.deployment
+  Option.iter Deployment.start t.deployment;
+  Dsim.Engine.every t.engine ~period:t.config.obs_sample_period (fun () ->
+      sample_lags t;
+      true)
 
 let run t ~until = Dsim.Engine.run ~until t.engine

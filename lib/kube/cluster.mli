@@ -30,12 +30,15 @@ type config = {
       (** enable the Section 6.2 epoch-seal protocol on apiserver watch
           streams, sealing every N revisions ([None] = off, the bug-era
           default) *)
+  obs_sample_period : int;
+      (** how often (virtual us) the cluster samples every component's
+          revision lag into the metrics registry *)
 }
 
 val default_config : config
 (** seed 1, 2 apiservers, 3 nodes, unlimited etcd window, apiserver window
     1000, latency 500–2000 us, all components enabled, every fix off
-    (the bug-era configuration). *)
+    (the bug-era configuration), lag sampled every 100 ms. *)
 
 type t
 
@@ -76,3 +79,10 @@ val user : t -> Client.t
 (** A client ("user") wired to the apiservers, for workloads. *)
 
 val trace : t -> Dsim.Trace.t
+
+val metrics : t -> Dsim.Metrics.t
+(** The engine's metrics registry. After {!start}, a periodic sampler
+    records every component's revision lag (committed store revision
+    minus the component's view revision) as both a ["lag.<component>"]
+    gauge and a virtual-time series — the live measurement of
+    partial-history divergence. *)

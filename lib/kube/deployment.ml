@@ -26,6 +26,15 @@ let deployments_informer t = informer_exn t.deployments_informer
 let rsets_informer t = informer_exn t.rsets_informer
 let pods_informer t = informer_exn t.pods_informer
 
+let view_rev t =
+  match
+    List.filter_map
+      (Option.map Informer.rev)
+      [ t.deployments_informer; t.rsets_informer; t.pods_informer ]
+  with
+  | [] -> 0
+  | r :: rest -> List.fold_left min r rest
+
 let engine t = Dsim.Network.engine t.net
 
 let record t kind detail = Dsim.Engine.record (engine t) ~actor:t.name ~kind detail

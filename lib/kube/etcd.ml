@@ -13,6 +13,7 @@ type t = {
   watch_window : int option;
   mutable requests_served : int;
   origins : (int, string) Hashtbl.t;  (* revision -> originating component *)
+  commit_ids : (int, int) Hashtbl.t;  (* revision -> trace entry id of the commit *)
   leases : Etcdlike.Lease.t;
 }
 
@@ -31,6 +32,8 @@ let requests_served t = t.requests_served
 
 let origin_of_rev t rev =
   Option.value (Hashtbl.find_opt t.origins rev) ~default:"boot"
+
+let commit_trace_id t ~rev = Hashtbl.find_opt t.commit_ids rev
 
 let matches prefix (e : Resource.value History.Event.t) =
   match prefix with
@@ -63,6 +66,7 @@ let handle_watch t (w : Messages.watch_request) reply =
 
 let serve t ~src:_ request reply =
   t.requests_served <- t.requests_served + 1;
+  Dsim.Metrics.incr (Dsim.Engine.metrics (Dsim.Network.engine t.net)) ("rpc." ^ t.name);
   match request with
   | Messages.Etcd_range { prefix } ->
       reply (Messages.Items { items = Etcdlike.Kv.range t.kv ~prefix; rev = Etcdlike.Kv.rev t.kv })
@@ -106,16 +110,27 @@ let create ~net ~intercept ?(name = "etcd") ?watch_window ?(bookmark_period = 20
       watch_window;
       requests_served = 0;
       origins = Hashtbl.create 256;
+      commit_ids = Hashtbl.create 256;
       leases = Etcdlike.Lease.create ();
     }
   in
+  let engine = Dsim.Network.engine net in
   Etcdlike.Kv.on_commit t.kv (fun event ->
+      (* Every commit becomes a caused trace entry and the new causal
+         frontier, so the watch deliveries pushed below — and anything
+         they trigger downstream — link back to this commit. *)
+      let rev = event.History.Event.rev in
+      let id =
+        Dsim.Engine.emit engine ~actor:t.name ~kind:"etcd.commit"
+          (Printf.sprintf "rev %d %s" rev (History.Event.describe event))
+      in
+      Hashtbl.replace t.commit_ids rev id;
+      Dsim.Metrics.incr (Dsim.Engine.metrics engine) "etcd.commits";
       Hashtbl.iter (fun _ sub -> push_to_sub sub event) t.subs;
       match t.watch_window with
       | Some window -> Etcdlike.Kv.compact_keep_last t.kv window
       | None -> ());
   Dsim.Network.register net name ~serve:(serve t) ();
-  let engine = Dsim.Network.engine net in
   Dsim.Engine.every engine ~period:bookmark_period (fun () ->
       let rev = Etcdlike.Kv.rev t.kv in
       Hashtbl.iter (fun _ sub -> Pipe.send sub.pipe (Pipe.Bookmark rev)) t.subs;

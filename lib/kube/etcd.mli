@@ -42,3 +42,7 @@ val requests_served : t -> int
 val origin_of_rev : t -> int -> string
 (** The component whose transaction committed the given revision
     (["boot"] for seeded state, ["user"] for workload writes). *)
+
+val commit_trace_id : t -> rev:int -> int option
+(** The trace entry id of the ["etcd.commit"] event recorded for the
+    given revision — the anchor every causal chain terminates at. *)

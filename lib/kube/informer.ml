@@ -106,6 +106,7 @@ let rec on_stream_item t gen item =
         end
         else begin
           t.gaps_detected <- t.gaps_detected + 1;
+          Dsim.Metrics.incr (Dsim.Engine.metrics (engine t)) "informer.gaps";
           Dsim.Engine.record (engine t) ~actor:t.owner ~kind:"informer.gap-detected"
             (Printf.sprintf "seal says %d events up to rev %d, received %d; re-listing" sent
                upto_rev t.since_seal);
@@ -135,6 +136,7 @@ and bootstrap t gen =
             t.last_rev <- rev;
             t.last_heartbeat <- Dsim.Engine.now (engine t);
             t.relists <- t.relists + 1;
+            Dsim.Metrics.incr (Dsim.Engine.metrics (engine t)) "informer.relists";
             t.since_seal <- 0;
             Dsim.Engine.record (engine t) ~actor:t.owner ~kind:"informer.list"
               (Printf.sprintf "%s %s: %d items at rev %d" endpoint t.prefix (List.length items)
@@ -182,6 +184,7 @@ let install_watchdog t =
            && Dsim.Network.is_up t.net t.owner
            && Dsim.Engine.now (engine t) - t.last_heartbeat > t.heartbeat_timeout
          then begin
+           Dsim.Metrics.incr (Dsim.Engine.metrics (engine t)) "informer.stream-dead";
            Dsim.Engine.record (engine t) ~actor:t.owner ~kind:"informer.stream-dead"
              (Printf.sprintf "no traffic from %s; rotating" (current_endpoint t));
            rotate t;

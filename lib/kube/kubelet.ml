@@ -27,6 +27,8 @@ let stops t = t.stops
 let informer t =
   match t.informer with Some i -> i | None -> invalid_arg "Kubelet.informer: not started"
 
+let view_rev t = match t.informer with Some i -> Informer.rev i | None -> 0
+
 let engine t = Dsim.Network.engine t.net
 
 let record t kind detail = Dsim.Engine.record (engine t) ~actor:t.name ~kind detail

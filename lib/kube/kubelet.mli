@@ -35,6 +35,11 @@ val name : t -> string
 
 val node_name : t -> string
 
+val view_rev : t -> int
+(** The kubelet view's revision frontier (0 before start) — its
+    partial-history position, read by the cluster's revision-lag
+    sampler. *)
+
 val running : t -> string list
 (** Names of pods currently running locally (ground truth for the
     unique-execution oracle), sorted. *)

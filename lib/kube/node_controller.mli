@@ -30,6 +30,11 @@ val start : t -> unit
 
 val name : t -> string
 
+val view_rev : t -> int
+(** The view's revision frontier: the minimum last-seen revision across
+    the component's informers (0 before start) — its partial-history
+    position, read by the cluster's revision-lag sampler. *)
+
 val reconciles : t -> int
 
 val evictions : t -> (string * string) list

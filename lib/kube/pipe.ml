@@ -40,22 +40,43 @@ let deliverable t =
   && Dsim.Network.is_up t.net t.edge.Intercept.dst
   && Dsim.Network.incarnation t.net t.edge.Intercept.dst = t.dst_incarnation
 
+let inflight_gauge t = "pipe.inflight." ^ t.edge.Intercept.dst
+
 let enqueue t ~extra item =
   let engine = Dsim.Network.engine t.net in
-  let due =
-    max (Dsim.Engine.now engine + Dsim.Network.sample_latency t.net + extra) t.last_due
-  in
+  let metrics = Dsim.Engine.metrics engine in
+  let sent = Dsim.Engine.now engine in
+  let due = max (sent + Dsim.Network.sample_latency t.net + extra) t.last_due in
   t.last_due <- due;
   t.in_flight <- t.in_flight + 1;
+  Dsim.Metrics.add_gauge metrics (inflight_gauge t) 1.0;
   ignore
     (Dsim.Engine.schedule_at engine ~time:due (fun () ->
          t.in_flight <- t.in_flight - 1;
-         if deliverable t then t.deliver item
+         Dsim.Metrics.add_gauge metrics (inflight_gauge t) (-1.0);
+         if deliverable t then begin
+           Dsim.Metrics.observe metrics
+             ("watch.latency." ^ t.edge.Intercept.dst)
+             (float_of_int (Dsim.Engine.now engine - sent));
+           (* Events become trace entries so the commit -> delivery ->
+              reconcile chain is walkable; bookmarks and seals are
+              transport metadata and stay out of the trace. *)
+           (match item with
+           | Event event ->
+               Dsim.Metrics.incr metrics "pipe.delivered";
+               ignore
+                 (Dsim.Engine.emit engine ~actor:t.edge.Intercept.dst ~kind:"pipe.deliver"
+                    (Format.asprintf "%a %s" Intercept.pp_edge t.edge
+                       (History.Event.describe event)))
+           | Bookmark _ | Seal _ -> ());
+           t.deliver item
+         end
          else if not t.closed then begin
            (* A TCP stream does not lose one segment and carry on: a
               blocked delivery kills the whole stream. The subscriber
               notices the silence (no bookmarks) and re-lists. *)
            t.closed <- true;
+           Dsim.Metrics.incr metrics "pipe.broken";
            Dsim.Engine.record engine ~actor:t.edge.Intercept.dst ~kind:"pipe.broken"
              (Format.asprintf "%a" Intercept.pp_edge t.edge)
          end))
@@ -69,6 +90,7 @@ let send t item =
         | Intercept.Pass -> enqueue t ~extra:0 item
         | Intercept.Drop ->
             let engine = Dsim.Network.engine t.net in
+            Dsim.Metrics.incr (Dsim.Engine.metrics engine) "pipe.dropped";
             Dsim.Engine.record engine ~actor:t.edge.Intercept.dst ~kind:"pipe.drop"
               (Format.asprintf "%a %s" Intercept.pp_edge t.edge (History.Event.describe event))
         | Intercept.Delay extra -> enqueue t ~extra item)

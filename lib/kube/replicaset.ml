@@ -31,6 +31,11 @@ let pods_informer t = informer_exn t.pods_informer
 
 let rsets_informer t = informer_exn t.rsets_informer
 
+let view_rev t =
+  match List.filter_map (Option.map Informer.rev) [ t.rsets_informer; t.pods_informer ] with
+  | [] -> 0
+  | r :: rest -> List.fold_left min r rest
+
 let engine t = Dsim.Network.engine t.net
 
 let record t kind detail = Dsim.Engine.record (engine t) ~actor:t.name ~kind detail

@@ -22,6 +22,11 @@ let pods_informer t =
 let pvcs_informer t =
   match t.pvcs_informer with Some i -> i | None -> invalid_arg "Volume_controller: not started"
 
+let view_rev t =
+  match List.filter_map (Option.map Informer.rev) [ t.pods_informer; t.pvcs_informer ] with
+  | [] -> 0
+  | r :: rest -> List.fold_left min r rest
+
 let engine t = Dsim.Network.engine t.net
 
 let record t kind detail = Dsim.Engine.record (engine t) ~actor:t.name ~kind detail

@@ -1,4 +1,5 @@
-(* Counters and histogram percentiles. *)
+(* Counters, gauges, series, histogram percentiles and the JSON
+   snapshot. *)
 
 let counters_accumulate () =
   let m = Dsim.Metrics.create () in
@@ -36,6 +37,85 @@ let reset_clears () =
   Alcotest.(check int) "counter cleared" 0 (Dsim.Metrics.count m "a");
   Alcotest.(check int) "histogram cleared" 0 (Dsim.Metrics.samples m "h")
 
+let percentile_extremes () =
+  let m = Dsim.Metrics.create () in
+  List.iter (Dsim.Metrics.observe m "h") [ 5.0; 1.0; 3.0 ];
+  Alcotest.(check (float 0.0)) "p=0 is the minimum" 1.0 (Dsim.Metrics.percentile m "h" 0.0);
+  Alcotest.(check (float 0.0)) "p=1 is the maximum" 5.0 (Dsim.Metrics.percentile m "h" 1.0);
+  (* Out-of-range probabilities clamp instead of raising. *)
+  Alcotest.(check (float 0.0)) "p<0 clamps" 1.0 (Dsim.Metrics.percentile m "h" (-1.0));
+  Alcotest.(check (float 0.0)) "p>1 clamps" 5.0 (Dsim.Metrics.percentile m "h" 2.0)
+
+let observe_after_percentile_invalidates_cache () =
+  let m = Dsim.Metrics.create () in
+  List.iter (Dsim.Metrics.observe m "h") [ 1.0; 2.0; 3.0 ];
+  Alcotest.(check (float 0.0)) "before" 3.0 (Dsim.Metrics.percentile m "h" 1.0);
+  Dsim.Metrics.observe m "h" 10.0;
+  Alcotest.(check (float 0.0)) "after" 10.0 (Dsim.Metrics.percentile m "h" 1.0);
+  Alcotest.(check (float 0.001)) "mean tracks" 4.0 (Dsim.Metrics.mean m "h")
+
+let histogram_growth () =
+  let m = Dsim.Metrics.create () in
+  for i = 1 to 10_000 do
+    Dsim.Metrics.observe m "big" (float_of_int i)
+  done;
+  Alcotest.(check int) "all samples kept" 10_000 (Dsim.Metrics.samples m "big");
+  Alcotest.(check (float 0.0)) "max" 10_000.0 (Dsim.Metrics.percentile m "big" 1.0);
+  Alcotest.(check (float 0.001)) "mean" 5000.5 (Dsim.Metrics.mean m "big")
+
+let gauges_set_and_add () =
+  let m = Dsim.Metrics.create () in
+  Dsim.Metrics.set_gauge m "depth" 4.0;
+  Dsim.Metrics.add_gauge m "depth" (-1.0);
+  Dsim.Metrics.add_gauge m "other" 2.5;
+  Alcotest.(check (float 0.0)) "set+add" 3.0 (Dsim.Metrics.gauge m "depth");
+  Alcotest.(check (float 0.0)) "missing=0" 0.0 (Dsim.Metrics.gauge m "nope");
+  Alcotest.(check (list (pair string (float 0.0)))) "sorted listing"
+    [ ("depth", 3.0); ("other", 2.5) ]
+    (Dsim.Metrics.gauges m)
+
+let series_chronological () =
+  let m = Dsim.Metrics.create () in
+  Dsim.Metrics.sample m "lag" ~time:100 1.0;
+  Dsim.Metrics.sample m "lag" ~time:200 5.0;
+  Dsim.Metrics.sample m "lag" ~time:300 2.0;
+  Alcotest.(check (list (pair int (float 0.0)))) "in time order"
+    [ (100, 1.0); (200, 5.0); (300, 2.0) ]
+    (Dsim.Metrics.series m "lag");
+  Alcotest.(check (list string)) "names" [ "lag" ] (Dsim.Metrics.series_names m)
+
+let json_snapshot_parses () =
+  let m = Dsim.Metrics.create () in
+  Dsim.Metrics.incr m "commits";
+  Dsim.Metrics.set_gauge m "lag.api-1" 7.0;
+  List.iter (Dsim.Metrics.observe m "latency") [ 500.0; 1200.0 ];
+  Dsim.Metrics.sample m "lag.api-1" ~time:100_000 7.0;
+  match Dsim.Json.parse (Dsim.Json.to_string (Dsim.Metrics.to_json m)) with
+  | Error msg -> Alcotest.failf "snapshot does not parse: %s" msg
+  | Ok j ->
+      let section name =
+        match Dsim.Json.member name j with
+        | Some s -> s
+        | None -> Alcotest.failf "snapshot lost %s" name
+      in
+      (match Dsim.Json.member "commits" (section "counters") with
+      | Some v -> Alcotest.(check (option int)) "counter" (Some 1) (Dsim.Json.to_int v)
+      | None -> Alcotest.fail "counter missing");
+      (match Dsim.Json.member "lag.api-1" (section "gauges") with
+      | Some v -> Alcotest.(check (option (float 0.0))) "gauge" (Some 7.0) (Dsim.Json.to_float v)
+      | None -> Alcotest.fail "gauge missing");
+      (match Dsim.Json.member "latency" (section "histograms") with
+      | Some h -> (
+          match Dsim.Json.member "count" h with
+          | Some v -> Alcotest.(check (option int)) "histogram count" (Some 2) (Dsim.Json.to_int v)
+          | None -> Alcotest.fail "histogram summary missing count")
+      | None -> Alcotest.fail "histogram missing");
+      match Dsim.Json.member "lag.api-1" (section "series") with
+      | Some (Dsim.Json.List [ Dsim.Json.List [ t; v ] ]) ->
+          Alcotest.(check (option int)) "series time" (Some 100_000) (Dsim.Json.to_int t);
+          Alcotest.(check (option (float 0.0))) "series value" (Some 7.0) (Dsim.Json.to_float v)
+      | _ -> Alcotest.fail "series missing or ill-shaped"
+
 let qcheck_percentile_is_member =
   QCheck.Test.make ~name:"percentile returns an observed sample" ~count:200
     QCheck.(pair (list_of_size Gen.(1 -- 50) (float_range 0.0 1000.0)) (float_range 0.01 1.0))
@@ -53,6 +133,13 @@ let suites =
         Alcotest.test_case "histogram stats" `Quick histogram_stats;
         Alcotest.test_case "empty histogram zero" `Quick empty_histogram_zero;
         Alcotest.test_case "reset clears" `Quick reset_clears;
+        Alcotest.test_case "percentile extremes" `Quick percentile_extremes;
+        Alcotest.test_case "observe invalidates cache" `Quick
+          observe_after_percentile_invalidates_cache;
+        Alcotest.test_case "histogram growth" `Quick histogram_growth;
+        Alcotest.test_case "gauges set and add" `Quick gauges_set_and_add;
+        Alcotest.test_case "series chronological" `Quick series_chronological;
+        Alcotest.test_case "json snapshot parses" `Quick json_snapshot_parses;
         Qcheck_util.to_alcotest qcheck_percentile_is_member;
       ] );
   ]

@@ -1,0 +1,134 @@
+(* Structured trace entries: ring-buffer eviction, cause links / chain
+   extraction, and the JSONL round-trip. *)
+
+let record t ?cause detail =
+  Dsim.Trace.record t ~time:0 ~actor:"a" ~kind:"k" ?cause detail
+
+let emit t ?cause detail = Dsim.Trace.emit t ~time:0 ~actor:"a" ~kind:"k" ?cause detail
+
+let details t = List.map (fun e -> e.Dsim.Trace.detail) (Dsim.Trace.entries t)
+
+let ids_grow_from_one () =
+  let t = Dsim.Trace.create () in
+  Alcotest.(check int) "first id" 1 (emit t "one");
+  Alcotest.(check int) "second id" 2 (emit t "two");
+  record t "three";
+  Alcotest.(check int) "length" 3 (Dsim.Trace.length t);
+  Alcotest.(check int) "recorded" 3 (Dsim.Trace.recorded t);
+  Alcotest.(check int) "dropped" 0 (Dsim.Trace.dropped t)
+
+let ring_evicts_oldest_in_order () =
+  let t = Dsim.Trace.create ~capacity:3 () in
+  List.iter (record t) [ "e1"; "e2"; "e3"; "e4"; "e5" ];
+  Alcotest.(check (list string)) "retained suffix" [ "e3"; "e4"; "e5" ] (details t);
+  Alcotest.(check int) "length" 3 (Dsim.Trace.length t);
+  Alcotest.(check int) "recorded" 5 (Dsim.Trace.recorded t);
+  Alcotest.(check int) "dropped" 2 (Dsim.Trace.dropped t);
+  Alcotest.(check bool) "evicted id gone" true (Dsim.Trace.find t ~id:1 = None);
+  Alcotest.(check bool) "live id found" true (Dsim.Trace.find t ~id:4 <> None)
+
+let ring_capacity_validated () =
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Trace.create: capacity must be positive") (fun () ->
+      ignore (Dsim.Trace.create ~capacity:0 ()))
+
+let unbounded_mode_never_drops () =
+  let t = Dsim.Trace.create () in
+  for i = 1 to 1000 do
+    record t (string_of_int i)
+  done;
+  Alcotest.(check int) "all live" 1000 (Dsim.Trace.length t);
+  Alcotest.(check int) "none dropped" 0 (Dsim.Trace.dropped t);
+  Alcotest.(check bool) "capacity none" true (Dsim.Trace.capacity t = None)
+
+let chain_walks_cause_links () =
+  let t = Dsim.Trace.create () in
+  let a = emit t "commit" in
+  let b = emit t ~cause:a "deliver" in
+  let _noise = emit t "unrelated" in
+  record t ~cause:b "violation";
+  let violation =
+    match Dsim.Trace.find_all t ~kind:"k" with
+    | entries -> List.nth entries (List.length entries - 1)
+  in
+  let chain = Dsim.Trace.chain t ~id:violation.Dsim.Trace.id in
+  Alcotest.(check (list string))
+    "oldest first, noise excluded" [ "commit"; "deliver"; "violation" ]
+    (List.map (fun e -> e.Dsim.Trace.detail) chain)
+
+let chain_stops_at_evicted_cause () =
+  let t = Dsim.Trace.create ~capacity:2 () in
+  let a = emit t "e1" in
+  let b = emit t ~cause:a "e2" in
+  let c = emit t ~cause:b "e3" in
+  (* e1 was evicted by e3: the walk must stop at the ring's horizon. *)
+  let chain = Dsim.Trace.chain t ~id:c in
+  Alcotest.(check (list string))
+    "truncated at horizon" [ "e2"; "e3" ]
+    (List.map (fun e -> e.Dsim.Trace.detail) chain)
+
+let chain_survives_cycles () =
+  let t = Dsim.Trace.create () in
+  (* Forged forward reference making 1 <-> 2 a cycle; chain must still
+     terminate. *)
+  record t ~cause:2 "e1";
+  record t ~cause:1 "e2";
+  let chain = Dsim.Trace.chain t ~id:2 in
+  Alcotest.(check bool) "terminates, non-empty" true (List.length chain >= 2)
+
+let chain_of_unknown_id_empty () =
+  let t = Dsim.Trace.create () in
+  record t "only";
+  Alcotest.(check int) "empty" 0 (List.length (Dsim.Trace.chain t ~id:99))
+
+let clear_restarts_ids () =
+  let t = Dsim.Trace.create () in
+  ignore (emit t "x");
+  Dsim.Trace.clear t;
+  Alcotest.(check int) "ids restart" 1 (emit t "y");
+  Alcotest.(check int) "recorded restarts" 1 (Dsim.Trace.recorded t)
+
+let jsonl_round_trip () =
+  let t = Dsim.Trace.create () in
+  let a = Dsim.Trace.emit t ~time:0 ~actor:"etcd" ~kind:"etcd.commit" "rev 1 \"quoted\"" in
+  let b = Dsim.Trace.emit t ~time:120 ~actor:"api-1" ~kind:"pipe.deliver" ~cause:a "ev" in
+  Dsim.Trace.record t ~time:5000 ~actor:"oracle" ~kind:"oracle.violation" ~cause:b
+    "[K8s-0] control\ncharacters";
+  match Dsim.Trace.of_jsonl (Dsim.Trace.to_jsonl t) with
+  | Error msg -> Alcotest.failf "round trip failed: %s" msg
+  | Ok t' ->
+      Alcotest.(check bool) "entries preserved" true
+        (Dsim.Trace.entries t = Dsim.Trace.entries t');
+      (* Ids survive the trip, so chains still resolve on the import. *)
+      let violation = List.nth (Dsim.Trace.entries t') 2 in
+      Alcotest.(check int) "chain on import" 3
+        (List.length (Dsim.Trace.chain t' ~id:violation.Dsim.Trace.id))
+
+let jsonl_rejects_malformed_line () =
+  let good = {|{"id":1,"time":0,"actor":"a","kind":"k","detail":"d","cause":null}|} in
+  (match Dsim.Trace.of_jsonl (good ^ "\n" ^ "{not json}\n") with
+  | Ok _ -> Alcotest.fail "accepted malformed line"
+  | Error msg ->
+      Alcotest.(check bool) "error names the line" true
+        (String.length msg >= 6 && String.equal (String.sub msg 0 6) "line 2"));
+  match Dsim.Trace.of_jsonl (good ^ "\n\n" ^ good ^ "\n") with
+  | Ok t -> Alcotest.(check int) "blank lines skipped" 2 (Dsim.Trace.length t)
+  | Error msg -> Alcotest.failf "rejected blank line: %s" msg
+
+let suites =
+  [
+    ( "trace",
+      [
+        Alcotest.test_case "ids grow from one" `Quick ids_grow_from_one;
+        Alcotest.test_case "ring evicts oldest in order" `Quick ring_evicts_oldest_in_order;
+        Alcotest.test_case "ring capacity validated" `Quick ring_capacity_validated;
+        Alcotest.test_case "unbounded mode never drops" `Quick unbounded_mode_never_drops;
+        Alcotest.test_case "chain walks cause links" `Quick chain_walks_cause_links;
+        Alcotest.test_case "chain stops at evicted cause" `Quick chain_stops_at_evicted_cause;
+        Alcotest.test_case "chain survives cycles" `Quick chain_survives_cycles;
+        Alcotest.test_case "chain of unknown id empty" `Quick chain_of_unknown_id_empty;
+        Alcotest.test_case "clear restarts ids" `Quick clear_restarts_ids;
+        Alcotest.test_case "jsonl round trip" `Quick jsonl_round_trip;
+        Alcotest.test_case "jsonl rejects malformed line" `Quick jsonl_rejects_malformed_line;
+      ] );
+  ]
