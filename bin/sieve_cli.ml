@@ -6,7 +6,8 @@
      trace ID [--json]         annotated failing execution of one bug (or JSONL)
      timeline ID [--json]      per-component revision-lag timeline of one bug
      campaign ID APPROACH      tests-to-first-reproduction for one approach
-     explore [--json]          run the planner end-to-end on a workload *)
+     explore [--json]          run the planner end-to-end on a workload
+     hunt [ID...]              parallel, persistent, coverage-guided campaign *)
 
 open Cmdliner
 
@@ -31,7 +32,8 @@ let pattern_name = function
 
 let list_cmd =
   let doc =
-    "List the bug corpus (two known Kubernetes bugs, three Cassandra-operator bugs) and the      extension cases."
+    "List the bug corpus (two known Kubernetes bugs, three Cassandra-operator bugs) and the \
+     extension cases."
   in
   let run () =
     Sieve.Report.table ~header:[ "id"; "pattern"; "title" ]
@@ -167,7 +169,8 @@ let sparkline ?(width = 60) values =
 
 let timeline_cmd =
   let doc =
-    "Plot every component's revision lag over the failing run of one corpus bug — the live      measurement of partial-history divergence."
+    "Plot every component's revision lag over the failing run of one corpus bug — the live \
+     measurement of partial-history divergence."
   in
   let id_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Bug id.") in
   let json_arg =
@@ -397,7 +400,8 @@ let seals_cmd =
 
 let coverage_cmd =
   let doc =
-    "Report how much of a bug scenario's (component x object x pattern) perturbation space an      approach's candidates cover."
+    "Report how much of a bug scenario's (component x object x pattern) perturbation space an \
+     approach's candidates cover."
   in
   let id_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Bug id.") in
   let run id =
@@ -468,13 +472,126 @@ let minimize_cmd =
   in
   Cmd.v (Cmd.info "minimize" ~doc) Term.(const run $ id_arg $ budget_arg)
 
+(* --- hunt ---------------------------------------------------------- *)
+
+let hunt_cmd =
+  let doc =
+    "Run a parallel, persistent, coverage-guided campaign over the bug corpus: planner \
+     candidates ordered by coverage gain, trials fanned out across worker domains, every \
+     result journaled crash-safely, each new distinct violation minimized into an artifact \
+     directory."
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains running trials in parallel (1 = in-process sequential).")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "_hunt"
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Output directory for the journal and per-finding artifacts.")
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Replay $(b,DIR/journal.jsonl), skip completed trials, and continue; the final \
+             journal and findings match an uninterrupted run. Without this flag an existing \
+             journal is overwritten.")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "budget" ] ~docv:"N"
+          ~doc:
+            "Total trials to run (0 = every planner candidate). A budget beyond the \
+             candidate count keeps hunting with seed-derived random-fault exploration \
+             trials.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int64 42L
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Campaign seed; per-trial seeds are split off it.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress the live progress line.")
+  in
+  let run ids jobs out resume budget seed quiet =
+    match resolve_cases ids with
+    | Error message ->
+        prerr_endline message;
+        exit 2
+    | Ok cases ->
+        let budget = if budget <= 0 then None else Some budget in
+        let on_progress (p : Hunt.Campaign.progress) =
+          if not quiet then
+            Printf.eprintf "\r[hunt] trial %d/%d  (%d replayed)  %d finding%s%!" p.trials_done
+              p.total p.replayed p.findings
+              (if p.findings = 1 then "" else "s")
+        in
+        let started = Unix.gettimeofday () in
+        let summary =
+          try Hunt.Campaign.run ~jobs ~out ~resume ?budget ~seed ~on_progress ~cases ()
+          with Failure message ->
+            if not quiet then prerr_newline ();
+            prerr_endline message;
+            exit 2
+        in
+        let wall = Unix.gettimeofday () -. started in
+        if not quiet then prerr_newline ();
+        (match summary.Hunt.Campaign.findings with
+        | [] -> print_endline "no findings"
+        | findings ->
+            Sieve.Report.table
+              ~header:[ "bug"; "signature"; "trial"; "at"; "minimized strategy" ]
+              (List.map
+                 (fun (f : Hunt.Campaign.finding) ->
+                   [
+                     f.bug;
+                     f.signature;
+                     string_of_int f.trial;
+                     Printf.sprintf "%.1fs" (float_of_int f.time /. 1e6);
+                     f.minimized;
+                   ])
+                 findings));
+        print_newline ();
+        Sieve.Report.table
+          ~header:[ "case"; "space covered"; "of" ]
+          (List.map
+             (fun (case, covered, total) ->
+               [ case; string_of_int covered; string_of_int total ])
+             summary.Hunt.Campaign.space);
+        print_newline ();
+        Sieve.Report.kv
+          [
+            ("trials", string_of_int summary.Hunt.Campaign.trials);
+            ("executed", string_of_int summary.Hunt.Campaign.executed);
+            ("replayed from journal", string_of_int summary.Hunt.Campaign.replayed);
+            ("trials with violations", string_of_int summary.Hunt.Campaign.with_violations);
+            ( "distinct findings",
+              string_of_int (List.length summary.Hunt.Campaign.findings) );
+            ( "throughput",
+              Printf.sprintf "%.0f trials/s (%d jobs, %.2f s wall)"
+                (float_of_int summary.Hunt.Campaign.executed /. Float.max wall 1e-9)
+                jobs wall );
+            ("journal", summary.Hunt.Campaign.journal);
+          ]
+  in
+  Cmd.v (Cmd.info "hunt" ~doc)
+    Term.(
+      const run $ ids_arg $ jobs_arg $ out_arg $ resume_arg $ budget_arg $ seed_arg
+      $ quiet_arg)
+
 let main_cmd =
   let doc = "partial-history testing tool for the simulated Kubernetes-like control plane" in
   let info = Cmd.info "sieve" ~version:"1.0.0" ~doc in
   Cmd.group info
     [
       list_cmd; bugs_cmd; trace_cmd; timeline_cmd; campaign_cmd; explore_cmd; minimize_cmd;
-      coverage_cmd; seals_cmd;
+      coverage_cmd; seals_cmd; hunt_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

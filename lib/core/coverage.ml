@@ -10,14 +10,12 @@ type cell = { component : string; key : string; pattern : pattern }
 type t = {
   targets : Planner.target list;
   keys : string list;  (** distinct reference keys *)
+  all_cells : cell list;  (** the space, in enumeration order *)
+  valid : (cell, unit) Hashtbl.t;  (** same cells, O(1) membership *)
   marked : (cell, unit) Hashtbl.t;
 }
 
-let create ~config ~events =
-  let keys = List.sort_uniq String.compare (List.map (fun (_, key, _) -> key) events) in
-  { targets = Planner.targets_of_config config; keys; marked = Hashtbl.create 128 }
-
-let cells t =
+let enumerate targets keys =
   List.concat_map
     (fun target ->
       List.concat_map
@@ -27,10 +25,16 @@ let cells t =
               (fun pattern -> { component = target.Planner.component; key; pattern })
               [ `Staleness; `Obs_gap; `Time_travel ]
           else [])
-        t.keys)
-    t.targets
+        keys)
+    targets
 
-let mark t cell = if List.mem cell (cells t) then Hashtbl.replace t.marked cell ()
+let create ~config ~events =
+  let keys = List.sort_uniq String.compare (List.map (fun (_, key, _) -> key) events) in
+  let targets = Planner.targets_of_config config in
+  let all_cells = enumerate targets keys in
+  let valid = Hashtbl.create (max 16 (List.length all_cells)) in
+  List.iter (fun cell -> Hashtbl.replace valid cell ()) all_cells;
+  { targets; keys; all_cells; valid; marked = Hashtbl.create 128 }
 
 let matching_keys t prefix =
   match prefix with
@@ -42,32 +46,30 @@ let matching_keys t prefix =
           && String.equal (String.sub key 0 (String.length p)) p)
         t.keys
 
-let mark_component_pattern t ~component ~key_prefix pattern =
-  List.iter
-    (fun key -> mark t { component; key; pattern })
-    (matching_keys t key_prefix)
-
 let all_components t = List.map (fun target -> target.Planner.component) t.targets
 
 let is_apiserver name =
   String.length name >= 4 && String.equal (String.sub name 0 4) "api-"
 
-let rec note t (strategy : Strategy.t) =
+let rec cells_of t (strategy : Strategy.t) =
+  let scoped components ~key_prefix pattern =
+    List.concat_map
+      (fun component ->
+        List.filter_map
+          (fun key ->
+            let cell = { component; key; pattern } in
+            if Hashtbl.mem t.valid cell then Some cell else None)
+          (matching_keys t key_prefix))
+      components
+  in
   match strategy with
-  | Strategy.No_perturbation -> ()
+  | Strategy.No_perturbation -> []
   | Strategy.Drop_events { dst; matching; _ } ->
       let components = match dst with Some c -> [ c ] | None -> all_components t in
-      List.iter
-        (fun component ->
-          mark_component_pattern t ~component ~key_prefix:matching.Strategy.key_prefix `Obs_gap)
-        components
+      scoped components ~key_prefix:matching.Strategy.key_prefix `Obs_gap
   | Strategy.Delay_stream { dst; matching; _ } ->
       let components = match dst with Some c -> [ c ] | None -> all_components t in
-      List.iter
-        (fun component ->
-          mark_component_pattern t ~component ~key_prefix:matching.Strategy.key_prefix
-            `Staleness)
-        components
+      scoped components ~key_prefix:matching.Strategy.key_prefix `Staleness
   | Strategy.Partition_window { a; b; _ } ->
       (* Freezing an apiserver makes every component potentially stale;
          cutting a component's own link makes that component stale. *)
@@ -76,15 +78,24 @@ let rec note t (strategy : Strategy.t) =
         then all_components t
         else List.filter (fun c -> String.equal c a || String.equal c b) (all_components t)
       in
-      List.iter
-        (fun component -> mark_component_pattern t ~component ~key_prefix:None `Staleness)
-        components
+      scoped components ~key_prefix:None `Staleness
   | Strategy.Crash_restart { victim; _ } ->
       if List.mem victim (all_components t) then
-        mark_component_pattern t ~component:victim ~key_prefix:None `Time_travel
-  | Strategy.Combo parts -> List.iter (note t) parts
+        scoped [ victim ] ~key_prefix:None `Time_travel
+      else []
+  | Strategy.Combo parts -> List.concat_map (cells_of t) parts
 
-let total t = List.length (cells t)
+let note t strategy =
+  List.iter (fun cell -> Hashtbl.replace t.marked cell ()) (cells_of t strategy)
+
+let gain t strategy =
+  let fresh = Hashtbl.create 16 in
+  List.iter
+    (fun cell -> if not (Hashtbl.mem t.marked cell) then Hashtbl.replace fresh cell ())
+    (cells_of t strategy);
+  Hashtbl.length fresh
+
+let total t = List.length t.all_cells
 
 let covered t = Hashtbl.length t.marked
 
@@ -95,12 +106,12 @@ let ratio t =
 let by_pattern t =
   List.map
     (fun pattern ->
-      let in_pattern = List.filter (fun c -> c.pattern = pattern) (cells t) in
+      let in_pattern = List.filter (fun c -> c.pattern = pattern) t.all_cells in
       let done_ = List.filter (Hashtbl.mem t.marked) in_pattern in
       (pattern, List.length done_, List.length in_pattern))
     [ `Staleness; `Obs_gap; `Time_travel ]
 
 let uncovered t =
-  cells t
+  t.all_cells
   |> List.filter (fun c -> not (Hashtbl.mem t.marked c))
   |> List.sort compare

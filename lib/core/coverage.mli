@@ -35,6 +35,15 @@ val note : t -> Strategy.t -> unit
     component (they may be downstream of it); a crash marks the victim's
     time-travel cells. *)
 
+val cells_of : t -> Strategy.t -> cell list
+(** The in-space cells the strategy would exercise (what {!note} would
+    mark), without marking anything. May contain duplicates for combo
+    strategies whose parts overlap. *)
+
+val gain : t -> Strategy.t -> int
+(** How many currently-uncovered cells the strategy would newly cover —
+    the coverage-guided scheduler's ranking signal. *)
+
 val total : t -> int
 
 val covered : t -> int

@@ -68,14 +68,22 @@ type campaign_result = {
   found : (test * int * Oracle.violation) option;
       (** first test whose oracle reported a matching violation, with the
           violation's virtual time *)
+  all_found : (test * int * Oracle.violation) list;
+      (** every matching violation reported within the budget, oldest
+          first; with [stop_at_first] this is just the first test's
+          matches *)
 }
 
 val run_campaign :
   make_test:(int -> test) ->
   candidates:int ->
   ?target:(Oracle.violation -> bool) ->
+  ?stop_at_first:bool ->
   unit ->
   campaign_result
-(** Runs [make_test 0 .. make_test (candidates-1)] in order, stopping at
-    the first test that produces a violation satisfying [target]
-    (default: any violation). *)
+(** Runs [make_test 0 .. make_test (candidates-1)] in order. With
+    [stop_at_first] (the default) the campaign stops at the first test
+    that produces a violation satisfying [target] (default: any
+    violation); with [~stop_at_first:false] it spends the whole budget
+    and reports every match in [all_found] — the same semantics the
+    parallel hunt engine uses, so the two paths agree. *)

@@ -1,0 +1,382 @@
+type trial = {
+  index : int;
+  case_id : string;
+  origin : string;
+  seed : int64;
+  test : Sieve.Runner.test;
+}
+
+type planned = {
+  trials : trial array;
+  space : (string * int * int) list;
+}
+
+type finding = {
+  signature : string;
+  bug : string;
+  case_id : string;
+  trial : int;
+  time : int;
+  detail : string;
+  strategy : string;
+  minimized : string;
+  shrink_runs : int;
+}
+
+type progress = { trials_done : int; total : int; replayed : int; findings : int }
+
+type summary = {
+  trials : int;
+  executed : int;
+  replayed : int;
+  with_violations : int;
+  findings : finding list;
+  space : (string * int * int) list;
+  journal : string;
+}
+
+(* --- planning ------------------------------------------------------ *)
+
+type planned_case = {
+  case : Sieve.Bugs.case;
+  events : (int * string * History.Event.op) list;
+  components : string list;
+  apiservers : string list;
+  scheduled : (int * Sieve.Planner.plan) list;  (* dispatch order *)
+}
+
+let plan_case (case : Sieve.Bugs.case) =
+  let config = case.Sieve.Bugs.config in
+  let horizon = case.Sieve.Bugs.horizon in
+  let commits = Sieve.Runner.reference_commits (Sieve.Bugs.reference_test_of_case case) in
+  let events =
+    List.map (fun c -> (c.Sieve.Runner.time, c.Sieve.Runner.key, c.Sieve.Runner.op)) commits
+  in
+  let plans =
+    Array.of_list (Sieve.Planner.candidates_causal ~config ~commits ~horizon ())
+  in
+  let coverage = Sieve.Coverage.create ~config ~events in
+  let scheduled = List.map (fun i -> (i, plans.(i))) (Schedule.order coverage plans) in
+  let components =
+    List.map (fun t -> t.Sieve.Planner.component) (Sieve.Planner.targets_of_config config)
+  in
+  let apiservers =
+    List.init config.Kube.Cluster.apiservers (fun i -> Printf.sprintf "api-%d" (i + 1))
+  in
+  { case; events; components; apiservers; scheduled }
+
+(* Round-robin across cases so early trials are diverse even when one
+   case dominates the candidate count. *)
+let round_robin queues =
+  let out = ref [] in
+  let continue = ref true in
+  while !continue do
+    continue := false;
+    List.iter
+      (fun queue ->
+        match !queue with
+        | [] -> ()
+        | slot :: rest ->
+            queue := rest;
+            continue := true;
+            out := slot :: !out)
+      queues
+  done;
+  List.rev !out
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+let plan ?budget ?(seed = 42L) ~cases () =
+  let planned_cases = List.map plan_case cases in
+  let planner_slots =
+    round_robin
+      (List.map
+         (fun pc ->
+           ref
+             (List.map
+                (fun (k, (p : Sieve.Planner.plan)) ->
+                  (pc, Printf.sprintf "planner#%d" k, Some p.Sieve.Planner.strategy))
+                pc.scheduled))
+         planned_cases)
+  in
+  let slots =
+    match budget with
+    | None -> planner_slots
+    | Some b when b <= List.length planner_slots -> take b planner_slots
+    | Some b ->
+        (* Budget beyond the planner's candidates: keep hunting with
+           random-fault exploration trials whose strategies derive from
+           the per-trial seed alone, so they too are order-independent. *)
+        let extra = b - List.length planner_slots in
+        let case_cycle = Array.of_list planned_cases in
+        let explore =
+          List.init extra (fun j ->
+              (case_cycle.(j mod Array.length case_cycle), "explore", None))
+        in
+        planner_slots @ explore
+  in
+  let n = List.length slots in
+  (* Per-trial seeds: split the campaign generator once per trial, in
+     index order, before anything runs. A trial's seed depends only on
+     (campaign seed, index) — never on completion order — which is what
+     makes resumed and reordered campaigns reproduce exactly. *)
+  let rng = Dsim.Rng.create seed in
+  let seeds = Array.make n 0L in
+  for i = 0 to n - 1 do
+    seeds.(i) <- Dsim.Rng.int64 (Dsim.Rng.split rng)
+  done;
+  let trials =
+    Array.of_list
+      (List.mapi
+         (fun index (pc, origin, strategy) ->
+           let case = pc.case in
+           let origin =
+             if strategy = None then Printf.sprintf "explore#%d" index else origin
+           in
+           let strategy =
+             match strategy with
+             | Some s -> s
+             | None ->
+                 List.hd
+                   (Sieve.Baselines.random_faults ~seed:seeds.(index)
+                      ~components:pc.components ~apiservers:pc.apiservers
+                      ~horizon:case.Sieve.Bugs.horizon ~n:1)
+           in
+           {
+             index;
+             case_id = case.Sieve.Bugs.id;
+             origin;
+             seed = seeds.(index);
+             test =
+               Sieve.Runner.base_test
+                 ~name:(Printf.sprintf "%s:%s" case.Sieve.Bugs.id origin)
+                 ~config:case.Sieve.Bugs.config ~workload:case.Sieve.Bugs.workload
+                 ~horizon:case.Sieve.Bugs.horizon strategy;
+           })
+         slots)
+  in
+  let space =
+    List.map
+      (fun pc ->
+        let coverage =
+          Sieve.Coverage.create ~config:pc.case.Sieve.Bugs.config ~events:pc.events
+        in
+        Array.iter
+          (fun (t : trial) ->
+            if String.equal t.case_id pc.case.Sieve.Bugs.id then
+              Sieve.Coverage.note coverage t.test.Sieve.Runner.strategy)
+          trials;
+        (pc.case.Sieve.Bugs.id, Sieve.Coverage.covered coverage, Sieve.Coverage.total coverage))
+      planned_cases
+  in
+  { trials; space }
+
+(* --- filesystem helpers ------------------------------------------- *)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if String.length parent < String.length dir then mkdir_p parent;
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+(* --- running ------------------------------------------------------- *)
+
+type worker_result =
+  | Replayed of Journal.violation_record list
+  | Ran of (int * Sieve.Oracle.violation) list
+
+let finding_of_journal (f : Journal.entry) =
+  match f with
+  | Journal.Finding { signature; trial; case; time; bug; detail; strategy; minimized; shrink_runs }
+    ->
+      { signature; bug; case_id = case; trial; time; detail; strategy; minimized; shrink_runs }
+  | _ -> invalid_arg "finding_of_journal"
+
+let emit_artifact ~out ~(finding : finding) ~(test : Sieve.Runner.test) =
+  let dir =
+    Filename.concat (Filename.concat out "findings") (Signature.to_dirname finding.signature)
+  in
+  mkdir_p dir;
+  let outcome = Sieve.Runner.run_test test in
+  write_file
+    (Filename.concat dir "artifact.json")
+    (Dsim.Json.to_string (Sieve.Runner.artifact outcome) ^ "\n");
+  write_file
+    (Filename.concat dir "finding.json")
+    (Dsim.Json.to_string
+       (Dsim.Json.Obj
+          [
+            ("signature", Dsim.Json.String finding.signature);
+            ("bug", Dsim.Json.String finding.bug);
+            ("case", Dsim.Json.String finding.case_id);
+            ("trial", Dsim.Json.Int finding.trial);
+            ("time", Dsim.Json.Int finding.time);
+            ("detail", Dsim.Json.String finding.detail);
+            ("strategy", Dsim.Json.String finding.strategy);
+            ("minimized", Dsim.Json.String finding.minimized);
+            ("shrink_runs", Dsim.Json.Int finding.shrink_runs);
+          ])
+    ^ "\n")
+
+let run ?(jobs = 1) ?(out = "_hunt") ?(resume = false) ?budget ?(seed = 42L)
+    ?(minimize_budget = 200) ?on_progress ~cases () =
+  let ({ trials; space } : planned) = plan ?budget ~seed ~cases () in
+  let n = Array.length trials in
+  let case_ids = List.map (fun (c : Sieve.Bugs.case) -> c.Sieve.Bugs.id) cases in
+  mkdir_p out;
+  let journal_path = Filename.concat out "journal.jsonl" in
+  let replayed_entries, writer =
+    if resume then Journal.open_resume ~path:journal_path
+    else ([], Journal.create ~path:journal_path)
+  in
+  let done_trials : (int, Journal.entry) Hashtbl.t = Hashtbl.create 97 in
+  let journal_findings : (string, Journal.entry) Hashtbl.t = Hashtbl.create 17 in
+  let header_seen = ref false in
+  List.iter
+    (fun entry ->
+      match entry with
+      | Journal.Header h ->
+          header_seen := true;
+          if h.seed <> seed || h.trials <> n || h.cases <> case_ids then
+            failwith
+              (Printf.sprintf
+                 "hunt: %s was journaled by a different campaign (seed %Ld/%Ld, trials %d/%d); \
+                  use a fresh --out or matching parameters"
+                 journal_path h.seed seed h.trials n)
+      | Journal.Trial t ->
+          if t.trial >= 0 && t.trial < n then Hashtbl.replace done_trials t.trial entry
+      | Journal.Finding f -> Hashtbl.replace journal_findings f.signature entry)
+    replayed_entries;
+  if not !header_seen then
+    Journal.append writer (Journal.Header { version = 1; seed; trials = n; cases = case_ids });
+  (* Workers run trials not present in the journal; everything stateful
+     (journal appends, dedup, minimize, artifacts, progress) happens in
+     [settle], on this domain, in trial order. *)
+  let work index trial =
+    match Hashtbl.find_opt done_trials index with
+    | Some (Journal.Trial { violations; _ }) -> Replayed violations
+    | Some _ | None -> Ran (Sieve.Runner.run_test trial.test).Sieve.Runner.violations
+  in
+  let executed = ref 0 in
+  let replayed = ref 0 in
+  let with_violations = ref 0 in
+  let known : (string, unit) Hashtbl.t = Hashtbl.create 17 in
+  let findings_rev = ref [] in
+  let settle index result =
+    let trial = trials.(index) in
+    let strategy = Sieve.Strategy.describe trial.test.Sieve.Runner.strategy in
+    let records =
+      match result with
+      | Replayed records ->
+          incr replayed;
+          records
+      | Ran violations ->
+          incr executed;
+          let records =
+            List.map
+              (fun (time, v) ->
+                {
+                  Journal.time;
+                  bug = Sieve.Oracle.bug_id v;
+                  signature = Signature.of_violation v;
+                  detail = Sieve.Oracle.describe v;
+                })
+              violations
+          in
+          Journal.append writer
+            (Journal.Trial
+               {
+                 trial = index;
+                 case = trial.case_id;
+                 origin = trial.origin;
+                 seed = trial.seed;
+                 strategy;
+                 violations = records;
+               });
+          records
+    in
+    if records <> [] then incr with_violations;
+    List.iter
+      (fun (r : Journal.violation_record) ->
+        if not (Hashtbl.mem known r.signature) then begin
+          Hashtbl.replace known r.signature ();
+          let finding =
+            match Hashtbl.find_opt journal_findings r.signature with
+            | Some entry -> finding_of_journal entry
+            | None ->
+                (* A new distinct violation: shrink its reproduction and
+                   drop a self-contained artifact directory, then journal
+                   the finding. Artifact first — if we crash in between,
+                   resume recomputes both; the journal stays the source
+                   of truth. *)
+                let target v = String.equal (Signature.of_violation v) r.signature in
+                let minimized_test, shrink_runs =
+                  if minimize_budget > 0 then
+                    Sieve.Minimize.minimize ~test:trial.test ~target ~budget:minimize_budget ()
+                  else (trial.test, 0)
+                in
+                let finding =
+                  {
+                    signature = r.signature;
+                    bug = r.bug;
+                    case_id = trial.case_id;
+                    trial = index;
+                    time = r.time;
+                    detail = r.detail;
+                    strategy;
+                    minimized =
+                      Sieve.Strategy.describe minimized_test.Sieve.Runner.strategy;
+                    shrink_runs;
+                  }
+                in
+                emit_artifact ~out ~finding ~test:minimized_test;
+                Journal.append writer
+                  (Journal.Finding
+                     {
+                       signature = finding.signature;
+                       trial = finding.trial;
+                       case = finding.case_id;
+                       time = finding.time;
+                       bug = finding.bug;
+                       detail = finding.detail;
+                       strategy = finding.strategy;
+                       minimized = finding.minimized;
+                       shrink_runs = finding.shrink_runs;
+                     });
+                finding
+          in
+          findings_rev := finding :: !findings_rev
+        end)
+      records;
+    match on_progress with
+    | None -> ()
+    | Some notify ->
+        notify
+          {
+            trials_done = index + 1;
+            total = n;
+            replayed = !replayed;
+            findings = List.length !findings_rev;
+          }
+  in
+  Fun.protect
+    ~finally:(fun () -> Journal.close writer)
+    (fun () -> Pool.map_ordered ~jobs ~tasks:trials ~f:work ~emit:settle);
+  {
+    trials = n;
+    executed = !executed;
+    replayed = !replayed;
+    with_violations = !with_violations;
+    findings = List.rev !findings_rev;
+    space;
+    journal = journal_path;
+  }

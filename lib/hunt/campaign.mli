@@ -1,0 +1,92 @@
+(** The campaign driver: parallel, persistent, resumable, coverage-guided.
+
+    A campaign turns a set of corpus cases into one global trial list:
+    per case, the causal planner's candidates are ordered by coverage
+    gain ({!Schedule.order}), then cases are interleaved round-robin; a
+    budget beyond the candidate count is filled with seed-derived
+    random-fault exploration trials. Per-trial seeds are split off the
+    campaign seed by index ({!Dsim.Rng.split}), so nothing depends on
+    completion order.
+
+    Trials execute on worker domains ({!Pool.map_ordered}); results
+    settle on the driver domain in trial order, appending to the
+    {!Journal} as they go. The first trial to expose each distinct
+    violation signature ({!Signature.of_violation}) becomes a finding:
+    its strategy is shrunk with {!Sieve.Minimize.minimize} and a
+    self-contained artifact directory
+    ([OUT/findings/<signature>/{artifact,finding}.json], via
+    {!Sieve.Runner.artifact}) is emitted. Later trials hitting the same
+    signature deduplicate against it.
+
+    Because trials are deterministic, seeds are index-derived, and the
+    journal is written in trial order, the journal is byte-identical
+    across job counts — and a resumed campaign (which replays the
+    journal, skips completed trials and recomputes any finding whose
+    record was lost to a crash) converges on the same bytes as an
+    uninterrupted run. *)
+
+type trial = {
+  index : int;  (** schedule position == journal position *)
+  case_id : string;
+  origin : string;  (** ["planner#k"] (candidate rank) or ["explore#i"] *)
+  seed : int64;  (** split off the campaign seed, by index *)
+  test : Sieve.Runner.test;
+}
+
+type planned = {
+  trials : trial array;
+  space : (string * int * int) list;
+      (** per case: (id, cells covered by the planned trials, total) *)
+}
+
+val plan :
+  ?budget:int -> ?seed:int64 -> cases:Sieve.Bugs.case list -> unit -> planned
+(** Builds the trial list without running anything (beyond the per-case
+    reference executions the planner needs). [budget] defaults to
+    exactly the planner's candidates; smaller truncates the
+    coverage-ordered list, larger appends exploration trials. Pure in
+    its arguments: equal inputs yield equal plans. *)
+
+type finding = {
+  signature : string;
+  bug : string;
+  case_id : string;
+  trial : int;
+  time : int;  (** virtual time of the violation in the exposing trial *)
+  detail : string;
+  strategy : string;
+  minimized : string;
+  shrink_runs : int;
+}
+
+type progress = { trials_done : int; total : int; replayed : int; findings : int }
+
+type summary = {
+  trials : int;
+  executed : int;
+  replayed : int;  (** skipped: replayed from the journal on resume *)
+  with_violations : int;
+  findings : finding list;  (** discovery order *)
+  space : (string * int * int) list;
+  journal : string;  (** journal path *)
+}
+
+val run :
+  ?jobs:int ->
+  ?out:string ->
+  ?resume:bool ->
+  ?budget:int ->
+  ?seed:int64 ->
+  ?minimize_budget:int ->
+  ?on_progress:(progress -> unit) ->
+  cases:Sieve.Bugs.case list ->
+  unit ->
+  summary
+(** Runs the campaign. [jobs] worker domains (default 1); [out] is the
+    artifact directory (default ["_hunt"]), holding [journal.jsonl] and
+    [findings/]. With [resume] the existing journal's completed trials
+    are skipped (the header must match the campaign, else the run fails
+    with a clear error); without it any existing journal is overwritten.
+    [minimize_budget] caps shrink executions per finding (default 200;
+    [0] skips minimization). [on_progress] fires after every settled
+    trial, on the driver domain. *)

@@ -1,0 +1,18 @@
+(** Hunt: the parallel, persistent, coverage-guided campaign engine.
+
+    {!Runner.run_campaign} is a sequential in-memory loop that forgets
+    everything at exit; Hunt is what Section 7's "campaigns of deliberate
+    perturbations" need at scale. {!Pool} fans trials out across OCaml 5
+    domains (every trial is an independent deterministic simulation);
+    {!Journal} persists every result crash-safely as JSONL; {!Schedule}
+    dispatches candidates by coverage gain over the (component × object
+    × pattern) space; {!Signature} deduplicates violations into
+    findings; {!Campaign} ties it together — resumable, byte-for-byte
+    reproducible across job counts, minimizing each new finding and
+    emitting a self-contained artifact directory for it. *)
+
+module Signature = Signature
+module Journal = Journal
+module Pool = Pool
+module Schedule = Schedule
+module Campaign = Campaign

@@ -1,0 +1,67 @@
+let map_ordered (type b) ~jobs ~(tasks : 'a array) ~(f : int -> 'a -> b)
+    ~(emit : int -> b -> unit) =
+  let n = Array.length tasks in
+  if n = 0 then ()
+  else if jobs <= 1 then
+    for i = 0 to n - 1 do
+      emit i (f i tasks.(i))
+    done
+  else begin
+    let mutex = Mutex.create () in
+    let completed = Condition.create () in
+    let next = ref 0 in
+    let results : b option array = Array.make n None in
+    let failure : exn option ref = ref None in
+    let worker () =
+      let rec loop () =
+        Mutex.lock mutex;
+        let i = !next in
+        if i >= n || !failure <> None then Mutex.unlock mutex
+        else begin
+          incr next;
+          Mutex.unlock mutex;
+          (match f i tasks.(i) with
+          | result ->
+              Mutex.lock mutex;
+              results.(i) <- Some result;
+              Condition.broadcast completed;
+              Mutex.unlock mutex
+          | exception exn ->
+              Mutex.lock mutex;
+              if !failure = None then failure := Some exn;
+              Condition.broadcast completed;
+              Mutex.unlock mutex);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = List.init (min jobs n) (fun _ -> Domain.spawn worker) in
+    let raised =
+      try
+        for i = 0 to n - 1 do
+          Mutex.lock mutex;
+          while results.(i) = None && !failure = None do
+            Condition.wait completed mutex
+          done;
+          let result = results.(i) in
+          results.(i) <- None;
+          let fail = !failure in
+          Mutex.unlock mutex;
+          match fail, result with
+          | Some exn, _ -> raise exn
+          | None, Some result -> emit i result
+          | None, None -> assert false
+        done;
+        None
+      with exn ->
+        (* Let workers drain: claiming is cheap and each claimed task
+           completes, so join below terminates. *)
+        Mutex.lock mutex;
+        if !failure = None then failure := Some exn;
+        Mutex.unlock mutex;
+        Some exn
+    in
+    List.iter Domain.join domains;
+    match raised with Some exn -> raise exn | None -> ()
+  end

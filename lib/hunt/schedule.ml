@@ -1,0 +1,23 @@
+let order coverage (plans : Sieve.Planner.plan array) =
+  let n = Array.length plans in
+  let pending = Array.make n true in
+  let out = ref [] in
+  for _ = 1 to n do
+    (* Greedy max-gain; gain starts at -1 so the first pending candidate
+       wins ties and zero-gain rounds, preserving the planner's own
+       (causal) ranking within equivalence classes. *)
+    let best = ref (-1) and best_gain = ref (-1) in
+    for i = 0 to n - 1 do
+      if pending.(i) then begin
+        let g = Sieve.Coverage.gain coverage plans.(i).Sieve.Planner.strategy in
+        if g > !best_gain then begin
+          best := i;
+          best_gain := g
+        end
+      end
+    done;
+    pending.(!best) <- false;
+    Sieve.Coverage.note coverage plans.(!best).Sieve.Planner.strategy;
+    out := !best :: !out
+  done;
+  List.rev !out

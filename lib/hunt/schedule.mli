@@ -1,0 +1,15 @@
+(** Coverage-guided dispatch ordering.
+
+    Section 6.2 makes coverage of the (component × object × pattern)
+    space the limiting factor of a campaign; the scheduler turns that
+    into the dispatch policy. Candidates are dispatched greedily by how
+    many still-uncovered cells they would touch ({!Sieve.Coverage.gain}),
+    each dispatch feeding {!Sieve.Coverage.note} so later picks see the
+    shrunken frontier; ties — and the zero-gain tail — fall back to the
+    planner's own causal ranking. The order is a pure function of the
+    candidate list, so it is identical across job counts and resumes. *)
+
+val order : Sieve.Coverage.t -> Sieve.Planner.plan array -> int list
+(** Dispatch order as indices into the array (a permutation of
+    [0 .. n-1]). Marks every candidate into the given coverage as a side
+    effect. *)

@@ -52,6 +52,29 @@ let campaign_exhausts_on_miss () =
   Alcotest.(check int) "all ran" 3 result.Sieve.Runner.tests_run;
   Alcotest.(check bool) "nothing found" true (result.Sieve.Runner.found = None)
 
+let campaign_reports_all_within_budget () =
+  (* With stop_at_first off the campaign spends its whole budget and
+     accumulates every matching violation, first hit still in [found]. *)
+  let case = Sieve.Bugs.k8s_56261 () in
+  let make_test i =
+    if i = 1 || i = 3 then Sieve.Bugs.test_of_case case
+    else Sieve.Bugs.reference_test_of_case case
+  in
+  let result =
+    Sieve.Runner.run_campaign ~make_test ~candidates:5 ~target:case.Sieve.Bugs.matches
+      ~stop_at_first:false ()
+  in
+  Alcotest.(check int) "full budget spent" 5 result.Sieve.Runner.tests_run;
+  Alcotest.(check bool) "several hits" true (List.length result.Sieve.Runner.all_found >= 2);
+  (match result.Sieve.Runner.found, result.Sieve.Runner.all_found with
+  | Some (_, t1, _), (_, t2, _) :: _ -> Alcotest.(check int) "found is the first hit" t2 t1
+  | _ -> Alcotest.fail "expected hits");
+  (* The stopping variant's hit is a prefix of the exhaustive list. *)
+  let stopped =
+    Sieve.Runner.run_campaign ~make_test ~candidates:5 ~target:case.Sieve.Bugs.matches ()
+  in
+  Alcotest.(check int) "stopping run ends early" 2 stopped.Sieve.Runner.tests_run
+
 let campaign_target_filters () =
   (* The 56261 sieve test produces a livelock; a target looking for
      duplicates must not accept it. *)
@@ -74,6 +97,8 @@ let suites =
         Alcotest.test_case "reference ignores strategy" `Quick reference_ignores_strategy;
         Alcotest.test_case "campaign stops at first hit" `Quick campaign_stops_at_first_hit;
         Alcotest.test_case "campaign exhausts on miss" `Quick campaign_exhausts_on_miss;
+        Alcotest.test_case "campaign reports all within budget" `Quick
+          campaign_reports_all_within_budget;
         Alcotest.test_case "campaign target filters" `Quick campaign_target_filters;
       ] );
   ]
