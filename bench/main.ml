@@ -11,6 +11,7 @@
      epochs     Section 6.2: epoch-bounded delivery trade-off
      perf       Section 4.1: cache offload + the HBase-3136/3137 trade-off
      hunt       campaign-engine throughput at 1, 2, 4 worker domains
+     lint       static-analysis cost: source lint + hazard-graph build
      micro      Bechamel micro-benchmarks of the substrate
 
    `dune exec bench/main.exe` runs everything; pass experiment names to
@@ -1258,6 +1259,58 @@ let hunt_bench () =
      three runs write are byte-identical; parallelism changes wall time only.\n"
 
 (* ------------------------------------------------------------------ *)
+(* LINT: static-analysis cost.                                        *)
+
+let lint_bench () =
+  Sieve.Report.section "LINT — static analysis cost: source lint + hazard-graph build";
+  let dir = Filename.concat "lib" "kube" in
+  if not (Sys.file_exists dir) then
+    Printf.printf "\n(%s not found — run from the repository root)\n" dir
+  else begin
+    let paths =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".ml")
+      |> List.sort String.compare
+      |> List.map (Filename.concat dir)
+    in
+    let time_n n f =
+      let started = Unix.gettimeofday () in
+      for _ = 1 to n do
+        f ()
+      done;
+      (Unix.gettimeofday () -. started) /. float_of_int n
+    in
+    let lint_runs = 20 in
+    let findings, errors = Analysis.Lint.files paths in
+    let lint_wall = time_n lint_runs (fun () -> ignore (Analysis.Lint.files paths)) in
+    let config = (Sieve.Bugs.ca_402 ()).Sieve.Bugs.config in
+    let hazard_runs = 2_000 in
+    let hazards = Analysis.Hazard.of_config config in
+    let hazard_wall = time_n hazard_runs (fun () -> ignore (Analysis.Hazard.of_config config)) in
+    Printf.printf "\n";
+    Sieve.Report.table
+      ~header:[ "stage"; "input"; "output"; "wall time" ]
+      [
+        [
+          Printf.sprintf "layer-1 lint (x%d)" lint_runs;
+          Printf.sprintf "%d files" (List.length paths);
+          Printf.sprintf "%d findings, %d errors" (List.length findings) (List.length errors);
+          Printf.sprintf "%.2f ms/pass" (lint_wall *. 1e3);
+        ];
+        [
+          Printf.sprintf "layer-2 hazard graph (x%d)" hazard_runs;
+          "CA-402 config";
+          Printf.sprintf "%d hazards" (List.length hazards);
+          Printf.sprintf "%.1f us/build" (hazard_wall *. 1e6);
+        ];
+      ];
+    Printf.printf
+      "\nExpected shape: the whole static pass costs milliseconds — two orders of\n\
+       magnitude under a single simulated trial — so hazard-ranked scheduling\n\
+       (`hunt --hazard-rank`) is effectively free relative to the trials it saves.\n"
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1279,6 +1332,7 @@ let experiments =
     ("raft", raft);
     ("minimize", minimize);
     ("hunt", hunt_bench);
+    ("lint", lint_bench);
     ("micro", micro);
   ]
 

@@ -7,7 +7,9 @@
      timeline ID [--json]      per-component revision-lag timeline of one bug
      campaign ID APPROACH      tests-to-first-reproduction for one approach
      explore [--json]          run the planner end-to-end on a workload
-     hunt [ID...]              parallel, persistent, coverage-guided campaign *)
+     hunt [ID...]              parallel, persistent, coverage-guided campaign
+     lint [PATH...]            static partial-history lint over controller sources
+     hazards [--json]          static footprint/hazard graph of a configuration *)
 
 open Cmdliner
 
@@ -519,7 +521,16 @@ let hunt_cmd =
   let quiet_arg =
     Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress the live progress line.")
   in
-  let run ids jobs out resume budget seed quiet =
+  let hazard_rank_arg =
+    Arg.(
+      value & flag
+      & info [ "hazard-rank" ]
+          ~doc:
+            "Dispatch statically hazard-implicated candidates first: the layer-2 hazard graph \
+             ($(b,sieve hazards)) boosts the planner's queues and outranks coverage gain in \
+             the scheduler. Must match the original run when used with $(b,--resume).")
+  in
+  let run ids jobs out resume budget seed quiet hazard_rank =
     match resolve_cases ids with
     | Error message ->
         prerr_endline message;
@@ -534,7 +545,9 @@ let hunt_cmd =
         in
         let started = Unix.gettimeofday () in
         let summary =
-          try Hunt.Campaign.run ~jobs ~out ~resume ?budget ~seed ~on_progress ~cases ()
+          try
+            Hunt.Campaign.run ~jobs ~out ~resume ?budget ~seed ~hazard_rank ~on_progress ~cases
+              ()
           with Failure message ->
             if not quiet then prerr_newline ();
             prerr_endline message;
@@ -583,7 +596,146 @@ let hunt_cmd =
   Cmd.v (Cmd.info "hunt" ~doc)
     Term.(
       const run $ ids_arg $ jobs_arg $ out_arg $ resume_arg $ budget_arg $ seed_arg
-      $ quiet_arg)
+      $ quiet_arg $ hazard_rank_arg)
+
+(* --- lint ----------------------------------------------------------- *)
+
+let expand_ml_paths paths =
+  List.concat_map
+    (fun path ->
+      if Sys.is_directory path then
+        Sys.readdir path |> Array.to_list |> List.sort String.compare
+        |> List.filter (fun f -> Filename.check_suffix f ".ml")
+        |> List.map (Filename.concat path)
+      else [ path ])
+    paths
+
+let lint_cmd =
+  let doc =
+    "Statically lint controller sources for partial-history anti-patterns: cached reads \
+     reaching unguarded destructive writes (staleness), edge-triggered watch handlers with no \
+     periodic re-list (observability gap), and post-restart resyncs reusing pre-crash \
+     revisions (time travel). Exits 1 if any finding is not in the baseline."
+  in
+  let paths_arg =
+    Arg.(
+      value & pos_all string [ "lib/kube" ]
+      & info [] ~docv:"PATH" ~doc:"Files or directories to lint (default: lib/kube).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit one JSON object (findings, suppressed, errors) instead of text.")
+  in
+  let baseline_arg =
+    Arg.(
+      value & opt string ".sievelint"
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Baseline of suppressed finding keys (rule:file:func, one per line, # comments). A \
+             missing file is an empty baseline.")
+  in
+  let run paths json baseline =
+    let findings, errors = Analysis.Lint.files (expand_ml_paths paths) in
+    let fresh, suppressed = Analysis.Lint.suppress ~baseline:(Analysis.Lint.load_baseline baseline) findings in
+    if json then
+      Sieve.Report.json
+        (Dsim.Json.Obj
+           [
+             ("findings", Dsim.Json.List (List.map Analysis.Lint.to_json fresh));
+             ("suppressed", Dsim.Json.List (List.map Analysis.Lint.to_json suppressed));
+             ("errors", Dsim.Json.List (List.map (fun e -> Dsim.Json.String e) errors));
+           ])
+    else begin
+      List.iter
+        (fun (f : Analysis.Lint.finding) ->
+          Printf.printf "%s:%d: [%s] %s\n  %s\n" f.Analysis.Lint.file f.Analysis.Lint.line
+            f.Analysis.Lint.rule f.Analysis.Lint.func f.Analysis.Lint.message)
+        fresh;
+      List.iter (fun e -> Printf.printf "error: %s\n" e) errors;
+      Printf.printf "%d finding%s (%d suppressed by baseline), %d parse error%s\n"
+        (List.length fresh)
+        (if List.length fresh = 1 then "" else "s")
+        (List.length suppressed) (List.length errors)
+        (if List.length errors = 1 then "" else "s")
+    end;
+    if fresh <> [] || errors <> [] then exit 1
+  in
+  Cmd.v (Cmd.info "lint" ~doc) Term.(const run $ paths_arg $ json_arg $ baseline_arg)
+
+(* --- hazards -------------------------------------------------------- *)
+
+let hazards_cmd =
+  let doc =
+    "Print the layer-2 static model of the default cluster configuration: per-component \
+     read/write footprints and the hazard graph (cached-read-to-destructive-write, \
+     write/write conflict, written-but-unwatched edges) classified by partial-history \
+     pattern. $(b,hunt --hazard-rank) dispatches trials by these severities."
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit one JSON object (footprints, hazards) instead of tables.")
+  in
+  let fixed_arg =
+    Arg.(
+      value & flag
+      & info [ "fixed" ]
+          ~doc:"Analyze the all-fixes-on configuration instead of the bug-era default.")
+  in
+  let run json fixed =
+    let config =
+      if fixed then
+        {
+          Kube.Cluster.default_config with
+          Kube.Cluster.kubelet_monotonic = true;
+          scheduler_fixed = true;
+          operator_fixed = true;
+          volume_fixed = true;
+          node_controller_fixed = true;
+          deployment_fixed = true;
+        }
+      else Kube.Cluster.default_config
+    in
+    let footprints = Analysis.Footprint.of_config config in
+    let hazards = Analysis.Hazard.of_footprints footprints in
+    if json then
+      Sieve.Report.json
+        (Dsim.Json.Obj
+           [
+             ("footprints", Dsim.Json.List (List.map Analysis.Footprint.to_json footprints));
+             ("hazards", Dsim.Json.List (List.map Analysis.Hazard.to_json hazards));
+           ])
+    else begin
+      Sieve.Report.table
+        ~header:[ "component"; "cached reads"; "quorum reads"; "writes"; "destructive" ]
+        (List.map
+           (fun (fp : Analysis.Footprint.t) ->
+             let j = String.concat " " in
+             [
+               fp.Analysis.Footprint.component;
+               j fp.Analysis.Footprint.cached_reads;
+               j fp.Analysis.Footprint.quorum_reads;
+               j fp.Analysis.Footprint.writes;
+               j fp.Analysis.Footprint.destructive;
+             ])
+           footprints);
+      print_newline ();
+      Sieve.Report.table
+        ~header:[ "sev"; "pattern"; "component"; "prefix"; "reason" ]
+        (List.map
+           (fun (h : Analysis.Hazard.t) ->
+             [
+               string_of_int h.Analysis.Hazard.severity;
+               pattern_name h.Analysis.Hazard.pattern;
+               h.Analysis.Hazard.component;
+               h.Analysis.Hazard.prefix;
+               h.Analysis.Hazard.reason;
+             ])
+           hazards)
+    end
+  in
+  Cmd.v (Cmd.info "hazards" ~doc) Term.(const run $ json_arg $ fixed_arg)
 
 let main_cmd =
   let doc = "partial-history testing tool for the simulated Kubernetes-like control plane" in
@@ -591,7 +743,7 @@ let main_cmd =
   Cmd.group info
     [
       list_cmd; bugs_cmd; trace_cmd; timeline_cmd; campaign_cmd; explore_cmd; minimize_cmd;
-      coverage_cmd; seals_cmd; hunt_cmd;
+      coverage_cmd; seals_cmd; hunt_cmd; lint_cmd; hazards_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

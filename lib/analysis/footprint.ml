@@ -1,0 +1,149 @@
+type t = {
+  component : string;
+  cached_reads : string list;
+  quorum_reads : string list;
+  writes : string list;
+  destructive : string list;
+  edge_triggered : string list;
+  restartable : bool;
+}
+
+(* The footprints mirror lib/kube component by component. Keep the
+   cached_reads lists in the same order as Planner.targets_of_config's
+   watched_prefixes: the consistency test compares them as lists so the
+   static and dynamic views cannot drift even in ordering. *)
+let of_config (config : Kube.Cluster.config) =
+  let open Kube in
+  let kubelets =
+    List.init config.Cluster.nodes (fun i ->
+        {
+          component = Printf.sprintf "kubelet-%d" (i + 1);
+          cached_reads = [ Resource.pods_prefix ];
+          (* kubelet_monotonic rejects stale re-lists; it adds no quorum
+             read, so the staleness hazard stays live while the
+             time-travel one closes. *)
+          quorum_reads = [];
+          writes = [ Resource.pods_prefix ];
+          destructive = [ Resource.pods_prefix ] (* finalize: delete marked pods *);
+          (* on_event is the only driver; no periodic re-list repairs a
+             dropped event (the lint's edge-trigger:kubelet.ml finding) *)
+          edge_triggered = [ Resource.pods_prefix ];
+          restartable = true;
+        })
+  in
+  let scheduler =
+    if config.Cluster.with_scheduler then
+      [
+        {
+          component = "scheduler";
+          cached_reads = [ Resource.pods_prefix; Resource.nodes_prefix ];
+          quorum_reads =
+            (if config.Cluster.scheduler_fixed then [ Resource.nodes_prefix ] else []);
+          writes = [ Resource.pods_prefix ] (* bindings *);
+          destructive = [];
+          (* node_cache lives off on_node_event alone; scheduling_pass
+             re-lists pods/ but never nodes/ (edge-trigger:scheduler.ml) *)
+          edge_triggered = [ Resource.nodes_prefix ];
+          restartable = true;
+        };
+      ]
+    else []
+  in
+  let volume =
+    if config.Cluster.with_volume_controller then
+      [
+        {
+          component = "volumectl";
+          cached_reads = [ Resource.pods_prefix; Resource.pvcs_prefix ];
+          quorum_reads = [];
+          writes = [ Resource.pvcs_prefix ];
+          destructive = [ Resource.pvcs_prefix ] (* release: delete claims *);
+          edge_triggered = [];
+          restartable = true;
+        };
+      ]
+    else []
+  in
+  let operator =
+    if config.Cluster.with_operator then
+      [
+        {
+          component = "cassop";
+          cached_reads = [ Resource.cassdcs_prefix; Resource.pods_prefix; Resource.pvcs_prefix ];
+          quorum_reads =
+            (if config.Cluster.operator_fixed then [ Resource.pods_prefix ] else []);
+          writes = [ Resource.pods_prefix; Resource.pvcs_prefix ];
+          destructive =
+            [ Resource.pods_prefix; Resource.pvcs_prefix ]
+            (* decommission marks members; orphan GC deletes claims *);
+          edge_triggered = [];
+          restartable = true;
+        };
+      ]
+    else []
+  in
+  let replicaset =
+    if config.Cluster.with_replicaset then
+      [
+        {
+          component = "rsctl";
+          cached_reads = [ Resource.rsets_prefix; Resource.pods_prefix ];
+          quorum_reads = [];
+          writes = [ Resource.pods_prefix ];
+          destructive = [ Resource.pods_prefix ] (* scale-down deletion marks *);
+          edge_triggered = [];
+          restartable = true;
+        };
+      ]
+    else []
+  in
+  let deployment =
+    if config.Cluster.with_deployment then
+      [
+        {
+          component = "depctl";
+          cached_reads =
+            [ Resource.deployments_prefix; Resource.rsets_prefix; Resource.pods_prefix ];
+          quorum_reads =
+            (if config.Cluster.deployment_fixed then [ Resource.pods_prefix ] else []);
+          writes = [ Resource.rsets_prefix ];
+          destructive = [ Resource.rsets_prefix ] (* prunes superseded ReplicaSets *);
+          edge_triggered = [];
+          restartable = true;
+        };
+      ]
+    else []
+  in
+  let node_controller =
+    if config.Cluster.with_node_controller then
+      [
+        {
+          component = "nodectl";
+          cached_reads = [ Resource.nodes_prefix; Resource.pods_prefix ];
+          quorum_reads =
+            (if config.Cluster.node_controller_fixed then [ Resource.nodes_prefix ] else []);
+          writes = [ Resource.pods_prefix ];
+          destructive = [ Resource.pods_prefix ] (* fails pods of vanished nodes *);
+          edge_triggered = [];
+          restartable = true;
+        };
+      ]
+    else []
+  in
+  kubelets @ scheduler @ volume @ operator @ replicaset @ deployment @ node_controller
+
+let find footprints component =
+  List.find_opt (fun fp -> String.equal fp.component component) footprints
+
+let to_json fp =
+  let strings l = Dsim.Json.List (List.map (fun s -> Dsim.Json.String s) l) in
+  Dsim.Json.Obj
+    [
+      ("component", Dsim.Json.String fp.component);
+      ("cached_reads", strings fp.cached_reads);
+      ("quorum_reads", strings fp.quorum_reads);
+      ("writes", strings fp.writes);
+      ("destructive", strings fp.destructive);
+      ("edge_triggered", strings fp.edge_triggered);
+      ("restartable", Dsim.Json.Bool fp.restartable);
+    ]

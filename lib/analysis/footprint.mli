@@ -1,0 +1,47 @@
+(** Static read/write footprints: which slice of the key space each
+    component of a cluster configuration observes through caches, reads
+    linearizably, writes, and writes destructively.
+
+    This is the layer-2 static model of the partial-history picture: a
+    component's cached reads are the prefixes its [(H', S')] view is
+    built from, so they must agree with the watch sets the dynamic
+    planner uses ({!Sieve.Planner.targets_of_config}) — a consistency
+    test pins the two views of "what each component observes" together
+    so they cannot drift. The write/destructive sets have no dynamic
+    counterpart; they come from reading the component implementations
+    and are what turns footprints into hazards ({!Hazard}). *)
+
+type t = {
+  component : string;
+  cached_reads : string list;
+      (** prefixes read through informer caches — must equal the
+          component's {!Sieve.Planner.target} watch set *)
+  quorum_reads : string list;
+      (** prefixes the component re-reads linearizably before acting, in
+          this configuration (fix flags on) *)
+  writes : string list;  (** prefixes the component writes *)
+  destructive : string list;
+      (** subset of [writes]: deletes, deletion marks, terminal-phase
+          marks — the writes that destroy state or data *)
+  edge_triggered : string list;
+      (** subset of [cached_reads]: prefixes whose derived state is
+          maintained *only* by watch events, with no periodic re-list to
+          repair a dropped one — the layer-1 lint's [edge-trigger]
+          findings, mirrored into the static model (the kubelet's pod
+          handler, the scheduler's node cache) *)
+  restartable : bool;
+}
+
+val of_config : Kube.Cluster.config -> t list
+(** One footprint per component the configuration runs, mirroring the
+    implementations in [lib/kube]: kubelets finalize (delete) pods they
+    see marked; the scheduler binds pods from cached nodes; the volume
+    controller deletes released claims; the operator creates/deletes
+    member pods and their data claims; the ReplicaSet, Deployment and
+    node controllers scale down, prune ReplicaSets and fail pods. The
+    [quorum_reads] sets reflect the configuration's fix flags (e.g.
+    [operator_fixed] adds a quorum re-list before decommission/GC). *)
+
+val find : t list -> string -> t option
+
+val to_json : t -> Dsim.Json.t

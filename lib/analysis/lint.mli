@@ -1,0 +1,57 @@
+(** Layer-1 static analysis: a source lint over controller code.
+
+    The lint parses [.ml] files with the compiler's own frontend
+    (compiler-libs, no type-checking) and flags the three partial-history
+    anti-patterns the paper's case studies reduce to. The checks are
+    interprocedural within a file: per-function summaries (reads a cached
+    view / performs an unguarded destructive write / calls whom, under
+    which guard) are closed under the local call graph, and a finding is
+    reported at the function where the two halves first combine.
+
+    - {b stale-write} ([`Staleness], the cassandra-operator-400/402
+      shape): an informer/cached read — [Informer.store], [Informer.get],
+      [History.State.find/get/mem/keys_with_prefix/fold/iter] — reaches a
+      destructive write (a call whose name contains
+      delete/decommission/evict/drain/purge, or a record write of
+      [deletion_timestamp = Some _] / [phase = Failed]) with no quorum
+      re-read ([get_quorum]/[list_quorum] callback) and no transaction
+      revision precondition ([*_if_unchanged], [*_if_absent],
+      [~expected_mod_rev]) anywhere on the path.
+    - {b edge-trigger} ([`Obs_gap], the Kubernetes-56261 shape): a watch
+      handler registered via [Informer.create ~on_event] pattern-matches
+      specific event constructors (Create/Update/Delete/Put) while no
+      periodic task reachable from an [Engine.every] callback re-lists
+      the watched prefix — one dropped event desynchronizes the
+      derived state forever.
+    - {b stale-resync} ([`Time_travel], the Kubernetes-59848 shape): an
+      [~on_restart] lifecycle handler restarts a sync/list/watch with an
+      argument carrying a pre-crash revision (a label or identifier whose
+      name contains "rev" or "version") — the resync pins the view to
+      the old frontier instead of discovering the current one. *)
+
+type finding = {
+  rule : string;  (** ["stale-write"] | ["edge-trigger"] | ["stale-resync"] *)
+  pattern : Sieve.Coverage.pattern;
+  file : string;  (** basename of the offending file *)
+  func : string;  (** top-level binding (or handler) the finding is in *)
+  line : int;
+  message : string;
+}
+
+val key : finding -> string
+(** ["rule:file:func"] — the stable identity used by baselines. *)
+
+val file : string -> (finding list, string) result
+(** Lints one [.ml] file; [Error] describes a parse failure. *)
+
+val files : string list -> finding list * string list
+(** Lints many files: findings (sorted by file, line) and parse errors. *)
+
+val load_baseline : string -> string list
+(** Reads suppressed finding keys, one per line; [#] starts a comment,
+    blank lines are ignored. A missing file is an empty baseline. *)
+
+val suppress : baseline:string list -> finding list -> finding list * finding list
+(** Splits findings into (fresh, suppressed) against baseline keys. *)
+
+val to_json : finding -> Dsim.Json.t

@@ -95,6 +95,8 @@ let gain t strategy =
     (cells_of t strategy);
   Hashtbl.length fresh
 
+let cells t = t.all_cells
+
 let total t = List.length t.all_cells
 
 let covered t = Hashtbl.length t.marked

@@ -44,6 +44,11 @@ val gain : t -> Strategy.t -> int
 (** How many currently-uncovered cells the strategy would newly cover —
     the coverage-guided scheduler's ranking signal. *)
 
+val cells : t -> cell list
+(** Every cell of the space, in enumeration order — the raw material for
+    static hazard scoring ({!Sieve} layer 2), which maps each cell to the
+    severity of the hazards implicating it. *)
+
 val total : t -> int
 
 val covered : t -> int

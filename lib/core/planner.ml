@@ -91,6 +91,9 @@ let consumed_by target key = List.exists (has_prefix key) target.watched_prefixe
 
 type plan = { strategy : Strategy.t; rationale : string }
 
+type boost =
+  component:string -> key:string -> pattern:[ `Staleness | `Obs_gap | `Time_travel ] -> int
+
 let api_names (config : Kube.Cluster.config) =
   List.init config.Kube.Cluster.apiservers (fun i -> Printf.sprintf "api-%d" (i + 1))
 
@@ -108,8 +111,10 @@ let dedup_anchors events =
     events
 
 (* Shared enumeration. [score] orders candidates within each pattern
-   queue: lower scores first (stable within a score). *)
-let enumerate ~config ~anchors ~horizon ~slack ~stale_window ~downtime ~score =
+   queue: lower scores first (stable within a score). [boost] lifts
+   statically hazard-implicated (component, key, pattern) candidates to
+   the front of their queue: candidates sort by (-boost, score). *)
+let enumerate ~config ~anchors ~horizon ~slack ~stale_window ~downtime ~boost ~score =
   let targets = targets_of_config config in
   let apis = api_names config in
   let obs_gaps = ref [] and stales = ref [] and travels = ref [] in
@@ -120,8 +125,11 @@ let enumerate ~config ~anchors ~horizon ~slack ~stale_window ~downtime ~score =
       List.iter
         (fun target ->
           if consumed_by target key then begin
-            let s = score ~target ~origin in
-            emit obs_gaps s
+            let rank pattern =
+              let b = boost ~component:target.component ~key ~pattern in
+              (-b, score ~target ~origin)
+            in
+            emit obs_gaps (rank `Obs_gap)
               {
                 strategy =
                   Strategy.observability_gap ~dst:target.component ~key_prefix:key ~op ~from
@@ -130,7 +138,7 @@ let enumerate ~config ~anchors ~horizon ~slack ~stale_window ~downtime ~score =
                   Printf.sprintf "hide %s %s from %s" (History.Event.op_to_string op) key
                     target.component;
               };
-            emit stales s
+            emit stales (rank `Staleness)
               {
                 strategy =
                   Strategy.staleness ~dst:target.component ~from ~until:(time + stale_window)
@@ -142,7 +150,7 @@ let enumerate ~config ~anchors ~horizon ~slack ~stale_window ~downtime ~score =
             if target.restartable then
               List.iter
                 (fun api ->
-                  emit travels s
+                  emit travels (rank `Time_travel)
                     {
                       strategy =
                         Strategy.time_travel ~stale_api:api ~victim:target.component
@@ -177,16 +185,18 @@ let enumerate ~config ~anchors ~horizon ~slack ~stale_window ~downtime ~score =
   in
   interleave [ order obs_gaps; order stales; order travels ]
 
+let no_boost ~component:_ ~key:_ ~pattern:_ = 0
+
 let candidates ~config ~events ~horizon ?(slack = 100_000) ?(stale_window = 1_500_000)
-    ?(downtime = 150_000) () =
+    ?(downtime = 150_000) ?(boost = no_boost) () =
   let anchors =
     dedup_anchors events |> List.map (fun (time, key, op) -> (time, key, op, "unknown"))
   in
-  enumerate ~config ~anchors ~horizon ~slack ~stale_window ~downtime
+  enumerate ~config ~anchors ~horizon ~slack ~stale_window ~downtime ~boost
     ~score:(fun ~target:_ ~origin:_ -> 0)
 
 let candidates_causal ~config ~commits ~horizon ?(slack = 100_000) ?(stale_window = 1_500_000)
-    ?(downtime = 150_000) () =
+    ?(downtime = 150_000) ?(boost = no_boost) () =
   let anchors =
     dedup_anchors
       (List.map (fun c -> (c.Runner.time, c.Runner.key, c.Runner.op)) commits)
@@ -211,4 +221,4 @@ let candidates_causal ~config ~commits ~horizon ?(slack = 100_000) ?(stale_windo
     else if String.equal origin "boot" then 2
     else 1
   in
-  enumerate ~config ~anchors ~horizon ~slack ~stale_window ~downtime ~score
+  enumerate ~config ~anchors ~horizon ~slack ~stale_window ~downtime ~boost ~score

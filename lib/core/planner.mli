@@ -27,6 +27,15 @@ val consumed_by : target -> string -> bool
 
 type plan = { strategy : Strategy.t; rationale : string }
 
+type boost =
+  component:string -> key:string -> pattern:[ `Staleness | `Obs_gap | `Time_travel ] -> int
+(** A static-priority hint for a (component, key, pattern) cell: 0 means
+    not implicated, higher means schedule sooner. The hazard analysis
+    ({!Sieve} layer 2) supplies one built from its hazard graph. *)
+
+val no_boost : boost
+(** The constant-0 boost: every cell equally unremarkable. *)
+
 val candidates :
   config:Kube.Cluster.config ->
   events:(int * string * History.Event.op) list ->
@@ -34,6 +43,7 @@ val candidates :
   ?slack:int ->
   ?stale_window:int ->
   ?downtime:int ->
+  ?boost:boost ->
   unit ->
   plan list
 (** Enumerates candidates over the reference events, deduplicated per
@@ -41,7 +51,8 @@ val candidates :
     so early candidates are diverse. [slack] (default 100 ms) starts each
     perturbation slightly before its anchor event; [stale_window] bounds
     delay-based staleness; [downtime] is the restart gap for time-travel
-    candidates. *)
+    candidates. [boost] (default: constant 0) front-loads statically
+    hazard-implicated candidates within each pattern queue. *)
 
 val candidates_causal :
   config:Kube.Cluster.config ->
@@ -50,6 +61,7 @@ val candidates_causal :
   ?slack:int ->
   ?stale_window:int ->
   ?downtime:int ->
+  ?boost:boost ->
   unit ->
   plan list
 (** Like {!candidates}, but uses each commit's originating component to

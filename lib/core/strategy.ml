@@ -56,6 +56,13 @@ let rec pp ppf = function
 
 let describe t = Format.asprintf "%a" pp t
 
+let rec components = function
+  | No_perturbation -> []
+  | Delay_stream { dst; _ } | Drop_events { dst; _ } -> Option.to_list dst
+  | Crash_restart { victim; _ } -> [ victim ]
+  | Partition_window { a; b; _ } -> [ a; b ]
+  | Combo parts -> List.sort_uniq String.compare (List.concat_map components parts)
+
 let rec pattern = function
   | No_perturbation -> `None
   | Delay_stream _ | Partition_window _ -> `Staleness

@@ -48,6 +48,12 @@ val pp : Format.formatter -> t -> unit
 
 val describe : t -> string
 
+val components : t -> string list
+(** The components the strategy names directly: destinations of
+    delay/drop rules, crash victims, partition endpoints. Used by the
+    static hazard analysis to decide which hazards a candidate could
+    exercise when its key filter falls outside the reference key set. *)
+
 val pattern : t -> [ `None | `Staleness | `Obs_gap | `Time_travel | `Mixed ]
 (** Which of the paper's Section 4.2 patterns the strategy exercises.
     Crash/restart alone and partitions count as staleness/time-travel

@@ -45,18 +45,28 @@ type planned_case = {
   scheduled : (int * Sieve.Planner.plan) list;  (* dispatch order *)
 }
 
-let plan_case (case : Sieve.Bugs.case) =
+let plan_case ?(hazard_rank = false) (case : Sieve.Bugs.case) =
   let config = case.Sieve.Bugs.config in
   let horizon = case.Sieve.Bugs.horizon in
   let commits = Sieve.Runner.reference_commits (Sieve.Bugs.reference_test_of_case case) in
   let events =
     List.map (fun c -> (c.Sieve.Runner.time, c.Sieve.Runner.key, c.Sieve.Runner.op)) commits
   in
-  let plans =
-    Array.of_list (Sieve.Planner.candidates_causal ~config ~commits ~horizon ())
-  in
+  (* With hazard ranking the static hazard graph enters as a
+     lexicographic priority above coverage gain in the scheduler. It is
+     deliberately NOT also passed as a planner boost here: the boost
+     reshuffles the candidate pool, and the pool's causal order is the
+     tie-break among equal-(priority, gain) trials — reordering it
+     measurably delays some exposures (cassandra-operator-402 in the
+     regression corpus). Direct Planner users can still opt into
+     [Analysis.Hazard.boost]. *)
+  let hazards = if hazard_rank then Analysis.Hazard.of_config config else [] in
+  let plans = Array.of_list (Sieve.Planner.candidates_causal ~config ~commits ~horizon ()) in
   let coverage = Sieve.Coverage.create ~config ~events in
-  let scheduled = List.map (fun i -> (i, plans.(i))) (Schedule.order coverage plans) in
+  let priority =
+    if hazard_rank then Some (Analysis.Hazard.plan_score hazards coverage) else None
+  in
+  let scheduled = List.map (fun i -> (i, plans.(i))) (Schedule.order ?priority coverage plans) in
   let components =
     List.map (fun t -> t.Sieve.Planner.component) (Sieve.Planner.targets_of_config config)
   in
@@ -89,8 +99,8 @@ let rec take n = function
   | _ when n <= 0 -> []
   | x :: rest -> x :: take (n - 1) rest
 
-let plan ?budget ?(seed = 42L) ~cases () =
-  let planned_cases = List.map plan_case cases in
+let plan ?budget ?(seed = 42L) ?(hazard_rank = false) ~cases () =
+  let planned_cases = List.map (plan_case ~hazard_rank) cases in
   let planner_slots =
     round_robin
       (List.map
@@ -228,8 +238,8 @@ let emit_artifact ~out ~(finding : finding) ~(test : Sieve.Runner.test) =
     ^ "\n")
 
 let run ?(jobs = 1) ?(out = "_hunt") ?(resume = false) ?budget ?(seed = 42L)
-    ?(minimize_budget = 200) ?on_progress ~cases () =
-  let ({ trials; space } : planned) = plan ?budget ~seed ~cases () in
+    ?(minimize_budget = 200) ?hazard_rank ?on_progress ~cases () =
+  let ({ trials; space } : planned) = plan ?budget ~seed ?hazard_rank ~cases () in
   let n = Array.length trials in
   let case_ids = List.map (fun (c : Sieve.Bugs.case) -> c.Sieve.Bugs.id) cases in
   mkdir_p out;
@@ -253,7 +263,24 @@ let run ?(jobs = 1) ?(out = "_hunt") ?(resume = false) ?budget ?(seed = 42L)
                   use a fresh --out or matching parameters"
                  journal_path h.seed seed h.trials n)
       | Journal.Trial t ->
-          if t.trial >= 0 && t.trial < n then Hashtbl.replace done_trials t.trial entry
+          if t.trial >= 0 && t.trial < n then begin
+            (* The header cannot see ordering knobs like --hazard-rank, but
+               the journaled strategy text can: a journal whose trial N ran
+               a different strategy than this plan's trial N was produced
+               by a differently-ordered campaign, and replaying it would
+               silently misattribute results. *)
+            let planned_strategy =
+              Sieve.Strategy.describe trials.(t.trial).test.Sieve.Runner.strategy
+            in
+            if not (String.equal t.strategy planned_strategy) then
+              failwith
+                (Printf.sprintf
+                   "hunt: %s trial %d was journaled with a different strategy than this \
+                    campaign plans (ordering flags such as --hazard-rank must match the \
+                    original run); use a fresh --out"
+                   journal_path t.trial);
+            Hashtbl.replace done_trials t.trial entry
+          end
       | Journal.Finding f -> Hashtbl.replace journal_findings f.signature entry)
     replayed_entries;
   if not !header_seen then

@@ -40,11 +40,21 @@ type planned = {
 }
 
 val plan :
-  ?budget:int -> ?seed:int64 -> cases:Sieve.Bugs.case list -> unit -> planned
+  ?budget:int ->
+  ?seed:int64 ->
+  ?hazard_rank:bool ->
+  cases:Sieve.Bugs.case list ->
+  unit ->
+  planned
 (** Builds the trial list without running anything (beyond the per-case
     reference executions the planner needs). [budget] defaults to
     exactly the planner's candidates; smaller truncates the
-    coverage-ordered list, larger appends exploration trials. Pure in
+    coverage-ordered list, larger appends exploration trials. With
+    [hazard_rank] (default false) the static hazard graph
+    ({!Analysis.Hazard.of_config}) is ranked lexicographically above
+    coverage gain when ordering dispatch, so candidates implicating
+    statically hazardous (component, key, pattern) cells run first while
+    the candidate pool keeps its causal order as the tie-break. Pure in
     its arguments: equal inputs yield equal plans. *)
 
 type finding = {
@@ -78,6 +88,7 @@ val run :
   ?budget:int ->
   ?seed:int64 ->
   ?minimize_budget:int ->
+  ?hazard_rank:bool ->
   ?on_progress:(progress -> unit) ->
   cases:Sieve.Bugs.case list ->
   unit ->
@@ -85,8 +96,11 @@ val run :
 (** Runs the campaign. [jobs] worker domains (default 1); [out] is the
     artifact directory (default ["_hunt"]), holding [journal.jsonl] and
     [findings/]. With [resume] the existing journal's completed trials
-    are skipped (the header must match the campaign, else the run fails
-    with a clear error); without it any existing journal is overwritten.
-    [minimize_budget] caps shrink executions per finding (default 200;
-    [0] skips minimization). [on_progress] fires after every settled
-    trial, on the driver domain. *)
+    are skipped (the header must match the campaign and every journaled
+    trial's strategy must match the plan's — ordering flags like
+    [hazard_rank] included — else the run fails with a clear error);
+    without it any existing journal is overwritten. [minimize_budget]
+    caps shrink executions per finding (default 200; [0] skips
+    minimization). [hazard_rank] orders dispatch by the static hazard
+    graph (see {!plan}). [on_progress] fires after every settled trial,
+    on the driver domain. *)

@@ -1,18 +1,24 @@
-let order coverage (plans : Sieve.Planner.plan array) =
+let order ?priority coverage (plans : Sieve.Planner.plan array) =
   let n = Array.length plans in
+  let prio =
+    match priority with
+    | None -> Array.make n 0
+    | Some f -> Array.init n (fun i -> f plans.(i))
+  in
   let pending = Array.make n true in
   let out = ref [] in
   for _ = 1 to n do
-    (* Greedy max-gain; gain starts at -1 so the first pending candidate
-       wins ties and zero-gain rounds, preserving the planner's own
-       (causal) ranking within equivalence classes. *)
-    let best = ref (-1) and best_gain = ref (-1) in
+    (* Greedy max over (priority, gain), lexicographically; both start
+       below any real value so the first pending candidate wins ties and
+       zero rounds, preserving the planner's own (causal) ranking within
+       equivalence classes. *)
+    let best = ref (-1) and best_key = ref (min_int, -1) in
     for i = 0 to n - 1 do
       if pending.(i) then begin
-        let g = Sieve.Coverage.gain coverage plans.(i).Sieve.Planner.strategy in
-        if g > !best_gain then begin
+        let key = (prio.(i), Sieve.Coverage.gain coverage plans.(i).Sieve.Planner.strategy) in
+        if key > !best_key then begin
           best := i;
-          best_gain := g
+          best_key := key
         end
       end
     done;

@@ -7,9 +7,19 @@
     each dispatch feeding {!Sieve.Coverage.note} so later picks see the
     shrunken frontier; ties — and the zero-gain tail — fall back to the
     planner's own causal ranking. The order is a pure function of the
-    candidate list, so it is identical across job counts and resumes. *)
+    candidate list, so it is identical across job counts and resumes.
 
-val order : Sieve.Coverage.t -> Sieve.Planner.plan array -> int list
+    An optional [priority] (in practice {!Analysis.Hazard.plan_score}:
+    the static hazard severity of the cells a candidate exercises) is
+    ranked lexicographically above coverage gain, so hazard-implicated
+    candidates dispatch first and coverage greed breaks ties among
+    equals. [priority] is evaluated once per candidate, up front. *)
+
+val order :
+  ?priority:(Sieve.Planner.plan -> int) ->
+  Sieve.Coverage.t ->
+  Sieve.Planner.plan array ->
+  int list
 (** Dispatch order as indices into the array (a permutation of
     [0 .. n-1]). Marks every candidate into the given coverage as a side
     effect. *)

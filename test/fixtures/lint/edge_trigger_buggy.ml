@@ -1,0 +1,22 @@
+(* Lint fixture: the Kubernetes-56261 shape, distilled. A node-cache
+   controller maintains derived state purely from watch events — the
+   handler matches Create/Update/Delete and nothing ever re-lists
+   nodes/. One dropped event leaves a phantom entry forever; the lint
+   must flag [on_node_event]. Parse-only: this file is never compiled. *)
+
+type t = { name : string; net : Dsim.Network.t; cache : (string, unit) Hashtbl.t }
+
+let on_node_event t (e : Resource.value History.Event.t) =
+  match e.History.Event.op, e.History.Event.value with
+  | History.Event.Delete, _ -> Hashtbl.remove t.cache (Resource.name_of_key e.History.Event.key)
+  | (History.Event.Create | History.Event.Update), Some (Resource.Node n) ->
+      if n.Resource.ready then Hashtbl.replace t.cache n.Resource.node_name ()
+      else Hashtbl.remove t.cache n.Resource.node_name
+  | (History.Event.Create | History.Event.Update), _ -> ()
+
+let start t ~endpoints =
+  let informer =
+    Informer.create ~net:t.net ~owner:t.name ~endpoints ~prefix:Resource.nodes_prefix
+      ~on_event:(on_node_event t) ()
+  in
+  Informer.start informer ~endpoint:0 ()

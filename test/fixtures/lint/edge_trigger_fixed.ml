@@ -1,0 +1,46 @@
+(* Fixed twin of edge_trigger_buggy: the handler still reacts to events
+   for latency, but a periodic task re-lists nodes/ from the informer
+   store and rebuilds the cache, so any dropped event heals within one
+   period (level-triggered reconciliation). The lint must stay silent.
+   Parse-only: this file is never compiled. *)
+
+type t = {
+  name : string;
+  net : Dsim.Network.t;
+  cache : (string, unit) Hashtbl.t;
+  mutable informer : Informer.t option;
+  period : int;
+}
+
+let on_node_event t (e : Resource.value History.Event.t) =
+  match e.History.Event.op, e.History.Event.value with
+  | History.Event.Delete, _ -> Hashtbl.remove t.cache (Resource.name_of_key e.History.Event.key)
+  | (History.Event.Create | History.Event.Update), Some (Resource.Node n) ->
+      if n.Resource.ready then Hashtbl.replace t.cache n.Resource.node_name ()
+      else Hashtbl.remove t.cache n.Resource.node_name
+  | (History.Event.Create | History.Event.Update), _ -> ()
+
+let resync t =
+  match t.informer with
+  | None -> ()
+  | Some informer ->
+      let store = Informer.store informer in
+      Hashtbl.reset t.cache;
+      List.iter
+        (fun key ->
+          match History.State.get store key with
+          | Some (Resource.Node n) when n.Resource.ready ->
+              Hashtbl.replace t.cache n.Resource.node_name ()
+          | Some _ | None -> ())
+        (History.State.keys_with_prefix store ~prefix:Resource.nodes_prefix)
+
+let start t ~endpoints =
+  let informer =
+    Informer.create ~net:t.net ~owner:t.name ~endpoints ~prefix:Resource.nodes_prefix
+      ~on_event:(on_node_event t) ()
+  in
+  t.informer <- Some informer;
+  Informer.start informer ~endpoint:0 ();
+  Dsim.Engine.every (Dsim.Network.engine t.net) ~period:t.period (fun () ->
+      resync t;
+      true)

@@ -1,0 +1,28 @@
+(* Lint fixture: the cassandra-operator-400/402 shape, distilled.
+   A garbage collector counts members from its informer cache and
+   deletes the "surplus" with a plain, unconditioned delete — the lint
+   must flag [gc_surplus] (and only it: [delete_member] alone never
+   reads the cache, [reconcile] only forwards to the combining
+   function). Parse-only: this file is never compiled. *)
+
+type t = { name : string; informer : Informer.t; client : Client.t; desired : int }
+
+let record t detail = Engine.record ~actor:t.name ~kind:"toy.gc" detail
+
+let cached_members t =
+  let store = Informer.store t.informer in
+  History.State.fold
+    (fun key (v, mod_rev) acc ->
+      match v with Resource.Pod p -> (key, p, mod_rev) :: acc | _ -> acc)
+    store []
+
+let delete_member t key =
+  record t key;
+  Client.txn_ t.client (Messages.delete key)
+
+let gc_surplus t =
+  let members = cached_members t in
+  let surplus = List.length members - t.desired in
+  List.iteri (fun i (key, _, _) -> if i < surplus then delete_member t key) members
+
+let reconcile t = gc_surplus t

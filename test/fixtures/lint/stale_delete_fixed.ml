@@ -1,0 +1,30 @@
+(* Fixed twin of stale_delete_buggy: same cached census, but every
+   delete re-reads the member linearizably ([get_quorum]) and carries a
+   revision precondition ([delete_if_unchanged ~expected_mod_rev]) — the
+   cached view only nominates, quorum state decides. The lint must stay
+   silent. Parse-only: this file is never compiled. *)
+
+type t = { name : string; informer : Informer.t; client : Client.t; desired : int }
+
+let record t detail = Engine.record ~actor:t.name ~kind:"toy.gc" detail
+
+let cached_members t =
+  let store = Informer.store t.informer in
+  History.State.fold
+    (fun key (v, mod_rev) acc ->
+      match v with Resource.Pod p -> (key, p, mod_rev) :: acc | _ -> acc)
+    store []
+
+let delete_member t key =
+  Client.get_quorum t.client key (function
+    | Ok (Some (_, mod_rev)) ->
+        record t key;
+        Client.txn_ t.client (Etcdlike.Txn.delete_if_unchanged ~key ~expected_mod_rev:mod_rev)
+    | Ok None | Error `Unavailable -> ())
+
+let gc_surplus t =
+  let members = cached_members t in
+  let surplus = List.length members - t.desired in
+  List.iteri (fun i (key, _, _) -> if i < surplus then delete_member t key) members
+
+let reconcile t = gc_surplus t

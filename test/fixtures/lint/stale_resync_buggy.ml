@@ -1,0 +1,26 @@
+(* Lint fixture: the Kubernetes-59848 shape, distilled. The controller
+   remembers the last revision its view reached and, after a restart,
+   resumes watching *from that pre-crash revision* — pinning the view to
+   the old frontier instead of discovering the current one (and silently
+   accepting a server that has since rolled back). The lint must flag
+   the [on_restart] handler. Parse-only: this file is never compiled. *)
+
+type t = {
+  name : string;
+  net : Dsim.Network.t;
+  informer : Informer.t;
+  mutable last_rev : int;
+}
+
+let remember t = t.last_rev <- Informer.rev t.informer
+
+let start t =
+  Dsim.Network.register t.net t.name ~serve:(fun ~src:_ _ _ -> ()) ();
+  Dsim.Network.set_lifecycle t.net t.name
+    ~on_crash:(fun () ->
+      remember t;
+      Informer.stop t.informer)
+    ~on_restart:(fun () ->
+      Dsim.Network.register t.net t.name ~serve:(fun ~src:_ _ _ -> ()) ();
+      Informer.watch_from t.informer ~rev:t.last_rev ());
+  Informer.start t.informer ~endpoint:0 ()

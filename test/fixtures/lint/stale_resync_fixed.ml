@@ -1,0 +1,17 @@
+(* Fixed twin of stale_resync_buggy: after a restart the controller
+   re-lists from scratch — the new incarnation discovers the current
+   frontier instead of trusting anything remembered from before the
+   crash. The lint must stay silent. Parse-only: this file is never
+   compiled. *)
+
+type t = { name : string; net : Dsim.Network.t; informer : Informer.t }
+
+let start t =
+  Dsim.Network.register t.net t.name ~serve:(fun ~src:_ _ _ -> ()) ();
+  Dsim.Network.set_lifecycle t.net t.name
+    ~on_crash:(fun () -> Informer.stop t.informer)
+    ~on_restart:(fun () ->
+      Dsim.Network.register t.net t.name ~serve:(fun ~src:_ _ _ -> ()) ();
+      let endpoint = Dsim.Network.incarnation t.net t.name in
+      Informer.start t.informer ~endpoint ());
+  Informer.start t.informer ~endpoint:0 ()

@@ -1,0 +1,259 @@
+(* Test the static analyzer: the layer-1 lint against its fixture
+   corpus and against lib/kube itself, the layer-2 footprints against
+   the planner's watch sets (so the static and dynamic views of "what
+   each component observes" cannot drift), the hazard graph's content,
+   and the hazard-ranked scheduler against greedy coverage ordering. *)
+
+let fixture name = Filename.concat (Filename.concat "fixtures" "lint") name
+
+(* --- layer 1: lint ------------------------------------------------- *)
+
+let check_findings name path expected =
+  match Analysis.Lint.file path with
+  | Error e -> Alcotest.failf "%s: parse error: %s" name e
+  | Ok findings ->
+      Alcotest.(check (list (pair string string)))
+        (name ^ " findings")
+        expected
+        (List.map (fun (f : Analysis.Lint.finding) -> (f.rule, f.func)) findings)
+
+let test_fixture_stale_write () =
+  check_findings "stale_delete_buggy"
+    (fixture "stale_delete_buggy.ml")
+    [ ("stale-write", "gc_surplus") ];
+  (match Analysis.Lint.file (fixture "stale_delete_buggy.ml") with
+  | Ok [ f ] ->
+      Alcotest.(check string) "pattern" "staleness"
+        (Sieve.Coverage.pattern_to_string f.pattern)
+  | _ -> Alcotest.fail "expected exactly one finding");
+  check_findings "stale_delete_fixed" (fixture "stale_delete_fixed.ml") []
+
+let test_fixture_edge_trigger () =
+  check_findings "edge_trigger_buggy"
+    (fixture "edge_trigger_buggy.ml")
+    [ ("edge-trigger", "on_node_event") ];
+  (match Analysis.Lint.file (fixture "edge_trigger_buggy.ml") with
+  | Ok [ f ] ->
+      Alcotest.(check string) "pattern" "observability-gap"
+        (Sieve.Coverage.pattern_to_string f.pattern)
+  | _ -> Alcotest.fail "expected exactly one finding");
+  check_findings "edge_trigger_fixed" (fixture "edge_trigger_fixed.ml") []
+
+let test_fixture_stale_resync () =
+  check_findings "stale_resync_buggy"
+    (fixture "stale_resync_buggy.ml")
+    [ ("stale-resync", "start") ];
+  (match Analysis.Lint.file (fixture "stale_resync_buggy.ml") with
+  | Ok [ f ] ->
+      Alcotest.(check string) "pattern" "time-travel"
+        (Sieve.Coverage.pattern_to_string f.pattern)
+  | _ -> Alcotest.fail "expected exactly one finding");
+  check_findings "stale_resync_fixed" (fixture "stale_resync_fixed.ml") []
+
+(* lib/kube must produce no findings beyond the committed baseline: the
+   three deliberate bug-era shapes, suppressed in .sievelint with
+   rationale. Anything fresh is a lint regression (or a new bug). *)
+let test_kube_baselined () =
+  let dir = Filename.concat ".." (Filename.concat "lib" "kube") in
+  let paths =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".ml")
+    |> List.sort String.compare
+    |> List.map (Filename.concat dir)
+  in
+  let findings, errors = Analysis.Lint.files paths in
+  Alcotest.(check (list string)) "parse errors" [] errors;
+  let baseline = Analysis.Lint.load_baseline (Filename.concat ".." ".sievelint") in
+  let fresh, suppressed = Analysis.Lint.suppress ~baseline findings in
+  Alcotest.(check (list string))
+    "fresh findings" []
+    (List.map Analysis.Lint.key fresh);
+  Alcotest.(check (list string))
+    "suppressed findings"
+    [
+      "stale-write:deployment.ml:reconcile_deployment";
+      "edge-trigger:kubelet.ml:on_event";
+      "edge-trigger:scheduler.ml:on_node_event";
+    ]
+    (List.map Analysis.Lint.key suppressed)
+
+(* --- layer 2: footprints ------------------------------------------- *)
+
+(* The footprints' cached_reads are the static statement of each
+   component's (H', S') slice; the planner's watched_prefixes are the
+   dynamic one. They must agree component by component, in order. *)
+let test_footprint_consistency () =
+  List.iter
+    (fun (case : Sieve.Bugs.case) ->
+      let targets = Sieve.Planner.targets_of_config case.Sieve.Bugs.config in
+      let footprints = Analysis.Footprint.of_config case.Sieve.Bugs.config in
+      Alcotest.(check (list string))
+        (case.Sieve.Bugs.id ^ " components")
+        (List.map (fun (t : Sieve.Planner.target) -> t.Sieve.Planner.component) targets)
+        (List.map (fun (fp : Analysis.Footprint.t) -> fp.Analysis.Footprint.component) footprints);
+      List.iter2
+        (fun (t : Sieve.Planner.target) (fp : Analysis.Footprint.t) ->
+          Alcotest.(check (list string))
+            (Printf.sprintf "%s %s cached reads = watched prefixes" case.Sieve.Bugs.id
+               fp.Analysis.Footprint.component)
+            t.Sieve.Planner.watched_prefixes fp.Analysis.Footprint.cached_reads;
+          Alcotest.(check bool)
+            (fp.Analysis.Footprint.component ^ " restartable")
+            t.Sieve.Planner.restartable fp.Analysis.Footprint.restartable;
+          List.iter
+            (fun p ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s edge-triggered %s is a cached read"
+                   fp.Analysis.Footprint.component p)
+                true
+                (List.mem p fp.Analysis.Footprint.cached_reads))
+            fp.Analysis.Footprint.edge_triggered)
+        targets footprints)
+    (Sieve.Bugs.all_with_extras ())
+
+(* The edge_triggered sets mirror the lint's edge-trigger findings: the
+   kubelet's pod handler and the scheduler's node cache, nothing else. *)
+let test_footprint_edge_triggered_mirrors_lint () =
+  let case = Sieve.Bugs.k8s_56261 () in
+  let footprints = Analysis.Footprint.of_config case.Sieve.Bugs.config in
+  List.iter
+    (fun (fp : Analysis.Footprint.t) ->
+      let expected =
+        if String.length fp.Analysis.Footprint.component >= 7
+           && String.sub fp.Analysis.Footprint.component 0 7 = "kubelet"
+        then [ Kube.Resource.pods_prefix ]
+        else if fp.Analysis.Footprint.component = "scheduler" then
+          [ Kube.Resource.nodes_prefix ]
+        else []
+      in
+      Alcotest.(check (list string))
+        (fp.Analysis.Footprint.component ^ " edge_triggered")
+        expected fp.Analysis.Footprint.edge_triggered)
+    footprints
+
+(* --- hazard graph -------------------------------------------------- *)
+
+let find_hazard hazards ~pattern ~component ~prefix =
+  List.find_opt
+    (fun (h : Analysis.Hazard.t) ->
+      h.Analysis.Hazard.pattern = pattern
+      && String.equal h.Analysis.Hazard.component component
+      && String.equal h.Analysis.Hazard.prefix prefix)
+    hazards
+
+let severity_of hazards ~pattern ~component ~prefix =
+  match find_hazard hazards ~pattern ~component ~prefix with
+  | Some h -> h.Analysis.Hazard.severity
+  | None -> 0
+
+let test_hazard_graph_content () =
+  (* Bug-era operator config: the 400/402 shape is a sev-3 staleness
+     hazard; the fixed config's quorum re-list closes it for pods. *)
+  let ca = Sieve.Bugs.ca_402 () in
+  let hazards = Analysis.Hazard.of_config ca.Sieve.Bugs.config in
+  Alcotest.(check int) "cassop stale destructive pods" 3
+    (severity_of hazards ~pattern:`Staleness ~component:"cassop"
+       ~prefix:Kube.Resource.pods_prefix);
+  Alcotest.(check int) "kubelet stale destructive pods" 3
+    (severity_of hazards ~pattern:`Staleness ~component:"kubelet-1"
+       ~prefix:Kube.Resource.pods_prefix);
+  (* The fix's quorum re-list closes the unguarded-destructive hazard;
+     the sev-2 write/write conflict on pods remains (it is structural,
+     not a guard question). *)
+  let fixed = Analysis.Hazard.of_config ca.Sieve.Bugs.fixed_config in
+  Alcotest.(check bool) "fixed operator: unguarded destructive staleness closed" true
+    (severity_of fixed ~pattern:`Staleness ~component:"cassop"
+       ~prefix:Kube.Resource.pods_prefix
+    < 3);
+  (* The scheduler's node cache is edge-triggered: maximal obs-gap. *)
+  let k8s = Sieve.Bugs.k8s_56261 () in
+  let hazards = Analysis.Hazard.of_config k8s.Sieve.Bugs.config in
+  Alcotest.(check int) "scheduler edge-triggered nodes" 3
+    (severity_of hazards ~pattern:`Obs_gap ~component:"scheduler"
+       ~prefix:Kube.Resource.nodes_prefix);
+  (* Restartable kubelet with destructive writes: time-travel hazard. *)
+  let tt = Sieve.Bugs.k8s_59848 () in
+  let hazards = Analysis.Hazard.of_config tt.Sieve.Bugs.config in
+  Alcotest.(check int) "kubelet restart time travel" 2
+    (severity_of hazards ~pattern:`Time_travel ~component:"kubelet-1"
+       ~prefix:Kube.Resource.pods_prefix);
+  (* Scoring matches by key prefix, not exact key. *)
+  let ca_hazards = Analysis.Hazard.of_config ca.Sieve.Bugs.config in
+  Alcotest.(check int) "score matches by prefix" 3
+    (Analysis.Hazard.score ca_hazards ~component:"cassop" ~key:"pods/cass-1"
+       ~pattern:`Staleness);
+  Alcotest.(check int) "score 0 off-graph" 0
+    (Analysis.Hazard.score ca_hazards ~component:"cassop" ~key:"locks/leader"
+       ~pattern:`Staleness)
+
+(* --- hazard-ranked scheduling -------------------------------------- *)
+
+(* First trial index (in dispatch order) whose execution exposes the
+   case's bug, under one Campaign.plan ordering. *)
+let first_exposure ~hazard_rank (case : Sieve.Bugs.case) =
+  let planned = Hunt.Campaign.plan ~hazard_rank ~cases:[ case ] () in
+  let n = Array.length planned.Hunt.Campaign.trials in
+  let rec go i =
+    if i >= n then None
+    else
+      let t = planned.Hunt.Campaign.trials.(i) in
+      let o = Sieve.Runner.run_test t.Hunt.Campaign.test in
+      if
+        List.exists
+          (fun (_, v) -> case.Sieve.Bugs.matches v)
+          o.Sieve.Runner.violations
+      then Some i
+      else go (i + 1)
+  in
+  go 0
+
+(* The ISSUE's acceptance bar: with --hazard-rank every corpus bug is
+   still found within the planner's trial budget, and the first
+   exposure is no later than greedy coverage ordering for the three
+   operator bugs. (Empirically hazard ranking is currently no later on
+   the whole corpus; the test pins only the guaranteed subset so planner
+   evolution doesn't spuriously fail it.) *)
+let test_hazard_rank_regression () =
+  let operator_ids = [ "CA-398"; "CA-400"; "CA-402" ] in
+  List.iter
+    (fun (case : Sieve.Bugs.case) ->
+      match first_exposure ~hazard_rank:true case with
+      | None ->
+          Alcotest.failf "%s: not exposed within the hazard-ranked budget"
+            case.Sieve.Bugs.id
+      | Some hazard ->
+          if List.mem case.Sieve.Bugs.id operator_ids then begin
+            match first_exposure ~hazard_rank:false case with
+            | None ->
+                Alcotest.failf "%s: not exposed within the greedy budget"
+                  case.Sieve.Bugs.id
+            | Some greedy ->
+                if hazard > greedy then
+                  Alcotest.failf "%s: hazard-ranked exposure at trial %d, greedy at %d"
+                    case.Sieve.Bugs.id hazard greedy
+          end)
+    (Sieve.Bugs.all_with_extras ())
+
+let suites =
+  [
+    ( "analysis.lint",
+      [
+        Alcotest.test_case "fixture: stale-write" `Quick test_fixture_stale_write;
+        Alcotest.test_case "fixture: edge-trigger" `Quick test_fixture_edge_trigger;
+        Alcotest.test_case "fixture: stale-resync" `Quick test_fixture_stale_resync;
+        Alcotest.test_case "lib/kube clean modulo baseline" `Quick test_kube_baselined;
+      ] );
+    ( "analysis.footprint",
+      [
+        Alcotest.test_case "cached reads = planner watch sets" `Quick
+          test_footprint_consistency;
+        Alcotest.test_case "edge_triggered mirrors lint" `Quick
+          test_footprint_edge_triggered_mirrors_lint;
+      ] );
+    ( "analysis.hazard",
+      [
+        Alcotest.test_case "graph content" `Quick test_hazard_graph_content;
+        Alcotest.test_case "hazard rank no later than greedy" `Slow
+          test_hazard_rank_regression;
+      ] );
+  ]
