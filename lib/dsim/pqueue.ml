@@ -1,9 +1,12 @@
 (* Array-based binary min-heap. The invariant is the usual heap property on
-   the lexicographic (time, seq) key; [data.(0)] is the minimum. *)
+   the lexicographic (time, seq) key; [data.(0)] is the minimum. Slots are
+   options so vacated positions can be reset to [None]: a popped entry (and
+   the closure it carries) must become collectable immediately, not stay
+   pinned in the backing array until overwritten by a later push. *)
 
 type 'a entry = { time : int; seq : int; value : 'a }
 
-type 'a t = { mutable data : 'a entry array; mutable size : int }
+type 'a t = { mutable data : 'a entry option array; mutable size : int }
 
 let create () = { data = [||]; size = 0 }
 
@@ -15,13 +18,15 @@ let clear t =
   t.data <- [||];
   t.size <- 0
 
+let get t i = match t.data.(i) with Some e -> e | None -> assert false
+
 let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
-let grow t entry =
+let grow t =
   let capacity = Array.length t.data in
   if t.size = capacity then begin
     let next = max 16 (2 * capacity) in
-    let data = Array.make next entry in
+    let data = Array.make next None in
     Array.blit t.data 0 data 0 t.size;
     t.data <- data
   end
@@ -29,7 +34,7 @@ let grow t entry =
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if less t.data.(i) t.data.(parent) then begin
+    if less (get t i) (get t parent) then begin
       let tmp = t.data.(i) in
       t.data.(i) <- t.data.(parent);
       t.data.(parent) <- tmp;
@@ -40,8 +45,8 @@ let rec sift_up t i =
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < t.size && less t.data.(l) t.data.(!smallest) then smallest := l;
-  if r < t.size && less t.data.(r) t.data.(!smallest) then smallest := r;
+  if l < t.size && less (get t l) (get t !smallest) then smallest := l;
+  if r < t.size && less (get t r) (get t !smallest) then smallest := r;
   if !smallest <> i then begin
     let tmp = t.data.(i) in
     t.data.(i) <- t.data.(!smallest);
@@ -50,26 +55,29 @@ let rec sift_down t i =
   end
 
 let push t ~time ~seq value =
-  let entry = { time; seq; value } in
-  grow t entry;
-  t.data.(t.size) <- entry;
+  grow t;
+  t.data.(t.size) <- Some { time; seq; value };
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
 
 let pop t =
   if t.size = 0 then None
   else begin
-    let top = t.data.(0) in
+    let top = get t 0 in
     t.size <- t.size - 1;
     if t.size > 0 then begin
+      (* Move the tail entry to the root and clear its old slot, so the
+         duplicate reference doesn't outlive the pop. *)
       t.data.(0) <- t.data.(t.size);
+      t.data.(t.size) <- None;
       sift_down t 0
-    end;
+    end
+    else t.data.(0) <- None;
     Some (top.time, top.seq, top.value)
   end
 
 let peek t =
   if t.size = 0 then None
   else
-    let top = t.data.(0) in
+    let top = get t 0 in
     Some (top.time, top.seq, top.value)

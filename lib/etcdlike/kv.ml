@@ -1,9 +1,13 @@
 type 'v t = {
   history : 'v History.Log.t;
-  mutable listeners : ('v History.Event.t -> unit) list;  (* registration order *)
+  (* Listeners in registration order; a growable array so cluster boot —
+     which registers one listener per watch hub — stays O(1) per
+     registration instead of re-walking the list with [@]. *)
+  mutable listeners : ('v History.Event.t -> unit) array;
+  mutable n_listeners : int;
 }
 
-let create () = { history = History.Log.create (); listeners = [] }
+let create () = { history = History.Log.create (); listeners = [||]; n_listeners = 0 }
 
 let rev t = History.Log.rev t.history
 
@@ -16,15 +20,16 @@ let history t = t.history
 let get t key = History.State.find (state t) key
 
 let range t ~prefix =
-  History.State.keys_with_prefix (state t) ~prefix
-  |> List.filter_map (fun key ->
-         match History.State.find (state t) key with
-         | Some (v, mod_rev) -> Some (key, v, mod_rev)
-         | None -> None)
+  (* One ordered-map range scan yields key, value and mod-revision
+     together — no per-key re-lookup after the prefix walk. *)
+  History.State.bindings_with_prefix (state t) ~prefix
+  |> List.map (fun (key, (v, mod_rev)) -> (key, v, mod_rev))
 
 let commit t ~key ~op value =
   let event = History.Log.append t.history ~key ~op value in
-  List.iter (fun listener -> listener event) t.listeners;
+  for i = 0 to t.n_listeners - 1 do
+    t.listeners.(i) event
+  done;
   event
 
 let put t key value =
@@ -40,4 +45,12 @@ let compact t ~before = History.Log.compact t.history ~before
 
 let compact_keep_last t n = History.Log.compact_keep_last t.history n
 
-let on_commit t listener = t.listeners <- t.listeners @ [ listener ]
+let on_commit t listener =
+  let capacity = Array.length t.listeners in
+  if t.n_listeners = capacity then begin
+    let next = Array.make (max 4 (2 * capacity)) listener in
+    Array.blit t.listeners 0 next 0 t.n_listeners;
+    t.listeners <- next
+  end;
+  t.listeners.(t.n_listeners) <- listener;
+  t.n_listeners <- t.n_listeners + 1

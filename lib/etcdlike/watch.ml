@@ -9,15 +9,9 @@ type handle = int
 
 type 'v t = { kv : 'v Kv.t; mutable watchers : 'v watcher list; mutable next_id : int }
 
-let matches prefix (e : 'v History.Event.t) =
-  match prefix with
-  | None -> true
-  | Some p ->
-      String.length e.History.Event.key >= String.length p
-      && String.equal (String.sub e.History.Event.key 0 (String.length p)) p
-
 let push watcher (e : 'v History.Event.t) =
-  if e.History.Event.rev > watcher.last_sent && matches watcher.prefix e then begin
+  if e.History.Event.rev > watcher.last_sent && History.Event.matches_prefix watcher.prefix e
+  then begin
     watcher.last_sent <- e.History.Event.rev;
     watcher.deliver e
   end

@@ -14,3 +14,6 @@ let pp pp_value ppf e =
   | None -> Format.fprintf ppf "@[@%d %a %s@]" e.rev pp_op e.op e.key
 
 let describe e = Printf.sprintf "@%d %s %s" e.rev (op_to_string e.op) e.key
+
+let matches_prefix prefix e =
+  match prefix with None -> true | Some p -> String.starts_with ~prefix:p e.key

@@ -6,6 +6,7 @@
 
 module Event = Event
 module State = State
+module Window = Window
 module Log = Log
 module Partial = Partial
 module View = View

@@ -1,28 +1,46 @@
+(* Revisions are assigned densely (1, 2, 3, ...), so the retained events
+   are exactly the revisions in (compacted_rev, rev] and the event with
+   revision r lives at window offset r - compacted_rev - 1. Locating a
+   revision is therefore index arithmetic — the degenerate case of a
+   binary search over a sorted revision column — and [since] is a
+   sub-window slice, O(k) in the answer size instead of a full filter.
+
+   [state_at] keeps a persistent-map snapshot every [snapshot_every]
+   appends; reconstructing S at an old revision replays at most
+   [snapshot_every] events over the nearest snapshot at or below it,
+   instead of replaying the whole retained window. Snapshots share
+   structure with the live state, so each one pins only the map paths
+   that later writes have since replaced. *)
+
 type 'v t = {
-  mutable events : 'v Event.t list;  (* newest first *)
-  mutable retained : int;
+  window : 'v Window.t;
+  snapshot_every : int;
   mutable rev : int;
   mutable compacted_rev : int;
   mutable base_state : 'v State.t;  (* S as of compacted_rev *)
   mutable state : 'v State.t;
+  mutable snapshots : (int * 'v State.t) list;  (* newest first, revs in (compacted_rev, rev] *)
 }
 
-let create () =
+let default_snapshot_every = 256
+
+let create ?(snapshot_every = default_snapshot_every) () =
   {
-    events = [];
-    retained = 0;
+    window = Window.create ();
+    snapshot_every = max 1 snapshot_every;
     rev = 0;
     compacted_rev = 0;
     base_state = State.empty;
     state = State.empty;
+    snapshots = [];
   }
 
 let append t ~key ~op value =
   t.rev <- t.rev + 1;
   let event = Event.make ~rev:t.rev ~key ~op value in
-  t.events <- event :: t.events;
-  t.retained <- t.retained + 1;
+  Window.push t.window event;
   t.state <- State.apply t.state event;
+  if t.rev mod t.snapshot_every = 0 then t.snapshots <- (t.rev, t.state) :: t.snapshots;
   event
 
 let rev t = t.rev
@@ -31,36 +49,58 @@ let compacted_rev t = t.compacted_rev
 
 let state t = t.state
 
-let events t = List.rev t.events
+let events t = Window.to_list t.window
 
-let length t = t.retained
+let length t = Window.length t.window
 
 let since t ~rev =
   if rev < t.compacted_rev then Error (`Compacted t.compacted_rev)
-  else
-    let newer = List.filter (fun (e : 'v Event.t) -> e.Event.rev > rev) t.events in
-    Ok (List.rev newer)
+  else begin
+    (* First retained event with revision > rev sits at this offset. *)
+    let start = max 0 (rev - t.compacted_rev) in
+    let out = ref [] in
+    for i = Window.length t.window - 1 downto start do
+      out := Window.get t.window i :: !out
+    done;
+    Ok !out
+  end
+
+(* Nearest snapshot at or below [rev]; the compaction base is the
+   snapshot of last resort. *)
+let snapshot_at_or_below t ~rev =
+  let rec find = function
+    | (r, s) :: _ when r <= rev -> (r, s)
+    | _ :: rest -> find rest
+    | [] -> (t.compacted_rev, t.base_state)
+  in
+  find t.snapshots
+
+(* Replays retained events with revisions in (from_rev, upto_rev] over
+   [state]. Both bounds must be within the retained window. *)
+let replay t state ~from_rev ~upto_rev =
+  let state = ref state in
+  for i = from_rev - t.compacted_rev to upto_rev - t.compacted_rev - 1 do
+    state := State.apply !state (Window.get t.window i)
+  done;
+  !state
 
 let state_at t ~rev =
   if rev < t.compacted_rev then None
+  else if rev >= t.rev then Some t.state
   else begin
-    let prefix = List.filter (fun (e : 'v Event.t) -> e.Event.rev <= rev) (events t) in
-    (* Every event in (compacted_rev, rev] is retained, so replaying them
-       over the snapshot taken at compaction reconstructs S exactly. *)
-    Some (List.fold_left State.apply t.base_state prefix)
+    let snap_rev, snap = snapshot_at_or_below t ~rev in
+    Some (replay t snap ~from_rev:snap_rev ~upto_rev:rev)
   end
 
 let compact t ~before =
   let before = min before t.rev in
   if before > t.compacted_rev then begin
-    let discarded, kept =
-      List.partition (fun (e : 'v Event.t) -> e.Event.rev <= before) (events t)
-    in
-    t.base_state <- List.fold_left State.apply t.base_state discarded;
-    t.events <- List.rev kept;
-    t.retained <- List.length kept;
-    t.compacted_rev <- before
+    let snap_rev, snap = snapshot_at_or_below t ~rev:before in
+    t.base_state <- replay t snap ~from_rev:snap_rev ~upto_rev:before;
+    Window.drop_oldest t.window (before - t.compacted_rev);
+    t.compacted_rev <- before;
+    t.snapshots <- List.filter (fun (r, _) -> r > before) t.snapshots
   end
 
 let compact_keep_last t n =
-  if t.retained > n then compact t ~before:(t.rev - n)
+  if length t > n then compact t ~before:(t.rev - n)

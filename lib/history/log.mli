@@ -10,7 +10,10 @@
 
 type 'v t
 
-val create : unit -> 'v t
+val create : ?snapshot_every:int -> unit -> 'v t
+(** [snapshot_every] (default 256) is the cadence, in appends, at which a
+    persistent snapshot of [S] is retained for {!state_at}; smaller means
+    faster reconstruction and more pinned map versions. *)
 
 val append : 'v t -> key:string -> op:Event.op -> 'v option -> 'v Event.t
 (** Commits a change, assigning the next revision, and returns the event. *)
@@ -25,15 +28,18 @@ val state : 'v t -> 'v State.t
 (** The current materialized [S]. *)
 
 val state_at : 'v t -> rev:int -> 'v State.t option
-(** Replays retained events to reconstruct [S] as of [rev]; [None] if that
+(** Reconstructs [S] as of [rev] by replaying at most [snapshot_every]
+    retained events over the nearest periodic snapshot; [None] if that
     prefix has been compacted away (you cannot recover history from a
     compacted log). [state_at t ~rev:0] is the empty state only while
     nothing is compacted. *)
 
 val since : 'v t -> rev:int -> ('v Event.t list, [ `Compacted of int ]) result
 (** [since t ~rev] returns the committed events with revision > [rev] in
-    order, or [`Compacted compacted_rev] if [rev < compacted_rev] so the
-    caller has missed events it can never see. *)
+    order — an O(k) slice of the revision-indexed window, not a filter
+    over all retained events — or [`Compacted compacted_rev] if
+    [rev < compacted_rev] so the caller has missed events it can never
+    see. *)
 
 val events : 'v t -> 'v Event.t list
 (** All retained events, oldest first. *)
@@ -42,8 +48,9 @@ val length : 'v t -> int
 (** Number of retained (non-compacted) events. *)
 
 val compact : 'v t -> before:int -> unit
-(** Discards events with revision <= [before]. Compacting beyond the head
-    is clamped. *)
+(** Discards events with revision <= [before] — an O(k) window shift in
+    the number of discarded events. Compacting beyond the head is
+    clamped. *)
 
 val compact_keep_last : 'v t -> int -> unit
 (** Keeps only the last [n] events — the "rolling window of recent

@@ -27,11 +27,20 @@ let keys t = List.map fst (bindings t)
 
 let cardinal t = Smap.cardinal t.bindings
 
-let keys_with_prefix t ~prefix =
-  let starts_with key = String.length key >= String.length prefix
-    && String.equal (String.sub key 0 (String.length prefix)) prefix
+(* The keys sharing [prefix] form one contiguous run of the ordered map
+   starting at the first key >= [prefix], so a range scan cut at the
+   first non-matching key visits O(log n + k) nodes instead of
+   materializing and filtering the whole keyspace. *)
+let bindings_with_prefix t ~prefix =
+  let rec take seq acc =
+    match seq () with
+    | Seq.Cons ((key, binding), rest) when String.starts_with ~prefix key ->
+        take rest ((key, binding) :: acc)
+    | Seq.Cons _ | Seq.Nil -> List.rev acc
   in
-  List.filter starts_with (keys t)
+  take (Smap.to_seq_from prefix t.bindings) []
+
+let keys_with_prefix t ~prefix = List.map fst (bindings_with_prefix t ~prefix)
 
 let fold f t acc = Smap.fold f t.bindings acc
 

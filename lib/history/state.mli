@@ -31,7 +31,13 @@ val keys : 'v t -> string list
 
 val cardinal : 'v t -> int
 
+val bindings_with_prefix : 'v t -> prefix:string -> (string * ('v * int)) list
+(** Bindings whose key starts with [prefix], sorted by key — a single
+    ordered-map range scan (O(log n + k)) cut at the first key past the
+    prefix run, yielding key, value and mod-revision in one traversal. *)
+
 val keys_with_prefix : 'v t -> prefix:string -> string list
+(** [List.map fst] of {!bindings_with_prefix}. *)
 
 val fold : (string -> 'v * int -> 'acc -> 'acc) -> 'v t -> 'acc -> 'acc
 

@@ -16,7 +16,7 @@ type t = {
   retry_delay : int;
   mutable cache : Resource.value History.State.t;
   mutable last_rev : int;
-  mutable window : Resource.value History.Event.t list;  (* newest first *)
+  window : Resource.value History.Window.t;  (* oldest first *)
   mutable window_start : int;  (* revision preceding the oldest retained event *)
   subs : (string, subscription) Hashtbl.t;
   mutable ready : bool;
@@ -41,15 +41,8 @@ let resync_count t = t.resyncs
 
 let engine t = Dsim.Network.engine t.net
 
-let matches prefix (e : Resource.value History.Event.t) =
-  match prefix with
-  | None -> true
-  | Some p ->
-      String.length e.History.Event.key >= String.length p
-      && String.equal (String.sub e.History.Event.key 0 (String.length p)) p
-
 let push_to_sub sub (e : Resource.value History.Event.t) =
-  if e.History.Event.rev > sub.last_sent && matches sub.prefix e then begin
+  if e.History.Event.rev > sub.last_sent && History.Event.matches_prefix sub.prefix e then begin
     sub.last_sent <- e.History.Event.rev;
     sub.epoch_sent <- sub.epoch_sent + 1;
     Pipe.send sub.pipe (Pipe.Event e)
@@ -83,25 +76,24 @@ let clear_volatile_state t =
   Hashtbl.reset t.subs;
   t.cache <- History.State.empty;
   t.last_rev <- 0;
-  t.window <- [];
+  History.Window.clear t.window;
   t.window_start <- 0;
   t.ready <- false;
   t.generation <- t.generation + 1
 
 let trim_window t =
-  let excess = List.length t.window - t.window_size in
+  let excess = History.Window.length t.window - t.window_size in
   if excess > 0 then begin
-    let kept = List.filteri (fun i _ -> i < t.window_size) t.window in
-    (match List.rev kept with
-    | oldest :: _ -> t.window_start <- oldest.History.Event.rev - 1
-    | [] -> ());
-    t.window <- kept
+    History.Window.drop_oldest t.window excess;
+    match History.Window.oldest t.window with
+    | Some oldest -> t.window_start <- oldest.History.Event.rev - 1
+    | None -> ()
   end
 
 let observe_event t (e : Resource.value History.Event.t) =
   t.cache <- History.State.apply t.cache e;
   t.last_rev <- max t.last_rev e.History.Event.rev;
-  t.window <- e :: t.window;
+  History.Window.push t.window e;
   trim_window t;
   t.last_heartbeat <- Dsim.Engine.now (engine t);
   Hashtbl.iter (fun _ sub -> push_to_sub sub e) t.subs;
@@ -133,7 +125,7 @@ let rec bootstrap t gen =
           Hashtbl.reset t.subs;
           t.cache <- Messages.items_to_state items;
           t.last_rev <- rev;
-          t.window <- [];
+          History.Window.clear t.window;
           t.window_start <- rev;
           t.last_heartbeat <- Dsim.Engine.now (engine t);
           Dsim.Engine.record (engine t) ~actor:t.name ~kind:"api.list"
@@ -159,11 +151,8 @@ and retry t gen =
     ignore (Dsim.Engine.schedule (engine t) ~delay:t.retry_delay (fun () -> bootstrap t gen))
 
 let list_from_cache t prefix =
-  History.State.keys_with_prefix t.cache ~prefix
-  |> List.filter_map (fun key ->
-         match History.State.find t.cache key with
-         | Some (v, mod_rev) -> Some (key, v, mod_rev)
-         | None -> None)
+  History.State.bindings_with_prefix t.cache ~prefix
+  |> List.map (fun (key, (v, mod_rev)) -> (key, v, mod_rev))
 
 let forward t request reply =
   Dsim.Network.call t.net ~src:t.name ~dst:t.etcd request (function
@@ -184,7 +173,7 @@ let handle_watch t (w : Messages.watch_request) reply =
       { pipe; prefix = w.Messages.prefix; last_sent = w.Messages.start_rev; epoch_sent = 0 }
     in
     Hashtbl.replace t.subs w.Messages.stream_id sub;
-    List.iter (push_to_sub sub) (List.rev t.window);
+    History.Window.iter (push_to_sub sub) t.window;
     reply (Messages.Watch_ok { rev = t.last_rev })
   end
 
@@ -221,7 +210,7 @@ let create ~net ~intercept ~name ~etcd ?(window_size = 1000) ?(bookmark_period =
     retry_delay;
     cache = History.State.empty;
     last_rev = 0;
-    window = [];
+    window = History.Window.create ();
     window_start = 0;
     subs = Hashtbl.create 8;
     ready = false;

@@ -35,15 +35,8 @@ let origin_of_rev t rev =
 
 let commit_trace_id t ~rev = Hashtbl.find_opt t.commit_ids rev
 
-let matches prefix (e : Resource.value History.Event.t) =
-  match prefix with
-  | None -> true
-  | Some p ->
-      String.length e.History.Event.key >= String.length p
-      && String.equal (String.sub e.History.Event.key 0 (String.length p)) p
-
 let push_to_sub sub (e : Resource.value History.Event.t) =
-  if e.History.Event.rev > sub.last_sent && matches sub.prefix e then begin
+  if e.History.Event.rev > sub.last_sent && History.Event.matches_prefix sub.prefix e then begin
     sub.last_sent <- e.History.Event.rev;
     Pipe.send sub.pipe (Pipe.Event e)
   end

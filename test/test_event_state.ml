@@ -38,6 +38,43 @@ let prefix_query () =
   Alcotest.(check (list string)) "pods only" [ "pods/a"; "pods/b" ]
     (State.keys_with_prefix s ~prefix:"pods/")
 
+let bindings_with_prefix_single_scan () =
+  let s =
+    apply_events
+      [
+        ev 1 "pods/a" Event.Create (Some "1");
+        ev 2 "nodes/x" Event.Create (Some "2");
+        ev 3 "pods/b" Event.Create (Some "3");
+        ev 4 "pods/b" Event.Update (Some "3b");
+        ev 5 "pods0" Event.Create (Some "past the prefix run");
+      ]
+  in
+  Alcotest.(check (list (pair string (pair string int))))
+    "keys, values and mod-revs in one scan"
+    [ ("pods/a", ("1", 1)); ("pods/b", ("3b", 4)) ]
+    (State.bindings_with_prefix s ~prefix:"pods/");
+  Alcotest.(check (list (pair string (pair string int))))
+    "empty prefix is all bindings" (State.bindings s)
+    (State.bindings_with_prefix s ~prefix:"")
+
+let qcheck_bindings_with_prefix_agrees =
+  (* The range scan cut at the first non-prefix key must agree with the
+     naive full-keyspace filter for arbitrary key populations. *)
+  let key_gen = QCheck.Gen.(map (fun (a, b) -> a ^ b) (pair (oneofl [ "pods/"; "pods"; "nodes/"; "p"; "" ]) (string_size ~gen:(char_range 'a' 'e') (0 -- 3)))) in
+  QCheck.Test.make ~name:"bindings_with_prefix = naive filter" ~count:300
+    QCheck.(pair (list_of_size Gen.(0 -- 40) (make ~print:Fun.id key_gen)) (oneofl [ ""; "p"; "pods/"; "pods/a"; "nodes/"; "zz" ]))
+    (fun (keys, prefix) ->
+      let s =
+        List.fold_left
+          (fun (s, rev) key -> (State.apply s (ev rev key Event.Create (Some key)), rev + 1))
+          (State.empty, 1) keys
+        |> fst
+      in
+      let naive =
+        List.filter (fun (key, _) -> String.starts_with ~prefix key) (State.bindings s)
+      in
+      State.bindings_with_prefix s ~prefix = naive)
+
 let bindings_sorted () =
   let s = apply_events [ ev 1 "b" Event.Create (Some "2"); ev 2 "a" Event.Create (Some "1") ] in
   Alcotest.(check (list string)) "sorted keys" [ "a"; "b" ] (State.keys s)
@@ -101,10 +138,13 @@ let suites =
         Alcotest.test_case "delete removes" `Quick delete_removes;
         Alcotest.test_case "delete absent tolerated" `Quick delete_absent_tolerated;
         Alcotest.test_case "prefix query" `Quick prefix_query;
+        Alcotest.test_case "bindings_with_prefix single scan" `Quick
+          bindings_with_prefix_single_scan;
         Alcotest.test_case "bindings sorted" `Quick bindings_sorted;
         Alcotest.test_case "diff classifies" `Quick diff_classifies;
         Alcotest.test_case "diff hides cancelled event (Fig 3c)" `Quick diff_hides_cancelled_event;
         Alcotest.test_case "op rendering" `Quick pp_op_strings;
         Qcheck_util.to_alcotest qcheck_apply_monotone_rev;
+        Qcheck_util.to_alcotest qcheck_bindings_with_prefix_agrees;
       ] );
   ]

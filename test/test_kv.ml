@@ -42,6 +42,49 @@ let listeners_fire_in_order () =
   Alcotest.(check (list (pair string int))) "registration order" [ ("first", 1); ("second", 1) ]
     (List.rev !log)
 
+let many_listeners_keep_registration_order () =
+  (* Pins the notification order across the growable-array registrations
+     a cluster boot performs: every commit must visit listeners 0..n-1. *)
+  let kv = Etcdlike.Kv.create () in
+  let seen = ref [] in
+  for i = 0 to 49 do
+    Etcdlike.Kv.on_commit kv (fun _ -> seen := i :: !seen)
+  done;
+  ignore (Etcdlike.Kv.put kv "k" "v");
+  Alcotest.(check (list int)) "0..49 in registration order" (List.init 50 Fun.id)
+    (List.rev !seen);
+  seen := [];
+  ignore (Etcdlike.Kv.put kv "k" "v2");
+  Alcotest.(check (list int)) "stable on the next commit" (List.init 50 Fun.id)
+    (List.rev !seen)
+
+let qcheck_range_agrees_with_naive =
+  (* The fused range scan must agree with the pre-PR two-pass
+     implementation: prefix-filter all keys, then re-find each one. *)
+  QCheck.Test.make ~name:"range = prefix filter + per-key find" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(0 -- 50) (pair (int_range 0 9) bool))
+        (oneofl [ ""; "k"; "k1"; "pods/"; "zz" ]))
+    (fun (ops, prefix) ->
+      let kv = Etcdlike.Kv.create () in
+      List.iter
+        (fun (k, is_put) ->
+          let key = if k mod 2 = 0 then Printf.sprintf "k%d" k else Printf.sprintf "pods/p%d" k in
+          if is_put then ignore (Etcdlike.Kv.put kv key k)
+          else ignore (Etcdlike.Kv.delete kv key))
+        ops;
+      let state = Etcdlike.Kv.state kv in
+      let naive =
+        History.State.keys state
+        |> List.filter (fun key -> String.starts_with ~prefix key)
+        |> List.filter_map (fun key ->
+               match History.State.find state key with
+               | Some (v, mod_rev) -> Some (key, v, mod_rev)
+               | None -> None)
+      in
+      Etcdlike.Kv.range kv ~prefix = naive)
+
 let compaction_flows_through () =
   let kv = Etcdlike.Kv.create () in
   for i = 1 to 10 do
@@ -79,7 +122,10 @@ let suites =
         Alcotest.test_case "delete semantics" `Quick delete_semantics;
         Alcotest.test_case "range by prefix" `Quick range_by_prefix;
         Alcotest.test_case "listeners fire in order" `Quick listeners_fire_in_order;
+        Alcotest.test_case "many listeners keep registration order" `Quick
+          many_listeners_keep_registration_order;
         Alcotest.test_case "compaction flows through" `Quick compaction_flows_through;
         Qcheck_util.to_alcotest qcheck_rev_equals_mutations;
+        Qcheck_util.to_alcotest qcheck_range_agrees_with_naive;
       ] );
   ]

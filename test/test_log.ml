@@ -90,6 +90,171 @@ let compact_beyond_head_clamps () =
   Alcotest.(check int) "nothing retained" 0 (Log.length log);
   Alcotest.(check int) "state survives compaction" 3 (State.cardinal (Log.state log))
 
+let since_at_boundary_is_window () =
+  let log = Log.create () in
+  fill log 10;
+  Log.compact log ~before:6;
+  match Log.since log ~rev:6 with
+  | Ok events ->
+      Alcotest.(check (list int)) "exactly the retained window" [ 7; 8; 9; 10 ]
+        (List.map (fun (e : int Event.t) -> e.Event.rev) events);
+      Alcotest.(check (list int)) "events = retained window"
+        (List.map (fun (e : int Event.t) -> e.Event.rev) (Log.events log))
+        (List.map (fun (e : int Event.t) -> e.Event.rev) events)
+  | Error _ -> Alcotest.fail "rev = compacted_rev must be servable"
+
+let since_below_boundary_reports_revision () =
+  let log = Log.create () in
+  fill log 10;
+  Log.compact log ~before:7;
+  (match Log.since log ~rev:6 with
+  | Error (`Compacted 7) -> ()
+  | _ -> Alcotest.fail "expected Compacted 7");
+  match Log.since log ~rev:0 with
+  | Error (`Compacted 7) -> ()
+  | _ -> Alcotest.fail "expected Compacted 7 for rev 0"
+
+let state_at_around_boundary () =
+  let log = Log.create () in
+  fill log 10;
+  Log.compact log ~before:5;
+  Alcotest.(check bool) "below the boundary is lost" true (Log.state_at log ~rev:4 = None);
+  (match Log.state_at log ~rev:5 with
+  | Some s -> Alcotest.(check int) "at the boundary: the compaction base" 5 (State.cardinal s)
+  | None -> Alcotest.fail "rev = compacted_rev must be reconstructable");
+  (match Log.state_at log ~rev:8 with
+  | Some s -> Alcotest.(check int) "above the boundary replays forward" 8 (State.cardinal s)
+  | None -> Alcotest.fail "rev above the boundary must be reconstructable");
+  match Log.state_at log ~rev:99 with
+  | Some s -> Alcotest.(check int) "past the head is the live state" 10 (State.cardinal s)
+  | None -> Alcotest.fail "past the head must be the live state"
+
+let double_compaction_idempotent () =
+  let log = Log.create () in
+  fill log 10;
+  Log.compact log ~before:6;
+  let revs_once = List.map (fun (e : int Event.t) -> e.Event.rev) (Log.events log) in
+  Log.compact log ~before:6;
+  Log.compact log ~before:3 (* backwards compaction is a no-op *);
+  Alcotest.(check int) "compacted_rev unchanged" 6 (Log.compacted_rev log);
+  Alcotest.(check int) "length unchanged" 4 (Log.length log);
+  Alcotest.(check (list int)) "window unchanged" revs_once
+    (List.map (fun (e : int Event.t) -> e.Event.rev) (Log.events log));
+  match Log.state_at log ~rev:6 with
+  | Some s -> Alcotest.(check int) "base state intact" 6 (State.cardinal s)
+  | None -> Alcotest.fail "boundary state must survive re-compaction"
+
+let snapshot_cadence_agrees () =
+  (* With a tiny snapshot interval, every reconstruction crosses snapshot
+     boundaries; each must equal the full replay. *)
+  let log = Log.create ~snapshot_every:3 () in
+  for i = 1 to 20 do
+    let key = Printf.sprintf "k%d" (i mod 4) in
+    let op = if i mod 5 = 0 then Event.Delete else Event.Update in
+    ignore (Log.append log ~key ~op (if op = Event.Delete then None else Some i))
+  done;
+  for rev = 0 to 20 do
+    let expected =
+      List.fold_left State.apply State.empty
+        (List.filter (fun (e : int Event.t) -> e.Event.rev <= rev) (Log.events log))
+    in
+    match Log.state_at log ~rev with
+    | Some s ->
+        Alcotest.(check (list (pair string (pair int int))))
+          (Printf.sprintf "state_at %d" rev) (State.bindings expected) (State.bindings s)
+    | None -> Alcotest.fail "uncompacted revision must be reconstructable"
+  done
+
+(* The pre-index implementation, kept as an executable reference model:
+   a newest-first list, [since] by full filter, [state_at] by full
+   replay, [compact] by partition. *)
+module Naive = struct
+  type 'v t = {
+    mutable events : 'v Event.t list;  (* newest first *)
+    mutable rev : int;
+    mutable compacted_rev : int;
+    mutable base_state : 'v State.t;
+  }
+
+  let create () = { events = []; rev = 0; compacted_rev = 0; base_state = State.empty }
+
+  let append t ~key ~op value =
+    t.rev <- t.rev + 1;
+    t.events <- Event.make ~rev:t.rev ~key ~op value :: t.events
+
+  let events t = List.rev t.events
+
+  let since t ~rev =
+    if rev < t.compacted_rev then Error (`Compacted t.compacted_rev)
+    else Ok (List.rev (List.filter (fun (e : 'v Event.t) -> e.Event.rev > rev) t.events))
+
+  let state_at t ~rev =
+    if rev < t.compacted_rev then None
+    else
+      Some
+        (List.fold_left State.apply t.base_state
+           (List.filter (fun (e : 'v Event.t) -> e.Event.rev <= rev) (events t)))
+
+  let compact t ~before =
+    let before = min before t.rev in
+    if before > t.compacted_rev then begin
+      let discarded, kept =
+        List.partition (fun (e : 'v Event.t) -> e.Event.rev <= before) (events t)
+      in
+      t.base_state <- List.fold_left State.apply t.base_state discarded;
+      t.events <- List.rev kept;
+      t.compacted_rev <- before
+    end
+end
+
+let qcheck_indexed_agrees_with_naive =
+  (* Arbitrary interleavings of appends and compactions: the indexed
+     window (with an aggressive snapshot cadence) and the naive
+     list/filter model must agree on every observable. *)
+  QCheck.Test.make ~name:"indexed log = naive reference model" ~count:200
+    QCheck.(list_of_size Gen.(0 -- 40) (pair (int_range 0 9) (int_range 0 60)))
+    (fun ops ->
+      let log = Log.create ~snapshot_every:3 () in
+      let naive = Naive.create () in
+      List.iter
+        (fun (what, arg) ->
+          if what = 9 then begin
+            let before = arg mod (Log.rev log + 1) in
+            Log.compact log ~before;
+            Naive.compact naive ~before
+          end
+          else begin
+            let key = Printf.sprintf "k%d" (arg mod 7) in
+            let op =
+              match what mod 3 with 0 -> Event.Create | 1 -> Event.Update | _ -> Event.Delete
+            in
+            let value = if op = Event.Delete then None else Some arg in
+            ignore (Log.append log ~key ~op value);
+            Naive.append naive ~key ~op value
+          end)
+        ops;
+      let same_events a b =
+        List.map (fun (e : int Event.t) -> (e.Event.rev, e.Event.key, e.Event.op, e.Event.value)) a
+        = List.map
+            (fun (e : int Event.t) -> (e.Event.rev, e.Event.key, e.Event.op, e.Event.value))
+            b
+      in
+      Log.rev log = naive.Naive.rev
+      && Log.compacted_rev log = naive.Naive.compacted_rev
+      && same_events (Log.events log) (Naive.events naive)
+      && List.for_all
+           (fun rev ->
+             (match Log.since log ~rev, Naive.since naive ~rev with
+             | Ok a, Ok b -> same_events a b
+             | Error (`Compacted a), Error (`Compacted b) -> a = b
+             | _ -> false)
+             &&
+             match Log.state_at log ~rev, Naive.state_at naive ~rev with
+             | Some a, Some b -> State.bindings a = State.bindings b
+             | None, None -> true
+             | _ -> false)
+           (List.init (Log.rev log + 2) Fun.id))
+
 let qcheck_since_partition =
   QCheck.Test.make ~name:"since splits history at rev" ~count:200
     QCheck.(pair (int_range 0 60) (int_range 0 60))
@@ -113,6 +278,13 @@ let suites =
         Alcotest.test_case "state_at replays" `Quick state_at_replays;
         Alcotest.test_case "state_at respects compaction" `Quick state_at_respects_compaction;
         Alcotest.test_case "compact beyond head clamps" `Quick compact_beyond_head_clamps;
+        Alcotest.test_case "since at boundary is the window" `Quick since_at_boundary_is_window;
+        Alcotest.test_case "since below boundary reports revision" `Quick
+          since_below_boundary_reports_revision;
+        Alcotest.test_case "state_at around the boundary" `Quick state_at_around_boundary;
+        Alcotest.test_case "double compaction idempotent" `Quick double_compaction_idempotent;
+        Alcotest.test_case "snapshot cadence agrees with replay" `Quick snapshot_cadence_agrees;
         Qcheck_util.to_alcotest qcheck_since_partition;
+        Qcheck_util.to_alcotest qcheck_indexed_agrees_with_naive;
       ] );
   ]

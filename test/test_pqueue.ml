@@ -53,6 +53,25 @@ let interleaved_push_pop () =
   | Some (1, _, "c") -> ()
   | _ -> Alcotest.fail "expected (1, c)"
 
+let popped_value_is_collectable () =
+  (* A popped entry must not stay referenced from the heap's backing
+     array (neither its own slot nor the duplicate left by moving the
+     tail to the root), or arbitrarily large closures stay pinned for a
+     whole trial. The weak pointer sees the popped payload die while the
+     queue itself is still live. *)
+  let q = Dsim.Pqueue.create () in
+  let weak = Weak.create 1 in
+  Dsim.Pqueue.push q ~time:1 ~seq:1 (Bytes.make 64 'x');
+  Dsim.Pqueue.push q ~time:2 ~seq:2 (Bytes.make 64 'y');
+  Dsim.Pqueue.push q ~time:3 ~seq:3 (Bytes.make 64 'z');
+  (match Dsim.Pqueue.pop q with
+  | Some (_, _, v) -> Weak.set weak 0 (Some v)
+  | None -> Alcotest.fail "expected a value");
+  Gc.full_major ();
+  let still_pinned = Weak.check weak 0 in
+  Alcotest.(check int) "queue still live with the rest" 2 (Dsim.Pqueue.length q);
+  Alcotest.(check bool) "popped value was collected" false still_pinned
+
 let qcheck_sorted_drain =
   QCheck.Test.make ~name:"drain yields sorted (time, seq)" ~count:200
     QCheck.(list_of_size Gen.(0 -- 200) (int_range 0 1000))
@@ -85,6 +104,7 @@ let suites =
         Alcotest.test_case "peek does not remove" `Quick peek_does_not_remove;
         Alcotest.test_case "clear empties" `Quick clear_empties;
         Alcotest.test_case "interleaved push/pop" `Quick interleaved_push_pop;
+        Alcotest.test_case "popped value is collectable" `Quick popped_value_is_collectable;
         Qcheck_util.to_alcotest qcheck_sorted_drain;
         Qcheck_util.to_alcotest qcheck_length_tracks;
       ] );
