@@ -8,6 +8,7 @@
      campaign ID APPROACH      tests-to-first-reproduction for one approach
      explore [--json]          run the planner end-to-end on a workload
      hunt [ID...]              parallel, persistent, coverage-guided campaign
+     check [ID...]             conformance: mutation self-test + fault-free corpus runs
      lint [PATH...]            static partial-history lint over controller sources
      hazards [--json]          static footprint/hazard graph of a configuration *)
 
@@ -530,7 +531,17 @@ let hunt_cmd =
              ($(b,sieve hazards)) boosts the planner's queues and outranks coverage gain in \
              the scheduler. Must match the original run when used with $(b,--resume).")
   in
-  let run ids jobs out resume budget seed quiet hazard_rank =
+  let check_conformance_arg =
+    Arg.(
+      value & flag
+      & info [ "check-conformance" ]
+          ~doc:
+            "Run the online subsequence-invariant monitor inside every executed trial and \
+             report its findings alongside the hunt summary. The monitor is passive and its \
+             results stay out of the journal, so journal bytes are identical with and without \
+             this flag.")
+  in
+  let run ids jobs out resume budget seed quiet hazard_rank check_conformance =
     match resolve_cases ids with
     | Error message ->
         prerr_endline message;
@@ -546,8 +557,8 @@ let hunt_cmd =
         let started = Unix.gettimeofday () in
         let summary =
           try
-            Hunt.Campaign.run ~jobs ~out ~resume ?budget ~seed ~hazard_rank ~on_progress ~cases
-              ()
+            Hunt.Campaign.run ~jobs ~out ~resume ?budget ~seed ~hazard_rank ~check_conformance
+              ~on_progress ~cases ()
           with Failure message ->
             if not quiet then prerr_newline ();
             prerr_endline message;
@@ -591,12 +602,121 @@ let hunt_cmd =
                 (float_of_int summary.Hunt.Campaign.executed /. Float.max wall 1e-9)
                 jobs wall );
             ("journal", summary.Hunt.Campaign.journal);
-          ]
+          ];
+        (match summary.Hunt.Campaign.conformance with
+        | None -> ()
+        | Some c ->
+            print_newline ();
+            Sieve.Report.kv
+              [
+                ("conformance-checked trials", string_of_int c.Hunt.Campaign.conf_trials);
+                ("conformance violations", string_of_int c.Hunt.Campaign.conf_total);
+                ( "distinct conformance signatures",
+                  string_of_int (List.length c.Hunt.Campaign.conf_signatures) );
+              ];
+            List.iter
+              (fun s -> Printf.printf "  %s\n" s)
+              c.Hunt.Campaign.conf_signatures)
   in
   Cmd.v (Cmd.info "hunt" ~doc)
     Term.(
       const run $ ids_arg $ jobs_arg $ out_arg $ resume_arg $ budget_arg $ seed_arg
-      $ quiet_arg $ hazard_rank_arg)
+      $ quiet_arg $ hazard_rank_arg $ check_conformance_arg)
+
+(* --- check ---------------------------------------------------------- *)
+
+let check_cmd =
+  let doc =
+    "Verify the conformance layer end to end: the mutation self-test (each seeded \
+     perturbation — dropped event, reordered deliveries, stale cache, corrupted value, \
+     future frontier — must trip the monitor, the control replay must not), then a fault-free \
+     run of every corpus case with the monitor attached, which must stay silent. Nonzero exit \
+     on any failure."
+  in
+  let soak_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "soak" ] ~docv:"N"
+          ~doc:
+            "Extra self-test rounds with derived seeds (each round re-runs every mutation \
+             against a freshly generated history).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int64 20260704L
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Base seed for the self-test histories.")
+  in
+  let run ids soak seed =
+    match resolve_cases ids with
+    | Error message ->
+        prerr_endline message;
+        exit 2
+    | Ok cases ->
+        let failures = ref 0 in
+        let codes outcome =
+          match outcome.Conformance.Selftest.codes with
+          | [] -> "-"
+          | codes ->
+              String.concat "," (List.map Conformance.Monitor.code_to_string codes)
+        in
+        let rows = ref [] in
+        let round ~label seed =
+          List.iter
+            (fun (o : Conformance.Selftest.outcome) ->
+              if not (Conformance.Selftest.ok o) then incr failures;
+              rows :=
+                [
+                  label;
+                  o.Conformance.Selftest.mutation;
+                  (if o.Conformance.Selftest.tripped then "tripped" else "silent");
+                  codes o;
+                  (if Conformance.Selftest.ok o then "ok" else "FAIL");
+                ]
+                :: !rows)
+            (Conformance.Selftest.run ~seed ())
+        in
+        round ~label:"self-test" seed;
+        let rng = Dsim.Rng.create seed in
+        for i = 1 to soak do
+          round ~label:(Printf.sprintf "soak#%d" i) (Dsim.Rng.int64 (Dsim.Rng.split rng))
+        done;
+        Sieve.Report.table
+          ~header:[ "round"; "mutation"; "monitor"; "codes"; "verdict" ]
+          (List.rev !rows);
+        print_newline ();
+        let corpus_rows =
+          List.map
+            (fun case ->
+              let outcome =
+                Sieve.Runner.run_test ~check_conformance:true
+                  (Sieve.Bugs.reference_test_of_case case)
+              in
+              match outcome.Sieve.Runner.conformance with
+              | None -> assert false
+              | Some c ->
+                  let ok = c.Sieve.Runner.conf_total = 0 && c.Sieve.Runner.conf_strict in
+                  if not ok then incr failures;
+                  List.iter
+                    (fun v -> Printf.eprintf "  %s\n" (Conformance.Monitor.describe v))
+                    c.Sieve.Runner.conf_violations;
+                  [
+                    case.Sieve.Bugs.id;
+                    string_of_int outcome.Sieve.Runner.truth_rev;
+                    string_of_int c.Sieve.Runner.conf_total;
+                    (if c.Sieve.Runner.conf_strict then "strict" else "relaxed");
+                    (if ok then "ok" else "FAIL");
+                  ])
+            cases
+        in
+        Sieve.Report.table
+          ~header:[ "case (fault-free)"; "revisions"; "violations"; "mode"; "verdict" ]
+          corpus_rows;
+        if !failures > 0 then begin
+          Printf.eprintf "check: %d failure(s)\n" !failures;
+          exit 1
+        end
+  in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ ids_arg $ soak_arg $ seed_arg)
 
 (* --- lint ----------------------------------------------------------- *)
 
@@ -743,7 +863,7 @@ let main_cmd =
   Cmd.group info
     [
       list_cmd; bugs_cmd; trace_cmd; timeline_cmd; campaign_cmd; explore_cmd; minimize_cmd;
-      coverage_cmd; seals_cmd; hunt_cmd; lint_cmd; hazards_cmd;
+      coverage_cmd; seals_cmd; hunt_cmd; check_cmd; lint_cmd; hazards_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,13 @@
+(** Conformance layer: the paper's subsequence invariant, checked online.
+
+    {!Monitor} maintains a private mirror of the committed history and
+    verifies every observed view [(H', S')] against it; {!Hooks} threads
+    one monitor through a whole {!Kube.Cluster}'s cache boundaries;
+    {!Model} is the pure sequential reference the differential qcheck
+    harness drives against the real {!Etcdlike} stack; {!Selftest} is the
+    mutation suite proving the monitor actually fires. *)
+
+module Monitor = Monitor
+module Model = Model
+module Hooks = Hooks
+module Selftest = Selftest

@@ -1,0 +1,106 @@
+type t = {
+  cluster : Kube.Cluster.t;
+  monitor : Kube.Resource.value Monitor.t;
+  (* Tap callbacks per component: every cache mutation fires a tap, so a
+     component whose (rev, activity) pair is unchanged since the last
+     sweep provably has the same cache — its re-check is skipped. *)
+  activity : (string, int) Hashtbl.t;
+  checked : (string, int * int) Hashtbl.t;  (* subject -> (rev, activity) at last full check *)
+}
+
+let monitor t = t.monitor
+
+let violations t = Monitor.violations t.monitor
+
+let total t = Monitor.total t.monitor
+
+(* A new generation is a new stream: frontiers must not be compared
+   across a crash or a gap-triggered re-list. *)
+let stream_key (view : Kube.Tap.view) =
+  view.Kube.Tap.stream ^ "@" ^ string_of_int view.Kube.Tap.generation
+
+let note_activity t (view : Kube.Tap.view) =
+  let c = view.Kube.Tap.component in
+  Hashtbl.replace t.activity c (1 + try Hashtbl.find t.activity c with Not_found -> 0)
+
+let tap_of t =
+  let monitor = t.monitor in
+  {
+    Kube.Tap.on_event =
+      (fun view e ->
+        note_activity t view;
+        Monitor.observe_event monitor ~stream:(stream_key view) ?prefix:view.Kube.Tap.prefix e);
+    on_advance =
+      (fun view _rev ->
+        note_activity t view;
+        Monitor.observe_advance monitor ~stream:(stream_key view) ?prefix:view.Kube.Tap.prefix
+          ~rev:view.Kube.Tap.rev ());
+    on_reset =
+      (fun view ->
+        note_activity t view;
+        Monitor.observe_reset monitor ~stream:(stream_key view) ?prefix:view.Kube.Tap.prefix
+          ~rev:view.Kube.Tap.rev view.Kube.Tap.state);
+  }
+
+(* Re-checking an unchanged cache against an unchanged claim is pure
+   waste: skip a subject when both its claimed revision and its tap
+   activity count match the last fully-performed check. The signature is
+   only recorded when the check actually ran to completion (the claimed
+   revision was inside the mirror), so a future-rev claim is re-examined
+   once the mirror catches up. *)
+let check_state_cached t ~component ~subject ?prefix ~rev state =
+  let sig_now = (rev, try Hashtbl.find t.activity component with Not_found -> 0) in
+  if Hashtbl.find_opt t.checked subject <> Some sig_now then begin
+    Monitor.check_state t.monitor ~subject ?prefix ~rev state;
+    if rev <= Monitor.mirror_rev t.monitor then Hashtbl.replace t.checked subject sig_now
+  end
+
+let check_sweep t =
+  List.iter
+    (fun a ->
+      check_state_cached t ~component:(Kube.Apiserver.name a) ~subject:(Kube.Apiserver.name a)
+        ~rev:(Kube.Apiserver.rev a) (Kube.Apiserver.cache a))
+    (Kube.Cluster.apiservers t.cluster);
+  List.iter
+    (fun i ->
+      if Kube.Informer.running i then
+        check_state_cached t ~component:(Kube.Informer.owner i)
+          ~subject:(Kube.Informer.owner i ^ "#" ^ Kube.Informer.prefix i)
+          ~prefix:(Kube.Informer.prefix i) ~rev:(Kube.Informer.rev i) (Kube.Informer.store i))
+    (Kube.Cluster.informers t.cluster)
+
+let finish t = check_sweep t
+
+let attach ?strict ?(check_period = 500_000) cluster =
+  let engine = Kube.Cluster.engine cluster in
+  let metrics = Dsim.Engine.metrics engine in
+  let on_violation v =
+    Dsim.Metrics.incr metrics "conformance.violations";
+    Dsim.Engine.record engine ~actor:"conformance" ~kind:"conformance.violation"
+      (Monitor.describe v)
+  in
+  let monitor = Monitor.create ?strict ~on_violation () in
+  let t = { cluster; monitor; activity = Hashtbl.create 16; checked = Hashtbl.create 16 } in
+  (* Before the consumers: commit listeners run in registration order,
+     and the mirror must already hold an event when its delivery taps
+     fire. [Cluster.create] registered etcd's own hub first, so the
+     mirror sits between the store and every watch stream. *)
+  Kube.Etcd.on_commit (Kube.Cluster.etcd cluster) (Monitor.note_commit monitor);
+  let tap = Some (tap_of t) in
+  List.iter (fun a -> Kube.Apiserver.set_tap a tap) (Kube.Cluster.apiservers cluster);
+  (* Informers are created by [Cluster.start], which runs after attach:
+     install their taps at the first engine dispatch. [set_tap] replays
+     any list the informer adopted in between as a reset, so the
+     monitor's frontiers start at the adopted revision. *)
+  ignore
+    (Dsim.Engine.schedule engine ~delay:0 (fun () ->
+         List.iter (fun i -> Kube.Informer.set_tap i tap) (Kube.Cluster.informers cluster)));
+  (* The first deliberate drop ends strict mode: from then on the run is
+     *supposed* to contain gaps and stale caches. Delays and partitions
+     keep it — FIFO pipes and re-list recovery preserve completeness. *)
+  Kube.Intercept.set_observer (Kube.Cluster.intercept cluster) (fun _edge _event decision ->
+      match decision with Kube.Intercept.Drop -> Monitor.relax monitor | _ -> ());
+  Dsim.Engine.every engine ~period:check_period (fun () ->
+      check_sweep t;
+      true);
+  t

@@ -1,0 +1,39 @@
+(** Cluster wiring for the {!Monitor}.
+
+    [attach] threads one monitor through every cache boundary the paper
+    names: the store's commit stream ([Etcd.on_commit] feeds the mirror),
+    each apiserver watch cache and every component informer (via the
+    read-only {!Kube.Tap}s), plus a periodic state spot-check of every
+    cache against the committed history. The interceptor's observer slot
+    is used to {!Monitor.relax} the monitor the first time a strategy
+    *drops* an event — from then on gaps and divergent caches are the
+    experiment, not a defect — while delays, partitions and
+    crash/restarts keep strict mode (FIFO pipes and re-list recovery
+    preserve the strong invariants).
+
+    Attach after {!Kube.Cluster.create} and before {!Kube.Cluster.start},
+    so the mirror sees the seeding commits. The monitor is passive: it
+    draws no randomness and emits trace/metrics records only when a
+    violation fires, so attaching it leaves a correct run's trajectory,
+    trace and journal byte-identical. *)
+
+type t
+
+val attach : ?strict:bool -> ?check_period:int -> Kube.Cluster.t -> t
+(** [check_period] (default 500 ms of virtual time) is the cadence of the
+    periodic per-cache state check; each sweep skips caches whose claimed
+    revision and tap activity are unchanged since their last full check,
+    so quiet components cost nothing. Violations are recorded in the
+    trace as ["conformance.violation"] entries and counted in the
+    ["conformance.violations"] metric. *)
+
+val finish : t -> unit
+(** Run one final state check over every cache — call after the run so
+    short horizons that never reached a periodic check are still
+    verified. *)
+
+val monitor : t -> Kube.Resource.value Monitor.t
+
+val violations : t -> Monitor.violation list
+
+val total : t -> int

@@ -1,0 +1,134 @@
+module SMap = Map.Make (String)
+module IMap = Map.Make (Int)
+
+type lease = { ttl : int; deadline : int; lkeys : string list (* newest first *) }
+
+type 'v t = {
+  rev : int;
+  compacted : int;
+  store : ('v * int) SMap.t;
+  log : 'v History.Event.t list;  (* newest first; revisions in (compacted, rev] *)
+  leases : lease IMap.t;
+  next_lease : int;
+}
+
+let empty =
+  { rev = 0; compacted = 0; store = SMap.empty; log = []; leases = IMap.empty; next_lease = 0 }
+
+let rev t = t.rev
+
+let compacted_rev t = t.compacted
+
+let get t key = SMap.find_opt key t.store
+
+let bindings t = SMap.bindings t.store
+
+let range t ~prefix =
+  SMap.bindings t.store
+  |> List.filter_map (fun (key, (v, mod_rev)) ->
+         if String.starts_with ~prefix key then Some (key, v, mod_rev) else None)
+
+let events t = List.rev t.log
+
+let put t key value =
+  let rev = t.rev + 1 in
+  let op = if SMap.mem key t.store then History.Event.Update else History.Event.Create in
+  let event = History.Event.make ~rev ~key ~op (Some value) in
+  ({ t with rev; store = SMap.add key (value, rev) t.store; log = event :: t.log }, event)
+
+let delete t key =
+  if not (SMap.mem key t.store) then (t, None)
+  else begin
+    let rev = t.rev + 1 in
+    let event = History.Event.make ~rev ~key ~op:History.Event.Delete None in
+    ({ t with rev; store = SMap.remove key t.store; log = event :: t.log }, Some event)
+  end
+
+let since t ~rev =
+  if rev < t.compacted then Error (`Compacted t.compacted)
+  else Ok (List.filter (fun (e : _ History.Event.t) -> e.History.Event.rev > rev) (events t))
+
+let compact t ~before =
+  let before = min before t.rev in
+  if before <= t.compacted then t
+  else
+    {
+      t with
+      compacted = before;
+      log = List.filter (fun (e : _ History.Event.t) -> e.History.Event.rev > before) t.log;
+    }
+
+let compact_keep_last t n =
+  if List.length t.log > n then compact t ~before:(t.rev - n) else t
+
+(* Transactions: guards against the current bindings, then the chosen
+   branch's operations in order, each with put/delete semantics. *)
+let eval_cmp t (cmp : 'v Etcdlike.Txn.cmp) =
+  match cmp with
+  | Etcdlike.Txn.Mod_rev_eq (key, expected) ->
+      let actual = match get t key with Some (_, mod_rev) -> mod_rev | None -> 0 in
+      actual = expected
+  | Etcdlike.Txn.Value_eq (key, expected) -> (
+      match get t key with Some (v, _) -> v = expected | None -> false)
+  | Etcdlike.Txn.Exists key -> SMap.mem key t.store
+  | Etcdlike.Txn.Absent key -> not (SMap.mem key t.store)
+
+let txn t (txn : 'v Etcdlike.Txn.t) =
+  let succeeded = List.for_all (eval_cmp t) txn.Etcdlike.Txn.guards in
+  let branch = if succeeded then txn.Etcdlike.Txn.success else txn.Etcdlike.Txn.failure in
+  let t, rev_events =
+    List.fold_left
+      (fun (t, acc) op ->
+        match op with
+        | Etcdlike.Txn.Put (key, value) ->
+            let t, e = put t key value in
+            (t, e :: acc)
+        | Etcdlike.Txn.Delete key -> (
+            match delete t key with t, Some e -> (t, e :: acc) | t, None -> (t, acc)))
+      (t, []) branch
+  in
+  (t, { Etcdlike.Txn.succeeded; events = List.rev rev_events; rev = t.rev })
+
+let grant t ~ttl ~now =
+  let id = t.next_lease + 1 in
+  ( {
+      t with
+      next_lease = id;
+      leases = IMap.add id { ttl; deadline = now + ttl; lkeys = [] } t.leases;
+    },
+    id )
+
+let attach t ~lease ~key =
+  match IMap.find_opt lease t.leases with
+  | Some l when not (List.mem key l.lkeys) ->
+      { t with leases = IMap.add lease { l with lkeys = key :: l.lkeys } t.leases }
+  | _ -> t
+
+let lease_keys t ~lease =
+  match IMap.find_opt lease t.leases with Some l -> List.rev l.lkeys | None -> []
+
+let keepalive t ~lease ~now =
+  match IMap.find_opt lease t.leases with
+  | Some l -> ({ t with leases = IMap.add lease { l with deadline = now + l.ttl } t.leases }, true)
+  | None -> (t, false)
+
+let revoke t ~lease =
+  let keys = lease_keys t ~lease in
+  ({ t with leases = IMap.remove lease t.leases }, keys)
+
+let expire t ~now =
+  let expired =
+    IMap.fold
+      (fun id l acc -> if l.deadline <= now then (id, List.rev l.lkeys) :: acc else acc)
+      t.leases []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  ( { t with leases = List.fold_left (fun m (id, _) -> IMap.remove id m) t.leases expired },
+    expired )
+
+let ttl_remaining t ~lease ~now =
+  match IMap.find_opt lease t.leases with
+  | Some l -> Some (max 0 (l.deadline - now))
+  | None -> None
+
+let active_leases t = IMap.cardinal t.leases

@@ -1,0 +1,64 @@
+(** Pure sequential reference model of the etcd-like store.
+
+    A deliberately naive re-implementation of {!Etcdlike} — an ordered
+    map plus an append-only event list plus an association list of leases
+    — written against the documented semantics, not the production code,
+    so the two can disagree. The differential harness drives qcheck-
+    generated operation programs through both and asserts they agree on
+    every observable: revisions, events, bindings, transaction outcomes,
+    lease bookkeeping and compaction boundaries.
+
+    The model is persistent (every operation returns a new model), which
+    is what makes it trivially correct to snapshot mid-program. *)
+
+type 'v t
+
+val empty : 'v t
+
+(** {2 Store} *)
+
+val rev : 'v t -> int
+
+val compacted_rev : 'v t -> int
+
+val get : 'v t -> string -> ('v * int) option
+
+val bindings : 'v t -> (string * ('v * int)) list
+(** Sorted by key. *)
+
+val range : 'v t -> prefix:string -> (string * 'v * int) list
+
+val put : 'v t -> string -> 'v -> 'v t * 'v History.Event.t
+
+val delete : 'v t -> string -> 'v t * 'v History.Event.t option
+
+val events : 'v t -> 'v History.Event.t list
+(** Retained (non-compacted) events, oldest first. *)
+
+val since : 'v t -> rev:int -> ('v History.Event.t list, [ `Compacted of int ]) result
+
+val compact : 'v t -> before:int -> 'v t
+
+val compact_keep_last : 'v t -> int -> 'v t
+
+(** {2 Transactions} *)
+
+val txn : 'v t -> 'v Etcdlike.Txn.t -> 'v t * 'v Etcdlike.Txn.outcome
+
+(** {2 Leases} *)
+
+val grant : 'v t -> ttl:int -> now:int -> 'v t * Etcdlike.Lease.id
+
+val attach : 'v t -> lease:Etcdlike.Lease.id -> key:string -> 'v t
+
+val lease_keys : 'v t -> lease:Etcdlike.Lease.id -> string list
+
+val keepalive : 'v t -> lease:Etcdlike.Lease.id -> now:int -> 'v t * bool
+
+val revoke : 'v t -> lease:Etcdlike.Lease.id -> 'v t * string list
+
+val expire : 'v t -> now:int -> 'v t * (Etcdlike.Lease.id * string list) list
+
+val ttl_remaining : 'v t -> lease:Etcdlike.Lease.id -> now:int -> int option
+
+val active_leases : 'v t -> int

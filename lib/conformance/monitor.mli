@@ -1,0 +1,114 @@
+(** Online subsequence-invariant monitor.
+
+    The paper's foundation (Section 3) is a definition, not a bug oracle:
+    every component's observed view [(H', S')] must be a *subsequence* of
+    the committed history [(H, S)]. The simulator reproduces bugs by
+    manufacturing legal-but-unfortunate subsequences — so a simulator
+    defect that produced an *illegal* view (an event the store never
+    committed, a cache claiming a revision it never reached) would
+    silently invalidate every campaign run on top of it. This monitor
+    checks the invariant itself, online, against a private mirror of the
+    committed history.
+
+    The monitor maintains its own never-compacted mirror of [H] (fed by
+    {!note_commit}) plus one persistent state snapshot per revision, so
+    [S] at any claimed revision is an O(1) lookup. Observations arrive
+    from read-only {!Kube.Tap}s (or directly, in store-tier harnesses)
+    and are checked in two tiers:
+
+    {b Always on} — violated only by a simulator defect, regardless of
+    what faults are injected:
+    - {e density}: commits arrive with consecutive revisions 1, 2, 3, …
+    - {e future revision}: no view may claim a revision beyond the
+      committed frontier, and no cached binding may carry a mod-revision
+      above the view's claimed revision;
+    - {e monotonicity}: within one stream generation, delivered event
+      revisions strictly increase;
+    - {e authenticity}: every delivered event equals the committed event
+      at its revision (key, op, value), respects the stream's key-prefix
+      filter, and every cached binding [(k, (v, mod_rev))] matches a
+      committed create/update of [k] with value [v] at [mod_rev].
+
+    {b Strict mode} — additionally assumes no event was deliberately
+    dropped (interceptor [Drop]); {!relax} is called on the first drop:
+    - {e completeness}: a delivered event or frontier advance may not
+      skip a committed event matching the stream's filter;
+    - {e state equality}: a cache claiming revision [r] equals the
+      committed state at [r], restricted to the stream's prefix.
+
+    Delays, partitions and crash/restarts all {e preserve} strict-mode
+    validity: pipes are FIFO, broken streams force a re-list, and a
+    re-list is a stream reset, not a violation. Informer time travel
+    (adopting a stale list) is likewise a reset — the bug-era semantics
+    the simulator exists to study, not a conformance failure.
+
+    The monitor is passive: it draws no randomness, schedules no work and
+    writes nothing to the cluster, so an attached monitor leaves the
+    simulation's trajectory and journal bytes untouched (violations are
+    surfaced through a caller-supplied callback). *)
+
+type code =
+  | Density  (** a commit skipped or repeated a revision *)
+  | Future_rev  (** a view claimed a revision the store never reached *)
+  | Non_monotone  (** delivered event revisions went backwards in-stream *)
+  | Gap  (** strict: a matching committed event was skipped *)
+  | Content  (** a delivered event differs from the committed event *)
+  | State_divergence  (** a cached state contradicts the committed history *)
+
+val code_to_string : code -> string
+
+type violation = {
+  code : code;
+  subject : string;  (** the stream or component that misbehaved *)
+  rev : int;  (** revision at which the violation was detected *)
+  detail : string;
+}
+
+val describe : violation -> string
+
+type 'v t
+
+val create : ?strict:bool -> ?on_violation:(violation -> unit) -> unit -> 'v t
+(** [strict] (default true) enables the completeness and state-equality
+    checks; [on_violation] fires once per distinct (code, subject) pair,
+    at the first occurrence. *)
+
+val strict : 'v t -> bool
+
+val relax : 'v t -> unit
+(** Permanently drops to the always-on checks — call when an interceptor
+    starts dropping events, after which gaps and divergent caches are the
+    *intended* experiment, not a defect. *)
+
+val note_commit : 'v t -> 'v History.Event.t -> unit
+(** Feed every committed event, in commit order (register on
+    [Kv.on_commit] / [Etcd.on_commit] before any consumer). *)
+
+val mirror_rev : 'v t -> int
+(** Revisions mirrored so far. *)
+
+val observe_event : 'v t -> stream:string -> ?prefix:string -> 'v History.Event.t -> unit
+(** A consumer applied a delivered watch event. [stream] must be unique
+    per (component, upstream, generation) — a new generation is a new
+    stream. *)
+
+val observe_advance : 'v t -> stream:string -> ?prefix:string -> rev:int -> unit -> unit
+(** The stream's frontier advanced to [rev] without a state change
+    (bookmark, or an epoch seal whose counts agreed). *)
+
+val observe_reset : 'v t -> stream:string -> ?prefix:string -> rev:int -> 'v History.State.t -> unit
+(** The consumer rebuilt its cache from a list response claiming [rev].
+    Resets the stream's frontier — backwards movement here is informer
+    time travel, which is legal (if regrettable) behaviour. *)
+
+val check_state : 'v t -> subject:string -> ?prefix:string -> rev:int -> 'v History.State.t -> unit
+(** Spot-check a cache against the mirror: binding authenticity always;
+    exact equality with the committed state at [rev] (restricted to
+    [prefix]) in strict mode. *)
+
+val violations : 'v t -> violation list
+(** Distinct violations (first occurrence per (code, subject)), in
+    detection order. *)
+
+val total : 'v t -> int
+(** Total violation occurrences, including deduplicated repeats. *)

@@ -1,0 +1,92 @@
+type outcome = { mutation : string; tripped : bool; codes : Monitor.code list }
+
+let mutations =
+  [ "drop-event"; "reorder-deliveries"; "stale-cache"; "corrupt-value"; "future-claim" ]
+
+let ok o = if String.equal o.mutation "control" then not o.tripped else o.tripped
+
+let distinct_codes violations =
+  List.fold_left
+    (fun acc (v : Monitor.violation) -> if List.mem v.Monitor.code acc then acc else acc @ [ v.Monitor.code ])
+    [] violations
+
+(* A committed history with enough texture to perturb: puts and deletes
+   over a small key pool, through the real store so ops/mod-revs are the
+   production ones. *)
+let generate_history rng ~events =
+  let kv : string Etcdlike.Kv.t = Etcdlike.Kv.create () in
+  let keys = Array.init 6 (fun i -> Printf.sprintf "pods/p%d" i) in
+  let counter = ref 0 in
+  while Etcdlike.Kv.rev kv < events do
+    let key = Dsim.Rng.pick rng keys in
+    if Dsim.Rng.chance rng 0.3 then ignore (Etcdlike.Kv.delete kv key)
+    else begin
+      incr counter;
+      ignore (Etcdlike.Kv.put kv key (Printf.sprintf "v%d" !counter))
+    end
+  done;
+  match Etcdlike.Kv.since kv ~rev:0 with Ok events -> events | Error _ -> assert false
+
+(* Replays [delivered] to a consumer stream, building its cache the way
+   an informer does, then spot-checks the final cache at [claim]. *)
+let replay monitor ~committed ~delivered ~claim ~skip_in_state =
+  List.iter (Monitor.note_commit monitor) committed;
+  let state =
+    List.fold_left
+      (fun state (e : string History.Event.t) ->
+        Monitor.observe_event monitor ~stream:"selftest" e;
+        if List.mem e.History.Event.rev skip_in_state then state else History.State.apply state e)
+      History.State.empty delivered
+  in
+  Monitor.check_state monitor ~subject:"selftest" ~rev:claim state
+
+let run ?(seed = 20260704L) ?(events = 40) () =
+  let rng = Dsim.Rng.create seed in
+  let committed = generate_history rng ~events in
+  let n = List.length committed in
+  assert (n >= 10);
+  let last_rev = (List.nth committed (n - 1)).History.Event.rev in
+  (* Never the last event, so a later delivery always exposes the hole. *)
+  let k = Dsim.Rng.int rng (n - 1) in
+  let arr = Array.of_list committed in
+  let one mutation =
+    let monitor = Monitor.create () in
+    (match mutation with
+    | "control" ->
+        replay monitor ~committed ~delivered:committed ~claim:last_rev ~skip_in_state:[]
+    | "drop-event" ->
+        let delivered = List.filteri (fun i _ -> i <> k) committed in
+        replay monitor ~committed ~delivered ~claim:last_rev
+          ~skip_in_state:[ arr.(k).History.Event.rev ]
+    | "reorder-deliveries" ->
+        let delivered =
+          List.concat
+            (List.mapi
+               (fun i e -> if i = k then [ arr.(k + 1); e ] else if i = k + 1 then [] else [ e ])
+               committed)
+        in
+        replay monitor ~committed ~delivered ~claim:last_rev ~skip_in_state:[]
+    | "stale-cache" ->
+        (* Every event delivered, but the cache missed applying the final
+           one while still claiming the full revision — skipping the last
+           event (rather than a random one) guarantees the divergence is
+           never papered over by a later write to the same key. *)
+        replay monitor ~committed ~delivered:committed ~claim:last_rev
+          ~skip_in_state:[ last_rev ]
+    | "corrupt-value" ->
+        let delivered =
+          List.mapi
+            (fun i (e : string History.Event.t) ->
+              if i = k then { e with History.Event.value = Some "corrupted-by-selftest" } else e)
+            committed
+        in
+        replay monitor ~committed ~delivered ~claim:last_rev ~skip_in_state:[]
+    | "future-claim" ->
+        List.iter (Monitor.note_commit monitor) committed;
+        List.iter (Monitor.observe_event monitor ~stream:"selftest") committed;
+        Monitor.observe_advance monitor ~stream:"selftest" ~rev:(last_rev + 5) ()
+    | _ -> invalid_arg ("Selftest.run: unknown mutation " ^ mutation));
+    let violations = Monitor.violations monitor in
+    { mutation; tripped = violations <> []; codes = distinct_codes violations }
+  in
+  List.map one ("control" :: mutations)

@@ -1,0 +1,33 @@
+(** Mutation self-test: proof the monitor has teeth.
+
+    A monitor that never fires is indistinguishable from a monitor that
+    checks nothing, so the conformance layer ships with its own killers:
+    a committed history is generated, then replayed to a simulated
+    consumer with one deliberate perturbation — a dropped delivery, two
+    reordered deliveries, a stale cache claiming a fresh revision, a
+    corrupted event value, a frontier beyond the committed history — and
+    each perturbation must trip the monitor (while the unperturbed
+    control replay must not).
+
+    Deterministic for a given seed; a soak runs many derived seeds. The
+    perturbations are constructed to be detectable for {e every} seed
+    (e.g. the dropped event is never the last one, so a later delivery
+    always exposes the gap). *)
+
+type outcome = {
+  mutation : string;  (** ["control"] or one of {!mutations} *)
+  tripped : bool;  (** the monitor reported at least one violation *)
+  codes : Monitor.code list;  (** distinct violation codes, detection order *)
+}
+
+val mutations : string list
+(** The perturbations, excluding the control. *)
+
+val ok : outcome -> bool
+(** Control must stay silent; every mutation must trip. *)
+
+val run : ?seed:int64 -> ?events:int -> unit -> outcome list
+(** Generates a history of roughly [events] commits (default 40; puts and
+    deletes over a small key pool) through a real {!Etcdlike.Kv}, then
+    replays it against a fresh monitor once per perturbation. The control
+    outcome is first. *)

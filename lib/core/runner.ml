@@ -10,25 +10,43 @@ let base_test ?(name = "test") ?(config = Kube.Cluster.default_config) ~workload
     =
   { name; config; workload; horizon; strategy }
 
+type conformance = {
+  conf_violations : Conformance.Monitor.violation list;
+  conf_total : int;
+  conf_strict : bool;
+}
+
 type outcome = {
   test : test;
   violations : (int * Oracle.violation) list;
   truth_rev : int;
   cluster : Kube.Cluster.t;
+  conformance : conformance option;
 }
 
-let run_test test =
+let run_test ?(check_conformance = false) test =
   let cluster = Kube.Cluster.create ~config:test.config () in
   let oracle = Oracle.attach cluster in
+  let hooks = if check_conformance then Some (Conformance.Hooks.attach cluster) else None in
   Strategy.apply cluster test.strategy;
   Kube.Cluster.start cluster;
   Kube.Workload.schedule cluster test.workload;
   Kube.Cluster.run cluster ~until:test.horizon;
+  Option.iter Conformance.Hooks.finish hooks;
   {
     test;
     violations = Oracle.violations oracle;
     truth_rev = Kube.Cluster.truth_rev cluster;
     cluster;
+    conformance =
+      Option.map
+        (fun h ->
+          {
+            conf_violations = Conformance.Hooks.violations h;
+            conf_total = Conformance.Hooks.total h;
+            conf_strict = Conformance.Monitor.strict (Conformance.Hooks.monitor h);
+          })
+        hooks;
   }
 
 let violation_entry outcome =
@@ -58,16 +76,43 @@ let artifact outcome =
       outcome.violations
   in
   let chain = List.map Dsim.Trace.entry_to_json (causal_chain outcome) in
+  let conformance =
+    match outcome.conformance with
+    | None -> []
+    | Some c ->
+        [
+          ( "conformance",
+            Dsim.Json.Obj
+              [
+                ( "violations",
+                  Dsim.Json.List
+                    (List.map
+                       (fun (v : Conformance.Monitor.violation) ->
+                         Dsim.Json.Obj
+                           [
+                             ("code", Dsim.Json.String (Conformance.Monitor.code_to_string
+                                                          v.Conformance.Monitor.code));
+                             ("subject", Dsim.Json.String v.Conformance.Monitor.subject);
+                             ("rev", Dsim.Json.Int v.Conformance.Monitor.rev);
+                             ("detail", Dsim.Json.String v.Conformance.Monitor.detail);
+                           ])
+                       c.conf_violations) );
+                ("total", Dsim.Json.Int c.conf_total);
+                ("strict", Dsim.Json.Bool c.conf_strict);
+              ] );
+        ]
+  in
   Dsim.Json.Obj
-    [
-      ("test", Dsim.Json.String outcome.test.name);
-      ("seed", Dsim.Json.Int (Int64.to_int outcome.test.config.Kube.Cluster.seed));
-      ("horizon", Dsim.Json.Int outcome.test.horizon);
-      ("truth_rev", Dsim.Json.Int outcome.truth_rev);
-      ("violations", Dsim.Json.List violations);
-      ("causal_chain", Dsim.Json.List chain);
-      ("metrics", metrics_json outcome);
-    ]
+    ([
+       ("test", Dsim.Json.String outcome.test.name);
+       ("seed", Dsim.Json.Int (Int64.to_int outcome.test.config.Kube.Cluster.seed));
+       ("horizon", Dsim.Json.Int outcome.test.horizon);
+       ("truth_rev", Dsim.Json.Int outcome.truth_rev);
+       ("violations", Dsim.Json.List violations);
+       ("causal_chain", Dsim.Json.List chain);
+       ("metrics", metrics_json outcome);
+     ]
+    @ conformance)
 
 type commit = { time : int; key : string; op : History.Event.op; origin : string }
 

@@ -20,14 +20,29 @@ val base_test :
   Strategy.t ->
   test
 
+type conformance = {
+  conf_violations : Conformance.Monitor.violation list;
+      (** distinct violations, detection order *)
+  conf_total : int;  (** total occurrences including deduplicated repeats *)
+  conf_strict : bool;  (** monitor still in strict mode at the end of the run *)
+}
+(** Result of the online subsequence-invariant check, when requested. *)
+
 type outcome = {
   test : test;
   violations : (int * Oracle.violation) list;
   truth_rev : int;
   cluster : Kube.Cluster.t;  (** post-run handle: trace, components, truth *)
+  conformance : conformance option;  (** [Some] iff run with [check_conformance] *)
 }
 
-val run_test : test -> outcome
+val run_test : ?check_conformance:bool -> test -> outcome
+(** With [check_conformance] (default false), a {!Conformance.Hooks}
+    monitor is attached before the strategy and start, checking every
+    cache boundary online; its findings land in {!outcome.conformance}
+    and, as a ["conformance"] section, in {!artifact}. The monitor is
+    passive — a run's trajectory, trace and metrics are unchanged unless
+    a violation fires. *)
 
 val violation_entry : outcome -> Dsim.Trace.entry option
 (** The trace entry of the run's first oracle violation, if any. *)

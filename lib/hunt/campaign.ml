@@ -25,6 +25,12 @@ type finding = {
 
 type progress = { trials_done : int; total : int; replayed : int; findings : int }
 
+type conformance_summary = {
+  conf_trials : int;
+  conf_total : int;
+  conf_signatures : string list;
+}
+
 type summary = {
   trials : int;
   executed : int;
@@ -33,6 +39,7 @@ type summary = {
   findings : finding list;
   space : (string * int * int) list;
   journal : string;
+  conformance : conformance_summary option;
 }
 
 (* --- planning ------------------------------------------------------ *)
@@ -202,7 +209,7 @@ let write_file path contents =
 
 type worker_result =
   | Replayed of Journal.violation_record list
-  | Ran of (int * Sieve.Oracle.violation) list
+  | Ran of (int * Sieve.Oracle.violation) list * Sieve.Runner.conformance option
 
 let finding_of_journal (f : Journal.entry) =
   match f with
@@ -238,7 +245,7 @@ let emit_artifact ~out ~(finding : finding) ~(test : Sieve.Runner.test) =
     ^ "\n")
 
 let run ?(jobs = 1) ?(out = "_hunt") ?(resume = false) ?budget ?(seed = 42L)
-    ?(minimize_budget = 200) ?hazard_rank ?on_progress ~cases () =
+    ?(minimize_budget = 200) ?hazard_rank ?(check_conformance = false) ?on_progress ~cases () =
   let ({ trials; space } : planned) = plan ?budget ~seed ?hazard_rank ~cases () in
   let n = Array.length trials in
   let case_ids = List.map (fun (c : Sieve.Bugs.case) -> c.Sieve.Bugs.id) cases in
@@ -291,11 +298,20 @@ let run ?(jobs = 1) ?(out = "_hunt") ?(resume = false) ?budget ?(seed = 42L)
   let work index trial =
     match Hashtbl.find_opt done_trials index with
     | Some (Journal.Trial { violations; _ }) -> Replayed violations
-    | Some _ | None -> Ran (Sieve.Runner.run_test trial.test).Sieve.Runner.violations
+    | Some _ | None ->
+        let outcome = Sieve.Runner.run_test ~check_conformance trial.test in
+        Ran (outcome.Sieve.Runner.violations, outcome.Sieve.Runner.conformance)
   in
   let executed = ref 0 in
   let replayed = ref 0 in
   let with_violations = ref 0 in
+  (* Conformance results stay out of the journal on purpose: the journal
+     is pinned byte-identical across job counts, resumes and the
+     --check-conformance flag itself. *)
+  let conf_trials = ref 0 in
+  let conf_total = ref 0 in
+  let conf_signatures : (string, unit) Hashtbl.t = Hashtbl.create 7 in
+  let conf_signatures_rev = ref [] in
   let known : (string, unit) Hashtbl.t = Hashtbl.create 17 in
   let findings_rev = ref [] in
   let settle index result =
@@ -306,8 +322,21 @@ let run ?(jobs = 1) ?(out = "_hunt") ?(resume = false) ?budget ?(seed = 42L)
       | Replayed records ->
           incr replayed;
           records
-      | Ran violations ->
+      | Ran (violations, conformance) ->
           incr executed;
+          (match conformance with
+          | None -> ()
+          | Some c ->
+              incr conf_trials;
+              conf_total := !conf_total + c.Sieve.Runner.conf_total;
+              List.iter
+                (fun v ->
+                  let s = Signature.of_conformance v in
+                  if not (Hashtbl.mem conf_signatures s) then begin
+                    Hashtbl.replace conf_signatures s ();
+                    conf_signatures_rev := s :: !conf_signatures_rev
+                  end)
+                c.Sieve.Runner.conf_violations);
           let records =
             List.map
               (fun (time, v) ->
@@ -406,4 +435,13 @@ let run ?(jobs = 1) ?(out = "_hunt") ?(resume = false) ?budget ?(seed = 42L)
     findings = List.rev !findings_rev;
     space;
     journal = journal_path;
+    conformance =
+      (if check_conformance then
+         Some
+           {
+             conf_trials = !conf_trials;
+             conf_total = !conf_total;
+             conf_signatures = List.rev !conf_signatures_rev;
+           }
+       else None);
   }

@@ -71,6 +71,13 @@ type finding = {
 
 type progress = { trials_done : int; total : int; replayed : int; findings : int }
 
+type conformance_summary = {
+  conf_trials : int;  (** executed trials that ran with the monitor *)
+  conf_total : int;  (** conformance violation occurrences across them *)
+  conf_signatures : string list;
+      (** distinct {!Signature.of_conformance} ids, discovery order *)
+}
+
 type summary = {
   trials : int;
   executed : int;
@@ -79,6 +86,7 @@ type summary = {
   findings : finding list;  (** discovery order *)
   space : (string * int * int) list;
   journal : string;  (** journal path *)
+  conformance : conformance_summary option;  (** [Some] iff [check_conformance] *)
 }
 
 val run :
@@ -89,6 +97,7 @@ val run :
   ?seed:int64 ->
   ?minimize_budget:int ->
   ?hazard_rank:bool ->
+  ?check_conformance:bool ->
   ?on_progress:(progress -> unit) ->
   cases:Sieve.Bugs.case list ->
   unit ->
@@ -102,5 +111,10 @@ val run :
     without it any existing journal is overwritten. [minimize_budget]
     caps shrink executions per finding (default 200; [0] skips
     minimization). [hazard_rank] orders dispatch by the static hazard
-    graph (see {!plan}). [on_progress] fires after every settled trial,
-    on the driver domain. *)
+    graph (see {!plan}). With [check_conformance] (default false) every
+    executed trial also runs the online subsequence-invariant monitor
+    ({!Sieve.Runner.run_test}'s [check_conformance]); results are
+    aggregated into {!summary.conformance} and deliberately kept {e out}
+    of the journal and artifacts, so journal bytes are identical with and
+    without the flag. [on_progress] fires after every settled trial, on
+    the driver domain. *)

@@ -16,6 +16,11 @@ val of_violation : Sieve.Oracle.violation -> string
 (** ["bug-id/component/key"], e.g.
     ["K8s-56261/scheduler/livelock:post-1:node-2"]. *)
 
+val of_conformance : Conformance.Monitor.violation -> string
+(** ["conformance/code/subject"], with the subject's ["@generation"]
+    suffix stripped so repeated violations of the same stream across
+    restarts (and across trials) collapse to one id. *)
+
 val to_dirname : string -> string
 (** Filesystem-safe rendering of a signature (for per-finding artifact
     directories): every byte outside [\[A-Za-z0-9._-\]] becomes ['_']. *)

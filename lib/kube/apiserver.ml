@@ -25,6 +25,7 @@ type t = {
   mutable resyncs : int;
   epoch_seal : int option;  (* seal subscriber streams every N revisions *)
   mutable last_seal_rev : int;
+  mutable tap : Tap.t option;  (* conformance observation point, read-only *)
 }
 
 let name t = t.name
@@ -40,6 +41,24 @@ let subscriber_count t = Hashtbl.length t.subs
 let resync_count t = t.resyncs
 
 let engine t = Dsim.Network.engine t.net
+
+let tap_view t =
+  {
+    Tap.component = t.name;
+    stream = t.name ^ "<-" ^ t.etcd;
+    generation = t.generation;
+    rev = t.last_rev;
+    prefix = None;
+    state = t.cache;
+  }
+
+(* Installing a tap on an apiserver that already adopted the store's
+   state replays the adoption as a reset (see {!Informer.set_tap}). *)
+let set_tap t tap =
+  t.tap <- tap;
+  match tap with
+  | Some tp when t.last_rev > 0 -> tp.Tap.on_reset (tap_view t)
+  | _ -> ()
 
 let push_to_sub sub (e : Resource.value History.Event.t) =
   if e.History.Event.rev > sub.last_sent && History.Event.matches_prefix sub.prefix e then begin
@@ -96,6 +115,7 @@ let observe_event t (e : Resource.value History.Event.t) =
   History.Window.push t.window e;
   trim_window t;
   t.last_heartbeat <- Dsim.Engine.now (engine t);
+  (match t.tap with Some tap -> tap.Tap.on_event (tap_view t) e | None -> ());
   Hashtbl.iter (fun _ sub -> push_to_sub sub e) t.subs;
   maybe_seal t
 
@@ -109,6 +129,7 @@ let on_stream_item t gen item =
            safe — and is what the real watch cache does — to advance. *)
         t.last_rev <- max t.last_rev rev;
         t.last_heartbeat <- Dsim.Engine.now (engine t);
+        (match t.tap with Some tap -> tap.Tap.on_advance (tap_view t) rev | None -> ());
         maybe_seal t
     | Pipe.Seal _ -> ()
 
@@ -130,6 +151,7 @@ let rec bootstrap t gen =
           t.last_heartbeat <- Dsim.Engine.now (engine t);
           Dsim.Engine.record (engine t) ~actor:t.name ~kind:"api.list"
             (Printf.sprintf "listed %d items at rev %d" (List.length items) rev);
+          (match t.tap with Some tap -> tap.Tap.on_reset (tap_view t) | None -> ());
           let watch =
             Messages.Etcd_watch
               {
@@ -219,6 +241,7 @@ let create ~net ~intercept ~name ~etcd ?(window_size = 1000) ?(bookmark_period =
     resyncs = 0;
     epoch_seal;
     last_seal_rev = 0;
+    tap = None;
   }
 
 let start t =

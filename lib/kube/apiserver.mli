@@ -55,3 +55,10 @@ val subscriber_count : t -> int
 
 val resync_count : t -> int
 (** Times the watchdog re-listed after declaring the etcd stream dead. *)
+
+val set_tap : t -> Tap.t option -> unit
+(** Installs (or removes) a conformance {!Tap} observing this cache's
+    delivery points: applied watch events, bookmark frontier advances and
+    list-based rebuilds. Installing after the cache adopted state
+    immediately replays the adoption as [on_reset], so late observers
+    start from the adopted revision. Taps are read-only; see {!Tap}. *)

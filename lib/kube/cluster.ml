@@ -92,6 +92,40 @@ let node_names t = List.map Kubelet.node_name t.kubelets
 let kubelet_for_node t node =
   List.find_opt (fun k -> String.equal (Kubelet.node_name k) node) t.kubelets
 
+(* Every informer cache in the cluster, one handle per list+watch stream —
+   the full set of consumer-side views a conformance monitor must tap. *)
+let informers t =
+  List.map Kubelet.informer t.kubelets
+  @ (match t.scheduler with
+    | Some s -> [ Scheduler.pods_informer s; Scheduler.nodes_informer s ]
+    | None -> [])
+  @ (match t.volume_controller with
+    | Some v -> [ Volume_controller.pods_informer v; Volume_controller.pvcs_informer v ]
+    | None -> [])
+  @ (match t.operator with
+    | Some o ->
+        [
+          Cassandra_operator.dc_informer o;
+          Cassandra_operator.pods_informer o;
+          Cassandra_operator.pvcs_informer o;
+        ]
+    | None -> [])
+  @ (match t.replicaset with
+    | Some r -> [ Replicaset.pods_informer r; Replicaset.rsets_informer r ]
+    | None -> [])
+  @ (match t.node_controller with
+    | Some n -> [ Node_controller.pods_informer n; Node_controller.nodes_informer n ]
+    | None -> [])
+  @
+  match t.deployment with
+  | Some d ->
+      [
+        Deployment.deployments_informer d;
+        Deployment.rsets_informer d;
+        Deployment.pods_informer d;
+      ]
+  | None -> []
+
 let trace t = Dsim.Engine.trace t.engine
 
 let metrics t = Dsim.Engine.metrics t.engine

@@ -78,6 +78,11 @@ val deployment : t -> Deployment.t option
 val user : t -> Client.t
 (** A client ("user") wired to the apiservers, for workloads. *)
 
+val informers : t -> Informer.t list
+(** Every informer cache in the cluster (kubelets, scheduler, controllers,
+    operator) — the full set of consumer-side views a conformance monitor
+    must tap. *)
+
 val trace : t -> Dsim.Trace.t
 
 val metrics : t -> Dsim.Metrics.t

@@ -21,6 +21,7 @@ type t = {
   same_endpoint_retries : int;
   mutable since_seal : int;  (* events received since the last seal *)
   mutable gaps_detected : int;
+  mutable tap : Tap.t option;  (* conformance observation point, read-only *)
 }
 
 let engine t = Dsim.Network.engine t.net
@@ -51,9 +52,14 @@ let create ~net ~owner ~endpoints ~prefix ?(on_event = fun _ -> ()) ?(on_reset =
     same_endpoint_retries = 2;
     since_seal = 0;
     gaps_detected = 0;
+    tap = None;
   }
 
 let running t = t.running
+
+let owner t = t.owner
+
+let prefix t = t.prefix
 
 let store t = t.store
 
@@ -70,6 +76,25 @@ let rotations t = t.rotations
 let gaps_detected t = t.gaps_detected
 
 let alive t gen = t.running && gen = t.generation && Dsim.Network.is_up t.net t.owner
+
+let tap_view t =
+  {
+    Tap.component = t.owner;
+    stream = t.owner ^ "#" ^ t.prefix;
+    generation = t.generation;
+    rev = t.last_rev;
+    prefix = Some t.prefix;
+    state = t.store;
+  }
+
+(* Installing a tap on an informer that already adopted a list replays
+   the adoption as a reset, so the observer's frontier starts at the
+   list revision rather than zero. *)
+let set_tap t tap =
+  t.tap <- tap;
+  match tap with
+  | Some tp when t.running && t.last_rev > 0 -> tp.Tap.on_reset (tap_view t)
+  | _ -> ()
 
 let rotate t =
   t.endpoint_index <- t.endpoint_index + 1;
@@ -91,10 +116,12 @@ let rec on_stream_item t gen item =
         t.last_rev <- max t.last_rev e.History.Event.rev;
         t.last_heartbeat <- Dsim.Engine.now (engine t);
         t.since_seal <- t.since_seal + 1;
+        (match t.tap with Some tap -> tap.Tap.on_event (tap_view t) e | None -> ());
         t.on_event e
     | Pipe.Bookmark rev ->
         t.last_rev <- max t.last_rev rev;
-        t.last_heartbeat <- Dsim.Engine.now (engine t)
+        t.last_heartbeat <- Dsim.Engine.now (engine t);
+        (match t.tap with Some tap -> tap.Tap.on_advance (tap_view t) rev | None -> ())
     | Pipe.Seal { upto_rev; sent } ->
         t.last_heartbeat <- Dsim.Engine.now (engine t);
         (* The epoch protocol's payoff: the counts either agree — and the
@@ -102,7 +129,8 @@ let rec on_stream_item t gen item =
            an event was silently lost and we re-list right now. *)
         if t.since_seal = sent then begin
           t.since_seal <- 0;
-          t.last_rev <- max t.last_rev upto_rev
+          t.last_rev <- max t.last_rev upto_rev;
+          (match t.tap with Some tap -> tap.Tap.on_advance (tap_view t) upto_rev | None -> ())
         end
         else begin
           t.gaps_detected <- t.gaps_detected + 1;
@@ -141,6 +169,7 @@ and bootstrap t gen =
             Dsim.Engine.record (engine t) ~actor:t.owner ~kind:"informer.list"
               (Printf.sprintf "%s %s: %d items at rev %d" endpoint t.prefix (List.length items)
                  rev);
+            (match t.tap with Some tap -> tap.Tap.on_reset (tap_view t) | None -> ());
             t.on_reset ();
             let watch =
               Messages.Api_watch

@@ -47,6 +47,11 @@ val stop : t -> unit
 
 val running : t -> bool
 
+val owner : t -> string
+
+val prefix : t -> string
+(** The key prefix this informer lists and watches. *)
+
 val store : t -> Resource.value History.State.t
 
 val get : t -> string -> Resource.value option
@@ -64,3 +69,11 @@ val rotations : t -> int
 val gaps_detected : t -> int
 (** Holes exposed by epoch seals (requires the serving apiserver to have
     [epoch_seal] enabled); each one triggered an immediate re-list. *)
+
+val set_tap : t -> Tap.t option -> unit
+(** Installs (or removes) a conformance {!Tap} observing this store's
+    delivery points: applied watch events, bookmark/seal frontier advances
+    and list-based rebuilds. Installing on a running informer that already
+    adopted a list immediately replays the adoption as [on_reset], so late
+    observers start from the adopted revision. Taps are read-only; see
+    {!Tap}. *)

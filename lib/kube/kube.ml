@@ -17,6 +17,7 @@ module Resource = Resource
 module Messages = Messages
 module Intercept = Intercept
 module Pipe = Pipe
+module Tap = Tap
 module Etcd = Etcd
 module Apiserver = Apiserver
 module Informer = Informer

@@ -1,0 +1,27 @@
+(* Conformance taps: read-only observation points at every consumer-side
+   delivery boundary (apiserver watch cache, informer stores).
+
+   A tap is a set of callbacks a monitor installs on a component; the
+   component calls them *after* mutating its cache, passing a [view]
+   snapshot of the cache it just exposed to its consumers. Taps carry no
+   authority: they must not write to the cluster, draw randomness, or
+   schedule work, so an installed tap leaves the simulation's event
+   order, RNG stream and journal bytes untouched. *)
+
+type view = {
+  component : string;  (* the cache owner, e.g. "api-1" or "kubelet-2" *)
+  stream : string;  (* upstream stream identity, unique per component *)
+  generation : int;  (* bumped on crash/re-list; a new generation is a new stream *)
+  rev : int;  (* the frontier the component claims after this step *)
+  prefix : string option;  (* the stream's key filter, if any *)
+  state : Resource.value History.State.t;  (* the cache after this step *)
+}
+
+type t = {
+  on_event : view -> Resource.value History.Event.t -> unit;
+      (* a watch event was delivered and applied *)
+  on_advance : view -> int -> unit;
+      (* the frontier advanced without state change (bookmark / seal) *)
+  on_reset : view -> unit;
+      (* the cache was rebuilt from a list response at [view.rev] *)
+}

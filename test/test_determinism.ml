@@ -1,0 +1,100 @@
+(* Determinism regression: equal inputs must yield byte-identical
+   artifacts — the property every campaign journal, resume and
+   conformance comparison stands on. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  contents
+
+let mkdir_if_missing path = if not (Sys.file_exists path) then Sys.mkdir path 0o755
+
+let sample_test strategy =
+  Sieve.Runner.base_test ~config:Kube.Cluster.default_config
+    ~workload:(Kube.Workload.pod_churn ~n:2 ())
+    ~horizon:5_000_000 strategy
+
+let same_test_same_trace () =
+  List.iter
+    (fun strategy ->
+      let a = Sieve.Runner.run_test (sample_test strategy) in
+      let b = Sieve.Runner.run_test (sample_test strategy) in
+      Alcotest.(check string)
+        ("byte-identical traces under " ^ Sieve.Strategy.describe strategy)
+        (Sieve.Runner.trace_jsonl a) (Sieve.Runner.trace_jsonl b))
+    [
+      Sieve.Strategy.No_perturbation;
+      Sieve.Strategy.Crash_restart { victim = "kubelet-1"; at = 1_000_000; downtime = 800_000 };
+      Sieve.Strategy.Partition_window
+        { a = "kubelet-2"; b = "api-1"; from = 500_000; until = 2_000_000 };
+    ]
+
+let same_trace_with_conformance () =
+  (* The monitor must not perturb the trajectory: same seed, flag on,
+     run twice, and against the flag-off bytes. *)
+  let test =
+    sample_test
+      (Sieve.Strategy.Crash_restart { victim = "kubelet-1"; at = 1_000_000; downtime = 800_000 })
+  in
+  let off = Sieve.Runner.run_test test in
+  let on1 = Sieve.Runner.run_test ~check_conformance:true test in
+  let on2 = Sieve.Runner.run_test ~check_conformance:true test in
+  Alcotest.(check string) "flag on is reproducible" (Sieve.Runner.trace_jsonl on1)
+    (Sieve.Runner.trace_jsonl on2);
+  Alcotest.(check string) "flag on equals flag off" (Sieve.Runner.trace_jsonl off)
+    (Sieve.Runner.trace_jsonl on1)
+
+let campaign ?(jobs = 1) ?(check_conformance = false) ~out () =
+  Hunt.Campaign.run ~jobs ~out ~budget:16 ~seed:42L ~minimize_budget:0 ~check_conformance
+    ~cases:[ Sieve.Bugs.ca_398 () ] ()
+
+let hunt_journal_invariant_under_conformance () =
+  mkdir_if_missing "_hunt_test";
+  let base = campaign ~jobs:1 ~out:"_hunt_test/conf-off" () in
+  let seq = campaign ~jobs:1 ~check_conformance:true ~out:"_hunt_test/conf-j1" () in
+  let (_ : Hunt.Campaign.summary) =
+    campaign ~jobs:4 ~check_conformance:true ~out:"_hunt_test/conf-j4" ()
+  in
+  let journal out = read_file (out ^ "/journal.jsonl") in
+  Alcotest.(check string) "flag does not change journal bytes"
+    (journal "_hunt_test/conf-off") (journal "_hunt_test/conf-j1");
+  Alcotest.(check string) "parallel conformance journal identical"
+    (journal "_hunt_test/conf-j1") (journal "_hunt_test/conf-j4");
+  (match (base.Hunt.Campaign.conformance, seq.Hunt.Campaign.conformance) with
+  | None, Some c ->
+      Alcotest.(check int) "every executed trial checked" seq.Hunt.Campaign.executed
+        c.Hunt.Campaign.conf_trials;
+      Alcotest.(check int) "no violations on the corpus" 0 c.Hunt.Campaign.conf_total;
+      Alcotest.(check (list string)) "no signatures" [] c.Hunt.Campaign.conf_signatures
+  | _ -> Alcotest.fail "conformance summary present iff the flag is set");
+  (* Findings artifacts must not change either: conformance results stay
+     out of finding directories by design. *)
+  let fingerprint (s : Hunt.Campaign.summary) =
+    List.map
+      (fun (f : Hunt.Campaign.finding) -> (f.Hunt.Campaign.signature, f.Hunt.Campaign.trial))
+      s.Hunt.Campaign.findings
+  in
+  Alcotest.(check bool) "same findings" true (fingerprint base = fingerprint seq);
+  List.iter
+    (fun (f : Hunt.Campaign.finding) ->
+      let dir = "/findings/" ^ Hunt.Signature.to_dirname f.Hunt.Campaign.signature in
+      List.iter
+        (fun file ->
+          Alcotest.(check string)
+            (file ^ " bytes unchanged by the flag")
+            (read_file ("_hunt_test/conf-off" ^ dir ^ "/" ^ file))
+            (read_file ("_hunt_test/conf-j1" ^ dir ^ "/" ^ file)))
+        [ "artifact.json"; "finding.json" ])
+    base.Hunt.Campaign.findings
+
+let suites =
+  [
+    ( "determinism",
+      [
+        Alcotest.test_case "same test, same trace" `Slow same_test_same_trace;
+        Alcotest.test_case "conformance flag preserves traces" `Slow same_trace_with_conformance;
+        Alcotest.test_case "hunt journal invariant under conformance" `Slow
+          hunt_journal_invariant_under_conformance;
+      ] );
+  ]

@@ -58,6 +58,73 @@ let distinct_ids () =
   let b = Etcdlike.Lease.grant l ~ttl:10 ~now:0 in
   Alcotest.(check bool) "fresh ids" true (a <> b)
 
+(* Model-based: random grant/attach/keepalive/revoke/expire schedules
+   against the sequential reference model — ids, key lists, deadlines
+   and expiry batches must all agree. *)
+let qcheck_lease_agrees_with_model =
+  let key_of i = Printf.sprintf "locks/l%d" i in
+  (* (kind, a, b): 0 grant ttl=(1+a) | 1 attach slot a key b |
+     2 keepalive slot a | 3 revoke slot a | 4 tick +(1+a) | 5 expire *)
+  let gen_step = QCheck.Gen.(triple (int_bound 5) (int_bound 5) (int_bound 5)) in
+  QCheck.Test.make ~name:"lease agrees with the sequential model" ~count:300
+    (QCheck.make
+       ~print:(fun steps ->
+         String.concat "; "
+           (List.map (fun (k, a, b) -> Printf.sprintf "(%d,%d,%d)" k a b) steps))
+       QCheck.Gen.(list_size (0 -- 40) gen_step))
+    (fun steps ->
+      let lease = Etcdlike.Lease.create () in
+      let model = ref Conformance.Model.empty in
+      let granted = ref [] in
+      let now = ref 0 in
+      let ok = ref true in
+      let slot a = match !granted with [] -> 999 | ids -> List.nth ids (a mod List.length ids) in
+      List.iter
+        (fun (kind, a, b) ->
+          (match kind with
+          | 0 ->
+              let id = Etcdlike.Lease.grant lease ~ttl:(1 + a) ~now:!now in
+              let m', id' = Conformance.Model.grant !model ~ttl:(1 + a) ~now:!now in
+              model := m';
+              ok := !ok && id = id';
+              granted := !granted @ [ id ]
+          | 1 ->
+              let id = slot a in
+              Etcdlike.Lease.attach lease ~lease:id ~key:(key_of b);
+              model := Conformance.Model.attach !model ~lease:id ~key:(key_of b)
+          | 2 ->
+              let id = slot a in
+              let alive = Etcdlike.Lease.keepalive lease ~lease:id ~now:!now in
+              let m', alive' = Conformance.Model.keepalive !model ~lease:id ~now:!now in
+              model := m';
+              ok := !ok && alive = alive'
+          | 3 ->
+              let id = slot a in
+              let keys = Etcdlike.Lease.revoke lease ~lease:id in
+              let m', keys' = Conformance.Model.revoke !model ~lease:id in
+              model := m';
+              granted := List.filter (fun g -> g <> id) !granted;
+              ok := !ok && keys = keys'
+          | 4 -> now := !now + 1 + a
+          | _ ->
+              let out = Etcdlike.Lease.expire lease ~now:!now in
+              let m', out' = Conformance.Model.expire !model ~now:!now in
+              model := m';
+              granted := List.filter (fun g -> not (List.mem_assoc g out)) !granted;
+              ok := !ok && out = out');
+          ok := !ok && Etcdlike.Lease.active lease = Conformance.Model.active_leases !model;
+          List.iter
+            (fun id ->
+              ok :=
+                !ok
+                && Etcdlike.Lease.keys lease ~lease:id
+                   = Conformance.Model.lease_keys !model ~lease:id
+                && Etcdlike.Lease.ttl_remaining lease ~lease:id ~now:!now
+                   = Conformance.Model.ttl_remaining !model ~lease:id ~now:!now)
+            !granted)
+        steps;
+      !ok)
+
 let suites =
   [
     ( "lease",
@@ -70,5 +137,6 @@ let suites =
         Alcotest.test_case "attach is idempotent" `Quick attach_is_idempotent;
         Alcotest.test_case "ttl remaining reports" `Quick ttl_remaining_reports;
         Alcotest.test_case "distinct ids" `Quick distinct_ids;
+        Qcheck_util.to_alcotest qcheck_lease_agrees_with_model;
       ] );
   ]

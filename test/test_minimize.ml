@@ -71,6 +71,21 @@ let minimize_rejects_non_failing_input () =
   Alcotest.(check bool) "unchanged" true
     (minimized.Sieve.Runner.strategy = Sieve.Strategy.No_perturbation)
 
+let minimize_is_idempotent_on_corpus () =
+  (* A minimized plan is a fixpoint: the greedy loop ran out of shrink
+     candidates that still reproduce, so a second pass must return the
+     plan unchanged (cost > 1 allowed — it re-verifies candidates). *)
+  List.iter
+    (fun case ->
+      let test = Sieve.Bugs.test_of_case case in
+      let once, _ = Sieve.Minimize.minimize ~test ~target:case.Sieve.Bugs.matches () in
+      let twice, _ = Sieve.Minimize.minimize ~test:once ~target:case.Sieve.Bugs.matches () in
+      Alcotest.(check string)
+        (case.Sieve.Bugs.id ^ " minimization is idempotent")
+        (Sieve.Strategy.describe once.Sieve.Runner.strategy)
+        (Sieve.Strategy.describe twice.Sieve.Runner.strategy))
+    (Sieve.Bugs.all_with_extras ())
+
 let minimize_respects_budget () =
   let case = Sieve.Bugs.k8s_59848 () in
   let test = Sieve.Bugs.test_of_case case in
@@ -92,5 +107,7 @@ let suites =
         Alcotest.test_case "minimize rejects non-failing input" `Quick
           minimize_rejects_non_failing_input;
         Alcotest.test_case "minimize respects budget" `Slow minimize_respects_budget;
+        Alcotest.test_case "minimize is idempotent on the corpus" `Slow
+          minimize_is_idempotent_on_corpus;
       ] );
   ]

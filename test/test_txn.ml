@@ -91,6 +91,71 @@ let empty_txn_succeeds () =
   Alcotest.(check bool) "vacuous" true outcome.Etcdlike.Txn.succeeded;
   Alcotest.(check int) "no events" 0 (List.length outcome.Etcdlike.Txn.events)
 
+(* Model-based: random transactions against the sequential reference
+   model — guards of every kind, both branches, multi-op branches —
+   must agree on the outcome and the resulting store. *)
+let qcheck_txn_agrees_with_model =
+  let key_of i = Printf.sprintf "k%d" i in
+  let gen_guard = QCheck.Gen.(pair (int_bound 5) (int_bound 4)) in
+  let gen_op = QCheck.Gen.(pair bool (int_bound 4)) in
+  let gen_txn = QCheck.Gen.(triple (list_size (0 -- 3) gen_guard) (list_size (0 -- 3) gen_op) (list_size (0 -- 3) gen_op)) in
+  QCheck.Test.make ~name:"txn agrees with the sequential model" ~count:300
+    (QCheck.make QCheck.Gen.(pair (list_size (0 -- 6) (pair (int_bound 4) bool)) (list_size (1 -- 5) gen_txn)))
+    (fun (setup, txns) ->
+      let kv = Etcdlike.Kv.create () in
+      let model = ref Conformance.Model.empty in
+      let vc = ref 0 in
+      let fresh () = incr vc; Printf.sprintf "v%d" !vc in
+      (* Seed both sides identically so guards can hit live keys. *)
+      List.iter
+        (fun (k, is_put) ->
+          if is_put then begin
+            let v = fresh () in
+            ignore (Etcdlike.Kv.put kv (key_of k) v);
+            model := fst (Conformance.Model.put !model (key_of k) v)
+          end
+          else begin
+            ignore (Etcdlike.Kv.delete kv (key_of k));
+            model := fst (Conformance.Model.delete !model (key_of k))
+          end)
+        setup;
+      List.for_all
+        (fun (guards, success, failure) ->
+          (* Late-bind store-dependent guards so they sometimes hold. *)
+          let guards =
+            List.map
+              (fun (kind, k) ->
+                let key = key_of k in
+                match kind with
+                | 0 -> Etcdlike.Txn.Exists key
+                | 1 -> Etcdlike.Txn.Absent key
+                | 2 -> Etcdlike.Txn.Mod_rev_eq (key, 0)
+                | 3 ->
+                    let mr = match Etcdlike.Kv.get kv key with Some (_, r) -> r | None -> 0 in
+                    Etcdlike.Txn.Mod_rev_eq (key, mr)
+                | 4 -> (
+                    match Etcdlike.Kv.get kv key with
+                    | Some (v, _) -> Etcdlike.Txn.Value_eq (key, v)
+                    | None -> Etcdlike.Txn.Value_eq (key, "absent"))
+                | _ -> Etcdlike.Txn.Value_eq (key, "nope"))
+              guards
+          in
+          let bind ops =
+            List.map
+              (fun (is_put, k) ->
+                if is_put then Etcdlike.Txn.Put (key_of k, fresh ())
+                else Etcdlike.Txn.Delete (key_of k))
+              ops
+          in
+          let txn = { Etcdlike.Txn.guards; success = bind success; failure = bind failure } in
+          let o = Etcdlike.Txn.eval kv txn in
+          let m', o' = Conformance.Model.txn !model txn in
+          model := m';
+          o = o'
+          && History.State.bindings (Etcdlike.Kv.state kv) = Conformance.Model.bindings !model
+          && Etcdlike.Kv.rev kv = Conformance.Model.rev !model)
+        txns)
+
 let suites =
   [
     ( "txn",
@@ -104,5 +169,6 @@ let suites =
         Alcotest.test_case "value_eq guard" `Quick value_eq_guard;
         Alcotest.test_case "outcome reports events and rev" `Quick outcome_reports_events_and_rev;
         Alcotest.test_case "empty txn succeeds" `Quick empty_txn_succeeds;
+        Qcheck_util.to_alcotest qcheck_txn_agrees_with_model;
       ] );
   ]
