@@ -14,6 +14,7 @@
      lint       static-analysis cost: source lint + hazard-graph build
      store      store-tier hot path vs naive list/filter; BENCH_store.json
      conformance  online-monitor overhead on the hunt hot path; BENCH_conformance.json
+     diagnosis  root-cause card cost: corpus sweep + hunt overhead; BENCH_diagnosis.json
      micro      Bechamel micro-benchmarks of the substrate
 
    `dune exec bench/main.exe` runs everything; pass experiment names to
@@ -1600,6 +1601,125 @@ let conformance_bench () =
      checks are O(1) per delivery, so the monitor rides along on every hunt.\n"
 
 (* ------------------------------------------------------------------ *)
+(* DIAGNOSIS: root-cause card cost.                                   *)
+
+(* Two numbers matter: what a card costs in isolation (the corpus
+   sweep — one tracked re-run plus a causal walk and two static
+   analyses per bug), and what `hunt --diagnose` adds to the campaign
+   hot path, where divergence tracking rides on every executed trial
+   and each finding pays one extra tracked re-run for its card. Budget
+   and cases match the HUNT/CONFORMANCE experiments so the baselines
+   agree; BENCH_diagnosis.json records the trajectory. *)
+
+let diagnosis_bench () =
+  Sieve.Report.section "DIAGNOSIS — root-cause cards: corpus sweep + campaign overhead";
+  (* Arm 1: the full-corpus sweep, every card schema-checked. *)
+  let corpus = Sieve.Bugs.all_with_extras () in
+  let started = Unix.gettimeofday () in
+  let cards =
+    List.filter_map (fun case -> snd (Diagnosis.Diagnose.diagnose_case case)) corpus
+  in
+  let corpus_s = Unix.gettimeofday () -. started in
+  let cards_valid =
+    List.for_all
+      (fun c -> Diagnosis.Card.validate (Diagnosis.Card.to_json c) = Ok ())
+      cards
+  in
+  Sieve.Report.table
+    ~header:[ "bug"; "divergence"; "rev"; "suspect"; "anti-pattern" ]
+    (List.map
+       (fun (c : Diagnosis.Card.t) ->
+         let d = c.Diagnosis.Card.divergence in
+         [
+           c.Diagnosis.Card.bug;
+           d.Diagnosis.Card.kind;
+           string_of_int d.Diagnosis.Card.rev;
+           c.Diagnosis.Card.suspect.Diagnosis.Card.component;
+           c.Diagnosis.Card.suspect.Diagnosis.Card.anti_pattern;
+         ])
+       cards);
+  Sieve.Report.kv
+    [
+      ( "corpus sweep",
+        Printf.sprintf "%d cards in %.2f s (%.0f ms/card)" (List.length cards) corpus_s
+          (1000.0 *. corpus_s /. float_of_int (max 1 (List.length cards))) );
+      ("all cards schema-valid", if cards_valid then "yes" else "NO");
+    ];
+  (* Arm 2: campaign overhead, interleaved off/on pairs, best-of-3. *)
+  let cases = [ Sieve.Bugs.k8s_56261 (); Sieve.Bugs.ca_402 () ] in
+  let budget = 120 in
+  let tmp = Filename.get_temp_dir_name () in
+  let journal_of out =
+    let path = Filename.concat out "journal.jsonl" in
+    let ic = open_in_bin path in
+    let contents = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    contents
+  in
+  let run ~diagnose label =
+    let out = Filename.concat tmp (Printf.sprintf "diag-bench-%d-%s" (Unix.getpid ()) label) in
+    let started = Unix.gettimeofday () in
+    let summary =
+      Hunt.Campaign.run ~jobs:1 ~out ~budget ~seed:42L ~minimize_budget:0 ~diagnose ~cases ()
+    in
+    (summary, Unix.gettimeofday () -. started, out)
+  in
+  let (_ : Hunt.Campaign.summary * float * string) = run ~diagnose:false "warm" in
+  let reps = 3 in
+  let pairs =
+    List.init reps (fun i ->
+        ( run ~diagnose:false (Printf.sprintf "off-%d" i),
+          run ~diagnose:true (Printf.sprintf "on-%d" i) ))
+  in
+  let best picks =
+    List.fold_left
+      (fun (bs, bw, bo) (s, w, o) -> if w < bw then (s, w, o) else (bs, bw, bo))
+      (List.hd picks) (List.tl picks)
+  in
+  let base, baseline_s, base_out = best (List.map fst pairs) in
+  let diag, diagnose_s, diag_out = best (List.map snd pairs) in
+  let overhead_pct = 100.0 *. (diagnose_s -. baseline_s) /. Float.max baseline_s 1e-9 in
+  let journal_identical = String.equal (journal_of base_out) (journal_of diag_out) in
+  Printf.printf "\n(%d trials over %s, 1 job, minimization off — the HUNT baseline)\n\n"
+    budget
+    (String.concat " + " (List.map (fun c -> c.Sieve.Bugs.id) cases));
+  Sieve.Report.table
+    ~header:[ "campaign"; "trials"; "wall time"; "cards"; "journal" ]
+    [
+      [ "diagnose off"; string_of_int base.Hunt.Campaign.executed;
+        Printf.sprintf "%.2f s" baseline_s; "-"; "baseline" ];
+      [ "diagnose on"; string_of_int diag.Hunt.Campaign.executed;
+        Printf.sprintf "%.2f s" diagnose_s;
+        string_of_int diag.Hunt.Campaign.cards;
+        (if journal_identical then "byte-identical" else "DIVERGED!") ];
+    ];
+  Sieve.Report.kv [ ("overhead", Printf.sprintf "%+.1f%%" overhead_pct) ];
+  let json =
+    Dsim.Json.Obj
+      [
+        ("schema", Dsim.Json.String "bench-diagnosis/1");
+        ("corpus_cards", Dsim.Json.Int (List.length cards));
+        ("corpus_s", Dsim.Json.Float corpus_s);
+        ("cards_valid", Dsim.Json.Bool cards_valid);
+        ("trials", Dsim.Json.Int budget);
+        ("baseline_s", Dsim.Json.Float baseline_s);
+        ("diagnose_s", Dsim.Json.Float diagnose_s);
+        ("overhead_pct", Dsim.Json.Float overhead_pct);
+        ("campaign_cards", Dsim.Json.Int diag.Hunt.Campaign.cards);
+        ("journal_identical", Dsim.Json.Bool journal_identical);
+      ]
+  in
+  let oc = open_out "BENCH_diagnosis.json" in
+  output_string oc (Dsim.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "\nwrote BENCH_diagnosis.json. Expected shape: eight valid cards in the\n\
+     sweep, journal bytes untouched by the flag, and overhead proportional to\n\
+     findings (one tracked re-run per card), not to trials — the monitor's\n\
+     divergence tracking itself is O(1) per delivery.\n"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1624,6 +1744,7 @@ let experiments =
     ("lint", lint_bench);
     ("store", store_bench);
     ("conformance", conformance_bench);
+    ("diagnosis", diagnosis_bench);
     ("micro", micro);
   ]
 

@@ -9,6 +9,7 @@
      explore [--json]          run the planner end-to-end on a workload
      hunt [ID...]              parallel, persistent, coverage-guided campaign
      check [ID...]             conformance: mutation self-test + fault-free corpus runs
+     diagnose [ID...]          root-cause cards: divergence point + suspect read-site
      lint [PATH...]            static partial-history lint over controller sources
      hazards [--json]          static footprint/hazard graph of a configuration *)
 
@@ -181,20 +182,35 @@ let timeline_cmd =
       value & flag
       & info [ "json" ] ~doc:"Emit the full metrics snapshot as JSON instead of sparklines.")
   in
-  let run id json =
+  let diagnosis_arg =
+    Arg.(
+      value & flag
+      & info [ "diagnosis" ]
+          ~doc:
+            "Run with divergence tracking and render the diagnosis card's divergence event \
+             inline (with $(b,--json), embed the whole card).")
+  in
+  let run id json diagnosis =
     match Sieve.Bugs.find id with
     | None ->
         Printf.eprintf "unknown bug id %s\n" id;
         exit 2
     | Some case ->
-        let outcome = Sieve.Runner.run_test (Sieve.Bugs.test_of_case case) in
+        let outcome =
+          Sieve.Runner.run_test ~diagnose:diagnosis (Sieve.Bugs.test_of_case case)
+        in
+        let card = if diagnosis then Diagnosis.Diagnose.of_outcome outcome else None in
         if json then
           Sieve.Report.json
             (Dsim.Json.Obj
-               [
-                 ("bug", Dsim.Json.String case.Sieve.Bugs.id);
-                 ("metrics", Sieve.Runner.metrics_json outcome);
-               ])
+               ([
+                  ("bug", Dsim.Json.String case.Sieve.Bugs.id);
+                  ("metrics", Sieve.Runner.metrics_json outcome);
+                ]
+               @
+               match card with
+               | Some c -> [ ("diagnosis", Diagnosis.Card.to_json c) ]
+               | None -> []))
         else begin
           let metrics = Kube.Cluster.metrics outcome.Sieve.Runner.cluster in
           Printf.printf "%s — revision lag by component over 0 .. %.1f s\n\n" case.Sieve.Bugs.id
@@ -214,14 +230,28 @@ let timeline_cmd =
                 (String.sub name 4 (String.length name - 4))
                 (sparkline values) peak)
             lag_names;
-          match outcome.Sieve.Runner.violations with
+          (match outcome.Sieve.Runner.violations with
           | (t, v) :: _ ->
               Printf.printf "\nviolation [%s] at %.3f s: %s\n" (Sieve.Oracle.bug_id v)
                 (float_of_int t /. 1e6) (Sieve.Oracle.describe v)
-          | [] -> ()
+          | [] -> ());
+          match card with
+          | None -> ()
+          | Some c ->
+              (* The divergence event, placed on the same axis as the
+                 lag rows; the full card reuses the JSON renderer rather
+                 than growing a second formatter. *)
+              Printf.printf "divergence [%s] rev %d on %s: %s\n"
+                c.Diagnosis.Card.divergence.Diagnosis.Card.kind
+                c.Diagnosis.Card.divergence.Diagnosis.Card.rev
+                c.Diagnosis.Card.divergence.Diagnosis.Card.stream
+                (match c.Diagnosis.Card.divergence.Diagnosis.Card.event with
+                | Some e -> e
+                | None -> c.Diagnosis.Card.divergence.Diagnosis.Card.detail);
+              Sieve.Report.json (Diagnosis.Card.to_json c)
         end
   in
-  Cmd.v (Cmd.info "timeline" ~doc) Term.(const run $ id_arg $ json_arg)
+  Cmd.v (Cmd.info "timeline" ~doc) Term.(const run $ id_arg $ json_arg $ diagnosis_arg)
 
 (* --- campaign ------------------------------------------------------ *)
 
@@ -541,7 +571,17 @@ let hunt_cmd =
              results stay out of the journal, so journal bytes are identical with and without \
              this flag.")
   in
-  let run ids jobs out resume budget seed quiet hazard_rank check_conformance =
+  let diagnose_arg =
+    Arg.(
+      value & flag
+      & info [ "diagnose" ]
+          ~doc:
+            "Attach a root-cause diagnosis card ($(b,card.json)) to every finding's artifact \
+             directory, computed by re-running the minimized reproduction with divergence \
+             tracking. Cards stay out of the journal, so journal bytes are identical with and \
+             without this flag.")
+  in
+  let run ids jobs out resume budget seed quiet hazard_rank check_conformance diagnose =
     match resolve_cases ids with
     | Error message ->
         prerr_endline message;
@@ -558,7 +598,7 @@ let hunt_cmd =
         let summary =
           try
             Hunt.Campaign.run ~jobs ~out ~resume ?budget ~seed ~hazard_rank ~check_conformance
-              ~on_progress ~cases ()
+              ~diagnose ~on_progress ~cases ()
           with Failure message ->
             if not quiet then prerr_newline ();
             prerr_endline message;
@@ -590,19 +630,23 @@ let hunt_cmd =
              summary.Hunt.Campaign.space);
         print_newline ();
         Sieve.Report.kv
-          [
-            ("trials", string_of_int summary.Hunt.Campaign.trials);
-            ("executed", string_of_int summary.Hunt.Campaign.executed);
-            ("replayed from journal", string_of_int summary.Hunt.Campaign.replayed);
-            ("trials with violations", string_of_int summary.Hunt.Campaign.with_violations);
-            ( "distinct findings",
-              string_of_int (List.length summary.Hunt.Campaign.findings) );
-            ( "throughput",
-              Printf.sprintf "%.0f trials/s (%d jobs, %.2f s wall)"
-                (float_of_int summary.Hunt.Campaign.executed /. Float.max wall 1e-9)
-                jobs wall );
-            ("journal", summary.Hunt.Campaign.journal);
-          ];
+          ([
+             ("trials", string_of_int summary.Hunt.Campaign.trials);
+             ("executed", string_of_int summary.Hunt.Campaign.executed);
+             ("replayed from journal", string_of_int summary.Hunt.Campaign.replayed);
+             ("trials with violations", string_of_int summary.Hunt.Campaign.with_violations);
+             ( "distinct findings",
+               string_of_int (List.length summary.Hunt.Campaign.findings) );
+             ( "throughput",
+               Printf.sprintf "%.0f trials/s (%d jobs, %.2f s wall)"
+                 (float_of_int summary.Hunt.Campaign.executed /. Float.max wall 1e-9)
+                 jobs wall );
+             ("journal", summary.Hunt.Campaign.journal);
+           ]
+          @
+          if diagnose then
+            [ ("diagnosis cards", string_of_int summary.Hunt.Campaign.cards) ]
+          else []);
         (match summary.Hunt.Campaign.conformance with
         | None -> ()
         | Some c ->
@@ -621,7 +665,7 @@ let hunt_cmd =
   Cmd.v (Cmd.info "hunt" ~doc)
     Term.(
       const run $ ids_arg $ jobs_arg $ out_arg $ resume_arg $ budget_arg $ seed_arg
-      $ quiet_arg $ hazard_rank_arg $ check_conformance_arg)
+      $ quiet_arg $ hazard_rank_arg $ check_conformance_arg $ diagnose_arg)
 
 (* --- check ---------------------------------------------------------- *)
 
@@ -717,6 +761,103 @@ let check_cmd =
         end
   in
   Cmd.v (Cmd.info "check" ~doc) Term.(const run $ ids_arg $ soak_arg $ seed_arg)
+
+(* --- diagnose ------------------------------------------------------- *)
+
+let diagnose_cmd =
+  let doc =
+    "Reproduce corpus bugs under divergence tracking and emit one root-cause diagnosis card \
+     per bug: the divergence point where the suspect stream left the committed subsequence, \
+     the controller read-site that acted on it, and the statically-predicted hazard it \
+     instantiates. Every card is validated against the card schema; nonzero exit if a card is \
+     missing or malformed."
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the cards as a JSON list.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "out" ] ~docv:"DIR" ~doc:"Also write each card to $(docv)/$(i,ID).card.json.")
+  in
+  let minimize_budget_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "minimize-budget" ] ~docv:"N"
+          ~doc:
+            "Shrink each exposing strategy (at most $(docv) extra executions per bug) and \
+             embed the minimized plan in its card (0 = embed the full plan only).")
+  in
+  let run ids json out minimize_budget =
+    match resolve_cases ids with
+    | Error message ->
+        prerr_endline message;
+        exit 2
+    | Ok cases ->
+        let failures = ref 0 in
+        let cards =
+          List.filter_map
+            (fun (case : Sieve.Bugs.case) ->
+              match Diagnosis.Diagnose.diagnose_case ~minimize_budget case with
+              | _, None ->
+                  incr failures;
+                  Printf.eprintf "%s: no diagnosis card (run tripped nothing)\n"
+                    case.Sieve.Bugs.id;
+                  None
+              | _, Some card -> (
+                  let j = Diagnosis.Card.to_json card in
+                  match Diagnosis.Card.validate j with
+                  | Error msg ->
+                      incr failures;
+                      Printf.eprintf "%s: card fails schema validation: %s\n"
+                        case.Sieve.Bugs.id msg;
+                      None
+                  | Ok () ->
+                      (match out with
+                      | None -> ()
+                      | Some dir ->
+                          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+                          let oc =
+                            open_out_bin
+                              (Filename.concat dir (case.Sieve.Bugs.id ^ ".card.json"))
+                          in
+                          output_string oc (Dsim.Json.to_string j ^ "\n");
+                          close_out oc);
+                      Some card))
+            cases
+        in
+        if json then Sieve.Report.json (Dsim.Json.List (List.map Diagnosis.Card.to_json cards))
+        else begin
+          Sieve.Report.table
+            ~header:[ "bug"; "divergence"; "rev"; "stream"; "suspect"; "read-site"; "anti-pattern"; "hazard" ]
+            (List.map
+               (fun (c : Diagnosis.Card.t) ->
+                 [
+                   c.Diagnosis.Card.bug;
+                   c.Diagnosis.Card.divergence.Diagnosis.Card.kind;
+                   string_of_int c.Diagnosis.Card.divergence.Diagnosis.Card.rev;
+                   c.Diagnosis.Card.divergence.Diagnosis.Card.stream;
+                   c.Diagnosis.Card.suspect.Diagnosis.Card.component;
+                   c.Diagnosis.Card.suspect.Diagnosis.Card.read_site;
+                   c.Diagnosis.Card.suspect.Diagnosis.Card.anti_pattern;
+                   string_of_int c.Diagnosis.Card.suspect.Diagnosis.Card.hazard_severity;
+                 ])
+               cards);
+          List.iter
+            (fun (c : Diagnosis.Card.t) ->
+              match c.Diagnosis.Card.divergence.Diagnosis.Card.event with
+              | Some e ->
+                  Printf.printf "  %s: diverged from committed %s\n" c.Diagnosis.Card.bug e
+              | None -> ())
+            cards
+        end;
+        if !failures > 0 then begin
+          Printf.eprintf "diagnose: %d failure(s)\n" !failures;
+          exit 1
+        end
+  in
+  Cmd.v (Cmd.info "diagnose" ~doc)
+    Term.(const run $ ids_arg $ json_arg $ out_arg $ minimize_budget_arg)
 
 (* --- lint ----------------------------------------------------------- *)
 
@@ -863,7 +1004,7 @@ let main_cmd =
   Cmd.group info
     [
       list_cmd; bugs_cmd; trace_cmd; timeline_cmd; campaign_cmd; explore_cmd; minimize_cmd;
-      coverage_cmd; seals_cmd; hunt_cmd; check_cmd; lint_cmd; hazards_cmd;
+      coverage_cmd; seals_cmd; hunt_cmd; check_cmd; diagnose_cmd; lint_cmd; hazards_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -6,6 +6,10 @@ type t = {
      sweep provably has the same cache — its re-check is skipped. *)
   activity : (string, int) Hashtbl.t;
   checked : (string, int * int) Hashtbl.t;  (* subject -> (rev, activity) at last full check *)
+  (* Divergence tracking: commit times by revision, so the sweep can age
+     the first undelivered event of every stream against the clock. *)
+  commit_times : (int, int) Hashtbl.t;
+  lag_grace : int;
 }
 
 let monitor t = t.monitor
@@ -13,6 +17,8 @@ let monitor t = t.monitor
 let violations t = Monitor.violations t.monitor
 
 let total t = Monitor.total t.monitor
+
+let divergences t = Monitor.divergences t.monitor
 
 (* A new generation is a new stream: frontiers must not be compared
    across a crash or a gap-triggered re-list. *)
@@ -55,6 +61,43 @@ let check_state_cached t ~component ~subject ?prefix ~rev state =
     if rev <= Monitor.mirror_rev t.monitor then Hashtbl.replace t.checked subject sig_now
   end
 
+(* Pure delay is invisible to the frontier checks (FIFO pipes preserve
+   the subsequence), so staleness-by-lag is measured here: a stream whose
+   first undelivered matching event has aged past the grace period is
+   diverging — its decisions run on a view the store has left behind. The
+   grace sits well above transport latency and below any injected delay
+   worth diagnosing. *)
+let lag_sweep t =
+  if Monitor.tracking t.monitor then begin
+    let now = Dsim.Engine.now (Kube.Cluster.engine t.cluster) in
+    let flag ~stream ?prefix ~frontier () =
+      match Monitor.first_undelivered t.monitor ?prefix ~after:frontier () with
+      | Some e ->
+          let rev = e.History.Event.rev in
+          (match Hashtbl.find_opt t.commit_times rev with
+          | Some at when now - at > t.lag_grace ->
+              Monitor.note_lag t.monitor ~stream ~rev ~key:e.History.Event.key
+                (Printf.sprintf "committed %s still undelivered after %d us"
+                   (History.Event.describe e) (now - at))
+          | Some _ | None -> ())
+      | None -> ()
+    in
+    let etcd_name = Kube.Etcd.name (Kube.Cluster.etcd t.cluster) in
+    List.iter
+      (fun a ->
+        if Kube.Apiserver.ready a then
+          flag ~stream:(Kube.Apiserver.name a ^ "<-" ^ etcd_name) ~frontier:(Kube.Apiserver.rev a)
+            ())
+      (Kube.Cluster.apiservers t.cluster);
+    List.iter
+      (fun i ->
+        if Kube.Informer.running i then
+          flag
+            ~stream:(Kube.Informer.owner i ^ "#" ^ Kube.Informer.prefix i)
+            ~prefix:(Kube.Informer.prefix i) ~frontier:(Kube.Informer.rev i) ())
+      (Kube.Cluster.informers t.cluster)
+  end
+
 let check_sweep t =
   List.iter
     (fun a ->
@@ -67,11 +110,13 @@ let check_sweep t =
         check_state_cached t ~component:(Kube.Informer.owner i)
           ~subject:(Kube.Informer.owner i ^ "#" ^ Kube.Informer.prefix i)
           ~prefix:(Kube.Informer.prefix i) ~rev:(Kube.Informer.rev i) (Kube.Informer.store i))
-    (Kube.Cluster.informers t.cluster)
+    (Kube.Cluster.informers t.cluster);
+  lag_sweep t
 
 let finish t = check_sweep t
 
-let attach ?strict ?(check_period = 500_000) cluster =
+let attach ?strict ?(track_divergence = false) ?(lag_grace = 250_000) ?(check_period = 500_000)
+    cluster =
   let engine = Kube.Cluster.engine cluster in
   let metrics = Dsim.Engine.metrics engine in
   let on_violation v =
@@ -79,13 +124,25 @@ let attach ?strict ?(check_period = 500_000) cluster =
     Dsim.Engine.record engine ~actor:"conformance" ~kind:"conformance.violation"
       (Monitor.describe v)
   in
-  let monitor = Monitor.create ?strict ~on_violation () in
-  let t = { cluster; monitor; activity = Hashtbl.create 16; checked = Hashtbl.create 16 } in
+  let monitor = Monitor.create ?strict ~track_divergence ~on_violation () in
+  let t =
+    {
+      cluster;
+      monitor;
+      activity = Hashtbl.create 16;
+      checked = Hashtbl.create 16;
+      commit_times = Hashtbl.create 64;
+      lag_grace;
+    }
+  in
   (* Before the consumers: commit listeners run in registration order,
      and the mirror must already hold an event when its delivery taps
      fire. [Cluster.create] registered etcd's own hub first, so the
      mirror sits between the store and every watch stream. *)
   Kube.Etcd.on_commit (Kube.Cluster.etcd cluster) (Monitor.note_commit monitor);
+  if track_divergence then
+    Kube.Etcd.on_commit (Kube.Cluster.etcd cluster) (fun e ->
+        Hashtbl.replace t.commit_times e.History.Event.rev (Dsim.Engine.now engine));
   let tap = Some (tap_of t) in
   List.iter (fun a -> Kube.Apiserver.set_tap a tap) (Kube.Cluster.apiservers cluster);
   (* Informers are created by [Cluster.start], which runs after attach:

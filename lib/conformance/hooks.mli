@@ -19,13 +19,29 @@
 
 type t
 
-val attach : ?strict:bool -> ?check_period:int -> Kube.Cluster.t -> t
+val attach :
+  ?strict:bool ->
+  ?track_divergence:bool ->
+  ?lag_grace:int ->
+  ?check_period:int ->
+  Kube.Cluster.t ->
+  t
 (** [check_period] (default 500 ms of virtual time) is the cadence of the
     periodic per-cache state check; each sweep skips caches whose claimed
     revision and tap activity are unchanged since their last full check,
     so quiet components cost nothing. Violations are recorded in the
     trace as ["conformance.violation"] entries and counted in the
-    ["conformance.violations"] metric. *)
+    ["conformance.violations"] metric.
+
+    [track_divergence] (default false) additionally records each
+    stream's divergence point ({!Monitor.divergence}): skips and rewinds
+    are caught at the taps, and each sweep ages the first undelivered
+    committed event of every stream against the engine clock, reporting
+    a [Lag] divergence once it exceeds [lag_grace] (default 250 ms of
+    virtual time — above transport latency, below any injected delay
+    worth diagnosing). Tracking draws no randomness and schedules
+    nothing extra, so it leaves the run's trajectory and trace
+    unchanged. *)
 
 val finish : t -> unit
 (** Run one final state check over every cache — call after the run so
@@ -37,3 +53,7 @@ val monitor : t -> Kube.Resource.value Monitor.t
 val violations : t -> Monitor.violation list
 
 val total : t -> int
+
+val divergences : t -> Monitor.divergence list
+(** Divergence points recorded so far ({!Monitor.divergences}); empty
+    unless attached with [~track_divergence:true]. *)

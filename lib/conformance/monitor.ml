@@ -15,8 +15,22 @@ let describe v =
 
 type stream = { mutable frontier : int }
 
+type divergence_kind = Skip | Rewind | Lag
+
+let divergence_kind_to_string = function Skip -> "skip" | Rewind -> "rewind" | Lag -> "lag"
+
+type divergence = {
+  d_stream : string;  (* base stream name, generation suffix stripped *)
+  d_kind : divergence_kind;
+  d_rev : int;
+  d_key : string;
+  d_frontier : int;
+  d_detail : string;
+}
+
 type 'v t = {
   mutable strict_mode : bool;
+  track : bool;
   on_violation : violation -> unit;
   (* Mirror of the committed history: the event at revision r sits at
      window offset r-1, and states.(r-1) is S after applying it. The
@@ -30,11 +44,19 @@ type 'v t = {
   seen : (code * string, unit) Hashtbl.t;
   mutable violations : violation list;  (* newest first *)
   mutable total : int;
+  (* Divergence-point record, one per base stream (the '@generation'
+     suffix stripped, so a re-listed informer keeps its record): the
+     first delivery where the stream's observed (H', S') left the
+     committed subsequence. *)
+  divs : (string, divergence) Hashtbl.t;
+  mutable divs_order : divergence list;  (* newest first *)
+  base_frontiers : (string, int) Hashtbl.t;  (* base stream -> max frontier ever *)
 }
 
-let create ?(strict = true) ?(on_violation = fun _ -> ()) () =
+let create ?(strict = true) ?(track_divergence = false) ?(on_violation = fun _ -> ()) () =
   {
     strict_mode = strict;
+    track = track_divergence;
     on_violation;
     window = History.Window.create ();
     states = [||];
@@ -43,11 +65,58 @@ let create ?(strict = true) ?(on_violation = fun _ -> ()) () =
     seen = Hashtbl.create 16;
     violations = [];
     total = 0;
+    divs = Hashtbl.create 8;
+    divs_order = [];
+    base_frontiers = Hashtbl.create 32;
   }
 
 let strict t = t.strict_mode
 
 let relax t = t.strict_mode <- false
+
+let tracking t = t.track
+
+(* Generations partition a stream's life for frontier monotonicity, but
+   a divergence belongs to the consumer, not the incarnation. *)
+let base_of stream =
+  match String.index_opt stream '@' with Some i -> String.sub stream 0 i | None -> stream
+
+let divergences t = List.rev t.divs_order
+
+let divergence_of t stream = Hashtbl.find_opt t.divs (base_of stream)
+
+let record_divergence t ~stream ~kind ~rev ~key ~frontier detail =
+  if t.track then begin
+    let base = base_of stream in
+    match Hashtbl.find_opt t.divs base with
+    | None ->
+        let d =
+          { d_stream = base; d_kind = kind; d_rev = rev; d_key = key; d_frontier = frontier;
+            d_detail = detail }
+        in
+        Hashtbl.add t.divs base d;
+        t.divs_order <- d :: t.divs_order
+    | Some prior when prior.d_kind = Lag && kind = Skip ->
+        (* A lagging stream whose frontier later jumps the delayed event
+           was not merely slow: upgrade in place, keeping the earliest
+           revision and the record's detection-order slot. *)
+        let d =
+          if rev <= prior.d_rev then
+            { prior with d_kind = Skip; d_rev = rev; d_key = key; d_frontier = frontier;
+              d_detail = detail }
+          else { prior with d_kind = Skip }
+        in
+        Hashtbl.replace t.divs base d;
+        t.divs_order <- List.map (fun e -> if e == prior then d else e) t.divs_order
+    | Some _ -> ()
+  end
+
+let note_frontier t ~stream rev =
+  if t.track then begin
+    let base = base_of stream in
+    let prev = Option.value (Hashtbl.find_opt t.base_frontiers base) ~default:0 in
+    if rev > prev then Hashtbl.replace t.base_frontiers base rev
+  end
 
 let mirror_rev t = t.n_revs
 
@@ -133,13 +202,19 @@ let observe_event t ~stream ?prefix (e : 'v History.Event.t) =
     report t ~code:Non_monotone ~subject:stream ~rev
       (Printf.sprintf "delivered revision %d at or behind the stream frontier %d" rev s.frontier)
   else begin
-    (if t.strict_mode then
+    (if t.strict_mode || t.track then
        match first_skipped t ?prefix ~lo:s.frontier ~hi:rev () with
        | Some skipped ->
-           report t ~code:Gap ~subject:stream ~rev
-             (Printf.sprintf "stream skipped committed %s" (History.Event.describe skipped))
+           if t.strict_mode then
+             report t ~code:Gap ~subject:stream ~rev
+               (Printf.sprintf "stream skipped committed %s" (History.Event.describe skipped));
+           record_divergence t ~stream ~kind:Skip ~rev:skipped.History.Event.rev
+             ~key:skipped.History.Event.key ~frontier:s.frontier
+             (Printf.sprintf "delivery at revision %d jumped over committed %s" rev
+                (History.Event.describe skipped))
        | None -> ());
-    s.frontier <- rev
+    s.frontier <- rev;
+    note_frontier t ~stream rev
   end
 
 let observe_advance t ~stream ?prefix ~rev () =
@@ -149,15 +224,22 @@ let observe_advance t ~stream ?prefix ~rev () =
       (Printf.sprintf "frontier advanced to revision %d; store has only committed %d" rev
          t.n_revs)
   else if rev > s.frontier then begin
-    (if t.strict_mode then
+    (if t.strict_mode || t.track then
        (* Advance means "nothing matching in (frontier, rev] was or will
           be delivered" — so anything matching there was skipped. *)
        match first_skipped t ?prefix ~lo:s.frontier ~hi:(rev + 1) () with
        | Some skipped ->
-           report t ~code:Gap ~subject:stream ~rev
-             (Printf.sprintf "frontier advanced over committed %s" (History.Event.describe skipped))
+           if t.strict_mode then
+             report t ~code:Gap ~subject:stream ~rev
+               (Printf.sprintf "frontier advanced over committed %s"
+                  (History.Event.describe skipped));
+           record_divergence t ~stream ~kind:Skip ~rev:skipped.History.Event.rev
+             ~key:skipped.History.Event.key ~frontier:s.frontier
+             (Printf.sprintf "frontier advance to %d jumped over committed %s" rev
+                (History.Event.describe skipped))
        | None -> ());
-    s.frontier <- rev
+    s.frontier <- rev;
+    note_frontier t ~stream rev
   end
 
 let bindings_under prefix state =
@@ -224,5 +306,27 @@ let observe_reset t ~stream ?prefix ~rev state =
   (* A reset is a legal discontinuity: the frontier may move backwards
      (informer time travel). The adopted state still has to be authentic
      — and, in strict mode, exactly the committed state at [rev]. *)
+  (if t.track then
+     let prev = Option.value (Hashtbl.find_opt t.base_frontiers (base_of stream)) ~default:0 in
+     if rev < prev then
+       record_divergence t ~stream ~kind:Rewind ~rev ~key:(Option.value prefix ~default:"")
+         ~frontier:prev
+         (Printf.sprintf "re-listed at revision %d behind the stream's previous frontier %d" rev
+            prev));
   s.frontier <- rev;
+  note_frontier t ~stream rev;
   check_state t ~subject:stream ?prefix ~rev state
+
+(* Pure delay never trips the frontier checks above (FIFO pipes keep the
+   subsequence intact), so staleness-by-lag is reported from outside: the
+   sweep in {!Hooks} measures the age of the first undelivered committed
+   event and calls this when it exceeds the grace period. *)
+let note_lag t ~stream ~rev ~key detail =
+  let frontier =
+    Option.value (Hashtbl.find_opt t.base_frontiers (base_of stream)) ~default:0
+  in
+  record_divergence t ~stream ~kind:Lag ~rev ~key ~frontier detail
+
+let first_undelivered t ?prefix ~after () = first_skipped t ?prefix ~lo:after ~hi:(t.n_revs + 1) ()
+
+let committed_at t rev = if rev >= 1 && rev <= t.n_revs then Some (event_at t rev) else None

@@ -66,12 +66,39 @@ type violation = {
 
 val describe : violation -> string
 
+type divergence_kind =
+  | Skip  (** the stream's frontier jumped over a matching committed event *)
+  | Rewind  (** a re-list adopted a revision behind the stream's past frontier *)
+  | Lag  (** committed events aged past the grace period undelivered *)
+
+val divergence_kind_to_string : divergence_kind -> string
+
+type divergence = {
+  d_stream : string;
+      (** base stream name — the ['@'generation] suffix is stripped, so a
+          record names the consumer, not one of its incarnations *)
+  d_kind : divergence_kind;
+  d_rev : int;  (** first committed revision the view missed or re-adopted at *)
+  d_key : string;  (** key of the missed committed event, or the stream's prefix *)
+  d_frontier : int;  (** the stream's frontier when the divergence was detected *)
+  d_detail : string;
+}
+(** A stream's {e divergence point}: the first delivery (or absence of
+    one) where its observed [(H', S')] left the committed subsequence.
+    One record per base stream, the earliest detection kept — except that
+    a [Lag] upgrades to [Skip] if the frontier later jumps the delayed
+    revision. *)
+
 type 'v t
 
-val create : ?strict:bool -> ?on_violation:(violation -> unit) -> unit -> 'v t
+val create :
+  ?strict:bool -> ?track_divergence:bool -> ?on_violation:(violation -> unit) -> unit -> 'v t
 (** [strict] (default true) enables the completeness and state-equality
     checks; [on_violation] fires once per distinct (code, subject) pair,
-    at the first occurrence. *)
+    at the first occurrence. [track_divergence] (default false) records
+    each stream's divergence point — independently of strict mode, so the
+    {e expected} gaps of a fault-injection run are still pinpointed after
+    {!relax}. *)
 
 val strict : 'v t -> bool
 
@@ -112,3 +139,30 @@ val violations : 'v t -> violation list
 
 val total : 'v t -> int
 (** Total violation occurrences, including deduplicated repeats. *)
+
+val tracking : 'v t -> bool
+(** Whether divergence tracking was requested at {!create}. *)
+
+val divergences : 'v t -> divergence list
+(** Divergence points recorded so far, in detection order. Empty unless
+    created with [~track_divergence:true]. *)
+
+val divergence_of : 'v t -> string -> divergence option
+(** The divergence point of one stream (matched on the base name, with
+    or without the ['@'generation] suffix). *)
+
+val note_lag : 'v t -> stream:string -> rev:int -> key:string -> string -> unit
+(** Record a [Lag] divergence: the committed event at [rev] (key [key],
+    matching the stream's filter) is past due. Pure delay never trips the
+    frontier checks — FIFO pipes keep the subsequence intact — so lag is
+    measured from outside ({!Hooks} ages the first undelivered event
+    against the engine clock) and reported here. Ignored when the stream
+    already has a divergence record. *)
+
+val first_undelivered : 'v t -> ?prefix:string -> after:int -> unit -> 'v History.Event.t option
+(** The first committed event matching [prefix] with revision strictly
+    above [after] — what a stream whose frontier sits at [after] is
+    still owed. *)
+
+val committed_at : 'v t -> int -> 'v History.Event.t option
+(** The committed event at a revision, if the mirror holds it. *)

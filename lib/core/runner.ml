@@ -22,12 +22,17 @@ type outcome = {
   truth_rev : int;
   cluster : Kube.Cluster.t;
   conformance : conformance option;
+  hooks : Conformance.Hooks.t option;
 }
 
-let run_test ?(check_conformance = false) test =
+let run_test ?(check_conformance = false) ?(diagnose = false) test =
   let cluster = Kube.Cluster.create ~config:test.config () in
   let oracle = Oracle.attach cluster in
-  let hooks = if check_conformance then Some (Conformance.Hooks.attach cluster) else None in
+  let hooks =
+    if check_conformance || diagnose then
+      Some (Conformance.Hooks.attach ~track_divergence:diagnose cluster)
+    else None
+  in
   Strategy.apply cluster test.strategy;
   Kube.Cluster.start cluster;
   Kube.Workload.schedule cluster test.workload;
@@ -39,20 +44,30 @@ let run_test ?(check_conformance = false) test =
     truth_rev = Kube.Cluster.truth_rev cluster;
     cluster;
     conformance =
-      Option.map
-        (fun h ->
-          {
-            conf_violations = Conformance.Hooks.violations h;
-            conf_total = Conformance.Hooks.total h;
-            conf_strict = Conformance.Monitor.strict (Conformance.Hooks.monitor h);
-          })
-        hooks;
+      (if check_conformance then
+         Option.map
+           (fun h ->
+             {
+               conf_violations = Conformance.Hooks.violations h;
+               conf_total = Conformance.Hooks.total h;
+               conf_strict = Conformance.Monitor.strict (Conformance.Hooks.monitor h);
+             })
+           hooks
+       else None);
+    hooks;
   }
 
+(* A run can end in an oracle trip, a conformance trip, or both: either
+   one anchors the causal walk, the oracle's entry preferred when both
+   fired. *)
 let violation_entry outcome =
-  match Dsim.Trace.find_all (Kube.Cluster.trace outcome.cluster) ~kind:"oracle.violation" with
-  | [] -> None
+  let trace = Kube.Cluster.trace outcome.cluster in
+  match Dsim.Trace.find_all trace ~kind:"oracle.violation" with
   | e :: _ -> Some e
+  | [] -> (
+      match Dsim.Trace.find_all trace ~kind:"conformance.violation" with
+      | e :: _ -> Some e
+      | [] -> None)
 
 let causal_chain outcome =
   match violation_entry outcome with

@@ -34,23 +34,33 @@ type outcome = {
   truth_rev : int;
   cluster : Kube.Cluster.t;  (** post-run handle: trace, components, truth *)
   conformance : conformance option;  (** [Some] iff run with [check_conformance] *)
+  hooks : Conformance.Hooks.t option;
+      (** the attached monitor wiring, when the run carried one
+          ([check_conformance] or [diagnose]) — the divergence-point
+          queries {!Diagnosis} needs *)
 }
 
-val run_test : ?check_conformance:bool -> test -> outcome
+val run_test : ?check_conformance:bool -> ?diagnose:bool -> test -> outcome
 (** With [check_conformance] (default false), a {!Conformance.Hooks}
     monitor is attached before the strategy and start, checking every
     cache boundary online; its findings land in {!outcome.conformance}
-    and, as a ["conformance"] section, in {!artifact}. The monitor is
+    and, as a ["conformance"] section, in {!artifact}. With [diagnose]
+    (default false), the monitor is attached with divergence tracking so
+    a downstream diagnosis can pinpoint where each stream left the
+    committed subsequence ({!outcome.hooks}). Either way the monitor is
     passive — a run's trajectory, trace and metrics are unchanged unless
     a violation fires. *)
 
 val violation_entry : outcome -> Dsim.Trace.entry option
-(** The trace entry of the run's first oracle violation, if any. *)
+(** The trace entry anchoring the run's first violation: the first
+    ["oracle.violation"] entry when the oracle fired, otherwise the
+    first ["conformance.violation"] entry — so monitor-only runs still
+    have a causal anchor. *)
 
 val causal_chain : outcome -> Dsim.Trace.entry list
 (** The causal chain behind the first violation: cause links walked
-    backwards from the ["oracle.violation"] entry to the originating
-    store commit, returned oldest first — the Figure-2-style "why"
+    backwards from the {!violation_entry} to the originating store
+    commit, returned oldest first — the Figure-2-style "why"
     walkthrough. Empty when the run found no violation. *)
 
 val trace_jsonl : outcome -> string

@@ -1,0 +1,169 @@
+type divergence = {
+  kind : string;
+  rev : int;
+  stream : string;
+  component : string;
+  key : string;
+  frontier : int;
+  event : string option;
+  trace_id : int option;
+  detail : string;
+}
+
+type suspect = {
+  component : string;
+  read_site : string;
+  anti_pattern : string;
+  hazard_severity : int;
+  hazard_reason : string;
+}
+
+type chain_info = { anchor : int; length : int; commits : int; truncated : bool }
+
+type t = {
+  bug : string;
+  violation : string;
+  test : string;
+  seed : int;
+  divergence : divergence;
+  suspect : suspect;
+  chain : chain_info;
+  plan : string;
+  minimized_plan : string option;
+}
+
+let schema = "diagnosis-card/1"
+
+let kinds = [ "skip"; "rewind"; "lag"; "unknown" ]
+
+let anti_patterns = [ "stale-write"; "edge-trigger"; "stale-resync"; "unknown" ]
+
+let opt_string = function None -> Dsim.Json.Null | Some s -> Dsim.Json.String s
+
+let opt_int = function None -> Dsim.Json.Null | Some n -> Dsim.Json.Int n
+
+let to_json c =
+  Dsim.Json.Obj
+    [
+      ("schema", Dsim.Json.String schema);
+      ("bug", Dsim.Json.String c.bug);
+      ("violation", Dsim.Json.String c.violation);
+      ("test", Dsim.Json.String c.test);
+      ("seed", Dsim.Json.Int c.seed);
+      ( "divergence",
+        Dsim.Json.Obj
+          [
+            ("kind", Dsim.Json.String c.divergence.kind);
+            ("rev", Dsim.Json.Int c.divergence.rev);
+            ("stream", Dsim.Json.String c.divergence.stream);
+            ("component", Dsim.Json.String c.divergence.component);
+            ("key", Dsim.Json.String c.divergence.key);
+            ("frontier", Dsim.Json.Int c.divergence.frontier);
+            ("event", opt_string c.divergence.event);
+            ("trace_id", opt_int c.divergence.trace_id);
+            ("detail", Dsim.Json.String c.divergence.detail);
+          ] );
+      ( "suspect",
+        Dsim.Json.Obj
+          [
+            ("component", Dsim.Json.String c.suspect.component);
+            ("read_site", Dsim.Json.String c.suspect.read_site);
+            ("anti_pattern", Dsim.Json.String c.suspect.anti_pattern);
+            ("hazard_severity", Dsim.Json.Int c.suspect.hazard_severity);
+            ("hazard_reason", Dsim.Json.String c.suspect.hazard_reason);
+          ] );
+      ( "chain",
+        Dsim.Json.Obj
+          [
+            ("anchor", Dsim.Json.Int c.chain.anchor);
+            ("length", Dsim.Json.Int c.chain.length);
+            ("commits", Dsim.Json.Int c.chain.commits);
+            ("truncated", Dsim.Json.Bool c.chain.truncated);
+          ] );
+      ("plan", Dsim.Json.String c.plan);
+      ("minimized_plan", opt_string c.minimized_plan);
+    ]
+
+(* Schema validation, field by field, so the CI job rejects a card that
+   drifted from the documented shape instead of uploading garbage. *)
+let validate json =
+  let ( let* ) = Result.bind in
+  let obj path j =
+    match j with Dsim.Json.Obj _ -> Ok j | _ -> Error (path ^ ": expected an object")
+  in
+  let field path j name =
+    match Dsim.Json.member name j with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "%s: missing field %S" path name)
+  in
+  let str path j name =
+    let* v = field path j name in
+    match v with
+    | Dsim.Json.String s -> Ok s
+    | _ -> Error (Printf.sprintf "%s.%s: expected a string" path name)
+  in
+  let opt_str path j name =
+    let* v = field path j name in
+    match v with
+    | Dsim.Json.String _ | Dsim.Json.Null -> Ok ()
+    | _ -> Error (Printf.sprintf "%s.%s: expected a string or null" path name)
+  in
+  let int_ path j name =
+    let* v = field path j name in
+    match v with
+    | Dsim.Json.Int _ -> Ok ()
+    | _ -> Error (Printf.sprintf "%s.%s: expected an integer" path name)
+  in
+  let opt_int path j name =
+    let* v = field path j name in
+    match v with
+    | Dsim.Json.Int _ | Dsim.Json.Null -> Ok ()
+    | _ -> Error (Printf.sprintf "%s.%s: expected an integer or null" path name)
+  in
+  let bool_ path j name =
+    let* v = field path j name in
+    match v with
+    | Dsim.Json.Bool _ -> Ok ()
+    | _ -> Error (Printf.sprintf "%s.%s: expected a boolean" path name)
+  in
+  let enum path j name legal =
+    let* s = str path j name in
+    if List.mem s legal then Ok ()
+    else
+      Error
+        (Printf.sprintf "%s.%s: %S not in {%s}" path name s (String.concat ", " legal))
+  in
+  let* _ = obj "card" json in
+  let* tag = str "card" json "schema" in
+  let* () = if String.equal tag schema then Ok () else Error ("unknown schema " ^ tag) in
+  let* _ = str "card" json "bug" in
+  let* _ = str "card" json "violation" in
+  let* _ = str "card" json "test" in
+  let* () = int_ "card" json "seed" in
+  let* d = field "card" json "divergence" in
+  let* _ = obj "divergence" d in
+  let* () = enum "divergence" d "kind" kinds in
+  let* () = int_ "divergence" d "rev" in
+  let* _ = str "divergence" d "stream" in
+  let* _ = str "divergence" d "component" in
+  let* _ = str "divergence" d "key" in
+  let* () = int_ "divergence" d "frontier" in
+  let* () = opt_str "divergence" d "event" in
+  let* () = opt_int "divergence" d "trace_id" in
+  let* _ = str "divergence" d "detail" in
+  let* s = field "card" json "suspect" in
+  let* _ = obj "suspect" s in
+  let* _ = str "suspect" s "component" in
+  let* _ = str "suspect" s "read_site" in
+  let* () = enum "suspect" s "anti_pattern" anti_patterns in
+  let* () = int_ "suspect" s "hazard_severity" in
+  let* _ = str "suspect" s "hazard_reason" in
+  let* ch = field "card" json "chain" in
+  let* _ = obj "chain" ch in
+  let* () = int_ "chain" ch "anchor" in
+  let* () = int_ "chain" ch "length" in
+  let* () = int_ "chain" ch "commits" in
+  let* () = bool_ "chain" ch "truncated" in
+  let* _ = str "card" json "plan" in
+  let* () = opt_str "card" json "minimized_plan" in
+  Ok ()

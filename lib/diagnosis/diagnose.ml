@@ -1,0 +1,269 @@
+(* From an oracle (or conformance) trip to a root-cause card:
+
+   1. anchor on the violation's trace entry and walk the causal chain
+      backwards ({!Dsim.Trace.chain});
+   2. pick the divergence point — the conformance monitor's record of
+      where the suspect stream's observed (H', S') left the committed
+      subsequence — preferring streams owned by the violation's suspect
+      components, then components on the causal chain;
+   3. intersect with the static hazard graph and the per-component
+      footprints to name the read-site and anti-pattern class. *)
+
+let anti_pattern_of_pattern = function
+  | `Staleness -> "stale-write"
+  | `Obs_gap -> "edge-trigger"
+  | `Time_travel -> "stale-resync"
+
+(* The components whose code path a violation implicates — the same
+   attribution the hunt's finding signatures use, duplicated here
+   because hunt depends on this library. *)
+let suspect_components (v : Sieve.Oracle.violation) =
+  match v with
+  | Sieve.Oracle.Duplicate_pod { kubelets; _ } -> List.sort String.compare kubelets
+  | Sieve.Oracle.Scheduler_livelock _ -> [ "scheduler" ]
+  | Sieve.Oracle.Pvc_leak _ -> [ "volumectl" ]
+  | Sieve.Oracle.Wrong_decommission _ | Sieve.Oracle.Live_claim_deleted _ -> [ "cassop" ]
+  | Sieve.Oracle.Replica_surplus _ -> [ "rsctl" ]
+  | Sieve.Oracle.Healthy_pod_failed _ -> [ "nodectl" ]
+  | Sieve.Oracle.Rollout_wedged _ -> [ "depctl" ]
+
+(* "cassop#pods/" -> "cassop"; "api-2<-etcd" -> "api-2". *)
+let component_of_stream stream =
+  match String.index_opt stream '#' with
+  | Some i -> String.sub stream 0 i
+  | None -> (
+      let n = String.length stream in
+      let rec scan i =
+        if i + 1 >= n then stream
+        else if stream.[i] = '<' && stream.[i + 1] = '-' then String.sub stream 0 i
+        else scan (i + 1)
+      in
+      scan 0)
+
+(* Prefer the divergence of a stream the violation directly implicates,
+   then one on the causal chain; detection order breaks ties. A fault
+   plan routinely diverges bystander streams too (a partitioned
+   apiserver lags for everyone) — the suspect filter is what keeps the
+   card pointed at the controller that misbehaved. *)
+let pick_divergence divs ~suspects ~chain_actors =
+  let rank (d : Conformance.Monitor.divergence) =
+    let c = component_of_stream d.Conformance.Monitor.d_stream in
+    if List.mem c suspects then 0 else if List.mem c chain_actors then 1 else 2
+  in
+  List.fold_left
+    (fun best d ->
+      match best with
+      | Some (r, _) when r <= rank d -> best
+      | _ -> Some (rank d, d))
+    None divs
+  |> Option.map snd
+
+let classify ~hazards ~component ~key kind =
+  let score pattern = Analysis.Hazard.score hazards ~component ~key ~pattern in
+  let pattern =
+    match (kind : Conformance.Monitor.divergence_kind) with
+    | Conformance.Monitor.Rewind -> `Time_travel
+    | Conformance.Monitor.Lag -> `Staleness
+    | Conformance.Monitor.Skip ->
+        (* A skipped event read through a cache that feeds an unguarded
+           destructive write is the stale-write shape (op-400/402); a
+           skip whose consumer merely never reacts is an edge-trigger. *)
+        if score `Staleness >= 3 then `Staleness else `Obs_gap
+  in
+  let best =
+    List.fold_left
+      (fun best (h : Analysis.Hazard.t) ->
+        if
+          h.Analysis.Hazard.pattern = pattern
+          && String.equal h.Analysis.Hazard.component component
+          && String.starts_with ~prefix:h.Analysis.Hazard.prefix key
+        then
+          match best with
+          | Some (b : Analysis.Hazard.t) when b.Analysis.Hazard.severity >= h.Analysis.Hazard.severity
+            ->
+              best
+          | _ -> Some h
+        else best)
+      None hazards
+  in
+  ( anti_pattern_of_pattern pattern,
+    (match best with Some h -> h.Analysis.Hazard.severity | None -> 0),
+    match best with Some h -> h.Analysis.Hazard.reason | None -> "" )
+
+let read_site_of ~footprints ~component ~key =
+  match Analysis.Footprint.find footprints component with
+  | Some fp -> (
+      match
+        List.find_opt
+          (fun p -> String.starts_with ~prefix:p key)
+          fp.Analysis.Footprint.cached_reads
+      with
+      | Some p -> p
+      | None -> ( match fp.Analysis.Footprint.cached_reads with p :: _ -> p | [] -> key))
+  | None -> key
+
+let is_commit e = String.equal e.Dsim.Trace.kind "etcd.commit"
+
+(* The oracle records each violation as "[bug-id] description"; match on
+   that to anchor the walk at the *targeted* violation's entry — a run
+   can trip several oracles (CA-400's wrong decommission also deletes a
+   live claim) and the card must be about the one asked for. *)
+let entry_of_violation trace v =
+  let detail =
+    Printf.sprintf "[%s] %s" (Sieve.Oracle.bug_id v) (Sieve.Oracle.describe v)
+  in
+  List.find_opt
+    (fun (e : Dsim.Trace.entry) -> String.equal e.Dsim.Trace.detail detail)
+    (Dsim.Trace.find_all trace ~kind:"oracle.violation")
+
+let of_outcome ?(target = fun _ -> true) ?minimized (outcome : Sieve.Runner.outcome) =
+  match outcome.Sieve.Runner.hooks with
+  | None -> None
+  | Some hooks -> (
+      let trace = Kube.Cluster.trace outcome.Sieve.Runner.cluster in
+      let targeted =
+        match List.find_opt (fun (_, v) -> target v) outcome.Sieve.Runner.violations with
+        | Some _ as t -> t
+        | None -> ( (* nothing matched: diagnose the first trip instead *)
+            match outcome.Sieve.Runner.violations with x :: _ -> Some x | [] -> None)
+      in
+      let anchor_entry =
+        match targeted with
+        | Some (_, v) -> (
+            match entry_of_violation trace v with
+            | Some _ as e -> e
+            | None -> Sieve.Runner.violation_entry outcome)
+        | None -> Sieve.Runner.violation_entry outcome
+      in
+      match anchor_entry with
+      | None -> None
+      | Some anchor ->
+          let cluster = outcome.Sieve.Runner.cluster in
+          let monitor = Conformance.Hooks.monitor hooks in
+          let chain = Dsim.Trace.chain trace ~id:anchor.Dsim.Trace.id in
+          let truncated =
+            match chain with
+            | oldest :: _ -> (
+                match oldest.Dsim.Trace.cause with
+                | Some c -> Dsim.Trace.find trace ~id:c = None
+                | None -> false)
+            | [] -> false
+          in
+          let chain_actors =
+            List.sort_uniq String.compare (List.map (fun e -> e.Dsim.Trace.actor) chain)
+          in
+          let bug, violation, suspects =
+            match targeted with
+            | Some (_, v) ->
+                (Sieve.Oracle.bug_id v, Sieve.Oracle.describe v, suspect_components v)
+            | None -> ("conformance", anchor.Dsim.Trace.detail, [])
+          in
+          let config = outcome.Sieve.Runner.test.Sieve.Runner.config in
+          let hazards = Analysis.Hazard.of_config config in
+          let footprints = Analysis.Footprint.of_config config in
+          let divergence, suspect =
+            match
+              pick_divergence (Conformance.Monitor.divergences monitor) ~suspects ~chain_actors
+            with
+            | Some d ->
+                let component = component_of_stream d.Conformance.Monitor.d_stream in
+                let key = d.Conformance.Monitor.d_key in
+                let anti_pattern, hazard_severity, hazard_reason =
+                  classify ~hazards ~component ~key d.Conformance.Monitor.d_kind
+                in
+                ( {
+                    Card.kind =
+                      Conformance.Monitor.divergence_kind_to_string d.Conformance.Monitor.d_kind;
+                    rev = d.Conformance.Monitor.d_rev;
+                    stream = d.Conformance.Monitor.d_stream;
+                    component;
+                    key;
+                    frontier = d.Conformance.Monitor.d_frontier;
+                    event =
+                      Option.map History.Event.describe
+                        (Conformance.Monitor.committed_at monitor d.Conformance.Monitor.d_rev);
+                    trace_id =
+                      Kube.Etcd.commit_trace_id (Kube.Cluster.etcd cluster)
+                        ~rev:d.Conformance.Monitor.d_rev;
+                    detail = d.Conformance.Monitor.d_detail;
+                  },
+                  {
+                    Card.component;
+                    read_site = read_site_of ~footprints ~component ~key;
+                    anti_pattern;
+                    hazard_severity;
+                    hazard_reason;
+                  } )
+            | None ->
+                (* No stream ever left the committed subsequence — the
+                   violation (if real) came from somewhere the monitor
+                   does not mirror. Name the best suspect and say so. *)
+                let component =
+                  match suspects with c :: _ -> c | [] -> anchor.Dsim.Trace.actor
+                in
+                ( {
+                    Card.kind = "unknown";
+                    rev = 0;
+                    stream = "";
+                    component;
+                    key = "";
+                    frontier = 0;
+                    event = None;
+                    trace_id = None;
+                    detail = "no stream divergence recorded";
+                  },
+                  {
+                    Card.component;
+                    read_site = "";
+                    anti_pattern = "unknown";
+                    hazard_severity = 0;
+                    hazard_reason = "";
+                  } )
+          in
+          let m = Kube.Cluster.metrics cluster in
+          Dsim.Metrics.incr m "diagnosis.cards";
+          Dsim.Metrics.observe m "diagnosis.walk.depth" (float_of_int (List.length chain));
+          if truncated then Dsim.Metrics.incr m "diagnosis.chain.truncated";
+          Some
+            {
+              Card.bug;
+              violation;
+              test = outcome.Sieve.Runner.test.Sieve.Runner.name;
+              seed = Int64.to_int config.Kube.Cluster.seed;
+              divergence;
+              suspect;
+              chain =
+                {
+                  Card.anchor = anchor.Dsim.Trace.id;
+                  length = List.length chain;
+                  commits = List.length (List.filter is_commit chain);
+                  truncated;
+                };
+              plan = Sieve.Strategy.describe outcome.Sieve.Runner.test.Sieve.Runner.strategy;
+              minimized_plan = minimized;
+            })
+
+(* The run artifact with a "diagnosis" section appended. The card is
+   computed first so its counters are in the snapshot the artifact
+   embeds — ring-buffer truncation that would blind a diagnosis shows
+   up in the same file. *)
+let artifact ?target ?minimized outcome =
+  let card = of_outcome ?target ?minimized outcome in
+  let base = Sieve.Runner.artifact outcome in
+  match (card, base) with
+  | Some card, Dsim.Json.Obj fields ->
+      Dsim.Json.Obj (fields @ [ ("diagnosis", Card.to_json card) ])
+  | _ -> base
+
+let diagnose_case ?(minimize_budget = 0) (case : Sieve.Bugs.case) =
+  let test = Sieve.Bugs.test_of_case case in
+  let outcome = Sieve.Runner.run_test ~diagnose:true test in
+  let minimized =
+    if minimize_budget > 0 && outcome.Sieve.Runner.violations <> [] then
+      let mtest, _ =
+        Sieve.Minimize.minimize ~test ~target:case.Sieve.Bugs.matches ~budget:minimize_budget ()
+      in
+      Some (Sieve.Strategy.describe mtest.Sieve.Runner.strategy)
+    else None
+  in
+  (outcome, of_outcome ~target:case.Sieve.Bugs.matches ?minimized outcome)

@@ -1,0 +1,11 @@
+(** Diagnosis layer: from a tripped oracle (or conformance monitor) to a
+    machine-checked root-cause card.
+
+    {!Card} is the JSON artifact — bug id, divergence point, suspect
+    read-site, named hazard, minimized plan — plus its schema validator;
+    {!Diagnose} composes one from a finished {!Sieve.Runner.outcome} by
+    walking the causal chain, querying the conformance monitor's
+    divergence record and intersecting with the static hazard graph. *)
+
+module Card = Card
+module Diagnose = Diagnose

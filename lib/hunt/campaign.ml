@@ -40,6 +40,7 @@ type summary = {
   space : (string * int * int) list;
   journal : string;
   conformance : conformance_summary option;
+  cards : int;
 }
 
 (* --- planning ------------------------------------------------------ *)
@@ -244,8 +245,28 @@ let emit_artifact ~out ~(finding : finding) ~(test : Sieve.Runner.test) =
           ])
     ^ "\n")
 
+(* A card re-runs the minimized reproduction with divergence tracking —
+   deliberately a separate run from [emit_artifact]'s, so artifact.json
+   stays byte-identical whether or not --diagnose was given. *)
+let card_path ~out ~(finding : finding) =
+  Filename.concat
+    (Filename.concat (Filename.concat out "findings") (Signature.to_dirname finding.signature))
+    "card.json"
+
+let emit_card ~out ~(finding : finding) ~(test : Sieve.Runner.test) =
+  let path = card_path ~out ~finding in
+  mkdir_p (Filename.dirname path);
+  let outcome = Sieve.Runner.run_test ~diagnose:true test in
+  let target v = String.equal (Signature.of_violation v) finding.signature in
+  match Diagnosis.Diagnose.of_outcome ~target ~minimized:finding.minimized outcome with
+  | Some card ->
+      write_file path (Dsim.Json.to_string (Diagnosis.Card.to_json card) ^ "\n");
+      true
+  | None -> false
+
 let run ?(jobs = 1) ?(out = "_hunt") ?(resume = false) ?budget ?(seed = 42L)
-    ?(minimize_budget = 200) ?hazard_rank ?(check_conformance = false) ?on_progress ~cases () =
+    ?(minimize_budget = 200) ?hazard_rank ?(check_conformance = false) ?(diagnose = false)
+    ?on_progress ~cases () =
   let ({ trials; space } : planned) = plan ?budget ~seed ?hazard_rank ~cases () in
   let n = Array.length trials in
   let case_ids = List.map (fun (c : Sieve.Bugs.case) -> c.Sieve.Bugs.id) cases in
@@ -314,6 +335,16 @@ let run ?(jobs = 1) ?(out = "_hunt") ?(resume = false) ?budget ?(seed = 42L)
   let conf_signatures_rev = ref [] in
   let known : (string, unit) Hashtbl.t = Hashtbl.create 17 in
   let findings_rev = ref [] in
+  let cards = ref 0 in
+  (* Cards stay out of the journal for the same reason conformance
+     results do: the journal is pinned byte-identical across job counts,
+     resumes and the --diagnose flag itself. *)
+  let minimize_for ~(trial : trial) signature =
+    if minimize_budget > 0 then
+      let target v = String.equal (Signature.of_violation v) signature in
+      fst (Sieve.Minimize.minimize ~test:trial.test ~target ~budget:minimize_budget ())
+    else trial.test
+  in
   let settle index result =
     let trial = trials.(index) in
     let strategy = Sieve.Strategy.describe trial.test.Sieve.Runner.strategy in
@@ -367,7 +398,19 @@ let run ?(jobs = 1) ?(out = "_hunt") ?(resume = false) ?budget ?(seed = 42L)
           Hashtbl.replace known r.signature ();
           let finding =
             match Hashtbl.find_opt journal_findings r.signature with
-            | Some entry -> finding_of_journal entry
+            | Some entry ->
+                let finding = finding_of_journal entry in
+                (* Resume: the finding replays from the journal, but a
+                   lost (or newly requested) card is recomputed — the
+                   minimizer is deterministic, so the reproduction it
+                   re-derives matches the journaled one. *)
+                if diagnose then begin
+                  if Sys.file_exists (card_path ~out ~finding) then incr cards
+                  else if
+                    emit_card ~out ~finding ~test:(minimize_for ~trial r.signature)
+                  then incr cards
+                end;
+                finding
             | None ->
                 (* A new distinct violation: shrink its reproduction and
                    drop a self-contained artifact directory, then journal
@@ -395,6 +438,7 @@ let run ?(jobs = 1) ?(out = "_hunt") ?(resume = false) ?budget ?(seed = 42L)
                   }
                 in
                 emit_artifact ~out ~finding ~test:minimized_test;
+                if diagnose && emit_card ~out ~finding ~test:minimized_test then incr cards;
                 Journal.append writer
                   (Journal.Finding
                      {
@@ -444,4 +488,5 @@ let run ?(jobs = 1) ?(out = "_hunt") ?(resume = false) ?budget ?(seed = 42L)
              conf_signatures = List.rev !conf_signatures_rev;
            }
        else None);
+    cards = !cards;
   }

@@ -87,6 +87,7 @@ type summary = {
   space : (string * int * int) list;
   journal : string;  (** journal path *)
   conformance : conformance_summary option;  (** [Some] iff [check_conformance] *)
+  cards : int;  (** diagnosis cards attached to findings ([diagnose] only) *)
 }
 
 val run :
@@ -98,6 +99,7 @@ val run :
   ?minimize_budget:int ->
   ?hazard_rank:bool ->
   ?check_conformance:bool ->
+  ?diagnose:bool ->
   ?on_progress:(progress -> unit) ->
   cases:Sieve.Bugs.case list ->
   unit ->
@@ -116,5 +118,11 @@ val run :
     ({!Sieve.Runner.run_test}'s [check_conformance]); results are
     aggregated into {!summary.conformance} and deliberately kept {e out}
     of the journal and artifacts, so journal bytes are identical with and
-    without the flag. [on_progress] fires after every settled trial, on
-    the driver domain. *)
+    without the flag. With [diagnose] (default false) every finding gets
+    a [card.json] root-cause card ({!Diagnosis.Card}) next to its
+    artifact, computed from a re-run of the minimized reproduction with
+    divergence tracking; like conformance results, cards stay out of the
+    journal, so journal bytes are identical with and without the flag
+    (on resume, findings whose card is missing get one recomputed).
+    [on_progress] fires after every settled trial, on the driver
+    domain. *)
