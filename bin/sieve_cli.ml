@@ -24,7 +24,8 @@ let resolve_cases = function
       if missing <> [] then
         Error (Printf.sprintf "unknown bug id(s): %s (known: %s)"
                  (String.concat ", " missing)
-                 (String.concat ", " (ids_of (Sieve.Bugs.all_with_extras ()))))
+                 (String.concat ", "
+                    (ids_of (Sieve.Bugs.all_with_extras () @ Sieve.Bugs.replicated ()))))
       else Ok (List.filter_map Sieve.Bugs.find ids)
 
 let pattern_name = function
@@ -36,14 +37,15 @@ let pattern_name = function
 
 let list_cmd =
   let doc =
-    "List the bug corpus (two known Kubernetes bugs, three Cassandra-operator bugs) and the \
-     extension cases."
+    "List the bug corpus (two known Kubernetes bugs, three Cassandra-operator bugs), the \
+     extension cases, and the replicated-store scenario family (run by id; excluded from \
+     the default id-less campaigns so pre-replication journals stay byte-identical)."
   in
   let run () =
     Sieve.Report.table ~header:[ "id"; "pattern"; "title" ]
       (List.map
          (fun c -> [ c.Sieve.Bugs.id; pattern_name c.Sieve.Bugs.pattern; c.Sieve.Bugs.title ])
-         (Sieve.Bugs.all_with_extras ()))
+         (Sieve.Bugs.all_with_extras () @ Sieve.Bugs.replicated ()))
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 

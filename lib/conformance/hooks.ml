@@ -83,6 +83,13 @@ let lag_sweep t =
       | None -> ()
     in
     let etcd_name = Kube.Etcd.name (Kube.Cluster.etcd t.cluster) in
+    (* Replicated backend: each replica's applied frontier is a stream
+       off the canonical (leader-committed) history — replication lag
+       registers as a Lag divergence on ["<replica><-raft"], exactly like
+       a consumer cache falling behind. Empty for the single backend. *)
+    List.iter
+      (fun (id, rev) -> flag ~stream:(id ^ "<-raft") ~frontier:rev ())
+      (Kube.Etcd.replica_revs (Kube.Cluster.etcd t.cluster));
     List.iter
       (fun a ->
         if Kube.Apiserver.ready a then
@@ -99,6 +106,21 @@ let lag_sweep t =
   end
 
 let check_sweep t =
+  (* Replica state machines must be stale-but-never-wrong: each one's
+     applied store is checked against the committed history at exactly
+     its claimed revision, so a non-deterministic apply trips
+     State_divergence while honest lag stays silent. *)
+  Option.iter
+    (fun rkv ->
+      List.iter
+        (fun id ->
+          match Replicated.Kv.replica_store rkv id with
+          | Some store ->
+              check_state_cached t ~component:id ~subject:(id ^ "<-raft")
+                ~rev:(Etcdlike.Kv.rev store) (Etcdlike.Kv.state store)
+          | None -> ())
+        (Replicated.Kv.replica_ids rkv))
+    (Kube.Etcd.replicated_kv (Kube.Cluster.etcd t.cluster));
   List.iter
     (fun a ->
       check_state_cached t ~component:(Kube.Apiserver.name a) ~subject:(Kube.Apiserver.name a)

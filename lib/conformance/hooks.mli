@@ -1,10 +1,15 @@
 (** Cluster wiring for the {!Monitor}.
 
     [attach] threads one monitor through every cache boundary the paper
-    names: the store's commit stream ([Etcd.on_commit] feeds the mirror),
-    each apiserver watch cache and every component informer (via the
-    read-only {!Kube.Tap}s), plus a periodic state spot-check of every
-    cache against the committed history. The interceptor's observer slot
+    names: the store's commit stream ([Etcd.on_commit] feeds the mirror —
+    the {e canonical} leader-committed stream when the store is
+    replicated), each apiserver watch cache and every component informer
+    (via the read-only {!Kube.Tap}s), plus a periodic state spot-check of
+    every cache against the committed history. Under a replicated store
+    each replica's applied state machine is swept too, as stream
+    ["<replica><-raft"]: replication lag registers as a [Lag] divergence
+    off the canonical history, and a non-deterministic apply trips
+    [State_divergence] — followers must be stale, never wrong. The interceptor's observer slot
     is used to {!Monitor.relax} the monitor the first time a strategy
     *drops* an event — from then on gaps and divergent caches are the
     experiment, not a defect — while delays, partitions and

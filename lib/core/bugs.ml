@@ -228,8 +228,190 @@ let extras () = [ ext_rs_surplus (); ext_nc_evict (); ext_dep_wedged () ]
 
 let all_with_extras () = all () @ extras ()
 
+(* ------------------------------------------------------------------ *)
+(* Replicated-store scenario family: the same partial-history bug
+   patterns, but manufactured below the gateway — by Raft replication
+   lag instead of consumer-side fault injection. Kept out of
+   [all_with_extras] so the pre-replication corpus (and its fixed-seed
+   hunt journals) is byte-identical; reach these via [find]/[replicated].
+
+   In every case the "fix" is routing reads to the leader: follower
+   staleness is a read-placement decision, and linearizable reads close
+   the window the same way the per-component fixes close theirs. *)
+
+let leader_reads config =
+  match config.Kube.Cluster.replication with
+  | Some r ->
+      {
+        config with
+        Kube.Cluster.replication = Some { r with Kube.Etcd.read = Replicated.Kv.Leader };
+      }
+  | None -> config
+
+(* REP-STALE — a partitioned follower silently serves a re-list. Reads
+   spread across replicas pin api-2 to etcd-2; cutting etcd-2's
+   replication links (its client link stays up, so bookmarks keep
+   flowing and nothing re-lists) freezes every read through api-2 just
+   before p-rep is migrated. kubelet-1's next incarnation lists from
+   api-2 and re-runs the pod — K8s-59848's shape, with the staleness
+   manufactured by replication instead of an apiserver partition. *)
+let rep_stale () =
+  let config =
+    {
+      Kube.Cluster.default_config with
+      Kube.Cluster.nodes = 2;
+      replication =
+        Some
+          {
+            Kube.Etcd.replicas = 3;
+            read = Replicated.Kv.Spread;
+            read_fallback = `Stale;
+          };
+    }
+  in
+  {
+    id = "REP-STALE";
+    title = "stale follower serves a re-list: duplicate pod with no consumer-side fault";
+    pattern = `Staleness;
+    config;
+    workload =
+      Kube.Workload.rolling_upgrade ~start:(sec 1) ~pod:"p-rep" ~from_node:"node-1"
+        ~to_node:"node-2" ();
+    horizon = sec 8;
+    matches =
+      (function Oracle.Duplicate_pod { pod; _ } -> String.equal pod "p-rep" | _ -> false);
+    sieve_strategy =
+      Strategy.Combo
+        [
+          Strategy.Partition_window { a = "etcd-2"; b = "etcd-1"; from = ms 2_800; until = sec 8 };
+          Strategy.Partition_window { a = "etcd-2"; b = "etcd-3"; from = ms 2_800; until = sec 8 };
+          Strategy.Crash_restart { victim = "kubelet-1"; at = ms 3_600; downtime = ms 150 };
+        ];
+    fixed_config = leader_reads config;
+  }
+
+(* REP-CHURN — leader churn mid-watch. The leader crashes across the
+   migration: the majority elects a successor and commits the writes,
+   but api-1 (pinned to the dead leader, [`Reject]) keeps serving its
+   frozen cache. kubelet-2's next incarnation lands on the fresh api-2
+   and starts the new pod while kubelet-1, watching frozen api-1, never
+   hears the deletion. *)
+let rep_churn () =
+  let config =
+    {
+      Kube.Cluster.default_config with
+      Kube.Cluster.nodes = 2;
+      replication =
+        Some
+          {
+            Kube.Etcd.replicas = 3;
+            read = Replicated.Kv.Spread;
+            read_fallback = `Reject;
+          };
+    }
+  in
+  {
+    id = "REP-CHURN";
+    title = "leader churn mid-watch: consumers split across old and new history";
+    pattern = `Time_travel;
+    config;
+    workload =
+      Kube.Workload.rolling_upgrade ~start:(sec 1) ~pod:"q-rep" ~from_node:"node-1"
+        ~to_node:"node-2" ();
+    horizon = sec 8;
+    matches =
+      (function Oracle.Duplicate_pod { pod; _ } -> String.equal pod "q-rep" | _ -> false);
+    sieve_strategy =
+      Strategy.Combo
+        [
+          Strategy.Crash_restart { victim = "etcd-1"; at = ms 2_900; downtime = ms 3_600 };
+          Strategy.Crash_restart { victim = "kubelet-2"; at = ms 3_500; downtime = ms 150 };
+        ];
+    fixed_config = leader_reads config;
+  }
+
+(* REP-MINORITY — minority-partition reads. Every read is pinned to
+   follower etcd-3; isolating it from both peers right after the
+   ReplicaSet is created leaves the whole control plane reconciling
+   against a frozen minority view. The controller never observes its own
+   creations and over-provisions without bound — EXT-RS's shape with the
+   lag manufactured by a minority partition. *)
+let rep_minority () =
+  let config =
+    {
+      Kube.Cluster.default_config with
+      Kube.Cluster.with_replicaset = true;
+      replication =
+        Some
+          {
+            Kube.Etcd.replicas = 3;
+            read = Replicated.Kv.Follower "etcd-3";
+            read_fallback = `Stale;
+          };
+    }
+  in
+  {
+    id = "REP-MINORITY";
+    title = "minority-partition reads: controller reconciles against a frozen follower";
+    pattern = `Staleness;
+    config;
+    workload = Kube.Workload.replicaset_scale ~start:(sec 1) ~rs:"mweb" ~steps:[ (0, 3) ] ();
+    horizon = sec 7;
+    matches =
+      (function Oracle.Replica_surplus { rs; _ } -> String.equal rs "mweb" | _ -> false);
+    sieve_strategy =
+      Strategy.Combo
+        [
+          Strategy.Partition_window { a = "etcd-3"; b = "etcd-1"; from = ms 1_100; until = sec 7 };
+          Strategy.Partition_window { a = "etcd-3"; b = "etcd-2"; from = ms 1_100; until = sec 7 };
+        ];
+    fixed_config = leader_reads config;
+  }
+
+(* REP-RECOVER — crash-recovery with a shorter log. Follower etcd-2
+   crashes before the migration; api-2's reads are rejected ([`Reject])
+   so its cache freezes, and kubelet-1's next incarnation re-lists the
+   pre-migration world from it. When etcd-2 restarts it replays the
+   committed suffix it missed and the duplicate self-heals — the oracle
+   must fire inside the recovery window. *)
+let rep_recover () =
+  let config =
+    {
+      Kube.Cluster.default_config with
+      Kube.Cluster.nodes = 2;
+      replication =
+        Some
+          {
+            Kube.Etcd.replicas = 3;
+            read = Replicated.Kv.Spread;
+            read_fallback = `Reject;
+          };
+    }
+  in
+  {
+    id = "REP-RECOVER";
+    title = "crash recovery with a shorter log: staleness window closed by catch-up";
+    pattern = `Time_travel;
+    config;
+    workload =
+      Kube.Workload.rolling_upgrade ~start:(sec 1) ~pod:"r-rep" ~from_node:"node-1"
+        ~to_node:"node-2" ();
+    horizon = sec 8;
+    matches =
+      (function Oracle.Duplicate_pod { pod; _ } -> String.equal pod "r-rep" | _ -> false);
+    sieve_strategy =
+      Strategy.Combo
+        [
+          Strategy.Crash_restart { victim = "etcd-2"; at = ms 2_800; downtime = ms 3_500 };
+          Strategy.Crash_restart { victim = "kubelet-1"; at = ms 3_450; downtime = ms 150 };
+        ];
+    fixed_config = leader_reads config;
+  }
+
+let replicated () = [ rep_stale (); rep_churn (); rep_minority (); rep_recover () ]
+
 let find id =
   let wanted = String.lowercase_ascii id in
   List.find_opt
     (fun case -> String.equal (String.lowercase_ascii case.id) wanted)
-    (all_with_extras ())
+    (all_with_extras () @ replicated ())

@@ -83,3 +83,35 @@ val ext_dep_wedged : unit -> case
 val extras : unit -> case list
 
 val all_with_extras : unit -> case list
+
+(** {2 Replicated-store scenario family}
+
+    The same partial-history bug patterns, manufactured {e below} the
+    gateway: Raft replication lag, leader churn and crash recovery take
+    the place of consumer-side fault injection. Kept out of
+    {!all_with_extras} so the pre-replication corpus and its fixed-seed
+    hunt journals stay byte-identical; every case's [fixed_config]
+    switches reads to the leader (linearizable read placement is the
+    replication-level fix). *)
+
+val rep_stale : unit -> case
+(** A partitioned follower keeps serving (bookmarks and all) while its
+    replication links are cut; a kubelet re-list lands on the frozen
+    view and re-runs a migrated pod (staleness). *)
+
+val rep_churn : unit -> case
+(** The leader crashes mid-watch; the majority commits the migration
+    while consumers pinned to the dead leader keep a frozen cache —
+    old and new history run side by side (time travel). *)
+
+val rep_minority : unit -> case
+(** Every read pinned to a follower isolated in a minority partition:
+    the ReplicaSet controller never observes its own creations and
+    over-provisions without bound (staleness). *)
+
+val rep_recover : unit -> case
+(** A follower crashes and restarts with a shorter log; the staleness
+    window its frozen clients lived through closes when catch-up
+    replays the committed suffix (time travel). *)
+
+val replicated : unit -> case list

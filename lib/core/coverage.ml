@@ -51,6 +51,11 @@ let all_components t = List.map (fun target -> target.Planner.component) t.targe
 let is_apiserver name =
   String.length name >= 4 && String.equal (String.sub name 0 4) "api-"
 
+(* "etcd" (single backend) or "etcd-<k>" (a replica of the replicated
+   backend): faulting either side of the store makes every consumer's
+   view potentially stale. *)
+let is_store name = String.length name >= 4 && String.equal (String.sub name 0 4) "etcd"
+
 let rec cells_of t (strategy : Strategy.t) =
   let scoped components ~key_prefix pattern =
     List.concat_map
@@ -74,14 +79,17 @@ let rec cells_of t (strategy : Strategy.t) =
       (* Freezing an apiserver makes every component potentially stale;
          cutting a component's own link makes that component stale. *)
       let components =
-        if is_apiserver a || is_apiserver b || String.equal a "etcd" || String.equal b "etcd"
-        then all_components t
+        if is_apiserver a || is_apiserver b || is_store a || is_store b then all_components t
         else List.filter (fun c -> String.equal c a || String.equal c b) (all_components t)
       in
       scoped components ~key_prefix:None `Staleness
   | Strategy.Crash_restart { victim; _ } ->
       if List.mem victim (all_components t) then
         scoped [ victim ] ~key_prefix:None `Time_travel
+      else if is_store victim then
+        (* A crashed replica (or leader) stalls or re-routes every read
+           pinned to it: staleness raw material for all consumers. *)
+        scoped (all_components t) ~key_prefix:None `Staleness
       else []
   | Strategy.Combo parts -> List.concat_map (cells_of t) parts
 

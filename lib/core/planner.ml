@@ -97,6 +97,14 @@ type boost =
 let api_names (config : Kube.Cluster.config) =
   List.init config.Kube.Cluster.apiservers (fun i -> Printf.sprintf "api-%d" (i + 1))
 
+(* Store replica addresses when the backend is replicated; [] otherwise,
+   so a non-replicated config enumerates exactly the pre-replication
+   candidate list (journal byte-identity depends on this). *)
+let replica_names (config : Kube.Cluster.config) =
+  match config.Kube.Cluster.replication with
+  | None -> []
+  | Some r -> List.init r.Kube.Etcd.replicas (fun i -> Printf.sprintf "etcd-%d" (i + 1))
+
 (* One anchor per (key, op): perturbing the same logical change twice adds
    nothing, and keeping the first occurrence perturbs it earliest. *)
 let dedup_anchors events =
@@ -117,6 +125,17 @@ let dedup_anchors events =
 let enumerate ~config ~anchors ~horizon ~slack ~stale_window ~downtime ~boost ~score =
   let targets = targets_of_config config in
   let apis = api_names config in
+  let replicas = replica_names config in
+  let followers = match replicas with [] | [ _ ] -> [] | _ :: f -> f in
+  (* Cut every replication link of one replica; its client link stays up,
+     so reads pinned to it keep being served — from a frozen store. *)
+  let isolate replica ~from =
+    List.filter_map
+      (fun peer ->
+        if String.equal peer replica then None
+        else Some (Strategy.Partition_window { a = replica; b = peer; from; until = horizon }))
+      replicas
+  in
   let obs_gaps = ref [] and stales = ref [] and travels = ref [] in
   let emit acc s plan = acc := (s, plan) :: !acc in
   List.iter
@@ -129,6 +148,58 @@ let enumerate ~config ~anchors ~horizon ~slack ~stale_window ~downtime ~boost ~s
               let b = boost ~component:target.component ~key ~pattern in
               (-b, score ~target ~origin)
             in
+            (* Replicated store only: replica-flavored candidates go in
+               ahead of their apiserver-flavored peers of equal rank, so
+               a finding the store's replication caused is attributed to
+               the replication event, not a bystander apiserver. *)
+            List.iter
+              (fun replica ->
+                emit stales (rank `Staleness)
+                  {
+                    strategy = Strategy.Combo (isolate replica ~from);
+                    rationale =
+                      Printf.sprintf "isolate replica %s across %s %s; reads pinned to it freeze"
+                        replica (History.Event.op_to_string op) key;
+                  };
+                if target.restartable then
+                  emit travels (rank `Time_travel)
+                    {
+                      strategy =
+                        Strategy.Combo
+                          (isolate replica ~from
+                          @ [
+                              Strategy.Crash_restart
+                                {
+                                  victim = target.component;
+                                  at = time + (7 * slack);
+                                  downtime;
+                                };
+                            ]);
+                      rationale =
+                        Printf.sprintf
+                          "freeze replica %s before %s %s, then bounce %s onto a stale read"
+                          replica (History.Event.op_to_string op) key target.component;
+                    })
+              followers;
+            (match replicas with
+            | leader :: _ :: _ when target.restartable ->
+                (* Leader churn mid-watch: take the leader down across the
+                   anchor and bounce the consumer into the election window. *)
+                emit travels (rank `Time_travel)
+                  {
+                    strategy =
+                      Strategy.Combo
+                        [
+                          Strategy.Crash_restart
+                            { victim = leader; at = from; downtime = 8 * downtime };
+                          Strategy.Crash_restart
+                            { victim = target.component; at = time + (7 * slack); downtime };
+                        ];
+                    rationale =
+                      Printf.sprintf "churn leader %s across %s %s while %s re-syncs" leader
+                        (History.Event.op_to_string op) key target.component;
+                  }
+            | _ -> ());
             emit obs_gaps (rank `Obs_gap)
               {
                 strategy =

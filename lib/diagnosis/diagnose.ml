@@ -40,15 +40,24 @@ let component_of_stream stream =
       in
       scan 0)
 
-(* Prefer the divergence of a stream the violation directly implicates,
-   then one on the causal chain; detection order breaks ties. A fault
-   plan routinely diverges bystander streams too (a partitioned
-   apiserver lags for everyone) — the suspect filter is what keeps the
-   card pointed at the controller that misbehaved. *)
+(* Prefer the divergence of a replication stream (a replica's applied
+   frontier leaving the leader-committed history — only present when the
+   store is replicated, so single-store cards are unchanged), then one of
+   a stream the violation directly implicates, then one on the causal
+   chain; detection order breaks ties. A fault plan routinely diverges
+   bystander streams too (a partitioned apiserver lags for everyone) —
+   the suspect filter is what keeps the card pointed at the controller
+   that misbehaved, and the replication filter is what makes a stale
+   follower outrank the consumers it misled. *)
 let pick_divergence divs ~suspects ~chain_actors =
   let rank (d : Conformance.Monitor.divergence) =
-    let c = component_of_stream d.Conformance.Monitor.d_stream in
-    if List.mem c suspects then 0 else if List.mem c chain_actors then 1 else 2
+    let stream = d.Conformance.Monitor.d_stream in
+    let c = component_of_stream stream in
+    if String.length stream >= 6 && String.sub stream (String.length stream - 6) 6 = "<-raft"
+    then -1
+    else if List.mem c suspects then 0
+    else if List.mem c chain_actors then 1
+    else 2
   in
   List.fold_left
     (fun best d ->

@@ -21,6 +21,10 @@ type config = {
   deployment_fixed : bool;
   api_epoch_seal : int option;
   obs_sample_period : int;  (* revision-lag sampling period, virtual us *)
+  replication : Etcd.replication option;
+      (* [None]: single-store backend (the default, byte-compatible with
+         every pre-replication scenario). [Some _]: Raft-replicated
+         backend; replica addresses etcd-1..n join the fault surface. *)
 }
 
 let default_config =
@@ -47,6 +51,7 @@ let default_config =
     deployment_fixed = false;
     api_epoch_seal = None;
     obs_sample_period = 100_000;
+    replication = None;
   }
 
 type t = {
@@ -171,7 +176,8 @@ let create ?(config = default_config) () =
   in
   let intercept = Intercept.create () in
   let etcd =
-    Etcd.create ~net ~intercept ?watch_window:config.etcd_watch_window ()
+    Etcd.create ~net ~intercept ?watch_window:config.etcd_watch_window
+      ?replication:config.replication ()
   in
   let api_names = List.init config.apiservers (fun i -> Printf.sprintf "api-%d" (i + 1)) in
   let apiservers =
@@ -250,11 +256,12 @@ let create ?(config = default_config) () =
   }
 
 let start t =
-  (* Seed node objects so schedulers and kubelets find the inventory. *)
+  (* Seed node objects so schedulers and kubelets find the inventory
+     (below the consensus path when the store is replicated). *)
   List.iter
     (fun k ->
       let node = Kubelet.node_name k in
-      ignore (Etcdlike.Kv.put (Etcd.kv t.etcd) (Resource.node_key node) (Resource.make_node node)))
+      Etcd.seed t.etcd (Resource.node_key node) (Resource.make_node node))
     t.kubelets;
   List.iter Apiserver.start t.apiservers;
   List.iter Kubelet.start t.kubelets;

@@ -33,6 +33,13 @@ type config = {
   obs_sample_period : int;
       (** how often (virtual us) the cluster samples every component's
           revision lag into the metrics registry *)
+  replication : Etcd.replication option;
+      (** [None] (default): the single-store backend, byte-compatible
+          with every pre-replication scenario. [Some _]: the store is a
+          Raft group of [replicas] members at addresses [etcd-1..n]
+          (crash/partition strategies target them directly); reads and
+          watches are routed per {!Replicated.Kv.read_mode} so follower
+          staleness is injectable. *)
 }
 
 val default_config : config
@@ -47,7 +54,8 @@ val create : ?config:config -> unit -> t
     {!start}. *)
 
 val start : t -> unit
-(** Seeds node objects into etcd and starts every component. *)
+(** Seeds node objects into etcd (on every replica, below consensus,
+    when the store is replicated) and starts every component. *)
 
 val run : t -> until:int -> unit
 (** Advances virtual time (microseconds since 0). *)

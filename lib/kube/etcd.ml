@@ -1,14 +1,25 @@
+type replication = {
+  replicas : int;
+  read : Replicated.Kv.read_mode;
+  read_fallback : Replicated.Kv.fallback;
+}
+
 type subscription = {
   pipe : Pipe.t;
   prefix : string option;
   mutable last_sent : int;
+  replica : string option;  (* serving replica the stream is pinned to *)
 }
+
+type backend =
+  | Single of Resource.value Etcdlike.Kv.t
+  | Replicated of Resource.value Replicated.Kv.t
 
 type t = {
   name : string;
   net : Dsim.Network.t;
   intercept : Intercept.t;
-  kv : Resource.value Etcdlike.Kv.t;
+  backend : backend;
   subs : (string, subscription) Hashtbl.t;
   watch_window : int option;
   mutable requests_served : int;
@@ -19,14 +30,45 @@ type t = {
 
 let name t = t.name
 
-let kv t = t.kv
+(* The authoritative store view: the single store, or (replicated) the
+   store of the replica at the canonical frontier. Read-only for
+   replicated backends — mutations must go through the consensus path. *)
+let kv t =
+  match t.backend with Single kv -> kv | Replicated repl -> Replicated.Kv.canonical_store repl
 
-let rev t = Etcdlike.Kv.rev t.kv
+let rev t =
+  match t.backend with Single kv -> Etcdlike.Kv.rev kv | Replicated repl -> Replicated.Kv.rev repl
+
+let replication t =
+  match t.backend with
+  | Single _ -> None
+  | Replicated repl ->
+      Some
+        {
+          replicas = Replicated.Kv.n repl;
+          read = Replicated.Kv.read_mode repl;
+          read_fallback = Replicated.Kv.fallback repl;
+        }
+
+let replicated_kv t =
+  match t.backend with Single _ -> None | Replicated repl -> Some repl
+
+let replica_revs t =
+  match t.backend with Single _ -> [] | Replicated repl -> Replicated.Kv.replica_revs repl
+
+let leader t =
+  match t.backend with Single _ -> None | Replicated repl -> Replicated.Kv.leader repl
 
 let subscribers t =
   Hashtbl.fold (fun addr _ acc -> addr :: acc) t.subs [] |> List.sort String.compare
 
-let on_commit t f = Etcdlike.Kv.on_commit t.kv f
+(* The committed-history stream: per-store commits for a single backend,
+   the canonical (leader-committed) first-apply stream for a replicated
+   one — a lagging follower's applies never re-enter it. *)
+let on_commit t f =
+  match t.backend with
+  | Single kv -> Etcdlike.Kv.on_commit kv f
+  | Replicated repl -> Replicated.Kv.on_commit repl f
 
 let requests_served t = t.requests_served
 
@@ -35,70 +77,161 @@ let origin_of_rev t rev =
 
 let commit_trace_id t ~rev = Hashtbl.find_opt t.commit_ids rev
 
+(* Seed a binding below the fault surface: a direct store write in single
+   mode, a per-replica boot-snapshot write in replicated mode. Use before
+   [Dsim.Engine.run] only. *)
+let seed t key value =
+  match t.backend with
+  | Single kv -> ignore (Etcdlike.Kv.put kv key value)
+  | Replicated repl -> ignore (Replicated.Kv.seed repl key value)
+
 let push_to_sub sub (e : Resource.value History.Event.t) =
   if e.History.Event.rev > sub.last_sent && History.Event.matches_prefix sub.prefix e then begin
     sub.last_sent <- e.History.Event.rev;
     Pipe.send sub.pipe (Pipe.Event e)
   end
 
-let handle_watch t (w : Messages.watch_request) reply =
-  match Etcdlike.Kv.since t.kv ~rev:w.Messages.start_rev with
-  | Error (`Compacted compacted_rev) -> reply (Messages.Watch_compacted { compacted_rev })
-  | Ok backlog ->
-      (match Hashtbl.find_opt t.subs w.Messages.stream_id with
-      | Some old -> Pipe.close old.pipe
-      | None -> ());
-      let edge = Intercept.{ src = t.name; dst = w.Messages.subscriber } in
-      let pipe =
-        Pipe.create ~net:t.net ~intercept:t.intercept ~edge ~deliver:w.Messages.deliver ()
-      in
-      let sub = { pipe; prefix = w.Messages.prefix; last_sent = w.Messages.start_rev } in
-      Hashtbl.replace t.subs w.Messages.stream_id sub;
-      List.iter (push_to_sub sub) backlog;
-      reply (Messages.Watch_ok { rev = Etcdlike.Kv.rev t.kv })
+let attach_sub t (w : Messages.watch_request) ~replica ~backlog reply ~rev =
+  (match Hashtbl.find_opt t.subs w.Messages.stream_id with
+  | Some old -> Pipe.close old.pipe
+  | None -> ());
+  let edge = Intercept.{ src = t.name; dst = w.Messages.subscriber } in
+  let pipe =
+    Pipe.create ~net:t.net ~intercept:t.intercept ~edge ~deliver:w.Messages.deliver ()
+  in
+  let sub = { pipe; prefix = w.Messages.prefix; last_sent = w.Messages.start_rev; replica } in
+  Hashtbl.replace t.subs w.Messages.stream_id sub;
+  List.iter (push_to_sub sub) backlog;
+  reply (Messages.Watch_ok { rev })
 
-let serve t ~src:_ request reply =
+let handle_watch t ~src (w : Messages.watch_request) reply =
+  match t.backend with
+  | Single kv -> begin
+      match Etcdlike.Kv.since kv ~rev:w.Messages.start_rev with
+      | Error (`Compacted compacted_rev) -> reply (Messages.Watch_compacted { compacted_rev })
+      | Ok backlog -> attach_sub t w ~replica:None ~backlog reply ~rev:(Etcdlike.Kv.rev kv)
+    end
+  | Replicated repl -> begin
+      (* The stream is pinned to the replica serving [src] right now:
+         its backlog comes from that replica's applied log, and later
+         pushes from that replica's applies — a partitioned replica's
+         watchers silently stop seeing new commits, a crashed replica's
+         watchers stop seeing bookmarks too (and the consumer's watchdog
+         eventually notices the silence). *)
+      match Replicated.Kv.serving_replica repl ~src with
+      | None -> reply Messages.Backend_unavailable
+      | Some rid -> begin
+          let store = Option.get (Replicated.Kv.replica_store repl rid) in
+          match Etcdlike.Kv.since store ~rev:w.Messages.start_rev with
+          | Error (`Compacted compacted_rev) ->
+              reply (Messages.Watch_compacted { compacted_rev })
+          | Ok backlog ->
+              attach_sub t w ~replica:(Some rid) ~backlog reply ~rev:(Etcdlike.Kv.rev store)
+        end
+    end
+
+let note_txn_outcome t ~origin ~lease (outcome : Resource.value Etcdlike.Txn.outcome) =
+  List.iter
+    (fun (e : Resource.value History.Event.t) ->
+      Hashtbl.replace t.origins e.History.Event.rev origin;
+      match lease, e.History.Event.op with
+      | Some lease, (History.Event.Create | History.Event.Update) ->
+          Etcdlike.Lease.attach t.leases ~lease ~key:e.History.Event.key
+      | _ -> ())
+    outcome.Etcdlike.Txn.events
+
+(* A lease-driven delete in replicated mode is an ordinary proposal; tag
+   its committed revision with the given origin when it lands. *)
+let propose_delete repl t ~origin key =
+  Replicated.Kv.delete repl key (function
+    | Ok (Some e) -> Hashtbl.replace t.origins e.History.Event.rev origin
+    | Ok None | Error `Unavailable -> ())
+
+let serve t ~src request reply =
   t.requests_served <- t.requests_served + 1;
   Dsim.Metrics.incr (Dsim.Engine.metrics (Dsim.Network.engine t.net)) ("rpc." ^ t.name);
-  match request with
-  | Messages.Etcd_range { prefix } ->
-      reply (Messages.Items { items = Etcdlike.Kv.range t.kv ~prefix; rev = Etcdlike.Kv.rev t.kv })
-  | Messages.Etcd_get { key } ->
-      reply (Messages.Value { value = Etcdlike.Kv.get t.kv key; rev = Etcdlike.Kv.rev t.kv })
-  | Messages.Etcd_txn { txn; origin; lease } ->
-      let outcome = Etcdlike.Txn.eval t.kv txn in
-      List.iter
-        (fun (e : Resource.value History.Event.t) ->
-          Hashtbl.replace t.origins e.History.Event.rev origin;
-          match lease, e.History.Event.op with
-          | Some lease, (History.Event.Create | History.Event.Update) ->
-              Etcdlike.Lease.attach t.leases ~lease ~key:e.History.Event.key
-          | _ -> ())
-        outcome.Etcdlike.Txn.events;
+  match request, t.backend with
+  | Messages.Etcd_range { prefix }, Single kv ->
+      reply (Messages.Items { items = Etcdlike.Kv.range kv ~prefix; rev = Etcdlike.Kv.rev kv })
+  | Messages.Etcd_range { prefix }, Replicated repl -> begin
+      match Replicated.Kv.range repl ~src ~prefix with
+      | Some (items, rev) -> reply (Messages.Items { items; rev })
+      | None -> reply Messages.Backend_unavailable
+    end
+  | Messages.Etcd_get { key }, Single kv ->
+      reply (Messages.Value { value = Etcdlike.Kv.get kv key; rev = Etcdlike.Kv.rev kv })
+  | Messages.Etcd_get { key }, Replicated repl -> begin
+      match Replicated.Kv.get repl ~src key with
+      | Some (value, rev) -> reply (Messages.Value { value; rev })
+      | None -> reply Messages.Backend_unavailable
+    end
+  | Messages.Etcd_txn { txn; origin; lease }, Single kv ->
+      let outcome = Etcdlike.Txn.eval kv txn in
+      note_txn_outcome t ~origin ~lease outcome;
       reply
         (Messages.Txn_result
            { succeeded = outcome.Etcdlike.Txn.succeeded; rev = outcome.Etcdlike.Txn.rev })
-  | Messages.Etcd_lease_grant { ttl } ->
+  | Messages.Etcd_txn { txn; origin; lease }, Replicated repl ->
+      (* Propose through the leader; the reply is deferred until the
+         first replica applies the committed entry (the network layer
+         holds the continuation), or fails over as an outage when
+         nothing commits the proposal within its deadline. *)
+      Replicated.Kv.txn repl txn (function
+        | Ok outcome ->
+            note_txn_outcome t ~origin ~lease outcome;
+            reply
+              (Messages.Txn_result
+                 { succeeded = outcome.Etcdlike.Txn.succeeded; rev = outcome.Etcdlike.Txn.rev })
+        | Error `Unavailable -> reply Messages.Backend_unavailable)
+  | Messages.Etcd_lease_grant { ttl }, _ ->
       let now = Dsim.Engine.now (Dsim.Network.engine t.net) in
       reply (Messages.Lease_granted { lease = Etcdlike.Lease.grant t.leases ~ttl ~now })
-  | Messages.Etcd_lease_keepalive { lease } ->
+  | Messages.Etcd_lease_keepalive { lease }, _ ->
       let now = Dsim.Engine.now (Dsim.Network.engine t.net) in
       if Etcdlike.Lease.keepalive t.leases ~lease ~now then reply Messages.Lease_ok
       else reply Messages.Lease_gone
-  | Messages.Etcd_lease_revoke { lease } ->
-      List.iter (fun key -> ignore (Etcdlike.Kv.delete t.kv key))
+  | Messages.Etcd_lease_revoke { lease }, Single kv ->
+      List.iter (fun key -> ignore (Etcdlike.Kv.delete kv key))
         (Etcdlike.Lease.revoke t.leases ~lease);
       reply Messages.Lease_ok
-  | Messages.Etcd_watch w -> handle_watch t w reply
+  | Messages.Etcd_lease_revoke { lease }, Replicated repl ->
+      List.iter
+        (fun key -> propose_delete repl t ~origin:"lease-revoke" key)
+        (Etcdlike.Lease.revoke t.leases ~lease);
+      reply Messages.Lease_ok
+  | Messages.Etcd_watch w, _ -> handle_watch t ~src w reply
   | _ -> ()
 
-let create ~net ~intercept ?(name = "etcd") ?watch_window ?(bookmark_period = 200_000) () =
+(* Shared commit-side bookkeeping: every committed-history event becomes
+   a caused trace entry and the new causal frontier, so watch deliveries
+   pushed downstream link back to the commit. *)
+let install_commit_listener t =
+  let engine = Dsim.Network.engine t.net in
+  on_commit t (fun event ->
+      let rev = event.History.Event.rev in
+      let id =
+        Dsim.Engine.emit engine ~actor:t.name ~kind:"etcd.commit"
+          (Printf.sprintf "rev %d %s" rev (History.Event.describe event))
+      in
+      Hashtbl.replace t.commit_ids rev id;
+      Dsim.Metrics.incr (Dsim.Engine.metrics engine) "etcd.commits")
+
+let create ~net ~intercept ?(name = "etcd") ?watch_window ?(bookmark_period = 200_000)
+    ?replication () =
+  let backend =
+    match replication with
+    | None -> Single (Etcdlike.Kv.create ())
+    | Some { replicas; read; read_fallback } ->
+        Replicated
+          (Replicated.Kv.create ~net ~n:replicas ~prefix:name ~read ~fallback:read_fallback
+             ?watch_window ())
+  in
   let t =
     {
       name;
       net;
       intercept;
-      kv = Etcdlike.Kv.create ();
+      backend;
       subs = Hashtbl.create 8;
       watch_window;
       requests_served = 0;
@@ -108,36 +241,60 @@ let create ~net ~intercept ?(name = "etcd") ?watch_window ?(bookmark_period = 20
     }
   in
   let engine = Dsim.Network.engine net in
-  Etcdlike.Kv.on_commit t.kv (fun event ->
-      (* Every commit becomes a caused trace entry and the new causal
-         frontier, so the watch deliveries pushed below — and anything
-         they trigger downstream — link back to this commit. *)
-      let rev = event.History.Event.rev in
-      let id =
-        Dsim.Engine.emit engine ~actor:t.name ~kind:"etcd.commit"
-          (Printf.sprintf "rev %d %s" rev (History.Event.describe event))
-      in
-      Hashtbl.replace t.commit_ids rev id;
-      Dsim.Metrics.incr (Dsim.Engine.metrics engine) "etcd.commits";
-      Hashtbl.iter (fun _ sub -> push_to_sub sub event) t.subs;
-      match t.watch_window with
-      | Some window -> Etcdlike.Kv.compact_keep_last t.kv window
-      | None -> ());
+  install_commit_listener t;
+  (match t.backend with
+  | Single kv ->
+      Etcdlike.Kv.on_commit kv (fun event ->
+          Hashtbl.iter (fun _ sub -> push_to_sub sub event) t.subs;
+          match t.watch_window with
+          | Some window -> Etcdlike.Kv.compact_keep_last kv window
+          | None -> ())
+  | Replicated repl ->
+      (* Watch pushes ride each replica's *applies*, not the canonical
+         stream: a stream pinned to a lagging follower only sees what
+         that follower has applied. (Store compaction happens inside the
+         replicated layer, per replica.) *)
+      List.iter
+        (fun rid ->
+          Replicated.Kv.on_replica_commit repl rid (fun event ->
+              Hashtbl.iter
+                (fun _ sub -> if sub.replica = Some rid then push_to_sub sub event)
+                t.subs))
+        (Replicated.Kv.replica_ids repl);
+      Replicated.Kv.start repl);
   Dsim.Network.register net name ~serve:(serve t) ();
   Dsim.Engine.every engine ~period:bookmark_period (fun () ->
-      let rev = Etcdlike.Kv.rev t.kv in
-      Hashtbl.iter (fun _ sub -> Pipe.send sub.pipe (Pipe.Bookmark rev)) t.subs;
+      (match t.backend with
+      | Single kv ->
+          let rev = Etcdlike.Kv.rev kv in
+          Hashtbl.iter (fun _ sub -> Pipe.send sub.pipe (Pipe.Bookmark rev)) t.subs
+      | Replicated repl ->
+          (* Bookmarks carry the *serving replica's* frontier, and only
+             while it is up: a partitioned follower keeps heartbeating
+             its stale revision (its watchers never notice), a crashed
+             one goes silent (its watchers' watchdogs eventually fire). *)
+          Hashtbl.iter
+            (fun _ sub ->
+              match sub.replica with
+              | Some rid when Dsim.Network.is_up t.net rid ->
+                  Pipe.send sub.pipe (Pipe.Bookmark (Replicated.Kv.replica_rev repl rid))
+              | Some _ -> ()
+              | None -> ())
+            t.subs);
       true);
   (* Expire leases against the virtual clock and delete their keys; the
-     deletions are ordinary committed events, so watchers see the lock
-     vanish. *)
+     deletions are ordinary committed events (proposed through the
+     leader when replicated), so watchers see the lock vanish. *)
   Dsim.Engine.every engine ~period:100_000 (fun () ->
       List.iter
         (fun (_, keys) ->
           List.iter
             (fun key ->
-              Hashtbl.replace t.origins (Etcdlike.Kv.rev t.kv + 1) "lease-expiry";
-              ignore (Etcdlike.Kv.delete t.kv key))
+              match t.backend with
+              | Single kv ->
+                  Hashtbl.replace t.origins (Etcdlike.Kv.rev kv + 1) "lease-expiry";
+                  ignore (Etcdlike.Kv.delete kv key)
+              | Replicated repl -> propose_delete repl t ~origin:"lease-expiry" key)
             keys)
         (Etcdlike.Lease.expire t.leases ~now:(Dsim.Engine.now engine));
       true);

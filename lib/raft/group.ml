@@ -4,7 +4,7 @@ type t = {
 }
 
 let create ~net ~n ?(prefix = "raft") ?heartbeat_period ?election_timeout_min
-    ?election_timeout_max () =
+    ?election_timeout_max ?favored ?on_apply () =
   let names = List.init n (fun i -> Printf.sprintf "%s-%d" prefix (i + 1)) in
   let applied = Hashtbl.create 8 in
   let nodes =
@@ -13,9 +13,21 @@ let create ~net ~n ?(prefix = "raft") ?heartbeat_period ?election_timeout_min
         let log = ref [] in
         Hashtbl.replace applied id log;
         let peers = List.filter (fun p -> not (String.equal p id)) names in
+        (* The favored replica runs with the minimum election timeout and
+           no jitter, so it deterministically wins the first election on a
+           quiet network — scenario authors get a known initial leader
+           without losing determinism for later (faulted) elections. *)
+        let election_timeout_min, election_timeout_max =
+          if favored = Some id then
+            let m = Option.value election_timeout_min ~default:150_000 in
+            (Some m, Some m)
+          else (election_timeout_min, election_timeout_max)
+        in
         Node.create ~net ~id ~peers ?heartbeat_period ?election_timeout_min
           ?election_timeout_max
-          ~on_apply:(fun ~index:_ ~command -> log := command :: !log)
+          ~on_apply:(fun ~index ~command ->
+            log := command :: !log;
+            match on_apply with Some f -> f ~id ~index ~command | None -> ())
           ())
       names
   in
@@ -46,21 +58,29 @@ let propose_via_leader t command =
 let applied t id =
   match Hashtbl.find_opt t.applied id with Some log -> List.rev !log | None -> []
 
-let committed_prefix t =
-  let logs = List.map (fun n -> applied t (Node.id n)) t.nodes in
+let committed_prefix_of_logs logs =
   match logs with
   | [] -> []
-  | first :: rest ->
-      let shortest =
-        List.fold_left (fun acc l -> if List.length l < List.length acc then l else acc) first rest
+  | (first_id, first) :: rest ->
+      let reference_id, shortest =
+        List.fold_left
+          (fun (best_id, best) (id, l) ->
+            if List.length l < List.length best then (id, l) else (best_id, best))
+          (first_id, first) rest
       in
       List.iteri
         (fun i command ->
           List.iter
-            (fun l ->
+            (fun (id, l) ->
               if List.length l > i && not (String.equal (List.nth l i) command) then
                 invalid_arg
-                  (Printf.sprintf "Raft safety violated: replicas disagree at index %d" (i + 1)))
+                  (Printf.sprintf
+                     "Raft safety violated: replicas disagree at index %d: %s applied %S, %s \
+                      applied %S"
+                     (i + 1) reference_id command id (List.nth l i)))
             logs)
         shortest;
       shortest
+
+let committed_prefix t =
+  committed_prefix_of_logs (List.map (fun n -> (Node.id n, applied t (Node.id n))) t.nodes)

@@ -10,11 +10,20 @@ val create :
   ?heartbeat_period:int ->
   ?election_timeout_min:int ->
   ?election_timeout_max:int ->
+  ?favored:string ->
+  ?on_apply:(id:string -> index:int -> command:string -> unit) ->
   unit ->
   t
 (** [n] replicas named [<prefix>-1 .. <prefix>-n] (default prefix
     ["raft"]), each applying committed commands into a per-replica
-    list. *)
+    list. [favored] names the replica that should win the first election:
+    it runs with the minimum election timeout and no jitter, so on a
+    quiet network it deterministically beats its jittered peers to the
+    first candidacy (later, faulted elections are decided by the seed as
+    usual). [on_apply] is the external apply path: it fires once per
+    replica per committed entry, in log order, after the internal
+    per-replica list is updated — {!Replicated.Kv} hangs each replica's
+    deterministic state-machine apply off this hook. *)
 
 val start : t -> unit
 
@@ -39,6 +48,14 @@ val applied : t -> string -> string list
 
 val committed_prefix : t -> string list
 (** The longest applied prefix common to all replicas — with the log
-    matching property this is simply the shortest applied log. Raises if
-    replicas disagree on a shared index (a safety violation worth
-    crashing a test over). *)
+    matching property this is simply the shortest applied log. Raises
+    [Invalid_argument] if replicas disagree on a shared index (a safety
+    violation worth crashing a test over); the message names the
+    violating index, both replica ids and the two commands they
+    applied. *)
+
+val committed_prefix_of_logs : (string * string list) list -> string list
+(** The pure comparison {!committed_prefix} runs over its replicas'
+    [(id, applied)] pairs — exposed so the safety-violation exception is
+    unit-testable (a live group can never legally produce divergent
+    applied logs). *)

@@ -9,9 +9,15 @@
     entirely by the deterministic engine.
 
     Simplifications relative to full Raft: no snapshots/compaction, no
-    membership changes, no read-index protocol (clients read through
-    committed application). Persistent state (term, vote, log) survives
-    crashes, as stable storage would; volatile state does not.
+    membership changes, no read-index protocol. Clients consume committed
+    entries through [on_apply], which fires exactly once per committed
+    entry in log order — {!Replicated.Kv} applies each entry into a
+    per-replica {!Etcdlike.Kv} store there, and replica reads go against
+    those applied state machines. Persistent state (term, vote, log,
+    applied index) survives crashes, as stable storage would; volatile
+    state does not — the state machine is persisted alongside the log in
+    this model, so a restarted replica resumes applying from where it
+    stopped rather than replaying from scratch.
 
     Note that a partial history H' in the paper's sense is *not* a
     replica's unreplicated suffix — H only contains committed entries;

@@ -1,0 +1,12 @@
+(** Raft-lite: the replication tier of the store ("a small cluster of
+    nodes, typically one to nine").
+
+    {!Node} implements leader election, log replication and commitment
+    with crash-persistent state; {!Group} wires a whole ensemble on one
+    engine and exposes the cross-replica views experiments need (current
+    leader(s), per-replica applied logs, the committed prefix) plus the
+    external apply hook that {!Replicated.Kv} uses to run a deterministic
+    state machine on every replica. *)
+
+module Node = Node
+module Group = Group

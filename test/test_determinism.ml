@@ -88,6 +88,32 @@ let hunt_journal_invariant_under_conformance () =
         [ "artifact.json"; "finding.json" ])
     base.Hunt.Campaign.findings
 
+(* The replicated backend sits on the same engine and draws from the
+   same seeded streams: equal inputs must stay byte-identical through
+   Raft elections, proposal retries and replica routing. *)
+let replicated_runs_deterministic () =
+  List.iter
+    (fun case ->
+      let a = Sieve.Runner.run_test (Sieve.Bugs.test_of_case case) in
+      let b = Sieve.Runner.run_test (Sieve.Bugs.test_of_case case) in
+      Alcotest.(check string)
+        ("byte-identical traces for " ^ case.Sieve.Bugs.id)
+        (Sieve.Runner.trace_jsonl a) (Sieve.Runner.trace_jsonl b))
+    (Sieve.Bugs.replicated ())
+
+let replicated_hunt_jobs_identity () =
+  mkdir_if_missing "_hunt_test";
+  let campaign ~jobs ~out =
+    Hunt.Campaign.run ~jobs ~out ~budget:24 ~seed:42L ~minimize_budget:0
+      ~cases:[ Sieve.Bugs.rep_stale (); Sieve.Bugs.rep_minority () ]
+      ()
+  in
+  let (_ : Hunt.Campaign.summary) = campaign ~jobs:1 ~out:"_hunt_test/rep-j1" in
+  let (_ : Hunt.Campaign.summary) = campaign ~jobs:4 ~out:"_hunt_test/rep-j4" in
+  Alcotest.(check string) "parallel replicated journal identical"
+    (read_file "_hunt_test/rep-j1/journal.jsonl")
+    (read_file "_hunt_test/rep-j4/journal.jsonl")
+
 let suites =
   [
     ( "determinism",
@@ -96,5 +122,7 @@ let suites =
         Alcotest.test_case "conformance flag preserves traces" `Slow same_trace_with_conformance;
         Alcotest.test_case "hunt journal invariant under conformance" `Slow
           hunt_journal_invariant_under_conformance;
+        Alcotest.test_case "replicated runs deterministic" `Slow replicated_runs_deterministic;
+        Alcotest.test_case "replicated hunt jobs identity" `Slow replicated_hunt_jobs_identity;
       ] );
   ]

@@ -125,6 +125,26 @@ let single_node_group () =
   Alcotest.(check (list string)) "applied" [ "solo" ]
     (Raftlite.Group.applied group (List.hd (Raftlite.Group.names group)))
 
+let committed_prefix_names_divergence () =
+  (* The agreeing case: the common prefix is the shortest applied log. *)
+  Alcotest.(check (list string)) "agreeing logs" [ "a"; "b" ]
+    (Raftlite.Group.committed_prefix_of_logs
+       [ ("raft-1", [ "a"; "b"; "c" ]); ("raft-2", [ "a"; "b" ]) ]);
+  (* The safety-violation exception must name the violating index, both
+     replica ids and the two commands they applied. *)
+  Alcotest.check_raises "divergence names index and replicas"
+    (Invalid_argument
+       "Raft safety violated: replicas disagree at index 2: raft-2 applied \"b\", raft-3 \
+        applied \"X\"")
+    (fun () ->
+      ignore
+        (Raftlite.Group.committed_prefix_of_logs
+           [
+             ("raft-1", [ "a"; "b"; "c" ]);
+             ("raft-2", [ "a"; "b" ]);
+             ("raft-3", [ "a"; "X"; "c" ]);
+           ]))
+
 (* Safety properties under random crash/partition schedules. The group
    churns while a client keeps proposing; at the end everything heals and
    the three Raft safety arguments are checked. *)
@@ -178,6 +198,8 @@ let suites =
         Alcotest.test_case "minority partition cannot commit" `Quick
           minority_partition_cannot_commit;
         Alcotest.test_case "single-node group" `Quick single_node_group;
+        Alcotest.test_case "committed_prefix names divergence" `Quick
+          committed_prefix_names_divergence;
         Qcheck_util.to_alcotest qcheck_safety_under_churn;
       ] );
   ]
