@@ -866,7 +866,11 @@ let diagnose_cmd =
 let expand_ml_paths paths =
   List.concat_map
     (fun path ->
-      if Sys.is_directory path then
+      if not (Sys.file_exists path) then begin
+        Printf.eprintf "no such file or directory: %s\n" path;
+        exit 2
+      end
+      else if Sys.is_directory path then
         Sys.readdir path |> Array.to_list |> List.sort String.compare
         |> List.filter (fun f -> Filename.check_suffix f ".ml")
         |> List.map (Filename.concat path)
@@ -875,15 +879,19 @@ let expand_ml_paths paths =
 
 let lint_cmd =
   let doc =
-    "Statically lint controller sources for partial-history anti-patterns: cached reads \
-     reaching unguarded destructive writes (staleness), edge-triggered watch handlers with no \
-     periodic re-list (observability gap), and post-restart resyncs reusing pre-crash \
-     revisions (time travel). Exits 1 if any finding is not in the baseline."
+    "Statically lint controller sources with the stale-taint dataflow engine: cached-view, \
+     replica-routed and ZooKeeper-follower reads are tainted sources; destructive writes, \
+     proposals and region-assignment CASes are sinks; quorum re-reads, revision preconditions, \
+     sync leader reads and epoch seals kill taint. Shape rules cover edge-triggered handlers, \
+     one-shot ZK watches and pre-crash resyncs. Exits 1 if any finding is not in the baseline."
   in
   let paths_arg =
     Arg.(
-      value & pos_all string [ "lib/kube" ]
-      & info [] ~docv:"PATH" ~doc:"Files or directories to lint (default: lib/kube).")
+      value & pos_all string []
+      & info [] ~docv:"PATH"
+          ~doc:
+            "Files or directories to lint (default: lib/kube, lib/hbase and lib/replicated, \
+             whichever exist).")
   in
   let json_arg =
     Arg.(
@@ -895,36 +903,73 @@ let lint_cmd =
       value & opt string ".sievelint"
       & info [ "baseline" ] ~docv:"FILE"
           ~doc:
-            "Baseline of suppressed finding keys (rule:file:func, one per line, # comments). A \
-             missing file is an empty baseline.")
+            "Baseline of suppressed finding keys (file:pattern:func, one per line, # comments; \
+             the legacy rule:file:func form is still accepted). A missing file is an empty \
+             baseline.")
   in
-  let run paths json baseline =
+  let explain_arg =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "Print each finding's evidence path: the tainted source, every propagation step, \
+             the sink, and the guard whose absence makes it a finding.")
+  in
+  let save_baseline_arg =
+    Arg.(
+      value & flag
+      & info [ "save-baseline" ]
+          ~doc:
+            "Rewrite the baseline file with the current findings' keys in the file:pattern:func \
+             format (the migration path for legacy baselines), then exit 0.")
+  in
+  let run paths json baseline explain save_baseline =
+    let paths =
+      match paths with
+      | [] ->
+          List.filter Sys.file_exists [ "lib/kube"; "lib/hbase"; "lib/replicated" ]
+      | _ -> paths
+    in
     let findings, errors = Analysis.Lint.files (expand_ml_paths paths) in
-    let fresh, suppressed = Analysis.Lint.suppress ~baseline:(Analysis.Lint.load_baseline baseline) findings in
-    if json then
-      Sieve.Report.json
-        (Dsim.Json.Obj
-           [
-             ("findings", Dsim.Json.List (List.map Analysis.Lint.to_json fresh));
-             ("suppressed", Dsim.Json.List (List.map Analysis.Lint.to_json suppressed));
-             ("errors", Dsim.Json.List (List.map (fun e -> Dsim.Json.String e) errors));
-           ])
+    if save_baseline then begin
+      Analysis.Lint.save_baseline ~path:baseline findings;
+      Printf.printf "%s: %d key%s saved\n" baseline (List.length findings)
+        (if List.length findings = 1 then "" else "s")
+    end
     else begin
-      List.iter
-        (fun (f : Analysis.Lint.finding) ->
-          Printf.printf "%s:%d: [%s] %s\n  %s\n" f.Analysis.Lint.file f.Analysis.Lint.line
-            f.Analysis.Lint.rule f.Analysis.Lint.func f.Analysis.Lint.message)
-        fresh;
-      List.iter (fun e -> Printf.printf "error: %s\n" e) errors;
-      Printf.printf "%d finding%s (%d suppressed by baseline), %d parse error%s\n"
-        (List.length fresh)
-        (if List.length fresh = 1 then "" else "s")
-        (List.length suppressed) (List.length errors)
-        (if List.length errors = 1 then "" else "s")
-    end;
-    if fresh <> [] || errors <> [] then exit 1
+      let fresh, suppressed =
+        Analysis.Lint.suppress ~baseline:(Analysis.Lint.load_baseline baseline) findings
+      in
+      if json then
+        Sieve.Report.json
+          (Dsim.Json.Obj
+             [
+               ("findings", Dsim.Json.List (List.map Analysis.Lint.to_json fresh));
+               ("suppressed", Dsim.Json.List (List.map Analysis.Lint.to_json suppressed));
+               ("errors", Dsim.Json.List (List.map (fun e -> Dsim.Json.String e) errors));
+             ])
+      else begin
+        List.iter
+          (fun (f : Analysis.Lint.finding) ->
+            Printf.printf "%s:%d: [%s] %s\n  %s\n" f.Analysis.Lint.file f.Analysis.Lint.line
+              f.Analysis.Lint.rule f.Analysis.Lint.func f.Analysis.Lint.message;
+            if explain then
+              List.iter
+                (fun line -> Printf.printf "    %s\n" line)
+                (Analysis.Lint.explain_lines f))
+          fresh;
+        List.iter (fun e -> Printf.printf "error: %s\n" e) errors;
+        Printf.printf "%d finding%s (%d suppressed by baseline), %d parse error%s\n"
+          (List.length fresh)
+          (if List.length fresh = 1 then "" else "s")
+          (List.length suppressed) (List.length errors)
+          (if List.length errors = 1 then "" else "s")
+      end;
+      if fresh <> [] || errors <> [] then exit 1
+    end
   in
-  Cmd.v (Cmd.info "lint" ~doc) Term.(const run $ paths_arg $ json_arg $ baseline_arg)
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(const run $ paths_arg $ json_arg $ baseline_arg $ explain_arg $ save_baseline_arg)
 
 (* --- hazards -------------------------------------------------------- *)
 
@@ -946,7 +991,16 @@ let hazards_cmd =
       & info [ "fixed" ]
           ~doc:"Analyze the all-fixes-on configuration instead of the bug-era default.")
   in
-  let run json fixed =
+  let lint_arg =
+    Arg.(
+      value & flag
+      & info [ "lint" ]
+          ~doc:
+            "Append the lint's per-path hazards: one entry per taint evidence path over the \
+             controller sources on disk (lib/kube, lib/hbase, lib/replicated), baseline \
+             ignored.")
+  in
+  let run json fixed lint =
     let config =
       if fixed then
         {
@@ -961,7 +1015,17 @@ let hazards_cmd =
       else Kube.Cluster.default_config
     in
     let footprints = Analysis.Footprint.of_config config in
-    let hazards = Analysis.Hazard.of_footprints footprints in
+    let hazards =
+      let base = Analysis.Hazard.of_footprints footprints in
+      if not lint then base
+      else
+        let findings, _errors =
+          Analysis.Lint.files
+            (expand_ml_paths
+               (List.filter Sys.file_exists [ "lib/kube"; "lib/hbase"; "lib/replicated" ]))
+        in
+        base @ Analysis.Hazard.of_lint findings
+    in
     if json then
       Sieve.Report.json
         (Dsim.Json.Obj
@@ -998,7 +1062,7 @@ let hazards_cmd =
            hazards)
     end
   in
-  Cmd.v (Cmd.info "hazards" ~doc) Term.(const run $ json_arg $ fixed_arg)
+  Cmd.v (Cmd.info "hazards" ~doc) Term.(const run $ json_arg $ fixed_arg $ lint_arg)
 
 let main_cmd =
   let doc = "partial-history testing tool for the simulated Kubernetes-like control plane" in

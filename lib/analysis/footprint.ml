@@ -130,7 +130,32 @@ let of_config (config : Kube.Cluster.config) =
       ]
     else []
   in
-  kubelets @ scheduler @ volume @ operator @ replicaset @ deployment @ node_controller
+  let all =
+    kubelets @ scheduler @ volume @ operator @ replicaset @ deployment @ node_controller
+  in
+  (* Under a replicated store whose reads are routed to a named follower
+     or spread across replicas, the apiserver's quorum forwards are
+     served by whatever replica the router picks — possibly one frozen
+     behind the leader. Statically those are cached reads, not quorum
+     reads: the guard credit a fixed-mode list_quorum earns evaporates,
+     which is exactly why the REP family reproduces the operator bugs
+     with no consumer-side fault. Only [Leader] routing keeps them
+     linearizable. The cached_reads lists are unchanged (every quorum
+     prefix is already watched), so Planner ordering is preserved. *)
+  let stale_routed =
+    match config.Cluster.replication with
+    | Some { Etcd.read = Replicated.Kv.Follower _ | Replicated.Kv.Spread; _ } -> true
+    | Some { Etcd.read = Replicated.Kv.Leader; _ } | None -> false
+  in
+  if not stale_routed then all
+  else
+    List.map
+      (fun fp ->
+        let demoted =
+          List.filter (fun p -> not (List.mem p fp.cached_reads)) fp.quorum_reads
+        in
+        { fp with cached_reads = fp.cached_reads @ demoted; quorum_reads = [] })
+      all
 
 let find footprints component =
   List.find_opt (fun fp -> String.equal fp.component component) footprints

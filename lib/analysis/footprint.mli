@@ -40,7 +40,15 @@ val of_config : Kube.Cluster.config -> t list
     member pods and their data claims; the ReplicaSet, Deployment and
     node controllers scale down, prune ReplicaSets and fail pods. The
     [quorum_reads] sets reflect the configuration's fix flags (e.g.
-    [operator_fixed] adds a quorum re-list before decommission/GC). *)
+    [operator_fixed] adds a quorum re-list before decommission/GC).
+
+    Replication demotes quorum reads: when the configuration runs the
+    replicated store with [Follower _] or [Spread] read routing, the
+    apiserver's quorum forwards are served by whatever replica the
+    router picks — possibly one frozen behind the leader — so every
+    quorum prefix is reclassified as a cached read and [quorum_reads]
+    is emptied. Only [Leader] routing (or no replication) keeps the
+    linearizable-read guard credit. *)
 
 val find : t list -> string -> t option
 

@@ -98,6 +98,49 @@ let of_footprints (footprints : Footprint.t list) =
 
 let of_config config = of_footprints (Footprint.of_config config)
 
+(* Lint findings join the graph as per-path hazards: one hazard per
+   evidence path, not per function, so a function with two tainted
+   routes to distinct sinks weighs twice. Additive only — of_footprints
+   / of_config are untouched, and nothing on the execution path calls
+   this (hunt journals stay byte-identical). Components are the runtime
+   names where the file has one, so lint hazards land in the same
+   namespace the planner and scorer use. *)
+let component_of_file file =
+  match Filename.basename file with
+  | "deployment.ml" -> "depctl"
+  | "replicaset.ml" -> "rsctl"
+  | "node_controller.ml" -> "nodectl"
+  | "volume_controller.ml" -> "volumectl"
+  | "cassandra_operator.ml" -> "cassop"
+  | "scheduler.ml" -> "scheduler"
+  | "kubelet.ml" -> "kubelet"
+  | base -> Filename.remove_extension base
+
+let of_lint (findings : Lint.finding list) =
+  List.map
+    (fun (f : Lint.finding) ->
+      let p = f.Lint.path in
+      let severity =
+        match p.Taint.sink_class with
+        | Taint.Destructive | Taint.Record_destroy | Taint.Region_assign -> 3
+        | Taint.Zk_write | Taint.Proposal | Taint.Reproposal -> 2
+      in
+      {
+        pattern = f.Lint.pattern;
+        component = component_of_file f.Lint.file;
+        (* No key-space claim: the path is about a code route, not a
+           prefix, so it matches any key of the component. *)
+        prefix = "";
+        severity;
+        reason =
+          Printf.sprintf "%s: %s %s (line %d) reaches %s (line %d); missing %s"
+            f.Lint.rule
+            (Taint.kind_to_string p.Taint.kind)
+            p.Taint.source.Taint.what p.Taint.source.Taint.line
+            p.Taint.sink.Taint.what p.Taint.sink.Taint.line p.Taint.missing_guard;
+      })
+    findings
+
 let score hazards ~component ~key ~pattern =
   List.fold_left
     (fun acc h ->

@@ -44,6 +44,17 @@ val of_footprints : Footprint.t list -> t list
 val of_config : Kube.Cluster.config -> t list
 (** [of_footprints (Footprint.of_config config)]. *)
 
+val of_lint : Lint.finding list -> t list
+(** Per-path hazards from lint findings: one hazard per evidence path
+    (a function with two tainted routes to distinct sinks weighs
+    twice), severity 3 when the sink is destructive / record-destroy /
+    region-assign, 2 for other proposals and writes. Components are
+    mapped to runtime names ([deployment.ml] -> [depctl], ...) so the
+    hazards share the footprint graph's namespace; the prefix is [""]
+    (a code path implicates every key the component touches). Additive:
+    {!of_footprints} and {!of_config} are unchanged, and nothing on the
+    execution path calls this. *)
+
 val score : t list -> component:string -> key:string -> pattern:Sieve.Coverage.pattern -> int
 (** Highest severity of a hazard implicating this (component, key,
     pattern) cell — 0 when none does. Keys match hazard prefixes by

@@ -1,3 +1,31 @@
+(* The lint driver: turns the stale-taint engine's evidence paths and
+   structural sites into findings.
+
+   Dataflow rules (from {!Taint.result.complete} / [reproposals]):
+
+   - stale-write            cached view -> destructive write, unguarded
+   - follower-read-then-write  replica/follower read -> proposal or
+                            leader write, unguarded
+   - stale-region-assign    follower read -> Zk CAS on a region key
+                            whose [~expected_mod_rev] lives in the
+                            follower's revision domain (HBASE-3136)
+   - retry-no-dedup         fresh proposal issued from an error branch
+                            of another proposal's continuation, with no
+                            proposal-id dedup or revision precondition
+
+   Shape rules (from the sites the same walk collects):
+
+   - edge-trigger           watch handler matches event constructors,
+                            nothing periodically re-lists the prefix
+   - zk-one-shot-watch      ZooKeeper watch handler that neither
+                            re-registers the watch nor re-reads the key
+                            (one-shot semantics: edge-trigger dialect)
+   - stale-resync           [~on_restart] handler resumes from a
+                            remembered pre-crash revision
+
+   Every finding carries its evidence path; [sieve lint --explain]
+   renders it and [Hazard.of_lint] scores per path. *)
+
 open Parsetree
 
 type finding = {
@@ -7,267 +35,81 @@ type finding = {
   func : string;
   line : int;
   message : string;
+  path : Taint.path;
 }
 
-let key f = Printf.sprintf "%s:%s:%s" f.rule f.file f.func
+(* Baseline keys are (file, pattern, function): stable across rule
+   renames and message edits. The old "rule:file:func" form is still
+   accepted by {!suppress} so existing baselines keep working until the
+   next [--save-baseline]. *)
+let key f =
+  Printf.sprintf "%s:%s:%s" f.file (Sieve.Coverage.pattern_to_string f.pattern) f.func
+
+let legacy_key f = Printf.sprintf "%s:%s:%s" f.rule f.file f.func
+
+let explain f = Taint.render ~file:f.file f.path
+
+let explain_lines f = String.split_on_char '\n' (explain f)
 
 (* ------------------------------------------------------------------ *)
-(* Name classification                                                 *)
+(* Dataflow findings                                                   *)
 
-let contains_sub haystack needle =
-  let nh = String.length haystack and nn = String.length needle in
-  let rec go i = i + nn <= nh && (String.equal (String.sub haystack i nn) needle || go (i + 1)) in
-  nn = 0 || go 0
+let rule_of_path (p : Taint.path) =
+  match (p.Taint.sink_class, p.Taint.kind) with
+  | Taint.Reproposal, _ -> ("retry-no-dedup", `Staleness)
+  | Taint.Region_assign, _ -> ("stale-region-assign", `Staleness)
+  | _, Taint.Cache -> ("stale-write", `Staleness)
+  | _, (Taint.Kv_replica | Taint.Zk_follower) -> ("follower-read-then-write", `Staleness)
 
-let destructive_words = [ "delete"; "decommission"; "evict"; "drain"; "purge" ]
+let message_of_rule = function
+  | "stale-write" ->
+      "cached informer view reaches a destructive write with no quorum re-read or revision \
+       precondition on the path (cassandra-operator-400/402 shape)"
+  | "follower-read-then-write" ->
+      "data read from a lagging replica reaches a write/proposal with no leader re-read or \
+       revision-compare precondition (follower-read-then-write shape)"
+  | "stale-region-assign" ->
+      "region reassignment decided from the follower's view; the CAS revision comes from the \
+       follower's own numbering domain, so it cannot guard the leader write (HBASE-3136 shape)"
+  | "retry-no-dedup" ->
+      "a failed proposal is retried as a fresh proposal: without proposal-id dedup the original \
+       may also have applied, doubling the effect (Replicated.Kv pending discipline)"
+  | _ -> ""
 
-let is_guard_name name = contains_sub name "if_unchanged" || contains_sub name "if_absent"
-
-let is_destructive_name name =
-  (not (is_guard_name name))
-  && List.exists (contains_sub (String.lowercase_ascii name)) destructive_words
-
-(* Identifiers that smell like a revision: "rev", "revision",
-   "resource_version", "prev"/"previous" all match. *)
-let is_rev_name name =
-  let n = String.lowercase_ascii name in
-  contains_sub n "rev" || contains_sub n "version"
-
-let fn_path (e : expression) =
-  match e.pexp_desc with Pexp_ident { txt; _ } -> Longident.flatten txt | _ -> []
-
-let last_of path = match List.rev path with [] -> "" | x :: _ -> x
-
-let is_cached_read path =
-  match List.rev path with
-  | name :: parent :: _ ->
-      (String.equal parent "Informer" && List.mem name [ "store"; "get" ])
-      || String.equal parent "State"
-         && List.mem name [ "find"; "get"; "mem"; "keys_with_prefix"; "fold"; "iter" ]
-  | _ -> false
-
-let is_quorum_name name = List.mem name [ "get_quorum"; "list_quorum" ]
-
-(* Resync-ish verbs an [~on_restart] handler may call. *)
-let resync_names = [ "start"; "watch"; "watch_from"; "relist"; "resync"; "list_from"; "sync_from" ]
-
-let line_of (loc : Location.t) = loc.Location.loc_start.Lexing.pos_lnum
+let dataflow_findings ~file (r : Taint.result) =
+  let mk (s : Taint.summary) (p : Taint.path) =
+    let rule, pattern = rule_of_path p in
+    {
+      rule;
+      pattern;
+      file;
+      func = s.Taint.fn_name;
+      line = p.Taint.sink.Taint.line;
+      message = message_of_rule rule;
+      path = p;
+    }
+  in
+  List.map (fun (s, p) -> mk s p) r.Taint.complete
+  @ List.map (fun (s, p) -> mk s p) r.Taint.reproposals
 
 (* ------------------------------------------------------------------ *)
-(* Per-function summaries and module-level sites                       *)
+(* Shape findings                                                      *)
 
-type info = {
-  name : string;
-  line : int;
-  body : expression;
-  mutable cache_read : bool;  (* reads an informer store / State view *)
-  mutable unguarded_destr : bool;  (* direct destructive write, unguarded *)
-  mutable calls : (string * bool) list;  (* local callee, call-site guarded *)
-  mutable scans : string list;  (* prefix tokens listed/folded over *)
-  mutable reads_star : bool;
-  mutable unguarded_star : bool;
-}
-
-type handler = Hname of string | Hinline of expression | Habsent
-
-type informer_site = { i_line : int; i_enclosing : string; i_prefix : string option; i_handler : handler }
-type restart_site = { r_enclosing : string; r_handler : handler }
-
-type ctx = { mutable quorum : bool; mutable guard : bool; mutable every : bool }
-
-type acc = {
-  locals : (string, unit) Hashtbl.t;
-  mutable informers : informer_site list;
-  mutable restarts : restart_site list;
-  mutable periodic_roots : string list;  (* local fns called from Engine.every callbacks *)
-  mutable periodic_scans : string list;  (* prefixes scanned inline in those callbacks *)
-}
-
-let token_of_expr (e : expression) =
-  match e.pexp_desc with
-  | Pexp_ident { txt; _ } -> Some (last_of (Longident.flatten txt))
-  | Pexp_constant (Pconst_string (s, _, _)) -> Some s
-  | _ -> None
-
-let labelled_arg label args =
-  List.find_map
-    (fun (l, e) ->
-      match l with
-      | Asttypes.Labelled l when String.equal l label -> Some e
-      | Asttypes.Optional l when String.equal l label -> Some e
-      | _ -> None)
-    args
-
-let handler_of_expr (e : expression) =
-  match e.pexp_desc with
-  | Pexp_ident { txt; _ } -> Hname (last_of (Longident.flatten txt))
-  | Pexp_apply (fn, _) -> (
-      match fn_path fn with [] -> Habsent | path -> Hname (last_of path))
-  | Pexp_fun (_, _, _, body) -> Hinline body
-  | Pexp_function _ -> Hinline e
-  | _ -> Habsent
-
-(* Walk one function body, filling [info] and the module-level sites.
-   Guard/quorum/periodic context is tracked through application
-   arguments: the callback passed to [get_quorum] runs after a
-   linearizable read, the payload of a [*_if_unchanged] transaction is
-   revision-preconditioned, the closure given to [Engine.every] is
-   periodic. *)
-let walk acc info body =
-  let ctx = { quorum = false; guard = false; every = false } in
-  let guarded () = ctx.quorum || ctx.guard in
-  let add_scan tok =
-    if ctx.every then begin
-      if not (List.mem tok acc.periodic_scans) then acc.periodic_scans <- tok :: acc.periodic_scans
-    end
-    else if not (List.mem tok info.scans) then info.scans <- tok :: info.scans
-  in
-  let expr (it : Ast_iterator.iterator) (e : expression) =
-    match e.pexp_desc with
-    | Pexp_apply (fn, args) ->
-        let path = fn_path fn in
-        let name = last_of path in
-        let local = List.length path = 1 && Hashtbl.mem acc.locals name in
-        if is_cached_read path then info.cache_read <- true;
-        (if List.mem name [ "keys_with_prefix"; "list_quorum" ] then
-           match Option.bind (labelled_arg "prefix" args) token_of_expr with
-           | Some tok -> add_scan tok
-           | None -> ());
-        if String.equal name "create" && List.mem "Informer" path then
-          acc.informers <-
-            {
-              i_line = line_of e.pexp_loc;
-              i_enclosing = info.name;
-              i_prefix = Option.bind (labelled_arg "prefix" args) token_of_expr;
-              i_handler =
-                (match labelled_arg "on_event" args with
-                | Some h -> handler_of_expr h
-                | None -> Habsent);
-            }
-            :: acc.informers;
-        (match labelled_arg "on_restart" args with
-        | Some h -> acc.restarts <- { r_enclosing = info.name; r_handler = handler_of_expr h } :: acc.restarts
-        | None -> ());
-        let guard_call = is_guard_name name || Option.is_some (labelled_arg "expected_mod_rev" args) in
-        if local then begin
-          info.calls <- (name, guarded ()) :: info.calls;
-          if ctx.every && not (List.mem name acc.periodic_roots) then
-            acc.periodic_roots <- name :: acc.periodic_roots
-        end
-        else if (not guard_call) && is_destructive_name name && not (guarded ()) then
-          info.unguarded_destr <- true;
-        it.expr it fn;
-        let saved = (ctx.quorum, ctx.guard, ctx.every) in
-        if is_quorum_name name then ctx.quorum <- true;
-        if guard_call then ctx.guard <- true;
-        if String.equal name "every" && List.mem "Engine" path then ctx.every <- true;
-        List.iter (fun (_, a) -> it.expr it a) args;
-        let q, g, ev = saved in
-        ctx.quorum <- q;
-        ctx.guard <- g;
-        ctx.every <- ev
-    | Pexp_record (fields, _) ->
-        (if not (guarded ()) then
-           List.iter
-             (fun ((lid : Longident.t Asttypes.loc), (v : expression)) ->
-               match (last_of (Longident.flatten lid.Asttypes.txt), v.pexp_desc) with
-               | "deletion_timestamp", Pexp_construct ({ txt = Longident.Lident "Some"; _ }, _) ->
-                   info.unguarded_destr <- true
-               | "phase", Pexp_construct ({ txt; _ }, _)
-                 when String.equal (last_of (Longident.flatten txt)) "Failed" ->
-                   info.unguarded_destr <- true
-               | _ -> ())
-             fields);
-        Ast_iterator.default_iterator.expr it e
-    | _ -> Ast_iterator.default_iterator.expr it e
-  in
-  let it = { Ast_iterator.default_iterator with expr } in
-  it.expr it body
-
-(* ------------------------------------------------------------------ *)
-(* Rule evaluation                                                     *)
-
-let fixpoint infos =
-  let find name = List.find_opt (fun i -> String.equal i.name name) infos in
-  List.iter
-    (fun i ->
-      i.reads_star <- i.cache_read;
-      i.unguarded_star <- i.unguarded_destr)
-    infos;
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    List.iter
-      (fun i ->
-        List.iter
-          (fun (callee, call_guarded) ->
-            match find callee with
-            | None -> ()
-            | Some c ->
-                if c.reads_star && not i.reads_star then begin
-                  i.reads_star <- true;
-                  changed := true
-                end;
-                if (not call_guarded) && c.unguarded_star && not i.unguarded_star then begin
-                  i.unguarded_star <- true;
-                  changed := true
-                end)
-          i.calls)
-      infos
-  done
-
-let stale_write_findings ~file infos =
-  let combined i = i.reads_star && i.unguarded_star in
-  List.filter_map
-    (fun i ->
-      if
-        combined i
-        && not
-             (List.exists
-                (fun (callee, _) ->
-                  match List.find_opt (fun c -> String.equal c.name callee) infos with
-                  | Some c -> combined c
-                  | None -> false)
-                i.calls)
-      then
-        Some
-          {
-            rule = "stale-write";
-            pattern = `Staleness;
-            file;
-            func = i.name;
-            line = i.line;
-            message =
-              "cached informer view reaches a destructive write with no quorum re-read or \
-               revision precondition on the path (cassandra-operator-400/402 shape)";
-          }
-      else None)
-    infos
-
-(* Prefix tokens re-listed by anything reachable from a periodic task. *)
-let periodic_scanned acc infos =
-  let find name = List.find_opt (fun i -> String.equal i.name name) infos in
-  let visited = Hashtbl.create 16 in
-  let scanned = ref acc.periodic_scans in
-  let rec visit name =
-    if not (Hashtbl.mem visited name) then begin
-      Hashtbl.replace visited name ();
-      match find name with
-      | None -> ()
-      | Some i ->
-          List.iter (fun tok -> if not (List.mem tok !scanned) then scanned := tok :: !scanned) i.scans;
-          List.iter (fun (callee, _) -> visit callee) i.calls
-    end
-  in
-  List.iter visit acc.periodic_roots;
-  !scanned
+let resolve_handler (r : Taint.result) = function
+  | Taint.Hinline body -> Some ("", body)
+  | Taint.Hname n -> (
+      match List.find_opt (fun (s : Taint.summary) -> String.equal s.Taint.fn_name n) r.Taint.funcs with
+      | Some s -> Some (n, s.Taint.fn_body)
+      | None -> None)
+  | Taint.Habsent -> None
 
 let matches_event_constructors body =
   let found = ref false in
   let pat (it : Ast_iterator.iterator) (p : pattern) =
     (match p.ppat_desc with
     | Ppat_construct ({ txt; _ }, _)
-      when List.mem (last_of (Longident.flatten txt)) [ "Create"; "Update"; "Delete"; "Put" ] ->
+      when List.mem (Taint.last_of (Longident.flatten txt)) [ "Create"; "Update"; "Delete"; "Put" ]
+      ->
         found := true
     | _ -> ());
     Ast_iterator.default_iterator.pat it p
@@ -276,45 +118,133 @@ let matches_event_constructors body =
   it.expr it body;
   !found
 
-let resolve_handler infos = function
-  | Hinline body -> Some ("", body)
-  | Hname n -> (
-      match List.find_opt (fun i -> String.equal i.name n) infos with
-      | Some i -> Some (n, i.body)
-      | None -> None)
-  | Habsent -> None
-
-let edge_trigger_findings ~file acc infos =
-  let scanned = periodic_scanned acc infos in
+let edge_trigger_findings ~file (r : Taint.result) =
   List.filter_map
-    (fun site ->
-      match (site.i_prefix, resolve_handler infos site.i_handler) with
+    (fun (site : Taint.informer_site) ->
+      match (site.Taint.i_prefix, resolve_handler r site.Taint.i_handler) with
       | Some prefix, Some (hname, body)
-        when matches_event_constructors body && not (List.mem prefix scanned) ->
+        when matches_event_constructors body && not (List.mem prefix r.Taint.periodic_scanned) ->
+          let func = if String.equal hname "" then site.Taint.i_enclosing else hname in
           Some
             {
               rule = "edge-trigger";
               pattern = `Obs_gap;
               file;
-              func = (if String.equal hname "" then site.i_enclosing else hname);
-              line = site.i_line;
+              func;
+              line = site.Taint.i_line;
               message =
                 Printf.sprintf
                   "watch handler matches specific event constructors but nothing periodically \
                    re-lists %s; one dropped event desynchronizes the derived state forever \
                    (Kubernetes-56261 shape)"
                   prefix;
+              path =
+                {
+                  Taint.kind = Taint.Cache;
+                  source =
+                    { Taint.line = site.Taint.i_line; what = "Informer.create with ~on_event" };
+                  steps =
+                    [
+                      {
+                        Taint.line = site.Taint.i_line;
+                        what = Printf.sprintf "handler %s matches Create/Update/Delete" func;
+                      };
+                    ];
+                  sink =
+                    {
+                      Taint.line = site.Taint.i_line;
+                      what = "derived state updated only on event edges";
+                    };
+                  sink_class = Taint.Destructive;
+                  missing_guard =
+                    Printf.sprintf "periodic re-list of %s reachable from Engine.every" prefix;
+                };
             }
       | _ -> None)
-    (List.rev acc.informers)
+    r.Taint.informers
 
-let stale_resync_findings ~file acc infos =
+(* ZooKeeper watches are one-shot: a handler that neither re-registers
+   the watch nor re-reads the key goes blind after the first fire. *)
+let zk_watch_findings ~file (r : Taint.result) =
+  let body_has pred body =
+    let found = ref false in
+    let expr (it : Ast_iterator.iterator) (e : expression) =
+      (match e.pexp_desc with
+      | Pexp_apply (fn, _) -> if pred (Taint.fn_path fn) then found := true
+      | _ -> ());
+      Ast_iterator.default_iterator.expr it e
+    in
+    let it = { Ast_iterator.default_iterator with expr } in
+    it.expr it body;
+    !found
+  in
+  List.filter_map
+    (fun (site : Taint.watch_site) ->
+      match resolve_handler r site.Taint.w_handler with
+      | None -> None
+      | Some (hname, body) ->
+          let func = if String.equal hname "" then site.Taint.w_enclosing else hname in
+          let reregisters = body_has Taint.is_zk_watch body in
+          let rereads =
+            body_has Taint.is_zk_read body
+            || body_has (fun p -> List.mem (Taint.last_of p) [ "get_quorum"; "list_quorum" ]) body
+          in
+          if reregisters && rereads then None
+          else
+            let missing =
+              match (reregisters, rereads) with
+              | false, false -> "re-register the watch and re-read the key"
+              | false, true -> "re-register the watch (one fire consumed it)"
+              | true, false -> "re-read the key (events between fire and re-register are lost)"
+              | true, true -> assert false
+            in
+            Some
+              {
+                rule = "zk-one-shot-watch";
+                pattern = `Obs_gap;
+                file;
+                func;
+                line = site.Taint.w_line;
+                message =
+                  Printf.sprintf
+                    "ZooKeeper watches are one-shot: the handler must %s, or every event after \
+                     the first fire is silently missed (edge-trigger dialect)"
+                    missing;
+                path =
+                  {
+                    Taint.kind = Taint.Zk_follower;
+                    source =
+                      {
+                        Taint.line = site.Taint.w_line;
+                        what =
+                          (match site.Taint.w_key with
+                          | Some k -> Printf.sprintf "Zk watch registered on %s" k
+                          | None -> "Zk watch registered");
+                      };
+                    steps =
+                      [
+                        {
+                          Taint.line = site.Taint.w_line;
+                          what = Printf.sprintf "handler %s fires once" func;
+                        };
+                      ];
+                    sink =
+                      { Taint.line = site.Taint.w_line; what = "watch not re-armed / key not re-read" };
+                    sink_class = Taint.Destructive;
+                    missing_guard = missing ^ " inside the handler";
+                  };
+              })
+    r.Taint.watches
+
+let stale_resync_findings ~file (r : Taint.result) =
   let rev_tainted_expr e =
     let found = ref false in
     let expr (it : Ast_iterator.iterator) (x : expression) =
       (match x.pexp_desc with
-      | Pexp_ident { txt; _ } when List.exists is_rev_name (Longident.flatten txt) -> found := true
-      | Pexp_field (_, { txt; _ }) when is_rev_name (last_of (Longident.flatten txt)) ->
+      | Pexp_ident { txt; _ } when List.exists Taint.is_rev_name (Longident.flatten txt) ->
+          found := true
+      | Pexp_field (_, { txt; _ }) when Taint.is_rev_name (Taint.last_of (Longident.flatten txt))
+        ->
           found := true
       | _ -> ());
       Ast_iterator.default_iterator.expr it x
@@ -325,91 +255,71 @@ let stale_resync_findings ~file acc infos =
   in
   let findings = ref [] in
   List.iter
-    (fun site ->
-      match resolve_handler infos site.r_handler with
+    (fun (site : Taint.restart_site) ->
+      match resolve_handler r site.Taint.r_handler with
       | None -> ()
       | Some (hname, body) ->
-          let func = if String.equal hname "" then site.r_enclosing else hname in
+          let func = if String.equal hname "" then site.Taint.r_enclosing else hname in
           let expr (it : Ast_iterator.iterator) (e : expression) =
             (match e.pexp_desc with
-            | Pexp_apply (fn, args) when List.mem (last_of (fn_path fn)) resync_names ->
+            | Pexp_apply (fn, args)
+              when List.mem (Taint.last_of (Taint.fn_path fn)) Taint.resync_names ->
                 let tainted (l, a) =
                   (match l with
-                  | Asttypes.Labelled l | Asttypes.Optional l -> is_rev_name l
+                  | Asttypes.Labelled l | Asttypes.Optional l -> Taint.is_rev_name l
                   | Asttypes.Nolabel -> false)
                   || rev_tainted_expr a
                 in
-                if List.exists tainted args then
+                if List.exists tainted args then begin
+                  let line = Taint.line_of e.pexp_loc in
                   findings :=
                     {
                       rule = "stale-resync";
                       pattern = `Time_travel;
                       file;
                       func;
-                      line = line_of e.pexp_loc;
+                      line;
                       message =
                         "post-restart resync reuses a pre-crash resource version; the view is \
                          pinned to the old frontier instead of rediscovering the current one \
                          (Kubernetes-59848 shape)";
+                      path =
+                        {
+                          Taint.kind = Taint.Cache;
+                          source = { Taint.line; what = "pre-crash revision remembered across restart" };
+                          steps = [];
+                          sink =
+                            {
+                              Taint.line;
+                              what =
+                                Printf.sprintf "resync %s pinned to the remembered revision"
+                                  (Taint.last_of (Taint.fn_path fn));
+                            };
+                          sink_class = Taint.Destructive;
+                          missing_guard =
+                            "generation reset: restart must re-list fresh instead of resuming \
+                             from a remembered revision";
+                        };
                     }
                     :: !findings
+                end
             | _ -> ());
             Ast_iterator.default_iterator.expr it e
           in
           let it = { Ast_iterator.default_iterator with expr } in
           it.expr it body)
-    (List.rev acc.restarts);
+    r.Taint.restarts;
   List.rev !findings
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 
 let analyze ~file (str : structure) =
-  let acc =
-    {
-      locals = Hashtbl.create 64;
-      informers = [];
-      restarts = [];
-      periodic_roots = [];
-      periodic_scans = [];
-    }
-  in
-  let bindings =
-    List.concat_map
-      (fun (item : structure_item) ->
-        match item.pstr_desc with
-        | Pstr_value (_, vbs) ->
-            List.filter_map
-              (fun vb ->
-                match vb.pvb_pat.ppat_desc with
-                | Ppat_var { txt; _ } -> Some (txt, line_of vb.pvb_loc, vb.pvb_expr)
-                | _ -> None)
-              vbs
-        | _ -> [])
-      str
-  in
-  List.iter (fun (name, _, _) -> Hashtbl.replace acc.locals name ()) bindings;
-  let infos =
-    List.map
-      (fun (name, line, body) ->
-        {
-          name;
-          line;
-          body;
-          cache_read = false;
-          unguarded_destr = false;
-          calls = [];
-          scans = [];
-          reads_star = false;
-          unguarded_star = false;
-        })
-      bindings
-  in
-  List.iter (fun i -> walk acc i i.body) infos;
-  fixpoint infos;
-  stale_write_findings ~file infos
-  @ edge_trigger_findings ~file acc infos
-  @ stale_resync_findings ~file acc infos
+  let r = Taint.analyze str in
+  dataflow_findings ~file r
+  @ edge_trigger_findings ~file r
+  @ zk_watch_findings ~file r
+  @ stale_resync_findings ~file r
 
 let file path =
   match
@@ -434,8 +344,7 @@ let files paths =
       ([], []) paths
   in
   ( List.sort
-      (fun a b ->
-        match String.compare a.file b.file with 0 -> compare a.line b.line | c -> c)
+      (fun a b -> match String.compare a.file b.file with 0 -> compare a.line b.line | c -> c)
       (List.concat (List.rev findings)),
     List.rev errors )
 
@@ -448,9 +357,7 @@ let load_baseline path =
        while true do
          let line = input_line ic in
          let line =
-           match String.index_opt line '#' with
-           | Some i -> String.sub line 0 i
-           | None -> line
+           match String.index_opt line '#' with Some i -> String.sub line 0 i | None -> line
          in
          let line = String.trim line in
          if not (String.equal line "") then keys := line :: !keys
@@ -461,7 +368,20 @@ let load_baseline path =
   end
 
 let suppress ~baseline findings =
-  List.partition (fun f -> not (List.mem (key f) baseline)) findings
+  List.partition
+    (fun f -> not (List.mem (key f) baseline || List.mem (legacy_key f) baseline))
+    findings
+
+let save_baseline ~path findings =
+  let oc = open_out path in
+  output_string oc
+    "# sieve lint baseline — one key per line, format file:pattern:func.\n\
+     # Regenerate with: sieve lint --save-baseline (accepts the legacy\n\
+     # rule:file:func format on load and rewrites it here).\n";
+  List.iter
+    (fun k -> output_string oc (k ^ "\n"))
+    (List.sort_uniq String.compare (List.map key findings));
+  close_out oc
 
 let to_json f =
   Dsim.Json.Obj
@@ -473,4 +393,5 @@ let to_json f =
       ("line", Dsim.Json.Int f.line);
       ("message", Dsim.Json.String f.message);
       ("key", Dsim.Json.String (key f));
+      ("path", Taint.path_to_json f.path);
     ]

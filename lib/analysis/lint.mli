@@ -1,45 +1,62 @@
-(** Layer-1 static analysis: a source lint over controller code.
+(** Layer-1 static analysis: a guard-aware stale-taint lint over
+    controller code (built on {!Taint}).
 
     The lint parses [.ml] files with the compiler's own frontend
-    (compiler-libs, no type-checking) and flags the three partial-history
-    anti-patterns the paper's case studies reduce to. The checks are
-    interprocedural within a file: per-function summaries (reads a cached
-    view / performs an unguarded destructive write / calls whom, under
-    which guard) are closed under the local call graph, and a finding is
-    reported at the function where the two halves first combine.
+    (compiler-libs, no type-checking). Values derived from cached reads
+    are tainted; taint propagates through bindings and interprocedurally
+    via per-function summaries; destructive writes, proposals, and
+    region assignments are sinks; recognized guards (quorum re-read,
+    revision precondition, sync leader read, epoch seal) kill taint. A
+    finding is reported at the function where the source half and the
+    sink half first combine, and carries the full evidence path.
 
-    - {b stale-write} ([`Staleness], the cassandra-operator-400/402
-      shape): an informer/cached read — [Informer.store], [Informer.get],
-      [History.State.find/get/mem/keys_with_prefix/fold/iter] — reaches a
-      destructive write (a call whose name contains
-      delete/decommission/evict/drain/purge, or a record write of
-      [deletion_timestamp = Some _] / [phase = Failed]) with no quorum
-      re-read ([get_quorum]/[list_quorum] callback) and no transaction
-      revision precondition ([*_if_unchanged], [*_if_absent],
-      [~expected_mod_rev]) anywhere on the path.
-    - {b edge-trigger} ([`Obs_gap], the Kubernetes-56261 shape): a watch
-      handler registered via [Informer.create ~on_event] pattern-matches
-      specific event constructors (Create/Update/Delete/Put) while no
-      periodic task reachable from an [Engine.every] callback re-lists
-      the watched prefix — one dropped event desynchronizes the
-      derived state forever.
-    - {b stale-resync} ([`Time_travel], the Kubernetes-59848 shape): an
-      [~on_restart] lifecycle handler restarts a sync/list/watch with an
-      argument carrying a pre-crash revision (a label or identifier whose
-      name contains "rev" or "version") — the resync pins the view to
-      the old frontier instead of discovering the current one. *)
+    Dataflow rules:
+    - {b stale-write} ([`Staleness], cassandra-operator-400/402): a
+      cached informer/[State] read reaches a destructive write with no
+      guard on the path.
+    - {b follower-read-then-write} ([`Staleness]): data read from a
+      lagging replica ([Replicated.Kv] routed reads, [Zk.read] without
+      [~sync:true]) reaches a write or proposal unguarded.
+    - {b stale-region-assign} ([`Staleness], HBASE-3136): a region
+      reassignment CAS whose [~expected_mod_rev] came from the ZK
+      follower — the follower assigns its own revisions, so the
+      precondition cannot guard the leader write.
+    - {b retry-no-dedup} ([`Staleness]): an error-branch retry issues a
+      fresh proposal with no proposal-id dedup or revision
+      precondition; the original may also have applied.
+
+    Shape rules (same walk, structural sites):
+    - {b edge-trigger} ([`Obs_gap], Kubernetes-56261): a watch handler
+      matches event constructors while nothing periodically re-lists
+      the prefix.
+    - {b zk-one-shot-watch} ([`Obs_gap]): a ZooKeeper watch handler
+      that neither re-registers the watch nor re-reads the key.
+    - {b stale-resync} ([`Time_travel], Kubernetes-59848): an
+      [~on_restart] handler resumes from a remembered pre-crash
+      revision. *)
 
 type finding = {
-  rule : string;  (** ["stale-write"] | ["edge-trigger"] | ["stale-resync"] *)
+  rule : string;
+      (** ["stale-write"] | ["follower-read-then-write"] |
+          ["stale-region-assign"] | ["retry-no-dedup"] |
+          ["edge-trigger"] | ["zk-one-shot-watch"] | ["stale-resync"] *)
   pattern : Sieve.Coverage.pattern;
   file : string;  (** basename of the offending file *)
   func : string;  (** top-level binding (or handler) the finding is in *)
-  line : int;
+  line : int;  (** the sink (or site) line *)
   message : string;
+  path : Taint.path;  (** evidence: source -> steps -> sink, missing guard *)
 }
 
 val key : finding -> string
-(** ["rule:file:func"] — the stable identity used by baselines. *)
+(** ["file:pattern:func"] — the stable identity used by baselines
+    (survives rule renames; coarser than the rule on purpose). *)
+
+val legacy_key : finding -> string
+(** The pre-taint ["rule:file:func"] form, still accepted on load. *)
+
+val explain : finding -> string
+(** The rendered evidence path ([sieve lint --explain]). *)
 
 val file : string -> (finding list, string) result
 (** Lints one [.ml] file; [Error] describes a parse failure. *)
@@ -49,9 +66,18 @@ val files : string list -> finding list * string list
 
 val load_baseline : string -> string list
 (** Reads suppressed finding keys, one per line; [#] starts a comment,
-    blank lines are ignored. A missing file is an empty baseline. *)
+    blank lines are ignored. A missing file is an empty baseline.
+    Accepts both the current and the legacy key format. *)
 
 val suppress : baseline:string list -> finding list -> finding list * finding list
-(** Splits findings into (fresh, suppressed) against baseline keys. *)
+(** Splits findings into (fresh, suppressed) against baseline keys,
+    matching either key format. *)
+
+val save_baseline : path:string -> finding list -> unit
+(** Writes the given findings' keys as a fresh baseline in the current
+    format (the migration path for legacy baselines). *)
 
 val to_json : finding -> Dsim.Json.t
+
+val explain_lines : finding -> string list
+(** {!explain}, split into lines (for embedding in JSON artifacts). *)

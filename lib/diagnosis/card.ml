@@ -28,6 +28,7 @@ type t = {
   divergence : divergence;
   suspect : suspect;
   chain : chain_info;
+  taint_path : string list option;
   plan : string;
   minimized_plan : string option;
 }
@@ -80,6 +81,10 @@ let to_json c =
             ("commits", Dsim.Json.Int c.chain.commits);
             ("truncated", Dsim.Json.Bool c.chain.truncated);
           ] );
+      ( "taint_path",
+        match c.taint_path with
+        | None -> Dsim.Json.Null
+        | Some lines -> Dsim.Json.List (List.map (fun l -> Dsim.Json.String l) lines) );
       ("plan", Dsim.Json.String c.plan);
       ("minimized_plan", opt_string c.minimized_plan);
     ]
@@ -164,6 +169,16 @@ let validate json =
   let* () = int_ "chain" ch "length" in
   let* () = int_ "chain" ch "commits" in
   let* () = bool_ "chain" ch "truncated" in
+  (* Optional: absent on cards from before the taint engine, null when
+     the controller sources were not on disk at diagnosis time. *)
+  let* () =
+    match Dsim.Json.member "taint_path" json with
+    | None | Some Dsim.Json.Null -> Ok ()
+    | Some (Dsim.Json.List items) ->
+        if List.for_all (function Dsim.Json.String _ -> true | _ -> false) items then Ok ()
+        else Error "card.taint_path: expected a list of strings"
+    | Some _ -> Error "card.taint_path: expected a list of strings or null"
+  in
   let* _ = str "card" json "plan" in
   let* () = opt_str "card" json "minimized_plan" in
   Ok ()

@@ -43,6 +43,12 @@ type t = {
   divergence : divergence;
   suspect : suspect;
   chain : chain_info;
+  taint_path : string list option;
+      (** the lint's rendered evidence path (source -> propagation ->
+          sink, missing guard) for the suspect's anti-pattern — the
+          static path that predicted this dynamic divergence. [None]
+          when the controller sources are not on disk at diagnosis time
+          or the class is ["unknown"]. *)
   plan : string;  (** the strategy that exposed the bug *)
   minimized_plan : string option;  (** auto-minimized strategy, when one was computed *)
 }

@@ -99,6 +99,56 @@ let classify ~hazards ~component ~key kind =
     (match best with Some h -> h.Analysis.Hazard.severity | None -> 0),
     match best with Some h -> h.Analysis.Hazard.reason | None -> "" )
 
+(* The static evidence path that predicted the divergence: the lint
+   finding over the suspect component's source whose pattern matches the
+   classified anti-pattern class. Best-effort — the sources are looked
+   up relative to the working directory (repo root for the CLI, the
+   build sandbox for tests); a card built where they are not on disk
+   just omits the path. Pure read-side: nothing here touches the run. *)
+let pattern_of_anti_pattern = function
+  | "stale-write" -> Some `Staleness
+  | "edge-trigger" -> Some `Obs_gap
+  | "stale-resync" -> Some `Time_travel
+  | _ -> None
+
+let file_of_component component =
+  let base =
+    if String.length component >= 7 && String.sub component 0 7 = "kubelet" then
+      "kubelet.ml"
+    else
+      match component with
+      | "depctl" -> "deployment.ml"
+      | "rsctl" -> "replicaset.ml"
+      | "nodectl" -> "node_controller.ml"
+      | "volumectl" -> "volume_controller.ml"
+      | "cassop" -> "cassandra_operator.ml"
+      | "scheduler" -> "scheduler.ml"
+      | c -> c ^ ".ml"
+  in
+  List.find_map
+    (fun dir ->
+      let p = Filename.concat dir base in
+      if Sys.file_exists p then Some p else None)
+    [
+      "lib/kube"; "../lib/kube"; "lib/hbase"; "../lib/hbase"; "lib/replicated";
+      "../lib/replicated";
+    ]
+
+let taint_path_of ~component ~anti_pattern =
+  match pattern_of_anti_pattern anti_pattern with
+  | None -> None
+  | Some pattern -> (
+      match file_of_component component with
+      | None -> None
+      | Some path -> (
+          match Analysis.Lint.file path with
+          | Error _ -> None
+          | Ok findings ->
+              List.find_opt
+                (fun (f : Analysis.Lint.finding) -> f.Analysis.Lint.pattern = pattern)
+                findings
+              |> Option.map Analysis.Lint.explain_lines))
+
 let read_site_of ~footprints ~component ~key =
   match Analysis.Footprint.find footprints component with
   | Some fp -> (
@@ -229,6 +279,10 @@ let of_outcome ?(target = fun _ -> true) ?minimized (outcome : Sieve.Runner.outc
                     hazard_reason = "";
                   } )
           in
+          let taint_path =
+            taint_path_of ~component:suspect.Card.component
+              ~anti_pattern:suspect.Card.anti_pattern
+          in
           let m = Kube.Cluster.metrics cluster in
           Dsim.Metrics.incr m "diagnosis.cards";
           Dsim.Metrics.observe m "diagnosis.walk.depth" (float_of_int (List.length chain));
@@ -248,6 +302,7 @@ let of_outcome ?(target = fun _ -> true) ?minimized (outcome : Sieve.Runner.outc
                   commits = List.length (List.filter is_commit chain);
                   truncated;
                 };
+              taint_path;
               plan = Sieve.Strategy.describe outcome.Sieve.Runner.test.Sieve.Runner.strategy;
               minimized_plan = minimized;
             })

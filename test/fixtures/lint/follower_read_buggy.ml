@@ -1,0 +1,21 @@
+(* Lint fixture: the follower-read-then-write shape, distilled. A
+   trimmer lists pods through the replicated store's routed read — which
+   the configured read_mode may serve from a lagging replica — and
+   deletes the "surplus" it sees with plain proposals. A replica frozen
+   behind the leader nominates pods that no longer exist (or misses ones
+   that do); the lint must flag [trim]. Parse-only: this file is never
+   compiled. *)
+
+type t = { name : string; kv : Resource.value Replicated.Kv.t; desired : int }
+
+let surplus_pods t =
+  match Replicated.Kv.range t.kv ~src:t.name ~prefix:"pods/" with
+  | Some (items, _rev) ->
+      let n = List.length items - t.desired in
+      List.filteri (fun i _ -> i < n) items
+  | None -> []
+
+let trim t =
+  List.iter
+    (fun (key, _value, _mod_rev) -> Replicated.Kv.delete t.kv key (fun _ -> ()))
+    (surplus_pods t)

@@ -1,0 +1,18 @@
+(* Lint fixture: the stale-region-assign shape, distilled (HBASE-3136).
+   The master reads a region's assignment from the ZooKeeper follower
+   and CASes the transition at the leader using the follower's
+   [mod_rev]. The follower assigns its *own* revisions — the
+   precondition compares numbers from two different domains, so it
+   cannot guard the leader write. The lint must flag [reassign].
+   Parse-only: this file is never compiled. *)
+
+type t = { zk : Zk.t; name : string; mutable moves : int }
+
+let reassign t region server =
+  Zk.read t.zk ~src:t.name ("region/" ^ region) (function
+    | Ok (_current, mod_rev) ->
+        Zk.cas t.zk ~src:t.name ~key:("region/" ^ region) ~expected_mod_rev:mod_rev
+          (Some server) (function
+          | Ok true -> t.moves <- t.moves + 1
+          | Ok false | Error `Unavailable -> ())
+    | Error `Unavailable -> ())

@@ -1,0 +1,16 @@
+(* Fixed twin of region_assign_buggy: the read goes through the leader
+   ([~sync:true] catches the follower up before serving, HBASE-3137),
+   so the [mod_rev] lives in the leader's revision domain and the CAS
+   precondition genuinely guards the write. The lint must stay silent.
+   Parse-only: this file is never compiled. *)
+
+type t = { zk : Zk.t; name : string; mutable moves : int }
+
+let reassign t region server =
+  Zk.read t.zk ~src:t.name ~sync:true ("region/" ^ region) (function
+    | Ok (_current, mod_rev) ->
+        Zk.cas t.zk ~src:t.name ~key:("region/" ^ region) ~expected_mod_rev:mod_rev
+          (Some server) (function
+          | Ok true -> t.moves <- t.moves + 1
+          | Ok false | Error `Unavailable -> ())
+    | Error `Unavailable -> ())

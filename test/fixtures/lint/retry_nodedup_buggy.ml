@@ -1,0 +1,14 @@
+(* Lint fixture: the retry-no-dedup shape, distilled. A proposal that
+   fails over as [`Unavailable] may still commit — the leader may have
+   replicated it before the partition. Retrying with a *fresh* proposal
+   doubles the effect when both land. The lint must flag [bump].
+   Parse-only: this file is never compiled. *)
+
+type t = { kv : string Replicated.Kv.t }
+
+let bump t key value =
+  Replicated.Kv.put t.kv key value (function
+    | Ok _ -> ()
+    | Error `Unavailable ->
+        (* The original proposal may still be in flight. *)
+        Replicated.Kv.put t.kv key value (fun _ -> ()))

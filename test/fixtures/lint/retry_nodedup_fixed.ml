@@ -1,0 +1,15 @@
+(* Fixed twin of retry_nodedup_buggy: the retry resubmits the *same*
+   proposal id, so replicas' applied-pid dedup makes it idempotent —
+   whichever copy commits first wins and the other is dropped
+   (Replicated.Kv's pending discipline). The lint must stay silent.
+   Parse-only: this file is never compiled. *)
+
+type t = { kv : string Replicated.Kv.t }
+
+let bump t key value =
+  let pid = Replicated.Kv.fresh_pid t.kv in
+  Replicated.Kv.put t.kv ~pid key value (function
+    | Ok _ -> ()
+    | Error `Unavailable ->
+        (* Same pid: at-most-once even if the original also lands. *)
+        Replicated.Kv.put t.kv ~pid key value (fun _ -> ()))

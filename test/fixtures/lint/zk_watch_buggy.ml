@@ -1,0 +1,14 @@
+(* Lint fixture: the ZooKeeper one-shot-watch shape, distilled (the
+   HBase dialect of edge-trigger). ZK watches fire once and are
+   consumed; a handler that neither re-registers the watch nor re-reads
+   the key goes blind after the first master change — every later
+   change is silently missed. The lint must flag [on_master_change].
+   Parse-only: this file is never compiled. *)
+
+type t = { zk : Zk.t; name : string; mutable master : string option }
+
+let on_master_change t () =
+  (* Reacts to the single fire and never re-arms. *)
+  t.master <- None
+
+let track t = Zk.watch t.zk ~src:t.name ~key:"master" ~on_fire:(on_master_change t)

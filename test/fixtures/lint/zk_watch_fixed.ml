@@ -1,0 +1,15 @@
+(* Fixed twin of zk_watch_buggy: the handler re-arms the watch *first*
+   (the fire consumed it) and then re-reads the key through the leader
+   ([~sync:true]) — anything that changed between the fire and the
+   re-arm is picked up by the read instead of being lost. The lint must
+   stay silent. Parse-only: this file is never compiled. *)
+
+type t = { zk : Zk.t; name : string; mutable master : string option }
+
+let rec on_master_fire t () =
+  Zk.watch t.zk ~src:t.name ~key:"master" ~on_fire:(on_master_fire t);
+  Zk.read t.zk ~src:t.name ~sync:true "master" (function
+    | Ok (v, _rev) -> t.master <- v
+    | Error `Unavailable -> ())
+
+let track t = Zk.watch t.zk ~src:t.name ~key:"master" ~on_fire:(on_master_fire t)

@@ -50,32 +50,159 @@ let test_fixture_stale_resync () =
   | _ -> Alcotest.fail "expected exactly one finding");
   check_findings "stale_resync_fixed" (fixture "stale_resync_fixed.ml") []
 
-(* lib/kube must produce no findings beyond the committed baseline: the
-   three deliberate bug-era shapes, suppressed in .sievelint with
-   rationale. Anything fresh is a lint regression (or a new bug). *)
-let test_kube_baselined () =
-  let dir = Filename.concat ".." (Filename.concat "lib" "kube") in
+(* --- the four taint-engine patterns (PR-8) -------------------------- *)
+
+let test_fixture_follower_read () =
+  check_findings "follower_read_buggy"
+    (fixture "follower_read_buggy.ml")
+    [ ("follower-read-then-write", "trim") ];
+  (match Analysis.Lint.file (fixture "follower_read_buggy.ml") with
+  | Ok [ f ] ->
+      Alcotest.(check string) "pattern" "staleness"
+        (Sieve.Coverage.pattern_to_string f.pattern)
+  | _ -> Alcotest.fail "expected exactly one finding");
+  check_findings "follower_read_fixed" (fixture "follower_read_fixed.ml") []
+
+let test_fixture_retry_nodedup () =
+  check_findings "retry_nodedup_buggy"
+    (fixture "retry_nodedup_buggy.ml")
+    [ ("retry-no-dedup", "bump") ];
+  check_findings "retry_nodedup_fixed" (fixture "retry_nodedup_fixed.ml") []
+
+let test_fixture_zk_watch () =
+  check_findings "zk_watch_buggy"
+    (fixture "zk_watch_buggy.ml")
+    [ ("zk-one-shot-watch", "on_master_change") ];
+  (match Analysis.Lint.file (fixture "zk_watch_buggy.ml") with
+  | Ok [ f ] ->
+      Alcotest.(check string) "pattern" "observability-gap"
+        (Sieve.Coverage.pattern_to_string f.pattern)
+  | _ -> Alcotest.fail "expected exactly one finding");
+  check_findings "zk_watch_fixed" (fixture "zk_watch_fixed.ml") []
+
+let test_fixture_region_assign () =
+  check_findings "region_assign_buggy"
+    (fixture "region_assign_buggy.ml")
+    [ ("stale-region-assign", "reassign") ];
+  check_findings "region_assign_fixed" (fixture "region_assign_fixed.ml") []
+
+(* Every fixed twin in the fixture corpus must be silent — the guards
+   (quorum re-read, revision precondition, sync leader read, proposal-id
+   dedup, watch re-arm) are exactly what the engine must credit. *)
+let test_no_false_positives_on_fixed_twins () =
+  Sys.readdir (Filename.concat "fixtures" "lint")
+  |> Array.to_list |> List.sort String.compare
+  |> List.filter (fun f -> Filename.check_suffix f "_fixed.ml")
+  |> List.iter (fun f -> check_findings f (fixture f) [])
+
+(* The evidence path: source, propagation steps, sink, missing guard —
+   what --explain prints and what Hazard/Diagnosis ingest. *)
+let test_explain_evidence_path () =
+  match Analysis.Lint.file (fixture "stale_delete_buggy.ml") with
+  | Ok [ f ] ->
+      let explain = Analysis.Lint.explain f in
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        nn = 0 || go 0
+      in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool)
+            (Printf.sprintf "explain mentions %S" needle)
+            true (contains explain needle))
+        [ "source"; "sink"; "missing guard"; "stale_delete_buggy.ml" ];
+      Alcotest.(check bool) "json carries the path" true
+        (contains (Dsim.Json.to_string (Analysis.Lint.to_json f)) "missing_guard")
+  | Ok fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
+  | Error e -> Alcotest.failf "parse error: %s" e
+
+(* --- self-lint: the shipped controllers ----------------------------- *)
+
+let lint_dir dir =
   let paths =
     Sys.readdir dir |> Array.to_list
     |> List.filter (fun f -> Filename.check_suffix f ".ml")
     |> List.sort String.compare
     |> List.map (Filename.concat dir)
   in
-  let findings, errors = Analysis.Lint.files paths in
-  Alcotest.(check (list string)) "parse errors" [] errors;
+  Analysis.Lint.files paths
+
+let check_dir_baselined name dir expected_suppressed =
+  let findings, errors = lint_dir dir in
+  Alcotest.(check (list string)) (name ^ " parse errors") [] errors;
   let baseline = Analysis.Lint.load_baseline (Filename.concat ".." ".sievelint") in
   let fresh, suppressed = Analysis.Lint.suppress ~baseline findings in
   Alcotest.(check (list string))
-    "fresh findings" []
+    (name ^ " fresh findings")
+    []
     (List.map Analysis.Lint.key fresh);
   Alcotest.(check (list string))
-    "suppressed findings"
+    (name ^ " suppressed findings")
+    expected_suppressed
+    (List.map Analysis.Lint.key suppressed)
+
+(* lib/kube must produce no findings beyond the committed baseline: the
+   three deliberate bug-era shapes, suppressed in .sievelint with
+   rationale. Anything fresh is a lint regression (or a new bug). *)
+let test_kube_baselined () =
+  check_dir_baselined "lib/kube"
+    (Filename.concat ".." (Filename.concat "lib" "kube"))
+    [
+      "deployment.ml:staleness:reconcile_deployment";
+      "kubelet.ml:observability-gap:on_event";
+      "scheduler.ml:observability-gap:on_node_event";
+    ]
+
+(* lib/hbase: the master's CAS-from-the-follower (HBASE-3136) is the one
+   deliberate shape; the region server and the ZooKeeper model itself
+   must be clean — the follower serving path moves data it never acts
+   on, which is exactly what value-taint distinguishes. *)
+let test_hbase_baselined () =
+  check_dir_baselined "lib/hbase"
+    (Filename.concat ".." (Filename.concat "lib" "hbase"))
+    [ "master.ml:staleness:balance_region" ]
+
+(* lib/replicated is the store itself: its retry loop resubmits the
+   *same* pending proposal under Engine.every (not a continuation
+   retry), so the retry-no-dedup rule must not fire on it. *)
+let test_replicated_clean () =
+  check_dir_baselined "lib/replicated"
+    (Filename.concat ".." (Filename.concat "lib" "replicated"))
+    []
+
+(* Legacy rule:file:func baselines keep suppressing until rewritten; a
+   save_baseline round-trip produces new-format keys that suppress the
+   same findings. *)
+let test_baseline_migration () =
+  let dir = Filename.concat ".." (Filename.concat "lib" "kube") in
+  let findings, _ = lint_dir dir in
+  let legacy =
     [
       "stale-write:deployment.ml:reconcile_deployment";
       "edge-trigger:kubelet.ml:on_event";
       "edge-trigger:scheduler.ml:on_node_event";
     ]
-    (List.map Analysis.Lint.key suppressed)
+  in
+  let fresh, suppressed = Analysis.Lint.suppress ~baseline:legacy findings in
+  Alcotest.(check int) "legacy keys suppress" 3 (List.length suppressed);
+  Alcotest.(check (list string)) "nothing fresh under legacy baseline" []
+    (List.map Analysis.Lint.key fresh);
+  let tmp = Filename.temp_file "sievelint" ".baseline" in
+  Analysis.Lint.save_baseline ~path:tmp findings;
+  let rewritten = Analysis.Lint.load_baseline tmp in
+  Sys.remove tmp;
+  Alcotest.(check (list string))
+    "rewritten baseline is the new format, sorted"
+    [
+      "deployment.ml:staleness:reconcile_deployment";
+      "kubelet.ml:observability-gap:on_event";
+      "scheduler.ml:observability-gap:on_node_event";
+    ]
+    rewritten;
+  let fresh', _ = Analysis.Lint.suppress ~baseline:rewritten findings in
+  Alcotest.(check (list string)) "rewritten baseline still suppresses" []
+    (List.map Analysis.Lint.key fresh')
 
 (* --- layer 2: footprints ------------------------------------------- *)
 
@@ -130,6 +257,78 @@ let test_footprint_edge_triggered_mirrors_lint () =
         (fp.Analysis.Footprint.component ^ " edge_triggered")
         expected fp.Analysis.Footprint.edge_triggered)
     footprints
+
+(* Replication demotes quorum reads: with Follower/Spread routing the
+   apiserver's quorum forwards can be served by a lagging replica, so
+   the fix flags' quorum_reads evaporate into cached_reads — while the
+   cached_reads lists (and hence the Planner watch-set consistency) are
+   unchanged, and Leader routing keeps the guard credit. *)
+let test_footprint_replication () =
+  let fixed_flags config =
+    {
+      config with
+      Kube.Cluster.operator_fixed = true;
+      scheduler_fixed = true;
+      node_controller_fixed = true;
+      deployment_fixed = true;
+      with_operator = true;
+      with_deployment = true;
+      with_node_controller = true;
+    }
+  in
+  let replicated read =
+    {
+      (fixed_flags Kube.Cluster.default_config) with
+      Kube.Cluster.replication =
+        Some { Kube.Etcd.replicas = 3; read; read_fallback = `Stale };
+    }
+  in
+  let follower = Analysis.Footprint.of_config (replicated (Replicated.Kv.Follower "etcd-3")) in
+  let spread = Analysis.Footprint.of_config (replicated Replicated.Kv.Spread) in
+  let leader = Analysis.Footprint.of_config (replicated Replicated.Kv.Leader) in
+  let unreplicated = Analysis.Footprint.of_config (fixed_flags Kube.Cluster.default_config) in
+  List.iter
+    (fun (name, fps) ->
+      List.iter
+        (fun (fp : Analysis.Footprint.t) ->
+          Alcotest.(check (list string))
+            (Printf.sprintf "%s: %s has no quorum reads" name fp.Analysis.Footprint.component)
+            [] fp.Analysis.Footprint.quorum_reads)
+        fps)
+    [ ("follower", follower); ("spread", spread) ];
+  (* Leader routing is linearizable: footprints match the unreplicated
+     fixed config exactly, quorum credit included. *)
+  List.iter2
+    (fun (l : Analysis.Footprint.t) (u : Analysis.Footprint.t) ->
+      Alcotest.(check string) "component" u.Analysis.Footprint.component l.Analysis.Footprint.component;
+      Alcotest.(check (list string))
+        (l.Analysis.Footprint.component ^ " leader quorum reads")
+        u.Analysis.Footprint.quorum_reads l.Analysis.Footprint.quorum_reads)
+    leader unreplicated;
+  (* The operator's demoted quorum prefix was already a cached read, so
+     cached_reads — and with them the Planner consistency — are stable. *)
+  List.iter2
+    (fun (f : Analysis.Footprint.t) (u : Analysis.Footprint.t) ->
+      Alcotest.(check (list string))
+        (f.Analysis.Footprint.component ^ " cached reads unchanged by routing")
+        u.Analysis.Footprint.cached_reads f.Analysis.Footprint.cached_reads)
+    follower unreplicated;
+  (* And the footprint-vs-Planner consistency holds on the replicated
+     config the REP family runs. *)
+  let case = Sieve.Bugs.rep_minority () in
+  let targets = Sieve.Planner.targets_of_config case.Sieve.Bugs.config in
+  let footprints = Analysis.Footprint.of_config case.Sieve.Bugs.config in
+  Alcotest.(check (list string))
+    "REP-MINORITY components"
+    (List.map (fun (t : Sieve.Planner.target) -> t.Sieve.Planner.component) targets)
+    (List.map (fun (fp : Analysis.Footprint.t) -> fp.Analysis.Footprint.component) footprints);
+  List.iter2
+    (fun (t : Sieve.Planner.target) (fp : Analysis.Footprint.t) ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "REP-MINORITY %s cached reads = watched prefixes"
+           fp.Analysis.Footprint.component)
+        t.Sieve.Planner.watched_prefixes fp.Analysis.Footprint.cached_reads)
+    targets footprints
 
 (* --- hazard graph -------------------------------------------------- *)
 
@@ -186,6 +385,28 @@ let test_hazard_graph_content () =
     (Analysis.Hazard.score ca_hazards ~component:"cassop" ~key:"locks/leader"
        ~pattern:`Staleness)
 
+(* Lint findings become per-path hazards: one entry per evidence path,
+   severity by sink class, components mapped into the runtime
+   namespace, matching any key (empty prefix). Additive only —
+   of_config stays byte-identical, which the journal tests pin. *)
+let test_hazard_of_lint () =
+  let file = Filename.concat ".." (Filename.concat "lib" (Filename.concat "kube" "deployment.ml")) in
+  match Analysis.Lint.file file with
+  | Error e -> Alcotest.failf "parse error: %s" e
+  | Ok findings -> (
+      let hazards = Analysis.Hazard.of_lint findings in
+      Alcotest.(check int) "one hazard per path" (List.length findings) (List.length hazards);
+      match hazards with
+      | [ h ] ->
+          Alcotest.(check string) "runtime component name" "depctl" h.Analysis.Hazard.component;
+          Alcotest.(check int) "destructive sink is sev 3" 3 h.Analysis.Hazard.severity;
+          Alcotest.(check string) "pattern" "staleness"
+            (Sieve.Coverage.pattern_to_string h.Analysis.Hazard.pattern);
+          Alcotest.(check int) "empty prefix implicates every key" 3
+            (Analysis.Hazard.score hazards ~component:"depctl" ~key:"rsets/web-1"
+               ~pattern:`Staleness)
+      | hs -> Alcotest.failf "expected exactly one hazard, got %d" (List.length hs))
+
 (* --- hazard-ranked scheduling -------------------------------------- *)
 
 (* First trial index (in dispatch order) whose execution exposes the
@@ -241,7 +462,20 @@ let suites =
         Alcotest.test_case "fixture: stale-write" `Quick test_fixture_stale_write;
         Alcotest.test_case "fixture: edge-trigger" `Quick test_fixture_edge_trigger;
         Alcotest.test_case "fixture: stale-resync" `Quick test_fixture_stale_resync;
+        Alcotest.test_case "fixture: follower-read-then-write" `Quick
+          test_fixture_follower_read;
+        Alcotest.test_case "fixture: retry-no-dedup" `Quick test_fixture_retry_nodedup;
+        Alcotest.test_case "fixture: zk-one-shot-watch" `Quick test_fixture_zk_watch;
+        Alcotest.test_case "fixture: stale-region-assign" `Quick
+          test_fixture_region_assign;
+        Alcotest.test_case "no false positives on fixed twins" `Quick
+          test_no_false_positives_on_fixed_twins;
+        Alcotest.test_case "explain carries the evidence path" `Quick
+          test_explain_evidence_path;
         Alcotest.test_case "lib/kube clean modulo baseline" `Quick test_kube_baselined;
+        Alcotest.test_case "lib/hbase clean modulo baseline" `Quick test_hbase_baselined;
+        Alcotest.test_case "lib/replicated clean" `Quick test_replicated_clean;
+        Alcotest.test_case "baseline legacy migration" `Quick test_baseline_migration;
       ] );
     ( "analysis.footprint",
       [
@@ -249,10 +483,14 @@ let suites =
           test_footprint_consistency;
         Alcotest.test_case "edge_triggered mirrors lint" `Quick
           test_footprint_edge_triggered_mirrors_lint;
+        Alcotest.test_case "replication demotes quorum reads" `Quick
+          test_footprint_replication;
       ] );
     ( "analysis.hazard",
       [
         Alcotest.test_case "graph content" `Quick test_hazard_graph_content;
+        Alcotest.test_case "lint findings become per-path hazards" `Quick
+          test_hazard_of_lint;
         Alcotest.test_case "hazard rank no later than greedy" `Slow
           test_hazard_rank_regression;
       ] );

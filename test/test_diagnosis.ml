@@ -143,6 +143,13 @@ let sample_card =
         hazard_reason = "destructive write through cached view";
       };
     chain = { Diagnosis.Card.anchor = 200; length = 5; commits = 2; truncated = false };
+    taint_path =
+      Some
+        [
+          "source cassandra_operator.ml:63 cached view read (State.fold) [cached-view]";
+          "sink cassandra_operator.ml:84 Messages.delete [destructive write]";
+          "missing guard: quorum re-read of the acted-on keys";
+        ];
     plan = "[drop ...]";
     minimized_plan = None;
   }
@@ -171,6 +178,20 @@ let validate_accepts_and_rejects () =
   (match Diagnosis.Card.validate (Diagnosis.Card.to_json bad_kind) with
   | Error _ -> ()
   | Ok () -> Alcotest.fail "unknown divergence kind accepted");
+  (* taint_path is optional (absent or null is fine) but typed. *)
+  let with_taint_path v =
+    match Diagnosis.Card.to_json sample_card with
+    | Dsim.Json.Obj fields ->
+        Dsim.Json.Obj
+          (List.map (function "taint_path", _ -> ("taint_path", v) | kv -> kv) fields)
+    | j -> j
+  in
+  (match Diagnosis.Card.validate (with_taint_path Dsim.Json.Null) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "null taint_path rejected: %s" e);
+  (match Diagnosis.Card.validate (with_taint_path (Dsim.Json.Int 3)) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "non-list taint_path accepted");
   match Diagnosis.Card.validate (Dsim.Json.Obj [ ("schema", Dsim.Json.String "nope/1") ]) with
   | Error _ -> ()
   | Ok () -> Alcotest.fail "wrong schema tag accepted"
