@@ -1,38 +1,64 @@
-type 'v watcher = {
-  id : int;
-  prefix : string option;
-  deliver : 'v History.Event.t -> unit;
-  mutable last_sent : int;
-}
+type 'v sink =
+  | Single of ('v History.Event.t -> unit)
+  | Batched of ('v History.Event.t list -> unit)
+
+type 'v watcher = { prefix : string option; sink : 'v sink; mutable last_sent : int }
 
 type handle = int
 
-type 'v t = { kv : 'v Kv.t; mutable watchers : 'v watcher list; mutable next_id : int }
+type 'v t = {
+  kv : 'v Kv.t;
+  index : 'v watcher History.Dispatch.t;
+  batch : 'v History.Dispatch.Batch.queue;
+}
 
-let push watcher (e : 'v History.Event.t) =
-  if e.History.Event.rev > watcher.last_sent && History.Event.matches_prefix watcher.prefix e
-  then begin
-    watcher.last_sent <- e.History.Event.rev;
-    watcher.deliver e
+let push t handle w (e : 'v History.Event.t) =
+  if e.History.Event.rev > w.last_sent && History.Event.matches_prefix w.prefix e then begin
+    w.last_sent <- e.History.Event.rev;
+    match w.sink with
+    | Single deliver -> deliver e
+    | Batched _ -> History.Dispatch.Batch.offer t.batch ~stream:handle e
   end
 
+(* The trie routes by key prefix, so only matching watchers are even
+   visited; [push] re-checks [matches_prefix] because backlog replay
+   calls it directly, outside the index. Cancellation mid-fan-out is
+   honoured by the index itself: a removed handle is skipped by the
+   in-flight iteration (see {!History.Dispatch}). *)
+let fan_out t event =
+  History.Dispatch.iter_matching t.index ~key:event.History.Event.key (fun handle w ->
+      push t handle w event)
+
 let create kv =
-  let t = { kv; watchers = []; next_id = 0 } in
-  Kv.on_commit kv (fun event -> List.iter (fun w -> push w event) t.watchers);
+  let t = { kv; index = History.Dispatch.create (); batch = History.Dispatch.Batch.create () } in
+  Kv.on_commit kv (fun event -> fan_out t event);
   t
 
-let watch t ?prefix ~start_rev ~deliver () =
+let register t ?prefix ~start_rev sink =
   match Kv.since t.kv ~rev:start_rev with
   | Error (`Compacted rev) -> Error (`Compacted rev)
   | Ok backlog ->
-      t.next_id <- t.next_id + 1;
-      let watcher = { id = t.next_id; prefix; deliver; last_sent = start_rev } in
-      t.watchers <- t.watchers @ [ watcher ];
-      List.iter (fun event -> push watcher event) backlog;
-      Ok watcher.id
+      let watcher = { prefix; sink; last_sent = start_rev } in
+      let handle = History.Dispatch.add t.index ?prefix watcher in
+      List.iter (fun event -> push t handle watcher event) backlog;
+      Ok handle
 
-let cancel t handle = t.watchers <- List.filter (fun w -> w.id <> handle) t.watchers
+let watch t ?prefix ~start_rev ~deliver () = register t ?prefix ~start_rev (Single deliver)
 
-let active t = List.length t.watchers
+let watch_batched t ?prefix ~start_rev ~deliver () =
+  register t ?prefix ~start_rev (Batched deliver)
 
-let fan_out t event = List.iter (fun w -> push w event) t.watchers
+let cancel t handle = ignore (History.Dispatch.remove t.index handle)
+
+let active t = History.Dispatch.size t.index
+
+let pending t = History.Dispatch.Batch.pending t.batch
+
+(* A watcher cancelled after events were offered but before the flush
+   receives nothing: its handle no longer resolves, so its batch is
+   dropped — cancellation means cancelled, not "one last batch". *)
+let flush t =
+  History.Dispatch.Batch.flush t.batch (fun ~stream events ->
+      match History.Dispatch.find t.index stream with
+      | Some { sink = Batched deliver; _ } -> deliver events
+      | Some { sink = Single _; _ } | None -> ())

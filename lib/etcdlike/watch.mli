@@ -6,7 +6,14 @@
     frontier fails with [`Compacted] — the client has to fall back to a
     full list + re-watch, losing the intervening events (an observability
     gap by design, cf. Section 4.2.3 and the Kubernetes "efficient watch
-    resumption" KEP). *)
+    resumption" KEP).
+
+    Live delivery routes through {!History.Dispatch}, a prefix-trie
+    watcher index: a commit visits only the watchers whose prefix matches
+    its key, in registration order, instead of filtering the full watcher
+    list. Cancellation takes effect immediately — a watcher cancelled
+    from inside a delivery callback (its own or a peer's) receives no
+    further events, including the event currently fanning out. *)
 
 type 'v t
 
@@ -27,10 +34,32 @@ val watch :
     stream begins at [start_rev + 1]. Backlog delivery happens inside
     this call, in revision order. *)
 
+val watch_batched :
+  'v t ->
+  ?prefix:string ->
+  start_rev:int ->
+  deliver:('v History.Event.t list -> unit) ->
+  unit ->
+  (handle, [ `Compacted of int ]) result
+(** Like {!watch}, but events coalesce per watcher until {!flush}: each
+    flush hands the watcher every event accumulated since the previous
+    one, in arrival order, as a single notification. Backlog is queued
+    for the first flush rather than delivered inside this call. *)
+
 val cancel : 'v t -> handle -> unit
+(** Effective immediately, even against an in-flight {!fan_out}; any
+    batched events not yet flushed are dropped. *)
 
 val active : 'v t -> int
 (** Number of live watchers. *)
+
+val pending : 'v t -> int
+(** Events buffered for batched watchers awaiting {!flush}. *)
+
+val flush : 'v t -> unit
+(** Delivers every batched watcher's accumulated events. Watchers flush
+    in first-event-arrival order; a typical server calls this once per
+    tick. *)
 
 val fan_out : 'v t -> 'v History.Event.t -> unit
 (** Pushes one event to every matching watcher — exposed for servers that

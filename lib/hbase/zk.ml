@@ -9,15 +9,21 @@ type Dsim.Network.response +=
   | Zk_cas_result of bool
   | Zk_written
   | Zk_events of string History.Event.t list
+  | Zk_compacted of { compacted_rev : int; snapshot : (string * string) list; rev : int }
+        (** The puller is below the compaction frontier: the intervening
+            events are gone, so catch-up must be a full state transfer. *)
 
 type t = {
   net : Dsim.Network.t;
   leader_name : string;
   follower_name : string;
   replication_lag : int;
+  compaction_window : int option;
   leader_kv : string Etcdlike.Kv.t;
+  leader_hub : string Etcdlike.Watch.t;  (* indexed fan-out over leader commits *)
   follower_kv : string Etcdlike.Kv.t;  (* replica applied with lag *)
   mutable leader_ops : int;
+  mutable follower_resyncs : int;
 }
 
 let leader t = t.leader_name
@@ -26,9 +32,13 @@ let follower t = t.follower_name
 
 let leader_kv t = t.leader_kv
 
+let leader_hub t = t.leader_hub
+
 let follower_rev t = History.State.rev (Etcdlike.Kv.state t.follower_kv)
 
 let leader_ops t = t.leader_ops
+
+let follower_resyncs t = t.follower_resyncs
 
 let engine t = Dsim.Network.engine t.net
 
@@ -39,6 +49,10 @@ let follower_apply t (e : string History.Event.t) =
   | (History.Event.Create | History.Event.Update), Some v ->
       ignore (Etcdlike.Kv.put t.follower_kv e.History.Event.key v)
   | (History.Event.Create | History.Event.Update), None -> ()
+
+let leader_snapshot t =
+  History.State.bindings_with_prefix (Etcdlike.Kv.state t.leader_kv) ~prefix:""
+  |> List.map (fun (key, (v, _)) -> (key, v))
 
 (* The follower replica's revisions differ from the leader's (it assigns
    its own), so track the leader revision it has caught up to. *)
@@ -65,13 +79,41 @@ let serve_leader t ~src:_ request reply =
   | Zk_pull { since } -> (
       match Etcdlike.Kv.since t.leader_kv ~rev:since with
       | Ok events -> reply (Zk_events events)
-      | Error (`Compacted _) -> reply (Zk_events []))
+      | Error (`Compacted compacted_rev) ->
+          (* Not an empty event list: an empty list means "caught up",
+             and a puller below the compaction frontier is anything but.
+             Ship the full leader state so the follower can resync. *)
+          reply
+            (Zk_compacted
+               { compacted_rev; snapshot = leader_snapshot t; rev = Etcdlike.Kv.rev t.leader_kv }))
   | _ -> ()
 
 type follower_state = { mutable caught_up_to : int (* leader revision *) }
 
 let follower_read t key =
   Zk_value { value = Etcdlike.Kv.get t.follower_kv key; rev = follower_rev t }
+
+(* Full state transfer: make the replica's bindings equal the snapshot
+   (its own revision counter keeps advancing — revisions are local), and
+   advance the catch-up frontier past everything the snapshot covers. *)
+let follower_resync t state ~snapshot ~rev =
+  let current =
+    History.State.bindings_with_prefix (Etcdlike.Kv.state t.follower_kv) ~prefix:""
+  in
+  List.iter
+    (fun (key, _) ->
+      if not (List.mem_assoc key snapshot) then ignore (Etcdlike.Kv.delete t.follower_kv key))
+    current;
+  List.iter
+    (fun (key, v) ->
+      match Etcdlike.Kv.get t.follower_kv key with
+      | Some (v', _) when String.equal v' v -> ()
+      | _ -> ignore (Etcdlike.Kv.put t.follower_kv key v))
+    snapshot;
+  state.caught_up_to <- rev;
+  t.follower_resyncs <- t.follower_resyncs + 1;
+  Dsim.Engine.record (engine t) ~actor:t.follower_name ~kind:"zk.resync"
+    (Printf.sprintf "catch-up past compaction: full resync at leader rev %d" rev)
 
 let serve_follower t state ~src:_ request reply =
   match request with
@@ -91,32 +133,52 @@ let serve_follower t state ~src:_ request reply =
                   end)
                 events;
               reply (follower_read t key)
+          | Ok (Zk_compacted { compacted_rev = _; snapshot; rev }) ->
+              follower_resync t state ~snapshot ~rev;
+              reply (follower_read t key)
           | _ -> reply (follower_read t key))
   | _ -> ()
 
 let create ~net ?(leader = "zk-leader") ?(follower = "zk-follower")
-    ?(replication_lag = 10_000) () =
+    ?(replication_lag = 10_000) ?compaction_window () =
+  let leader_kv = Etcdlike.Kv.create () in
   let t =
     {
       net;
       leader_name = leader;
       follower_name = follower;
       replication_lag;
-      leader_kv = Etcdlike.Kv.create ();
+      compaction_window;
+      leader_kv;
+      leader_hub = Etcdlike.Watch.create leader_kv;
       follower_kv = Etcdlike.Kv.create ();
       leader_ops = 0;
+      follower_resyncs = 0;
     }
   in
   let state = { caught_up_to = 0 } in
   (* Stream replication: each leader commit reaches the replica one lag
-     later, in order (the follower's (H', S')). *)
-  Etcdlike.Kv.on_commit t.leader_kv (fun event ->
-      ignore
-        (Dsim.Engine.schedule (engine t) ~delay:t.replication_lag (fun () ->
-             if event.History.Event.rev > state.caught_up_to then begin
-               follower_apply t event;
-               state.caught_up_to <- event.History.Event.rev
-             end)));
+     later, in order (the follower's (H', S')). The stream is a watcher
+     on the leader's dispatch hub, like any other subscriber. *)
+  (match
+     Etcdlike.Watch.watch t.leader_hub ~start_rev:0
+       ~deliver:(fun event ->
+         ignore
+           (Dsim.Engine.schedule (engine t) ~delay:t.replication_lag (fun () ->
+                if event.History.Event.rev > state.caught_up_to then begin
+                  follower_apply t event;
+                  state.caught_up_to <- event.History.Event.rev
+                end)))
+       ()
+   with
+  | Ok _ -> ()
+  | Error (`Compacted _) -> ());
+  (* Retention: keep only the last [w] events pullable. Registered after
+     the hub's commit listener, so fan-out always precedes the trim. *)
+  (match t.compaction_window with
+  | Some w ->
+      Etcdlike.Kv.on_commit t.leader_kv (fun _ -> Etcdlike.Kv.compact_keep_last t.leader_kv w)
+  | None -> ());
   Dsim.Network.register net t.leader_name ~serve:(serve_leader t) ();
   Dsim.Network.register net t.follower_name ~serve:(serve_follower t state) ();
   t

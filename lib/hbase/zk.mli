@@ -18,11 +18,16 @@ val create :
   ?leader:string ->
   ?follower:string ->
   ?replication_lag:int ->
+  ?compaction_window:int ->
   unit ->
   t
 (** Defaults: nodes ["zk-leader"] / ["zk-follower"], replication lag
     10 ms. The follower applies each committed leader event
-    [replication_lag] later (in order). *)
+    [replication_lag] later (in order). [compaction_window] bounds the
+    leader's retained event log (default: unbounded); a follower whose
+    catch-up pull lands below the compaction frontier receives a full
+    state snapshot instead of events — {e not} an empty event list, so
+    compaction is never mistaken for being caught up. *)
 
 val leader : t -> string
 
@@ -31,12 +36,20 @@ val follower : t -> string
 val leader_kv : t -> string Etcdlike.Kv.t
 (** Ground truth, for oracles and seeding. *)
 
+val leader_hub : t -> string Etcdlike.Watch.t
+(** The leader's watch hub. Follower replication is one watcher on it;
+    tests and oracles may register more. *)
+
 val follower_rev : t -> int
 (** The follower replica's applied revision (≤ leader rev). *)
 
 val leader_ops : t -> int
 (** Requests the leader has served — the load the HBASE-3137 fix
     inflates. *)
+
+val follower_resyncs : t -> int
+(** Full state transfers the follower performed after pulling below the
+    leader's compaction frontier. *)
 
 (** {2 Client operations} (asynchronous, over the network) *)
 

@@ -18,7 +18,9 @@ type t = {
   mutable last_rev : int;
   window : Resource.value History.Window.t;  (* oldest first *)
   mutable window_start : int;  (* revision preceding the oldest retained event *)
-  subs : (string, subscription) Hashtbl.t;
+  subs : subscription History.Dispatch.t;
+  streams : (string, int) Hashtbl.t;  (* stream_id -> dispatch handle *)
+  mutable order_dirty : bool;
   mutable ready : bool;
   mutable generation : int;  (* invalidates in-flight callbacks across crashes *)
   mutable last_heartbeat : int;
@@ -36,11 +38,30 @@ let rev t = t.last_rev
 
 let cache t = t.cache
 
-let subscriber_count t = Hashtbl.length t.subs
+let subscriber_count t = Hashtbl.length t.streams
 
 let resync_count t = t.resyncs
 
 let engine t = Dsim.Network.engine t.net
+
+(* Delivery order is pinned to [streams]'s own hashtable iteration
+   order. Latency draws share one seeded RNG per send, so the order
+   subscribers are visited decides which draw each stream gets — and
+   with it every delivery time in the trace. [streams] sees exactly the
+   replace/remove/reset sequence the subscriber table always saw, so
+   its iteration order — and therefore the fixed-seed journals — are
+   unchanged by the index. Recomputed lazily: only when the subscriber
+   set changed since the last fan-out. *)
+let repin t =
+  if t.order_dirty then begin
+    t.order_dirty <- false;
+    let i = ref 0 in
+    Hashtbl.iter
+      (fun _ handle ->
+        History.Dispatch.set_order t.subs handle ~order:!i;
+        incr i)
+      t.streams
+  end
 
 let tap_view t =
   {
@@ -76,23 +97,31 @@ let maybe_seal t =
   | Some g ->
       if t.last_rev / g > t.last_seal_rev / g then begin
         t.last_seal_rev <- t.last_rev;
-        Hashtbl.iter
-          (fun _ sub ->
+        repin t;
+        History.Dispatch.iter_all t.subs (fun _ sub ->
             Pipe.send sub.pipe (Pipe.Seal { upto_rev = t.last_rev; sent = sub.epoch_sent });
             sub.epoch_sent <- 0)
-          t.subs
       end
 
 let drop_subscriber t addr =
-  match Hashtbl.find_opt t.subs addr with
-  | Some sub ->
-      Pipe.close sub.pipe;
-      Hashtbl.remove t.subs addr
+  match Hashtbl.find_opt t.streams addr with
+  | Some handle ->
+      (match History.Dispatch.find t.subs handle with
+      | Some sub -> Pipe.close sub.pipe
+      | None -> ());
+      ignore (History.Dispatch.remove t.subs handle);
+      Hashtbl.remove t.streams addr;
+      t.order_dirty <- true
   | None -> ()
 
+let close_all_subscribers t =
+  History.Dispatch.iter_all t.subs (fun _ sub -> Pipe.close sub.pipe);
+  History.Dispatch.clear t.subs;
+  Hashtbl.reset t.streams;
+  t.order_dirty <- true
+
 let clear_volatile_state t =
-  Hashtbl.iter (fun _ sub -> Pipe.close sub.pipe) t.subs;
-  Hashtbl.reset t.subs;
+  close_all_subscribers t;
   t.cache <- History.State.empty;
   t.last_rev <- 0;
   History.Window.clear t.window;
@@ -109,6 +138,12 @@ let trim_window t =
     | None -> ()
   end
 
+(* Fan-out walks only the subscribers whose prefix matches the key —
+   the dispatch trie answers that in O(|key| + matches) — instead of
+   filtering the whole table. The iteration snapshot also makes
+   delivery reentrancy-safe: a subscriber that re-registers (or is
+   dropped) from inside its own delivery callback mutates the index
+   without corrupting the in-flight walk. *)
 let observe_event t (e : Resource.value History.Event.t) =
   t.cache <- History.State.apply t.cache e;
   t.last_rev <- max t.last_rev e.History.Event.rev;
@@ -116,7 +151,8 @@ let observe_event t (e : Resource.value History.Event.t) =
   trim_window t;
   t.last_heartbeat <- Dsim.Engine.now (engine t);
   (match t.tap with Some tap -> tap.Tap.on_event (tap_view t) e | None -> ());
-  Hashtbl.iter (fun _ sub -> push_to_sub sub e) t.subs;
+  repin t;
+  History.Dispatch.iter_matching t.subs ~key:e.History.Event.key (fun _ sub -> push_to_sub sub e);
   maybe_seal t
 
 let on_stream_item t gen item =
@@ -142,8 +178,7 @@ let rec bootstrap t gen =
              events between their last revision and the fresh list are not
              in the (reset) window. Break their streams so they re-list,
              as the real apiserver's "too old resource version" does. *)
-          Hashtbl.iter (fun _ sub -> Pipe.close sub.pipe) t.subs;
-          Hashtbl.reset t.subs;
+          close_all_subscribers t;
           t.cache <- Messages.items_to_state items;
           t.last_rev <- rev;
           History.Window.clear t.window;
@@ -194,7 +229,9 @@ let handle_watch t (w : Messages.watch_request) reply =
     let sub =
       { pipe; prefix = w.Messages.prefix; last_sent = w.Messages.start_rev; epoch_sent = 0 }
     in
-    Hashtbl.replace t.subs w.Messages.stream_id sub;
+    let handle = History.Dispatch.add t.subs ?prefix:w.Messages.prefix sub in
+    Hashtbl.replace t.streams w.Messages.stream_id handle;
+    t.order_dirty <- true;
     History.Window.iter (push_to_sub sub) t.window;
     reply (Messages.Watch_ok { rev = t.last_rev })
   end
@@ -234,7 +271,9 @@ let create ~net ~intercept ~name ~etcd ?(window_size = 1000) ?(bookmark_period =
     last_rev = 0;
     window = History.Window.create ();
     window_start = 0;
-    subs = Hashtbl.create 8;
+    subs = History.Dispatch.create ();
+    streams = Hashtbl.create 8;
+    order_dirty = false;
     ready = false;
     generation = 0;
     last_heartbeat = 0;
@@ -272,13 +311,13 @@ let start t =
      protocol, a time-based close of the current partial epoch, so that a
      hole in a quiet stream is still detected within one period. *)
   Dsim.Engine.every (engine t) ~period:t.bookmark_period (fun () ->
-      if t.ready && Dsim.Network.is_up t.net t.name then
-        Hashtbl.iter
-          (fun _ sub ->
+      if t.ready && Dsim.Network.is_up t.net t.name then begin
+        repin t;
+        History.Dispatch.iter_all t.subs (fun _ sub ->
             Pipe.send sub.pipe (Pipe.Bookmark t.last_rev);
             if t.epoch_seal <> None then begin
               Pipe.send sub.pipe (Pipe.Seal { upto_rev = t.last_rev; sent = sub.epoch_sent });
               sub.epoch_sent <- 0
             end)
-          t.subs;
+      end;
       true)

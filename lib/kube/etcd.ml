@@ -20,7 +20,9 @@ type t = {
   net : Dsim.Network.t;
   intercept : Intercept.t;
   backend : backend;
-  subs : (string, subscription) Hashtbl.t;
+  subs : subscription History.Dispatch.t;
+  streams : (string, int) Hashtbl.t;  (* stream_id -> dispatch handle *)
+  mutable order_dirty : bool;
   watch_window : int option;
   mutable requests_served : int;
   origins : (int, string) Hashtbl.t;  (* revision -> originating component *)
@@ -60,7 +62,24 @@ let leader t =
   match t.backend with Single _ -> None | Replicated repl -> Replicated.Kv.leader repl
 
 let subscribers t =
-  Hashtbl.fold (fun addr _ acc -> addr :: acc) t.subs [] |> List.sort String.compare
+  Hashtbl.fold (fun addr _ acc -> addr :: acc) t.streams [] |> List.sort String.compare
+
+(* Same order pin as the apiserver's subscriber table (see
+   {!Apiserver}): [streams] replays the exact mutation sequence the
+   old subscription hashtable saw, so assigning dispatch order keys
+   from its iteration order keeps every [Pipe.send] — and with it the
+   shared-RNG latency draws behind the fixed-seed journals — in the
+   pre-index order. *)
+let repin t =
+  if t.order_dirty then begin
+    t.order_dirty <- false;
+    let i = ref 0 in
+    Hashtbl.iter
+      (fun _ handle ->
+        History.Dispatch.set_order t.subs handle ~order:!i;
+        incr i)
+      t.streams
+  end
 
 (* The committed-history stream: per-store commits for a single backend,
    the canonical (leader-committed) first-apply stream for a replicated
@@ -92,15 +111,21 @@ let push_to_sub sub (e : Resource.value History.Event.t) =
   end
 
 let attach_sub t (w : Messages.watch_request) ~replica ~backlog reply ~rev =
-  (match Hashtbl.find_opt t.subs w.Messages.stream_id with
-  | Some old -> Pipe.close old.pipe
+  (match Hashtbl.find_opt t.streams w.Messages.stream_id with
+  | Some old_handle ->
+      (match History.Dispatch.find t.subs old_handle with
+      | Some old -> Pipe.close old.pipe
+      | None -> ());
+      ignore (History.Dispatch.remove t.subs old_handle)
   | None -> ());
   let edge = Intercept.{ src = t.name; dst = w.Messages.subscriber } in
   let pipe =
     Pipe.create ~net:t.net ~intercept:t.intercept ~edge ~deliver:w.Messages.deliver ()
   in
   let sub = { pipe; prefix = w.Messages.prefix; last_sent = w.Messages.start_rev; replica } in
-  Hashtbl.replace t.subs w.Messages.stream_id sub;
+  let handle = History.Dispatch.add t.subs ?prefix:w.Messages.prefix sub in
+  Hashtbl.replace t.streams w.Messages.stream_id handle;
+  t.order_dirty <- true;
   List.iter (push_to_sub sub) backlog;
   reply (Messages.Watch_ok { rev })
 
@@ -232,7 +257,9 @@ let create ~net ~intercept ?(name = "etcd") ?watch_window ?(bookmark_period = 20
       net;
       intercept;
       backend;
-      subs = Hashtbl.create 8;
+      subs = History.Dispatch.create ();
+      streams = Hashtbl.create 8;
+      order_dirty = false;
       watch_window;
       requests_served = 0;
       origins = Hashtbl.create 256;
@@ -245,7 +272,9 @@ let create ~net ~intercept ?(name = "etcd") ?watch_window ?(bookmark_period = 20
   (match t.backend with
   | Single kv ->
       Etcdlike.Kv.on_commit kv (fun event ->
-          Hashtbl.iter (fun _ sub -> push_to_sub sub event) t.subs;
+          repin t;
+          History.Dispatch.iter_matching t.subs ~key:event.History.Event.key (fun _ sub ->
+              push_to_sub sub event);
           match t.watch_window with
           | Some window -> Etcdlike.Kv.compact_keep_last kv window
           | None -> ())
@@ -253,13 +282,14 @@ let create ~net ~intercept ?(name = "etcd") ?watch_window ?(bookmark_period = 20
       (* Watch pushes ride each replica's *applies*, not the canonical
          stream: a stream pinned to a lagging follower only sees what
          that follower has applied. (Store compaction happens inside the
-         replicated layer, per replica.) *)
+         replicated layer, per replica.) The trie routes by key prefix;
+         the replica pin is a residual filter on the matches. *)
       List.iter
         (fun rid ->
           Replicated.Kv.on_replica_commit repl rid (fun event ->
-              Hashtbl.iter
-                (fun _ sub -> if sub.replica = Some rid then push_to_sub sub event)
-                t.subs))
+              repin t;
+              History.Dispatch.iter_matching t.subs ~key:event.History.Event.key (fun _ sub ->
+                  if sub.replica = Some rid then push_to_sub sub event)))
         (Replicated.Kv.replica_ids repl);
       Replicated.Kv.start repl);
   Dsim.Network.register net name ~serve:(serve t) ();
@@ -267,20 +297,20 @@ let create ~net ~intercept ?(name = "etcd") ?watch_window ?(bookmark_period = 20
       (match t.backend with
       | Single kv ->
           let rev = Etcdlike.Kv.rev kv in
-          Hashtbl.iter (fun _ sub -> Pipe.send sub.pipe (Pipe.Bookmark rev)) t.subs
+          repin t;
+          History.Dispatch.iter_all t.subs (fun _ sub -> Pipe.send sub.pipe (Pipe.Bookmark rev))
       | Replicated repl ->
           (* Bookmarks carry the *serving replica's* frontier, and only
              while it is up: a partitioned follower keeps heartbeating
              its stale revision (its watchers never notice), a crashed
              one goes silent (its watchers' watchdogs eventually fire). *)
-          Hashtbl.iter
-            (fun _ sub ->
+          repin t;
+          History.Dispatch.iter_all t.subs (fun _ sub ->
               match sub.replica with
               | Some rid when Dsim.Network.is_up t.net rid ->
                   Pipe.send sub.pipe (Pipe.Bookmark (Replicated.Kv.replica_rev repl rid))
               | Some _ -> ()
-              | None -> ())
-            t.subs);
+              | None -> ()));
       true);
   (* Expire leases against the virtual clock and delete their keys; the
      deletions are ordinary committed events (proposed through the

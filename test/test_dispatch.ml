@@ -1,0 +1,188 @@
+(* The shared watcher index behind every delivery tier: trie-routed
+   fan-out equals the naive matches_prefix filter, iteration survives
+   reentrant mutation, and order keys pin delivery order. *)
+
+module Dispatch = History.Dispatch
+
+let event key = History.Event.make ~rev:1 ~key ~op:History.Event.Create (Some "v")
+
+let naive_matching watchers key =
+  List.filter_map
+    (fun (id, prefix) -> if History.Event.matches_prefix prefix (event key) then Some id else None)
+    watchers
+
+(* Prefixes chosen to overlap aggressively: nested ("p" < "po" <
+   "pods/"), empty-string, and match-all. *)
+let prefix_gen =
+  QCheck.Gen.oneofl
+    [ None; Some ""; Some "p"; Some "po"; Some "pods/"; Some "pods/a"; Some "n"; Some "nodes/" ]
+
+let key_gen =
+  QCheck.Gen.oneofl
+    [ ""; "p"; "po"; "pods/a"; "pods/abc"; "pods/b"; "n"; "nodes/x"; "x"; "pod" ]
+
+let scenario_gen =
+  QCheck.Gen.(
+    pair (list_size (int_range 0 24) (pair prefix_gen bool)) (list_size (int_range 1 8) key_gen))
+
+let scenario_print (adds, keys) =
+  let p = function None -> "*" | Some s -> "\"" ^ s ^ "\"" in
+  Printf.sprintf "adds=[%s] keys=[%s]"
+    (String.concat "; " (List.map (fun (pre, rm) -> p pre ^ (if rm then "-" else "")) adds))
+    (String.concat "; " keys)
+
+(* Register every watcher, remove the flagged ones, and check that for
+   every key the indexed answer equals the naive filter — same ids, same
+   (registration) order. *)
+let equivalence_property (adds, keys) =
+  let t = Dispatch.create () in
+  let watchers = ref [] in
+  let removed = ref [] in
+  List.iter
+    (fun (prefix, rm) ->
+      let id = Dispatch.add t ?prefix prefix in
+      watchers := !watchers @ [ (id, prefix) ];
+      if rm then removed := id :: !removed)
+    adds;
+  List.iter (fun id -> ignore (Dispatch.remove t id)) !removed;
+  let live = List.filter (fun (id, _) -> not (List.mem id !removed)) !watchers in
+  List.for_all
+    (fun key ->
+      let indexed = ref [] in
+      Dispatch.iter_matching t ~key (fun id _ -> indexed := id :: !indexed);
+      let indexed = List.rev !indexed in
+      let expected = naive_matching live key in
+      indexed = expected && Dispatch.matching t ~key = List.map (fun id -> List.assoc id live) expected)
+    keys
+
+let equivalence =
+  Qcheck_util.to_alcotest
+    (QCheck.Test.make ~count:500 ~name:"indexed fan-out = naive matches_prefix filter"
+       (QCheck.make ~print:scenario_print scenario_gen)
+       equivalence_property)
+
+let cancel_peer_mid_iteration () =
+  let t = Dispatch.create () in
+  let hits = ref [] in
+  let second = ref 0 in
+  let first =
+    Dispatch.add t
+      ~prefix:"pods/"
+      (fun () ->
+        hits := `First :: !hits;
+        ignore (Dispatch.remove t !second))
+  in
+  second := Dispatch.add t ~prefix:"pods/" (fun () -> hits := `Second :: !hits);
+  ignore first;
+  Dispatch.iter_matching t ~key:"pods/a" (fun _ f -> f ());
+  Alcotest.(check int) "peer cancelled mid-event" 1 (List.length !hits);
+  Dispatch.iter_matching t ~key:"pods/a" (fun _ f -> f ());
+  Alcotest.(check int) "peer stays cancelled" 2 (List.length !hits);
+  Alcotest.(check int) "one live watcher" 1 (Dispatch.size t)
+
+let cancel_self_mid_iteration () =
+  let t = Dispatch.create () in
+  let count = ref 0 in
+  let self = ref 0 in
+  self :=
+    Dispatch.add t ~prefix:"a"
+      (fun () ->
+        incr count;
+        ignore (Dispatch.remove t !self));
+  let other = Dispatch.add t ~prefix:"a" (fun () -> incr count) in
+  ignore other;
+  Dispatch.iter_matching t ~key:"ab" (fun _ f -> f ());
+  Dispatch.iter_matching t ~key:"ab" (fun _ f -> f ());
+  Alcotest.(check int) "self delivered once, peer twice" 3 !count;
+  Alcotest.(check int) "one live watcher left" 1 (Dispatch.size t)
+
+let add_mid_iteration_not_visited () =
+  let t = Dispatch.create () in
+  let late_hits = ref 0 in
+  let adder_fired = ref 0 in
+  ignore
+    (Dispatch.add t ~prefix:"k"
+       (fun () ->
+         incr adder_fired;
+         if !adder_fired = 1 then
+           ignore (Dispatch.add t ~prefix:"k" (fun () -> incr late_hits))));
+  Dispatch.iter_matching t ~key:"k1" (fun _ f -> f ());
+  Alcotest.(check int) "addition invisible to in-flight event" 0 !late_hits;
+  Dispatch.iter_matching t ~key:"k1" (fun _ f -> f ());
+  Alcotest.(check int) "addition visible to the next event" 1 !late_hits
+
+let set_order_reorders_delivery () =
+  let t = Dispatch.create () in
+  let seen = ref [] in
+  let a = Dispatch.add t "a" in
+  let b = Dispatch.add t "b" in
+  let c = Dispatch.add t "c" in
+  Dispatch.iter_matching t ~key:"anything" (fun _ v -> seen := v :: !seen);
+  Alcotest.(check (list string)) "registration order" [ "a"; "b"; "c" ] (List.rev !seen);
+  Dispatch.set_order t a ~order:10;
+  Dispatch.set_order t b ~order:2;
+  Dispatch.set_order t c ~order:1;
+  seen := [];
+  Dispatch.iter_matching t ~key:"anything" (fun _ v -> seen := v :: !seen);
+  Alcotest.(check (list string)) "pinned order" [ "c"; "b"; "a" ] (List.rev !seen)
+
+(* 50 listeners, interleaved arrivals: flush order is first-event-pending
+   order, and each listener's batch preserves its own arrival order —
+   the determinism pin batched delivery rides on. *)
+let batch_ordering_pin_50_listeners () =
+  let q : string Dispatch.Batch.queue = Dispatch.Batch.create () in
+  let ev rev = History.Event.make ~rev ~key:"k" ~op:History.Event.Create (Some "v") in
+  (* Listener s's first event arrives at round-robin position 49 - s,
+     then a second wave in ascending order. *)
+  for s = 49 downto 0 do
+    Dispatch.Batch.offer q ~stream:s (ev (100 + s))
+  done;
+  for s = 0 to 49 do
+    Dispatch.Batch.offer q ~stream:s (ev (200 + s))
+  done;
+  Alcotest.(check int) "100 pending" 100 (Dispatch.Batch.pending q);
+  Alcotest.(check int) "50 dirty streams" 50 (Dispatch.Batch.dirty q);
+  let flushed = ref [] in
+  Dispatch.Batch.flush q (fun ~stream events ->
+      flushed :=
+        (stream, List.map (fun (e : string History.Event.t) -> e.History.Event.rev) events)
+        :: !flushed);
+  let flushed = List.rev !flushed in
+  Alcotest.(check (list int))
+    "streams flush in first-event-pending order"
+    (List.init 50 (fun i -> 49 - i))
+    (List.map fst flushed);
+  List.iter
+    (fun (s, revs) -> Alcotest.(check (list int)) "per-stream arrival order" [ 100 + s; 200 + s ] revs)
+    flushed;
+  Alcotest.(check int) "queue drained" 0 (Dispatch.Batch.pending q)
+
+let batch_offer_during_flush_deferred () =
+  let q : string Dispatch.Batch.queue = Dispatch.Batch.create () in
+  let ev rev = History.Event.make ~rev ~key:"k" ~op:History.Event.Create (Some "v") in
+  Dispatch.Batch.offer q ~stream:1 (ev 1);
+  let rounds = ref [] in
+  Dispatch.Batch.flush q (fun ~stream:_ events ->
+      rounds := `First (List.length events) :: !rounds;
+      Dispatch.Batch.offer q ~stream:1 (ev 2));
+  Alcotest.(check int) "reentrant offer parked for next flush" 1 (Dispatch.Batch.pending q);
+  Dispatch.Batch.flush q (fun ~stream:_ events -> rounds := `Second (List.length events) :: !rounds);
+  match List.rev !rounds with
+  | [ `First 1; `Second 1 ] -> ()
+  | _ -> Alcotest.fail "expected two one-event flushes"
+
+let suites =
+  [
+    ( "dispatch",
+      [
+        equivalence;
+        Alcotest.test_case "cancel peer mid-iteration" `Quick cancel_peer_mid_iteration;
+        Alcotest.test_case "cancel self mid-iteration" `Quick cancel_self_mid_iteration;
+        Alcotest.test_case "add mid-iteration not visited" `Quick add_mid_iteration_not_visited;
+        Alcotest.test_case "set_order reorders delivery" `Quick set_order_reorders_delivery;
+        Alcotest.test_case "batched delivery: 50-listener ordering pin" `Quick
+          batch_ordering_pin_50_listeners;
+        Alcotest.test_case "batched delivery: reentrant offer deferred" `Quick
+          batch_offer_during_flush_deferred;
+      ] );
+  ]

@@ -55,6 +55,46 @@ let zk_sync_read_is_fresh () =
   Alcotest.(check (option (option string))) "cached read misses" (Some None) !stale;
   Alcotest.(check (option (option string))) "synced read sees it" (Some (Some "1")) !fresh
 
+(* Regression: a sync pull from below the leader's compaction frontier
+   used to be answered with an empty event list, so the lagging follower
+   concluded it was caught up and served stale (here: empty) state. The
+   leader must answer with a snapshot, and the follower must resync. *)
+let zk_compaction_pull_forces_resync () =
+  let engine = Dsim.Engine.create () in
+  let net = Dsim.Network.create engine in
+  (* Replication lag far beyond the test horizon: the follower only ever
+     catches up through sync pulls. *)
+  let zk =
+    Hbaselike.Zk.create ~net ~replication_lag:100_000_000 ~compaction_window:2 ()
+  in
+  Dsim.Network.register net "client" ~serve:(fun ~src:_ _ _ -> ()) ();
+  for i = 1 to 6 do
+    Hbaselike.Zk.write zk ~src:"client" ~key:(Printf.sprintf "k%d" i)
+      (Printf.sprintf "v%d" i)
+      (fun _ -> ())
+  done;
+  Dsim.Engine.run ~until:50_000 engine;
+  Alcotest.(check int) "follower has applied nothing" 0 (Hbaselike.Zk.follower_rev zk);
+  let synced = ref None in
+  (* k1's event is compacted away at the leader (window 2 keeps only the
+     last two), so event catch-up cannot reconstruct it. *)
+  Hbaselike.Zk.read zk ~src:"client" ~sync:true "k1" (function
+    | Ok (v, _) -> synced := Some v
+    | Error _ -> ());
+  Dsim.Engine.run ~until:150_000 engine;
+  Alcotest.(check (option (option string)))
+    "sync read past compaction serves the snapshot value" (Some (Some "v1")) !synced;
+  Alcotest.(check int) "exactly one full resync" 1 (Hbaselike.Zk.follower_resyncs zk);
+  (* Now genuinely caught up: the next sync pull is an ordinary
+     event-stream catch-up, not another state transfer. *)
+  let again = ref None in
+  Hbaselike.Zk.read zk ~src:"client" ~sync:true "k6" (function
+    | Ok (v, _) -> again := Some v
+    | Error _ -> ());
+  Dsim.Engine.run ~until:300_000 engine;
+  Alcotest.(check (option (option string))) "subsequent sync read fresh" (Some (Some "v6")) !again;
+  Alcotest.(check int) "no second resync" 1 (Hbaselike.Zk.follower_resyncs zk)
+
 let zk_cas_guards () =
   let engine = Dsim.Engine.create () in
   let net = Dsim.Network.create engine in
@@ -157,6 +197,8 @@ let suites =
       [
         Alcotest.test_case "zk replicates with lag" `Quick zk_replicates_with_lag;
         Alcotest.test_case "zk sync read is fresh" `Quick zk_sync_read_is_fresh;
+        Alcotest.test_case "zk compaction pull forces resync (regression)" `Quick
+          zk_compaction_pull_forces_resync;
         Alcotest.test_case "zk cas guards" `Quick zk_cas_guards;
         Alcotest.test_case "master assigns all regions" `Quick master_assigns_all_regions;
         Alcotest.test_case "HBASE-3136: stale CAS failures (+3137 cost)" `Quick

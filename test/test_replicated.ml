@@ -261,6 +261,39 @@ let kube_stack_over_replicated_store () =
         (Kube.Cluster.truth_rev cluster) (Kube.Apiserver.rev a))
     (Kube.Cluster.apiservers cluster)
 
+(* Per-replica watch hubs: a stream pinned to a follower sees exactly
+   that follower's applies — lagging with it, resuming with it. *)
+let per_replica_watch_follows_applies () =
+  let engine, net, kv = setup () in
+  run_for engine 1_000_000;
+  let leader_seen = ref [] and follower_seen = ref [] in
+  let record acc (e : string History.Event.t) = acc := e.History.Event.rev :: !acc in
+  (match RKv.watch_replica kv "etcd-1" ~start_rev:0 ~deliver:(record leader_seen) () with
+  | Ok _ -> ()
+  | _ -> Alcotest.fail "leader watch failed");
+  (match RKv.watch_replica kv "etcd-3" ~start_rev:0 ~deliver:(record follower_seen) () with
+  | Ok _ -> ()
+  | _ -> Alcotest.fail "follower watch failed");
+  (match RKv.watch_replica kv "nope" ~start_rev:0 ~deliver:(fun _ -> ()) () with
+  | Error `Unknown_replica -> ()
+  | _ -> Alcotest.fail "unknown replica must be rejected");
+  ignore (put_sync engine kv "a" "1");
+  ignore (put_sync engine kv "b" "2");
+  run_for engine 1_000_000;
+  (* Cut replication to etcd-3: its watchers stop with it. *)
+  Dsim.Network.partition net "etcd-1" "etcd-3";
+  Dsim.Network.partition net "etcd-2" "etcd-3";
+  ignore (put_sync engine kv "c" "3");
+  run_for engine 1_000_000;
+  Alcotest.(check (list int)) "leader stream saw everything" [ 1; 2; 3 ] (List.rev !leader_seen);
+  Alcotest.(check (list int))
+    "follower stream froze with its replica" [ 1; 2 ] (List.rev !follower_seen);
+  (* Replication heals; the pinned stream resumes without re-registering. *)
+  Dsim.Network.heal net "etcd-1" "etcd-3";
+  Dsim.Network.heal net "etcd-2" "etcd-3";
+  run_for engine 2_000_000;
+  Alcotest.(check (list int)) "follower stream caught up" [ 1; 2; 3 ] (List.rev !follower_seen)
+
 let suites =
   [
     ( "replicated",
@@ -280,5 +313,7 @@ let suites =
         Qcheck_util.to_alcotest qcheck_differential;
         Alcotest.test_case "kube stack over replicated store" `Quick
           kube_stack_over_replicated_store;
+        Alcotest.test_case "per-replica watch hub follows applies" `Quick
+          per_replica_watch_follows_applies;
       ] );
   ]

@@ -186,6 +186,59 @@ let apiserver_restart_relists () =
   Alcotest.(check bool) "ready again" true (Kube.Apiserver.ready api);
   Alcotest.(check int) "caught up past restart" 2 (Kube.Apiserver.rev api)
 
+(* Regression for the subscriber-table fan-out: a stream that re-registers
+   itself (same stream_id) from inside its own delivery callback replaces
+   its table entry while deliveries for it are still in flight. The old
+   entry must go silent, the replacement must keep streaming, and the
+   fan-out iteration must survive the mutation. *)
+let apiserver_reregister_from_delivery () =
+  let engine = Dsim.Engine.create () in
+  let net = Dsim.Network.create engine in
+  let intercept = Kube.Intercept.create () in
+  let etcd = Kube.Etcd.create ~net ~intercept () in
+  let api = Kube.Apiserver.create ~net ~intercept ~name:"api-1" ~etcd:"etcd" () in
+  Kube.Apiserver.start api;
+  Dsim.Network.register net "client" ~serve:(fun ~src:_ _ _ -> ()) ();
+  Dsim.Engine.run ~until:100_000 engine;
+  let received = ref [] in
+  let reregistered = ref false in
+  let rec make_watch ~start_rev =
+    Kube.Messages.Api_watch
+      {
+        prefix = Some "pods/";
+        start_rev;
+        subscriber = "client";
+        stream_id = "client#pods";
+        deliver =
+          (fun item ->
+            match item with
+            | Kube.Pipe.Event e ->
+                received := e.History.Event.rev :: !received;
+                (* Re-subscribe from inside the delivery callback, while
+                   this stream's entry is the one being delivered to. *)
+                if not !reregistered then begin
+                  reregistered := true;
+                  Dsim.Network.call net ~src:"client" ~dst:"api-1"
+                    (make_watch ~start_rev:e.History.Event.rev)
+                    (fun _ -> ())
+                end
+            | Kube.Pipe.Bookmark _ | Kube.Pipe.Seal _ -> ());
+      }
+  in
+  Dsim.Network.call net ~src:"client" ~dst:"api-1" (make_watch ~start_rev:0) (fun _ -> ());
+  Dsim.Engine.run ~until:(Dsim.Engine.now engine + 500_000) engine;
+  ignore (Etcdlike.Kv.put (Kube.Etcd.kv etcd) "pods/a" (Kube.Resource.make_pod "a"));
+  Dsim.Engine.run ~until:(Dsim.Engine.now engine + 500_000) engine;
+  ignore (Etcdlike.Kv.put (Kube.Etcd.kv etcd) "pods/b" (Kube.Resource.make_pod "b"));
+  ignore (Etcdlike.Kv.put (Kube.Etcd.kv etcd) "nodes/x" (Kube.Resource.make_node "x"));
+  Dsim.Engine.run ~until:(Dsim.Engine.now engine + 1_000_000) engine;
+  Alcotest.(check bool) "re-registered" true !reregistered;
+  (* rev 1 triggers the re-register; the replacement stream (start_rev 1)
+     then carries rev 2; the node event matches neither. No duplicates,
+     no lost pod events, exactly one live subscriber. *)
+  Alcotest.(check (list int)) "continuous, no duplicates" [ 1; 2 ] (List.rev !received);
+  Alcotest.(check int) "single subscriber" 1 (Kube.Apiserver.subscriber_count api)
+
 let suites =
   [
     ( "servers",
@@ -201,5 +254,7 @@ let suites =
         Alcotest.test_case "apiserver watch window compaction" `Quick
           apiserver_watch_compacted_window;
         Alcotest.test_case "apiserver restart relists" `Quick apiserver_restart_relists;
+        Alcotest.test_case "apiserver re-register from delivery (regression)" `Quick
+          apiserver_reregister_from_delivery;
       ] );
   ]

@@ -88,6 +88,102 @@ let multiple_watchers_independent () =
   Alcotest.(check (list int)) "watcher 2" [ 2 ] (revs r2);
   Alcotest.(check int) "two active" 2 (Etcdlike.Watch.active hub)
 
+(* Regression: cancelling a watcher from inside a peer's delivery
+   callback used to leave it in the in-flight fan-out list, so it
+   received the very event it was cancelled against. *)
+let cancel_during_fan_out () =
+  let kv = Etcdlike.Kv.create () in
+  let hub = Etcdlike.Watch.create kv in
+  let victim_events = ref 0 in
+  let victim = ref None in
+  (match
+     Etcdlike.Watch.watch hub ~start_rev:0
+       ~deliver:(fun _ ->
+         match !victim with
+         | Some handle ->
+             Etcdlike.Watch.cancel hub handle;
+             victim := None
+         | None -> ())
+       ()
+   with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "watch failed");
+  (match Etcdlike.Watch.watch hub ~start_rev:0 ~deliver:(fun _ -> incr victim_events) () with
+  | Ok handle -> victim := Some handle
+  | Error _ -> Alcotest.fail "watch failed");
+  ignore (Etcdlike.Kv.put kv "a" "1");
+  Alcotest.(check int) "cancelled watcher never sees the in-flight event" 0 !victim_events;
+  ignore (Etcdlike.Kv.put kv "b" "2");
+  Alcotest.(check int) "nor later ones" 0 !victim_events;
+  Alcotest.(check int) "one watcher left" 1 (Etcdlike.Watch.active hub)
+
+(* Regression: a stream replacing itself (cancel + re-watch) from inside
+   its own delivery callback — the informer re-list pattern — must not
+   corrupt the in-flight fan-out or double-deliver. *)
+let reregister_from_own_callback () =
+  let kv = Etcdlike.Kv.create () in
+  let hub = Etcdlike.Watch.create kv in
+  let phase1 = ref [] in
+  let phase2 = ref [] in
+  let handle = ref None in
+  let deliver1 (e : string History.Event.t) =
+    phase1 := e.History.Event.rev :: !phase1;
+    (match !handle with Some h -> Etcdlike.Watch.cancel hub h | None -> ());
+    match
+      Etcdlike.Watch.watch hub ~start_rev:e.History.Event.rev
+        ~deliver:(fun e -> phase2 := e.History.Event.rev :: !phase2)
+        ()
+    with
+    | Ok h -> handle := Some h
+    | Error _ -> Alcotest.fail "re-watch failed"
+  in
+  (match Etcdlike.Watch.watch hub ~start_rev:0 ~deliver:deliver1 () with
+  | Ok h -> handle := Some h
+  | Error _ -> Alcotest.fail "watch failed");
+  ignore (Etcdlike.Kv.put kv "a" "1");
+  ignore (Etcdlike.Kv.put kv "b" "2");
+  Alcotest.(check (list int)) "old stream saw only the triggering event" [ 1 ] (List.rev !phase1);
+  Alcotest.(check (list int)) "replacement stream continues, no duplicates" [ 2 ]
+    (List.rev !phase2);
+  Alcotest.(check int) "one watcher live" 1 (Etcdlike.Watch.active hub)
+
+let batched_watch_coalesces () =
+  let kv = Etcdlike.Kv.create () in
+  let hub = Etcdlike.Watch.create kv in
+  let flushes = ref [] in
+  (match
+     Etcdlike.Watch.watch_batched hub ~prefix:"pods/" ~start_rev:0
+       ~deliver:(fun events ->
+         flushes :=
+           List.map (fun (e : string History.Event.t) -> e.History.Event.rev) events :: !flushes)
+       ()
+   with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "watch failed");
+  ignore (Etcdlike.Kv.put kv "pods/a" "1");
+  ignore (Etcdlike.Kv.put kv "nodes/x" "2");
+  ignore (Etcdlike.Kv.put kv "pods/b" "3");
+  Alcotest.(check (list (list int))) "nothing before flush" [] !flushes;
+  Alcotest.(check int) "two pending" 2 (Etcdlike.Watch.pending hub);
+  Etcdlike.Watch.flush hub;
+  ignore (Etcdlike.Kv.put kv "pods/c" "4");
+  Etcdlike.Watch.flush hub;
+  Etcdlike.Watch.flush hub;
+  Alcotest.(check (list (list int)))
+    "one batch per non-empty tick, arrival order inside" [ [ 1; 3 ]; [ 4 ] ] (List.rev !flushes)
+
+let batched_watch_cancel_drops_pending () =
+  let kv = Etcdlike.Kv.create () in
+  let hub = Etcdlike.Watch.create kv in
+  let flushes = ref 0 in
+  (match Etcdlike.Watch.watch_batched hub ~start_rev:0 ~deliver:(fun _ -> incr flushes) () with
+  | Ok handle ->
+      ignore (Etcdlike.Kv.put kv "a" "1");
+      Etcdlike.Watch.cancel hub handle;
+      Etcdlike.Watch.flush hub
+  | Error _ -> Alcotest.fail "watch failed");
+  Alcotest.(check int) "cancelled batch dropped, not delivered" 0 !flushes
+
 let suites =
   [
     ( "watch",
@@ -99,5 +195,11 @@ let suites =
         Alcotest.test_case "cancel stops delivery" `Quick cancel_stops_delivery;
         Alcotest.test_case "no duplicates on fan_out" `Quick no_duplicates_on_fan_out;
         Alcotest.test_case "multiple watchers independent" `Quick multiple_watchers_independent;
+        Alcotest.test_case "cancel during fan_out (regression)" `Quick cancel_during_fan_out;
+        Alcotest.test_case "re-register from own callback (regression)" `Quick
+          reregister_from_own_callback;
+        Alcotest.test_case "batched watch coalesces per flush" `Quick batched_watch_coalesces;
+        Alcotest.test_case "batched watch cancel drops pending" `Quick
+          batched_watch_cancel_drops_pending;
       ] );
   ]
