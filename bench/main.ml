@@ -124,7 +124,7 @@ let fig2 () =
         Printf.printf "  [%7.3f s] %-10s %-18s %s\n"
           (float_of_int e.Dsim.Trace.time /. 1e6)
           e.Dsim.Trace.actor e.Dsim.Trace.kind e.Dsim.Trace.detail)
-    (Dsim.Trace.entries (Kube.Cluster.trace outcome.Sieve.Runner.cluster));
+    (Dsim.Trace.entries (Kube.Cluster.trace (Sieve.Runner.kube_cluster outcome)));
   (match outcome.Sieve.Runner.violations with
   | (time, v) :: _ ->
       Printf.printf "\n=> safety violated at %.3f s: %s\n" (float_of_int time /. 1e6)
@@ -134,7 +134,7 @@ let fig2 () =
     (fun k ->
       Printf.printf "   %s finally running: [%s]\n" (Kube.Kubelet.name k)
         (String.concat ", " (Kube.Kubelet.running k)))
-    (Kube.Cluster.kubelets outcome.Sieve.Runner.cluster)
+    (Kube.Cluster.kubelets (Sieve.Runner.kube_cluster outcome))
 
 (* ------------------------------------------------------------------ *)
 (* FIG3a: staleness.                                                  *)
@@ -173,11 +173,11 @@ let fig3a () =
 let fig3b () =
   Sieve.Report.section "FIG3b — time travel: kubelet-1's view revision moves backwards";
   let case = Sieve.Bugs.k8s_59848 () in
-  let cluster = Kube.Cluster.create ~config:case.Sieve.Bugs.config () in
+  let cluster = Kube.Cluster.create ~config:(Sieve.Bugs.kube_config case) () in
   let divergence = History.Divergence.create () in
   Sieve.Strategy.apply cluster case.Sieve.Bugs.sieve_strategy;
   Kube.Cluster.start cluster;
-  Kube.Workload.schedule cluster case.Sieve.Bugs.workload;
+  Kube.Workload.schedule cluster (Sieve.Bugs.kube_workload case);
   let kubelet_1 = List.hd (Kube.Cluster.kubelets cluster) in
   Dsim.Engine.every (Kube.Cluster.engine cluster) ~period:(ms 250) (fun () ->
       History.Divergence.record divergence
@@ -245,7 +245,7 @@ let fig3c () =
   Sieve.Report.subsection "(iii) a dropped notification is undetectable while bookmarks flow";
   let case = Sieve.Bugs.k8s_56261 () in
   let outcome = Sieve.Runner.run_test (Sieve.Bugs.test_of_case case) in
-  let trace = Kube.Cluster.trace outcome.Sieve.Runner.cluster in
+  let trace = Kube.Cluster.trace (Sieve.Runner.kube_cluster outcome) in
   Printf.printf
     "dropped 1 node-deletion event to the scheduler: %d stream deaths detected,\n\
      %d total (re-)lists — the gap never heals; violation: %s\n"
@@ -311,7 +311,7 @@ let baselines () =
   let rows =
     List.map
       (fun case ->
-        let config = case.Sieve.Bugs.config in
+        let config = (Sieve.Bugs.kube_config case) in
         let horizon = case.Sieve.Bugs.horizon in
         let commits = Sieve.Runner.reference_commits (Sieve.Bugs.reference_test_of_case case) in
         let events =
@@ -330,7 +330,7 @@ let baselines () =
           let result =
             Sieve.Runner.run_campaign
               ~make_test:(fun i ->
-                Sieve.Runner.base_test ~config ~workload:case.Sieve.Bugs.workload ~horizon arr.(i))
+                Sieve.Runner.base_test ~config ~workload:(Sieve.Bugs.kube_workload case) ~horizon arr.(i))
               ~candidates:(Array.length arr) ~target:case.Sieve.Bugs.matches ()
           in
           match result.Sieve.Runner.found with
@@ -373,7 +373,7 @@ let baselines () =
     "coverage of the (component x object x pattern) space per approach (56261 scenario)";
   let case = Sieve.Bugs.k8s_56261 () in
   let events = Sieve.Runner.reference_events (Sieve.Bugs.reference_test_of_case case) in
-  let config = case.Sieve.Bugs.config in
+  let config = (Sieve.Bugs.kube_config case) in
   let components =
     List.map (fun t -> t.Sieve.Planner.component) (Sieve.Planner.targets_of_config config)
   in
@@ -569,15 +569,15 @@ let seals () =
       (fun case ->
         let run config =
           Sieve.Runner.run_test
-            (Sieve.Runner.base_test ~config ~workload:case.Sieve.Bugs.workload
+            (Sieve.Runner.base_test ~config ~workload:(Sieve.Bugs.kube_workload case)
                ~horizon:case.Sieve.Bugs.horizon case.Sieve.Bugs.sieve_strategy)
         in
         let hit (o : Sieve.Runner.outcome) =
           List.exists (fun (_, v) -> case.Sieve.Bugs.matches v) o.Sieve.Runner.violations
         in
-        let plain = run case.Sieve.Bugs.config in
+        let plain = run (Sieve.Bugs.kube_config case) in
         let sealed =
-          run { case.Sieve.Bugs.config with Kube.Cluster.api_epoch_seal = Some 5 }
+          run { (Sieve.Bugs.kube_config case) with Kube.Cluster.api_epoch_seal = Some 5 }
         in
         [
           case.Sieve.Bugs.id;
@@ -598,14 +598,14 @@ let seals () =
     in
     let run config =
       Sieve.Runner.run_test
-        (Sieve.Runner.base_test ~config ~workload:case.Sieve.Bugs.workload
+        (Sieve.Runner.base_test ~config ~workload:(Sieve.Bugs.kube_workload case)
            ~horizon:case.Sieve.Bugs.horizon strategy)
     in
     let hit (o : Sieve.Runner.outcome) =
       List.exists (fun (_, v) -> case.Sieve.Bugs.matches v) o.Sieve.Runner.violations
     in
-    let plain = run case.Sieve.Bugs.config in
-    let sealed = run { case.Sieve.Bugs.config with Kube.Cluster.api_epoch_seal = Some 5 } in
+    let plain = run (Sieve.Bugs.kube_config case) in
+    let sealed = run { (Sieve.Bugs.kube_config case) with Kube.Cluster.api_epoch_seal = Some 5 } in
     [
       "CA-402 (delay vector)";
       "staleness";
@@ -772,7 +772,7 @@ let robustness () =
                let hits = ref 0 in
                for seed = 1 to seeds do
                  let config =
-                   { case.Sieve.Bugs.config with Kube.Cluster.seed = Int64.of_int seed }
+                   { (Sieve.Bugs.kube_config case) with Kube.Cluster.seed = Int64.of_int seed }
                  in
                  let cluster = Kube.Cluster.create ~config () in
                  (match model with
@@ -781,7 +781,7 @@ let robustness () =
                  let oracle = Sieve.Oracle.attach cluster in
                  Sieve.Strategy.apply cluster case.Sieve.Bugs.sieve_strategy;
                  Kube.Cluster.start cluster;
-                 Kube.Workload.schedule cluster case.Sieve.Bugs.workload;
+                 Kube.Workload.schedule cluster (Sieve.Bugs.kube_workload case);
                  Kube.Cluster.run cluster ~until:case.Sieve.Bugs.horizon;
                  if
                    List.exists (fun (_, v) -> case.Sieve.Bugs.matches v)
@@ -1319,7 +1319,7 @@ let lint_bench () =
       time_n taint_runs (fun () ->
           List.iter (fun s -> ignore (Analysis.Taint.analyze s)) structures)
     in
-    let config = (Sieve.Bugs.ca_402 ()).Sieve.Bugs.config in
+    let config = Sieve.Bugs.kube_config (Sieve.Bugs.ca_402 ()) in
     let hazard_runs = 2_000 in
     let hazards = Analysis.Hazard.of_config config in
     let hazard_wall = time_n hazard_runs (fun () -> ignore (Analysis.Hazard.of_config config)) in

@@ -25,7 +25,9 @@ let resolve_cases = function
         Error (Printf.sprintf "unknown bug id(s): %s (known: %s)"
                  (String.concat ", " missing)
                  (String.concat ", "
-                    (ids_of (Sieve.Bugs.all_with_extras () @ Sieve.Bugs.replicated ()))))
+                    (ids_of
+                       (Sieve.Bugs.all_with_extras () @ Sieve.Bugs.replicated ()
+                       @ Sieve.Bugs.hbase ()))))
       else Ok (List.filter_map Sieve.Bugs.find ids)
 
 let pattern_name = function
@@ -38,14 +40,15 @@ let pattern_name = function
 let list_cmd =
   let doc =
     "List the bug corpus (two known Kubernetes bugs, three Cassandra-operator bugs), the \
-     extension cases, and the replicated-store scenario family (run by id; excluded from \
-     the default id-less campaigns so pre-replication journals stay byte-identical)."
+     extension cases, and the replicated-store (REP-*) and HBase/ZooKeeper (HB-*) scenario \
+     families (run by id; excluded from the default id-less campaigns so pre-existing \
+     journals stay byte-identical)."
   in
   let run () =
     Sieve.Report.table ~header:[ "id"; "pattern"; "title" ]
       (List.map
          (fun c -> [ c.Sieve.Bugs.id; pattern_name c.Sieve.Bugs.pattern; c.Sieve.Bugs.title ])
-         (Sieve.Bugs.all_with_extras () @ Sieve.Bugs.replicated ()))
+         (Sieve.Bugs.all_with_extras () @ Sieve.Bugs.replicated () @ Sieve.Bugs.hbase ()))
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
@@ -122,7 +125,8 @@ let trace_cmd =
             [ "workload.step"; "kubelet.run"; "kubelet.stop"; "kubelet.finalize"; "node.crash";
               "node.restart"; "net.partition"; "net.heal"; "pipe.drop"; "informer.list";
               "informer.stream-dead"; "sched.bind"; "sched.bind-fail"; "cassop.decommission";
-              "cassop.delete-pvc"; "cassop.create-member"; "volctl.release"; "oracle.violation" ]
+              "cassop.delete-pvc"; "cassop.create-member"; "volctl.release"; "oracle.violation";
+              "hbase.master"; "hbase.rs"; "zk.resync" ]
           in
           List.iter
             (fun e ->
@@ -130,7 +134,7 @@ let trace_cmd =
                 Printf.printf "  [%8.3f s] %-10s %-22s %s\n"
                   (float_of_int e.Dsim.Trace.time /. 1e6)
                   e.Dsim.Trace.actor e.Dsim.Trace.kind e.Dsim.Trace.detail)
-            (Dsim.Trace.entries (Kube.Cluster.trace outcome.Sieve.Runner.cluster));
+            (Dsim.Trace.entries (Sieve.Substrate.trace outcome.Sieve.Runner.live));
           match outcome.Sieve.Runner.violations with
           | (t, v) :: _ ->
               Printf.printf "\n=> [%s] %s (at %.3f s)\n" (Sieve.Oracle.bug_id v)
@@ -214,7 +218,7 @@ let timeline_cmd =
                | Some c -> [ ("diagnosis", Diagnosis.Card.to_json c) ]
                | None -> []))
         else begin
-          let metrics = Kube.Cluster.metrics outcome.Sieve.Runner.cluster in
+          let metrics = Sieve.Substrate.metrics outcome.Sieve.Runner.live in
           Printf.printf "%s — revision lag by component over 0 .. %.1f s\n\n" case.Sieve.Bugs.id
             (float_of_int case.Sieve.Bugs.horizon /. 1e6);
           let lag_names =
@@ -281,20 +285,26 @@ let campaign_cmd =
         Printf.eprintf "unknown bug id %s\n" id;
         exit 2
     | Some case ->
-        let config = case.Sieve.Bugs.config in
         let horizon = case.Sieve.Bugs.horizon in
         let events = Sieve.Runner.reference_events (Sieve.Bugs.reference_test_of_case case) in
-        let components =
-          List.map (fun t -> t.Sieve.Planner.component) (Sieve.Planner.targets_of_config config)
-        in
-        let apiservers =
-          List.init config.Kube.Cluster.apiservers (fun i -> Printf.sprintf "api-%d" (i + 1))
+        (* Per-substrate: fault targets, store replicas and the planner
+           family all come from the case's own substrate spec. *)
+        let components, apiservers, planner_candidates =
+          match case.Sieve.Bugs.spec with
+          | Sieve.Substrate.Kube { config; _ } ->
+              ( List.map
+                  (fun t -> t.Sieve.Planner.component)
+                  (Sieve.Planner.targets_of_config config),
+                List.init config.Kube.Cluster.apiservers (fun i -> Printf.sprintf "api-%d" (i + 1)),
+                fun () -> Sieve.Planner.candidates ~config ~events ~horizon () )
+          | Sieve.Substrate.Hbase { config; _ } ->
+              ( List.map (fun t -> t.Sieve.Planner.component) (Sieve.Planner.targets_hbase config),
+                [ "zk-leader"; "zk-follower" ],
+                fun () -> Sieve.Planner.candidates_hbase ~config ~events ~horizon () )
         in
         let strategies =
           match approach with
-          | `Planner ->
-              List.map (fun p -> p.Sieve.Planner.strategy)
-                (Sieve.Planner.candidates ~config ~events ~horizon ())
+          | `Planner -> List.map (fun p -> p.Sieve.Planner.strategy) (planner_candidates ())
           | `Crashtuner -> Sieve.Baselines.crashtuner ~events ~components ()
           | `Cofi -> Sieve.Baselines.cofi ~events ~components ~apiservers ()
           | `Random ->
@@ -306,7 +316,12 @@ let campaign_cmd =
         let result =
           Sieve.Runner.run_campaign
             ~make_test:(fun i ->
-              Sieve.Runner.base_test ~config ~workload:case.Sieve.Bugs.workload ~horizon arr.(i))
+              {
+                Sieve.Runner.name = Printf.sprintf "%s:campaign" id;
+                spec = case.Sieve.Bugs.spec;
+                horizon;
+                strategy = arr.(i);
+              })
             ~candidates ~target:case.Sieve.Bugs.matches ()
         in
         (match result.Sieve.Runner.found with
@@ -409,7 +424,7 @@ let seals_cmd =
         (fun case ->
           let run config =
             Sieve.Runner.run_test
-              (Sieve.Runner.base_test ~config ~workload:case.Sieve.Bugs.workload
+              (Sieve.Runner.base_test ~config ~workload:(Sieve.Bugs.kube_workload case)
                  ~horizon:case.Sieve.Bugs.horizon case.Sieve.Bugs.sieve_strategy)
           in
           let hit (o : Sieve.Runner.outcome) =
@@ -417,12 +432,12 @@ let seals_cmd =
           in
           let sealed =
             run
-              { case.Sieve.Bugs.config with Kube.Cluster.api_epoch_seal = Some granularity }
+              { (Sieve.Bugs.kube_config case) with Kube.Cluster.api_epoch_seal = Some granularity }
           in
           [
             case.Sieve.Bugs.id;
             pattern_name case.Sieve.Bugs.pattern;
-            (if hit (run case.Sieve.Bugs.config) then "reproduced" else "clean");
+            (if hit (run (Sieve.Bugs.kube_config case)) then "reproduced" else "clean");
             (if hit sealed then "still reproduced" else "CLOSED");
           ])
         (Sieve.Bugs.all_with_extras ())
@@ -445,16 +460,27 @@ let coverage_cmd =
         Printf.eprintf "unknown bug id %s\n" id;
         exit 2
     | Some case ->
-        let config = case.Sieve.Bugs.config in
         let events = Sieve.Runner.reference_events (Sieve.Bugs.reference_test_of_case case) in
-        let components =
-          List.map (fun t -> t.Sieve.Planner.component) (Sieve.Planner.targets_of_config config)
-        in
-        let apiservers =
-          List.init config.Kube.Cluster.apiservers (fun i -> Printf.sprintf "api-%d" (i + 1))
+        let components, apiservers, make_space, planner_candidates =
+          match case.Sieve.Bugs.spec with
+          | Sieve.Substrate.Kube { config; _ } ->
+              ( List.map
+                  (fun t -> t.Sieve.Planner.component)
+                  (Sieve.Planner.targets_of_config config),
+                List.init config.Kube.Cluster.apiservers (fun i -> Printf.sprintf "api-%d" (i + 1)),
+                (fun () -> Sieve.Coverage.create ~config ~events),
+                fun () ->
+                  Sieve.Planner.candidates ~config ~events ~horizon:case.Sieve.Bugs.horizon () )
+          | Sieve.Substrate.Hbase { config; _ } ->
+              ( List.map (fun t -> t.Sieve.Planner.component) (Sieve.Planner.targets_hbase config),
+                [ "zk-leader"; "zk-follower" ],
+                (fun () -> Sieve.Coverage.create_hbase ~config ~events),
+                fun () ->
+                  Sieve.Planner.candidates_hbase ~config ~events ~horizon:case.Sieve.Bugs.horizon
+                    () )
         in
         let row name strategies =
-          let c = Sieve.Coverage.create ~config ~events in
+          let c = make_space () in
           List.iter (Sieve.Coverage.note c) strategies;
           let cell pattern =
             let _, covered, total =
@@ -470,9 +496,7 @@ let coverage_cmd =
         Sieve.Report.table
           ~header:[ "approach"; "staleness"; "obs-gap"; "time-travel"; "overall" ]
           [
-            row "planner"
-              (List.map (fun p -> p.Sieve.Planner.strategy)
-                 (Sieve.Planner.candidates ~config ~events ~horizon:case.Sieve.Bugs.horizon ()));
+            row "planner" (List.map (fun p -> p.Sieve.Planner.strategy) (planner_candidates ()));
             row "crashtuner" (Sieve.Baselines.crashtuner ~events ~components ());
             row "cofi" (Sieve.Baselines.cofi ~events ~components ~apiservers ());
             row "random(400)"

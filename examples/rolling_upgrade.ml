@@ -39,7 +39,7 @@ let () =
     (fun k ->
       Format.printf "%s runs [%s]@." (Kube.Kubelet.name k)
         (String.concat ", " (Kube.Kubelet.running k)))
-    (Kube.Cluster.kubelets outcome.Sieve.Runner.cluster);
+    (Kube.Cluster.kubelets (Sieve.Runner.kube_cluster outcome));
 
   (match outcome.Sieve.Runner.violations with
   | (t, v) :: _ ->

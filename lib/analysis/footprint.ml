@@ -157,6 +157,42 @@ let of_config (config : Kube.Cluster.config) =
         { fp with cached_reads = fp.cached_reads @ demoted; quorum_reads = [] })
       all
 
+(* The HBase substrate, mirrored from lib/hbase the same way: the master
+   reads the registry and every region assignment through the follower
+   (a cached view unless sync_before_cas forces a catch-up pull) and
+   CASes assignments — a destructive write, since a wrong one strands or
+   double-assigns a region. Region servers live off one-shot watch
+   notifications: edge-triggered unless rearm_then_read closes the
+   fire-to-rearm gap. Keep cached_reads ordered like
+   Planner.targets_hbase's watched_prefixes. *)
+let of_hbase_config (config : Hbaselike.Cluster.config) =
+  let master =
+    {
+      component = "master-1";
+      cached_reads = [ "rs/registry"; "region/" ];
+      quorum_reads =
+        (if config.Hbaselike.Cluster.sync_before_cas then [ "rs/registry"; "region/" ] else []);
+      writes = [ "region/"; "rs/registry" ];
+      destructive = [ "region/" ];
+      edge_triggered = [];
+      restartable = true;
+    }
+  in
+  let servers =
+    List.init config.Hbaselike.Cluster.servers (fun i ->
+        {
+          component = Hbaselike.Cluster.server_name i;
+          cached_reads = [ "region/" ];
+          quorum_reads = [];
+          writes = [];
+          destructive = [];
+          edge_triggered =
+            (if config.Hbaselike.Cluster.rearm_then_read then [] else [ "region/" ]);
+          restartable = true;
+        })
+  in
+  master :: servers
+
 let find footprints component =
   List.find_opt (fun fp -> String.equal fp.component component) footprints
 

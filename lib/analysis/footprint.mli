@@ -50,6 +50,14 @@ val of_config : Kube.Cluster.config -> t list
     is emptied. Only [Leader] routing (or no replication) keeps the
     linearizable-read guard credit. *)
 
+val of_hbase_config : Hbaselike.Cluster.config -> t list
+(** The HBase substrate's footprints: the master reads the registry and
+    region assignments through the follower cache (promoted to quorum
+    reads when [sync_before_cas] forces a catch-up pull) and CASes
+    region assignments destructively; region servers observe ["region/"]
+    through one-shot watches — edge-triggered unless [rearm_then_read]
+    closes the fire-to-rearm gap. *)
+
 val find : t list -> string -> t option
 
 val to_json : t -> Dsim.Json.t

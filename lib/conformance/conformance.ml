@@ -10,4 +10,6 @@
 module Monitor = Monitor
 module Model = Model
 module Hooks = Hooks
+module Hbase_hooks = Hbase_hooks
+module Handle = Handle
 module Selftest = Selftest

@@ -108,6 +108,16 @@ let record_divergence t ~stream ~kind ~rev ~key ~frontier detail =
         in
         Hashtbl.replace t.divs base d;
         t.divs_order <- List.map (fun e -> if e == prior then d else e) t.divs_order
+    | Some prior when prior.d_kind = Lag && kind = Rewind ->
+        (* A lagging stream that then re-lists into a different revision
+           numbering has left the committed order entirely; the rewind
+           subsumes the lag that caused it.  The rewind's own revision and
+           detail carry the story, but the record keeps its slot. *)
+        let d = { prior with d_kind = Rewind; d_rev = rev; d_key = key; d_frontier = frontier;
+                  d_detail = detail }
+        in
+        Hashtbl.replace t.divs base d;
+        t.divs_order <- List.map (fun e -> if e == prior then d else e) t.divs_order
     | Some _ -> ()
   end
 
@@ -326,6 +336,17 @@ let note_lag t ~stream ~rev ~key detail =
     Option.value (Hashtbl.find_opt t.base_frontiers (base_of stream)) ~default:0
   in
   record_divergence t ~stream ~kind:Lag ~rev ~key ~frontier detail
+
+(* Revision-domain time travel is likewise invisible to the frontier
+   checks: a full-state resync is a legal reset, yet if the replica keeps
+   numbering events in its own local domain the observed history has
+   stepped outside the committed one. The substrate hooks detect the
+   drift (they can see both numbering domains) and report it here. *)
+let note_rewind t ~stream ~rev ~key detail =
+  let frontier =
+    Option.value (Hashtbl.find_opt t.base_frontiers (base_of stream)) ~default:0
+  in
+  record_divergence t ~stream ~kind:Rewind ~rev ~key ~frontier detail
 
 let first_undelivered t ?prefix ~after () = first_skipped t ?prefix ~lo:after ~hi:(t.n_revs + 1) ()
 

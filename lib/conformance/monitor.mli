@@ -159,6 +159,15 @@ val note_lag : 'v t -> stream:string -> rev:int -> key:string -> string -> unit
     against the engine clock) and reported here. Ignored when the stream
     already has a divergence record. *)
 
+val note_rewind : 'v t -> stream:string -> rev:int -> key:string -> string -> unit
+(** Record a [Rewind] divergence reported from outside the frontier
+    checks: a replica whose local revision numbering has left the
+    committed domain (e.g. a post-compaction full resync on a store that
+    assigns its own revisions). Upgrades an existing [Lag] record on the
+    same stream in place — the lag was merely the cause; the rewind is
+    the divergence — and is ignored if the stream already diverged some
+    other way. *)
+
 val first_undelivered : 'v t -> ?prefix:string -> after:int -> unit -> 'v History.Event.t option
 (** The first committed event matching [prefix] with revision strictly
     above [after] — what a stream whose frontier sits at [after] is

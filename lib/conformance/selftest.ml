@@ -13,9 +13,10 @@ let distinct_codes violations =
 (* A committed history with enough texture to perturb: puts and deletes
    over a small key pool, through the real store so ops/mod-revs are the
    production ones. *)
-let generate_history rng ~events =
+let pod_keys = Array.init 6 (fun i -> Printf.sprintf "pods/p%d" i)
+
+let generate_history rng ?(keys = pod_keys) ~events () =
   let kv : string Etcdlike.Kv.t = Etcdlike.Kv.create () in
-  let keys = Array.init 6 (fun i -> Printf.sprintf "pods/p%d" i) in
   let counter = ref 0 in
   while Etcdlike.Kv.rev kv < events do
     let key = Dsim.Rng.pick rng keys in
@@ -42,7 +43,7 @@ let replay monitor ~committed ~delivered ~claim ~skip_in_state =
 
 let run ?(seed = 20260704L) ?(events = 40) () =
   let rng = Dsim.Rng.create seed in
-  let committed = generate_history rng ~events in
+  let committed = generate_history rng ~events () in
   let n = List.length committed in
   assert (n >= 10);
   let last_rev = (List.nth committed (n - 1)).History.Event.rev in
@@ -90,3 +91,76 @@ let run ?(seed = 20260704L) ?(events = 40) () =
     { mutation; tripped = violations <> []; codes = distinct_codes violations }
   in
   List.map one ("control" :: mutations)
+
+(* --- HBase-boundary mutations -------------------------------------- *)
+
+let hbase_mutations = [ "drop-zk-notify"; "stale-region-map"; "forge-znode" ]
+
+(* Unlike the kube set — which only requires each mutation to trip — the
+   HBase set pins the *code* each boundary defect must surface as: a
+   lost one-shot notification is a [Gap], a truncated master view
+   claiming the head revision is a [State_divergence], and a forged
+   znode payload is a [Content] violation. A monitor that fires the
+   wrong alarm would pass the weaker check and still misdirect every
+   diagnosis built on it. *)
+let hbase_expected_code = function
+  | "drop-zk-notify" -> Some Monitor.Gap
+  | "stale-region-map" -> Some Monitor.State_divergence
+  | "forge-znode" -> Some Monitor.Content
+  | _ -> None
+
+let hbase_ok o =
+  if String.equal o.mutation "control" then not o.tripped
+  else
+    o.tripped
+    &&
+    match hbase_expected_code o.mutation with
+    | Some code -> List.mem code o.codes
+    | None -> true
+
+let znode_keys =
+  [| "region/r0"; "region/r1"; "region/r2"; "region/r3"; "rs/registry" |]
+
+let run_hbase ?(seed = 20260704L) ?(events = 40) () =
+  let rng = Dsim.Rng.create seed in
+  let committed = generate_history rng ~keys:znode_keys ~events () in
+  let n = List.length committed in
+  assert (n >= 10);
+  let last_rev = (List.nth committed (n - 1)).History.Event.rev in
+  (* Never the last event, so a later delivery always exposes the hole. *)
+  let k = Dsim.Rng.int rng (n - 1) in
+  let arr = Array.of_list committed in
+  let one mutation =
+    let monitor = Monitor.create () in
+    (match mutation with
+    | "control" ->
+        replay monitor ~committed ~delivered:committed ~claim:last_rev ~skip_in_state:[]
+    | "drop-zk-notify" ->
+        (* The znode's one-shot watch was consumed at event [k]'s commit
+           and the notification never arrived: everything after still
+           flows (the re-arm succeeded), but [k] is lost between fire
+           and re-arm. *)
+        let delivered = List.filteri (fun i _ -> i <> k) committed in
+        replay monitor ~committed ~delivered ~claim:last_rev
+          ~skip_in_state:[ arr.(k).History.Event.rev ]
+    | "stale-region-map" ->
+        (* A catch-up pull stopped one event short, but the master's
+           region map claims the leader's head revision anyway. The
+           final commit is a real commit, so the truncated map can never
+           coincide with the committed head state. *)
+        let delivered = List.filteri (fun i _ -> i < n - 1) committed in
+        replay monitor ~committed ~delivered ~claim:last_rev ~skip_in_state:[]
+    | "forge-znode" ->
+        (* The delivered znode payload differs from the committed one. *)
+        let delivered =
+          List.mapi
+            (fun i (e : string History.Event.t) ->
+              if i = k then { e with History.Event.value = Some "forged-by-selftest" } else e)
+            committed
+        in
+        replay monitor ~committed ~delivered ~claim:last_rev ~skip_in_state:[]
+    | _ -> invalid_arg ("Selftest.run_hbase: unknown mutation " ^ mutation));
+    let violations = Monitor.violations monitor in
+    { mutation; tripped = violations <> []; codes = distinct_codes violations }
+  in
+  List.map one ("control" :: hbase_mutations)

@@ -31,3 +31,30 @@ val run : ?seed:int64 -> ?events:int -> unit -> outcome list
     deletes over a small key pool) through a real {!Etcdlike.Kv}, then
     replays it against a fresh monitor once per perturbation. The control
     outcome is first. *)
+
+(** {2 HBase-boundary mutations}
+
+    The same teeth, ground against the ZooKeeper delivery boundary: a
+    one-shot watch notification lost between fire and re-arm, a master
+    region map assembled from a truncated catch-up pull while claiming
+    the leader's head revision, and a forged znode payload. These pin
+    the exact violation {e code} each defect must surface as — a monitor
+    that fires the wrong alarm would misdirect every diagnosis card
+    built on it. *)
+
+val hbase_mutations : string list
+(** The HBase-boundary perturbations, excluding the control. *)
+
+val hbase_expected_code : string -> Monitor.code option
+(** The code each HBase mutation must trip:
+    ["drop-zk-notify"] → [Gap], ["stale-region-map"] →
+    [State_divergence], ["forge-znode"] → [Content]. *)
+
+val hbase_ok : outcome -> bool
+(** Control must stay silent; every mutation must trip {e with} its
+    expected code among the distinct codes reported. *)
+
+val run_hbase : ?seed:int64 -> ?events:int -> unit -> outcome list
+(** Like {!run}, over znode-flavored keys ([region/*], [rs/registry])
+    with the HBase-boundary perturbations. The control outcome is
+    first. *)

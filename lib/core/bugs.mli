@@ -13,12 +13,11 @@ type case = {
   title : string;
   pattern : [ `Staleness | `Obs_gap | `Time_travel ];
       (** the Section 4.2 pattern the bug instantiates *)
-  config : Kube.Cluster.config;
-  workload : Kube.Workload.t;
+  spec : Substrate.spec;  (** substrate, config and workload *)
   horizon : int;
   matches : Oracle.violation -> bool;
   sieve_strategy : Strategy.t;
-  fixed_config : Kube.Cluster.config;  (** same but with the fix flag on *)
+  fixed_spec : Substrate.spec;  (** same but with the fix flag on *)
 }
 
 val k8s_59848 : unit -> case
@@ -47,6 +46,13 @@ val all : unit -> case list
 val find : string -> case option
 (** Look up by [id] (case-insensitive), across the corpus and the
     extension cases. *)
+
+val kube_config : case -> Kube.Cluster.config
+(** The config of a kube-substrate case ([Invalid_argument] otherwise) —
+    convenience for tests that re-run a case under a tweaked config. *)
+
+val kube_workload : case -> Kube.Workload.t
+(** Likewise for the workload. *)
 
 val test_of_case : case -> Runner.test
 (** The case run under its focused Sieve strategy. *)
@@ -115,3 +121,32 @@ val rep_recover : unit -> case
     replays the committed suffix (time travel). *)
 
 val replicated : unit -> case list
+
+(** {2 HBase scenario family}
+
+    The same three anti-patterns in the ZooKeeper substrate
+    ({!Substrate.Hbase}). Like the replicated family, kept out of
+    {!all_with_extras} so the kube corpus journals stay byte-identical;
+    the hunt's [hbase] campaign and {!find} reach them. *)
+
+val hb_assign : unit -> case
+(** HBASE-3136's shape: the master balances regions from a stale
+    follower view, so regions stay parked on a decommissioned server
+    (staleness); fixed by a sync before each balance read
+    (HBASE-3137). *)
+
+val hb_watch : unit -> case
+(** A one-shot ZooKeeper watch misses the move committed between its
+    firing and the re-arm; the late notification's payload makes a
+    region server serve a region that moved on (observability gap);
+    fixed by re-arming first and adopting the arm reply's current
+    value. *)
+
+val hb_follower : unit -> case
+(** A post-compaction resync drifts the follower replica's local
+    revision numbering permanently behind the leader's; every repair
+    CAS then fails with a revision from the wrong numbering domain
+    (time travel); fixed by serving leader revisions from the
+    replicated side table. *)
+
+val hbase : unit -> case list

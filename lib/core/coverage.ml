@@ -36,6 +36,14 @@ let create ~config ~events =
   List.iter (fun cell -> Hashtbl.replace valid cell ()) all_cells;
   { targets; keys; all_cells; valid; marked = Hashtbl.create 128 }
 
+let create_hbase ~config ~events =
+  let keys = List.sort_uniq String.compare (List.map (fun (_, key, _) -> key) events) in
+  let targets = Planner.targets_hbase config in
+  let all_cells = enumerate targets keys in
+  let valid = Hashtbl.create (max 16 (List.length all_cells)) in
+  List.iter (fun cell -> Hashtbl.replace valid cell ()) all_cells;
+  { targets; keys; all_cells; valid; marked = Hashtbl.create 128 }
+
 let matching_keys t prefix =
   match prefix with
   | None -> t.keys
@@ -51,10 +59,13 @@ let all_components t = List.map (fun target -> target.Planner.component) t.targe
 let is_apiserver name =
   String.length name >= 4 && String.equal (String.sub name 0 4) "api-"
 
-(* "etcd" (single backend) or "etcd-<k>" (a replica of the replicated
-   backend): faulting either side of the store makes every consumer's
-   view potentially stale. *)
-let is_store name = String.length name >= 4 && String.equal (String.sub name 0 4) "etcd"
+(* "etcd" (single backend), "etcd-<k>" (a replica of the replicated
+   backend) or "zk-<role>" (the HBase substrate's ZooKeeper pair):
+   faulting either side of the store makes every consumer's view
+   potentially stale. *)
+let is_store name =
+  (String.length name >= 4 && String.equal (String.sub name 0 4) "etcd")
+  || (String.length name >= 3 && String.equal (String.sub name 0 3) "zk-")
 
 let rec cells_of t (strategy : Strategy.t) =
   let scoped components ~key_prefix pattern =
@@ -69,11 +80,24 @@ let rec cells_of t (strategy : Strategy.t) =
   in
   match strategy with
   | Strategy.No_perturbation -> []
+  (* A delivery fault whose destination is a store replica (the HBase
+     follower) starves every consumer reading through it, not a single
+     component. *)
   | Strategy.Drop_events { dst; matching; _ } ->
-      let components = match dst with Some c -> [ c ] | None -> all_components t in
+      let components =
+        match dst with
+        | Some c when is_store c -> all_components t
+        | Some c -> [ c ]
+        | None -> all_components t
+      in
       scoped components ~key_prefix:matching.Strategy.key_prefix `Obs_gap
   | Strategy.Delay_stream { dst; matching; _ } ->
-      let components = match dst with Some c -> [ c ] | None -> all_components t in
+      let components =
+        match dst with
+        | Some c when is_store c -> all_components t
+        | Some c -> [ c ]
+        | None -> all_components t
+      in
       scoped components ~key_prefix:matching.Strategy.key_prefix `Staleness
   | Strategy.Partition_window { a; b; _ } ->
       (* Freezing an apiserver makes every component potentially stale;

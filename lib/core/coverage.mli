@@ -27,6 +27,11 @@ val create :
 (** The space: every planner target × every distinct reference key the
     target consumes × the three patterns. *)
 
+val create_hbase :
+  config:Hbaselike.Cluster.config -> events:(int * string * History.Event.op) list -> t
+(** Same space over {!Planner.targets_hbase} (the master and the region
+    servers). *)
+
 val note : t -> Strategy.t -> unit
 (** Marks the cells a strategy exercises. Scoping is conservative: a
     delay/drop with a key filter marks the matching keys for its

@@ -1,0 +1,34 @@
+(** Safety oracles for the HBase substrate: persistent region-safety
+    violations judged against the ZooKeeper leader's ground truth.
+
+    Violations are reported as {!Oracle.violation} constructors
+    ([Region_stale_assign] / [Region_double_serve] / [Region_cas_wedged]),
+    so everything downstream of the runner — signatures, journals,
+    minimization targets, diagnosis cards — handles both substrates with
+    one code path. *)
+
+type t
+
+val attach :
+  ?check_period:int ->
+  ?stale_confirmations:int ->
+  ?double_confirmations:int ->
+  Hbaselike.Cluster.t ->
+  t
+(** Installs a leader commit listener (for causal anchors) and the
+    periodic checker. Attach after {!Hbaselike.Cluster.create} and
+    before [start].
+
+    Thresholds separate persistent violations from transient repair
+    windows: a dead assignment must survive 8 consecutive 100 ms checks
+    (800 ms — a healthy master repairs within one balance period plus
+    replication lag), and a double-served region must persist for 25
+    checks (2.5 s — longer than any delayed-notification window worth
+    calling transient). *)
+
+val violations : t -> (int * Oracle.violation) list
+(** Time-stamped, first occurrence per {!Oracle.key}, oldest first. *)
+
+val first : t -> (int * Oracle.violation) option
+
+val violated : t -> bool

@@ -7,6 +7,9 @@ type violation =
   | Replica_surplus of { rs : string; live : int; desired : int }
   | Healthy_pod_failed of { pod : string; node : string }
   | Rollout_wedged of { dep : string; generation : int }
+  | Region_stale_assign of { region : string; server : string }
+  | Region_double_serve of { region : string; servers : string list }
+  | Region_cas_wedged of { region : string; server : string }
 
 let describe = function
   | Duplicate_pod { pod; kubelets } ->
@@ -28,6 +31,17 @@ let describe = function
       Printf.sprintf
         "deployment %s wedged: generation %d fully Running in truth, old pods never drained" dep
         generation
+  | Region_stale_assign { region; server } ->
+      Printf.sprintf
+        "region %s parked on decommissioned server %s: master's stale view calls it healthy"
+        region server
+  | Region_double_serve { region; servers } ->
+      Printf.sprintf "region %s served by several region servers: %s" region
+        (String.concat ", " servers)
+  | Region_cas_wedged { region; server } ->
+      Printf.sprintf
+        "region %s stuck on departed server %s: every repair CAS fails on drifted revisions"
+        region server
 
 let bug_id = function
   | Duplicate_pod _ -> "K8s-59848"
@@ -38,6 +52,9 @@ let bug_id = function
   | Replica_surplus _ -> "EXT-RS"
   | Healthy_pod_failed _ -> "EXT-NC"
   | Rollout_wedged _ -> "EXT-DEP"
+  | Region_stale_assign _ -> "HB-ASSIGN"
+  | Region_double_serve _ -> "HB-WATCH"
+  | Region_cas_wedged _ -> "HB-FOLLOWER"
 
 let key v =
   match v with
@@ -49,6 +66,9 @@ let key v =
   | Replica_surplus { rs; _ } -> "surplus:" ^ rs
   | Healthy_pod_failed { pod; _ } -> "evict:" ^ pod
   | Rollout_wedged { dep; _ } -> "wedged:" ^ dep
+  | Region_stale_assign { region; _ } -> "hbassign:" ^ region
+  | Region_double_serve { region; _ } -> "hbdup:" ^ region
+  | Region_cas_wedged { region; _ } -> "hbwedge:" ^ region
 
 type t = {
   cluster : Kube.Cluster.t;

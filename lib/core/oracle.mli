@@ -32,6 +32,19 @@ type violation =
       (** a Deployment rollout that ground truth says could complete never
           drains the old generation — the controller's view never
           observed the new pods running (extension) *)
+  | Region_stale_assign of { region : string; server : string }
+      (** a region parked on a decommissioned server that the master's
+          stale follower view still lists as live, so no repair is ever
+          attempted — HBASE-3136's shape (checked by
+          {!Hbase_oracle.attach}) *)
+  | Region_double_serve of { region : string; servers : string list }
+      (** one region served by several live region servers — a one-shot
+          watch notification lost between firing and re-arm left a
+          server acting on a superseded assignment *)
+  | Region_cas_wedged of { region : string; server : string }
+      (** a region stuck on a departed server while the master's repair
+          CAS fails forever: the follower's local revision numbering
+          drifted from the leader's after a post-compaction resync *)
 
 val describe : violation -> string
 

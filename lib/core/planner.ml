@@ -84,6 +84,25 @@ let targets_of_config (config : Kube.Cluster.config) =
   in
   kubelets @ scheduler @ volume @ operator @ replicaset @ deployment @ node_controller
 
+(* The HBase substrate's consumers of the committed (leader) history:
+   the master observes the registry and every assignment through the
+   follower's cache, each region server observes ["region/"] through
+   one-shot watches. Keep the prefix lists in sync with
+   [Analysis.Footprint.of_hbase_config]. *)
+let targets_hbase (config : Hbaselike.Cluster.config) =
+  let master =
+    { component = "master-1"; watched_prefixes = [ "rs/registry"; "region/" ]; restartable = true }
+  in
+  let servers =
+    List.init config.Hbaselike.Cluster.servers (fun i ->
+        {
+          component = Hbaselike.Cluster.server_name i;
+          watched_prefixes = [ "region/" ];
+          restartable = true;
+        })
+  in
+  master :: servers
+
 let has_prefix key p =
   String.length key >= String.length p && String.equal (String.sub key 0 (String.length p)) p
 
@@ -256,6 +275,98 @@ let enumerate ~config ~anchors ~horizon ~slack ~stale_window ~downtime ~boost ~s
   in
   interleave [ order obs_gaps; order stales; order travels ]
 
+(* HBase enumeration: the same three pattern queues over ZooKeeper's two
+   delivery-edge families. The master has no watch stream — its view IS
+   the follower replica — so its candidates perturb the replication edge
+   (dst [zk-follower]); region-server candidates perturb their one-shot
+   watch notifications. Time travel is the resync shape: stall
+   replication AND cut the leader-follower link (so catch-up pulls fail
+   too) across the anchor — with a bounded leader log the first pull
+   after healing lands below the compaction frontier and forces a
+   full-state resync; crash/restart variants bounce the consumer itself
+   (a ZooKeeper session expiry, a master failover). *)
+let enumerate_hbase ~(config : Hbaselike.Cluster.config) ~anchors ~horizon ~slack ~stale_window
+    ~downtime ~boost ~score =
+  let targets = targets_hbase config in
+  let leader = "zk-leader" and follower = "zk-follower" in
+  let obs_gaps = ref [] and stales = ref [] and travels = ref [] in
+  let emit acc s plan = acc := (s, plan) :: !acc in
+  List.iter
+    (fun (time, key, op, origin) ->
+      let from = max 0 (time - slack) in
+      List.iter
+        (fun target ->
+          if consumed_by target key then begin
+            let rank pattern =
+              let b = boost ~component:target.component ~key ~pattern in
+              (-b, score ~target ~origin)
+            in
+            let is_master = String.equal target.component "master-1" in
+            let dst = if is_master then follower else target.component in
+            let whom = if is_master then "the follower view master-1 reads" else target.component in
+            emit obs_gaps (rank `Obs_gap)
+              {
+                strategy =
+                  Strategy.observability_gap ~src:leader ~dst ~key_prefix:key ~op ~from
+                    ~until:horizon ();
+                rationale =
+                  Printf.sprintf "hide %s %s from %s" (History.Event.op_to_string op) key whom;
+              };
+            emit stales (rank `Staleness)
+              {
+                strategy =
+                  Strategy.staleness ~src:leader ~dst ~key_prefix:key ~from
+                    ~until:(time + stale_window) ~extra:stale_window ();
+                rationale =
+                  Printf.sprintf "lag %s across %s %s" whom (History.Event.op_to_string op) key;
+              };
+            emit travels (rank `Time_travel)
+              {
+                strategy =
+                  Strategy.Combo
+                    [
+                      Strategy.staleness ~src:leader ~dst:follower ~from
+                        ~until:(time + stale_window) ~extra:stale_window ();
+                      Strategy.Partition_window
+                        { a = leader; b = follower; from; until = time + stale_window };
+                    ];
+                rationale =
+                  Printf.sprintf
+                    "stall replication and catch-up pulls across %s %s: the healed follower \
+                     resyncs below the compaction frontier"
+                    (History.Event.op_to_string op) key;
+              };
+            if target.restartable then
+              emit travels (rank `Time_travel)
+                {
+                  strategy =
+                    Strategy.Crash_restart
+                      { victim = target.component; at = time + (7 * slack); downtime };
+                  rationale =
+                    Printf.sprintf "expire %s's session across %s %s" target.component
+                      (History.Event.op_to_string op) key;
+                }
+          end)
+        targets)
+    anchors;
+  let order queue =
+    List.rev !queue
+    |> List.stable_sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map snd
+  in
+  let rec interleave queues =
+    let heads, rest =
+      List.fold_right
+        (fun queue (heads, rest) ->
+          match queue with
+          | [] -> (heads, rest)
+          | plan :: tail -> (plan :: heads, tail :: rest))
+        queues ([], [])
+    in
+    if heads = [] then [] else heads @ interleave rest
+  in
+  interleave [ order obs_gaps; order stales; order travels ]
+
 let no_boost ~component:_ ~key:_ ~pattern:_ = 0
 
 let candidates ~config ~events ~horizon ?(slack = 100_000) ?(stale_window = 1_500_000)
@@ -293,3 +404,35 @@ let candidates_causal ~config ~commits ~horizon ?(slack = 100_000) ?(stale_windo
     else 1
   in
   enumerate ~config ~anchors ~horizon ~slack ~stale_window ~downtime ~boost ~score
+
+let candidates_hbase ~config ~events ~horizon ?(slack = 100_000) ?(stale_window = 1_500_000)
+    ?(downtime = 150_000) ?(boost = no_boost) () =
+  let anchors =
+    dedup_anchors events |> List.map (fun (time, key, op) -> (time, key, op, "unknown"))
+  in
+  enumerate_hbase ~config ~anchors ~horizon ~slack ~stale_window ~downtime ~boost
+    ~score:(fun ~target:_ ~origin:_ -> 0)
+
+let candidates_causal_hbase ~config ~commits ~horizon ?(slack = 100_000)
+    ?(stale_window = 1_500_000) ?(downtime = 150_000) ?(boost = no_boost) () =
+  let anchors =
+    dedup_anchors
+      (List.map (fun c -> (c.Runner.time, c.Runner.key, c.Runner.op)) commits)
+    |> List.map (fun (time, key, op) ->
+           let origin =
+             match
+               List.find_opt
+                 (fun c -> String.equal c.Runner.key key && c.Runner.op = op)
+                 commits
+             with
+             | Some c -> c.Runner.origin
+             | None -> "unknown"
+           in
+           (time, key, op, origin))
+  in
+  let score ~target ~origin =
+    if String.equal origin target.component then 0
+    else if String.equal origin "boot" then 2
+    else 1
+  in
+  enumerate_hbase ~config ~anchors ~horizon ~slack ~stale_window ~downtime ~boost ~score

@@ -22,6 +22,12 @@ val targets_of_config : Kube.Cluster.config -> target list
     (kubelets and scheduler watch pods and/or nodes; the volume controller
     pods and claims; the operator datacenters, pods and claims). *)
 
+val targets_hbase : Hbaselike.Cluster.config -> target list
+(** The HBase substrate's consumers: the master (registry and region
+    assignments, read through the follower replica) and each region
+    server (its one-shot watches over ["region/"]). Prefix lists are
+    kept in [Analysis.Footprint.of_hbase_config]'s order. *)
+
 val consumed_by : target -> string -> bool
 (** Does the component's view depend on events for this key? *)
 
@@ -72,3 +78,33 @@ val candidates_causal :
     candidate set, better order: on the corpus this cuts
     tests-to-reproduction by roughly a quarter overall and by ~60% on the
     operator's self-feedback bugs. *)
+
+val candidates_hbase :
+  config:Hbaselike.Cluster.config ->
+  events:(int * string * History.Event.op) list ->
+  horizon:int ->
+  ?slack:int ->
+  ?stale_window:int ->
+  ?downtime:int ->
+  ?boost:boost ->
+  unit ->
+  plan list
+(** {!candidates} for the HBase substrate. The master's view is the
+    follower replica, so its staleness/gap candidates perturb the
+    replication edge; region-server candidates perturb their watch
+    notifications; time-travel candidates pair a replication stall with
+    a leader-follower partition (forcing a post-compaction resync) or
+    bounce the consumer (session expiry, master failover). *)
+
+val candidates_causal_hbase :
+  config:Hbaselike.Cluster.config ->
+  commits:Runner.commit list ->
+  horizon:int ->
+  ?slack:int ->
+  ?stale_window:int ->
+  ?downtime:int ->
+  ?boost:boost ->
+  unit ->
+  plan list
+(** {!candidates_causal}'s ranking over {!candidates_hbase}'s
+    enumeration. *)

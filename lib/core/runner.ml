@@ -1,14 +1,17 @@
 type test = {
   name : string;
-  config : Kube.Cluster.config;
-  workload : Kube.Workload.t;
+  spec : Substrate.spec;
   horizon : int;
   strategy : Strategy.t;
 }
 
 let base_test ?(name = "test") ?(config = Kube.Cluster.default_config) ~workload ~horizon strategy
     =
-  { name; config; workload; horizon; strategy }
+  { name; spec = Substrate.Kube { config; workload }; horizon; strategy }
+
+let hbase_test ?(name = "test") ?(config = Hbaselike.Cluster.default_config) ~workload ~horizon
+    strategy =
+  { name; spec = Substrate.Hbase { config; workload }; horizon; strategy }
 
 type conformance = {
   conf_violations : Conformance.Monitor.violation list;
@@ -20,37 +23,61 @@ type outcome = {
   test : test;
   violations : (int * Oracle.violation) list;
   truth_rev : int;
-  cluster : Kube.Cluster.t;
+  live : Substrate.live;
   conformance : conformance option;
-  hooks : Conformance.Hooks.t option;
+  hooks : Conformance.Handle.t option;
 }
 
+let kube_cluster outcome = Substrate.kube outcome.live
+
 let run_test ?(check_conformance = false) ?(diagnose = false) test =
-  let cluster = Kube.Cluster.create ~config:test.config () in
-  let oracle = Oracle.attach cluster in
-  let hooks =
-    if check_conformance || diagnose then
-      Some (Conformance.Hooks.attach ~track_divergence:diagnose cluster)
-    else None
+  let live = Substrate.create test.spec in
+  let with_monitor = check_conformance || diagnose in
+  (* Construction order matches the single-substrate runner exactly:
+     cluster, oracle, monitor, strategy, start, workload — the fixed-seed
+     journal byte-identity gates depend on it. *)
+  let violations_of, hooks =
+    match live with
+    | Substrate.Kube_live cluster ->
+        let oracle = Oracle.attach cluster in
+        let hooks =
+          if with_monitor then
+            Some
+              (Conformance.Handle.of_kube
+                 (Conformance.Hooks.attach ~track_divergence:diagnose cluster))
+          else None
+        in
+        Strategy.apply cluster test.strategy;
+        ((fun () -> Oracle.violations oracle), hooks)
+    | Substrate.Hbase_live cluster ->
+        let oracle = Hbase_oracle.attach cluster in
+        let hooks =
+          if with_monitor then
+            Some
+              (Conformance.Handle.of_hbase
+                 (Conformance.Hbase_hooks.attach ~track_divergence:diagnose cluster))
+          else None
+        in
+        Strategy.apply_hbase cluster test.strategy;
+        ((fun () -> Hbase_oracle.violations oracle), hooks)
   in
-  Strategy.apply cluster test.strategy;
-  Kube.Cluster.start cluster;
-  Kube.Workload.schedule cluster test.workload;
-  Kube.Cluster.run cluster ~until:test.horizon;
-  Option.iter Conformance.Hooks.finish hooks;
+  Substrate.start live;
+  Substrate.schedule live test.spec;
+  Substrate.run ~until:test.horizon live;
+  Option.iter Conformance.Handle.finish hooks;
   {
     test;
-    violations = Oracle.violations oracle;
-    truth_rev = Kube.Cluster.truth_rev cluster;
-    cluster;
+    violations = violations_of ();
+    truth_rev = Substrate.truth_rev live;
+    live;
     conformance =
       (if check_conformance then
          Option.map
            (fun h ->
              {
-               conf_violations = Conformance.Hooks.violations h;
-               conf_total = Conformance.Hooks.total h;
-               conf_strict = Conformance.Monitor.strict (Conformance.Hooks.monitor h);
+               conf_violations = Conformance.Handle.violations h;
+               conf_total = Conformance.Handle.total h;
+               conf_strict = Conformance.Handle.strict h;
              })
            hooks
        else None);
@@ -61,7 +88,7 @@ let run_test ?(check_conformance = false) ?(diagnose = false) test =
    one anchors the causal walk, the oracle's entry preferred when both
    fired. *)
 let violation_entry outcome =
-  let trace = Kube.Cluster.trace outcome.cluster in
+  let trace = Substrate.trace outcome.live in
   match Dsim.Trace.find_all trace ~kind:"oracle.violation" with
   | e :: _ -> Some e
   | [] -> (
@@ -72,11 +99,11 @@ let violation_entry outcome =
 let causal_chain outcome =
   match violation_entry outcome with
   | None -> []
-  | Some e -> Dsim.Trace.chain (Kube.Cluster.trace outcome.cluster) ~id:e.Dsim.Trace.id
+  | Some e -> Dsim.Trace.chain (Substrate.trace outcome.live) ~id:e.Dsim.Trace.id
 
-let trace_jsonl outcome = Dsim.Trace.to_jsonl (Kube.Cluster.trace outcome.cluster)
+let trace_jsonl outcome = Dsim.Trace.to_jsonl (Substrate.trace outcome.live)
 
-let metrics_json outcome = Dsim.Metrics.to_json (Kube.Cluster.metrics outcome.cluster)
+let metrics_json outcome = Dsim.Metrics.to_json (Substrate.metrics outcome.live)
 
 let artifact outcome =
   let violations =
@@ -120,7 +147,7 @@ let artifact outcome =
   Dsim.Json.Obj
     ([
        ("test", Dsim.Json.String outcome.test.name);
-       ("seed", Dsim.Json.Int (Int64.to_int outcome.test.config.Kube.Cluster.seed));
+       ("seed", Dsim.Json.Int (Int64.to_int (Substrate.seed outcome.test.spec)));
        ("horizon", Dsim.Json.Int outcome.test.horizon);
        ("truth_rev", Dsim.Json.Int outcome.truth_rev);
        ("violations", Dsim.Json.List violations);
@@ -132,23 +159,32 @@ let artifact outcome =
 type commit = { time : int; key : string; op : History.Event.op; origin : string }
 
 let reference_commits test =
-  let cluster = Kube.Cluster.create ~config:test.config () in
-  let etcd = Kube.Cluster.etcd cluster in
+  let live = Substrate.create test.spec in
   let commits = ref [] in
-  let engine = Kube.Cluster.engine cluster in
-  Kube.Etcd.on_commit etcd (fun e ->
-      (* The origin table is filled by the server before listeners run
-         only for txn-committed events; look it up lazily afterwards
-         instead. Record the revision now. *)
-      commits :=
-        (Dsim.Engine.now engine, e.History.Event.key, e.History.Event.op, e.History.Event.rev)
-        :: !commits);
-  Kube.Cluster.start cluster;
-  Kube.Workload.schedule cluster test.workload;
-  Kube.Cluster.run cluster ~until:test.horizon;
-  List.rev_map
-    (fun (time, key, op, rev) -> { time; key; op; origin = Kube.Etcd.origin_of_rev etcd rev })
-    !commits
+  let engine = Substrate.engine live in
+  let note (e : _ History.Event.t) =
+    (* The origin table is filled by the server before listeners run
+       only for txn-committed events; look it up lazily afterwards
+       instead. Record the revision now. *)
+    commits :=
+      (Dsim.Engine.now engine, e.History.Event.key, e.History.Event.op, e.History.Event.rev)
+      :: !commits
+  in
+  let origin_of =
+    match live with
+    | Substrate.Kube_live cluster ->
+        let etcd = Kube.Cluster.etcd cluster in
+        Kube.Etcd.on_commit etcd note;
+        Kube.Etcd.origin_of_rev etcd
+    | Substrate.Hbase_live cluster ->
+        let zk = Hbaselike.Cluster.zk cluster in
+        Etcdlike.Kv.on_commit (Hbaselike.Zk.leader_kv zk) note;
+        Hbaselike.Zk.origin_of_rev zk
+  in
+  Substrate.start live;
+  Substrate.schedule live test.spec;
+  Substrate.run ~until:test.horizon live;
+  List.rev_map (fun (time, key, op, rev) -> { time; key; op; origin = origin_of rev }) !commits
 
 let reference_events test =
   List.map (fun c -> (c.time, c.key, c.op)) (reference_commits test)

@@ -6,8 +6,7 @@
 
 type test = {
   name : string;
-  config : Kube.Cluster.config;
-  workload : Kube.Workload.t;
+  spec : Substrate.spec;  (** which infrastructure, its config and workload *)
   horizon : int;  (** virtual microseconds to run *)
   strategy : Strategy.t;
 }
@@ -16,6 +15,15 @@ val base_test :
   ?name:string ->
   ?config:Kube.Cluster.config ->
   workload:Kube.Workload.t ->
+  horizon:int ->
+  Strategy.t ->
+  test
+(** A kube-dialect test (the historical default, hence the name). *)
+
+val hbase_test :
+  ?name:string ->
+  ?config:Hbaselike.Cluster.config ->
+  workload:Hbaselike.Cluster.workload ->
   horizon:int ->
   Strategy.t ->
   test
@@ -32,13 +40,17 @@ type outcome = {
   test : test;
   violations : (int * Oracle.violation) list;
   truth_rev : int;
-  cluster : Kube.Cluster.t;  (** post-run handle: trace, components, truth *)
+  live : Substrate.live;  (** post-run handle: trace, components, truth *)
   conformance : conformance option;  (** [Some] iff run with [check_conformance] *)
-  hooks : Conformance.Hooks.t option;
+  hooks : Conformance.Handle.t option;
       (** the attached monitor wiring, when the run carried one
           ([check_conformance] or [diagnose]) — the divergence-point
           queries {!Diagnosis} needs *)
 }
+
+val kube_cluster : outcome -> Kube.Cluster.t
+(** The kube cluster behind the outcome.
+    @raise Invalid_argument on a non-kube outcome. *)
 
 val run_test : ?check_conformance:bool -> ?diagnose:bool -> test -> outcome
 (** With [check_conformance] (default false), a {!Conformance.Hooks}

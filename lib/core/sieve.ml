@@ -13,7 +13,9 @@
     touches; {!Minimize} shrinks failing strategies to locally minimal
     reproductions; {!Report} renders tables. *)
 
+module Substrate = Substrate
 module Oracle = Oracle
+module Hbase_oracle = Hbase_oracle
 module Strategy = Strategy
 module Runner = Runner
 module Planner = Planner

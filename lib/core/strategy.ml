@@ -85,18 +85,20 @@ type rule = {
   r_from : int;
   r_until : int;
   mutable r_hits : int;
-  r_decision : Kube.Intercept.decision;
+  r_decision : History.Intercept.decision;
 }
 
-let rule_matches engine rule (edge : Kube.Intercept.edge) (e : Kube.Resource.value History.Event.t)
-    =
+(* Rules only inspect the edge endpoints, the event's key/op and the
+   clock — all substrate-independent — so one compiled rule set drives
+   any ['v History.Intercept.t]. *)
+let rule_matches engine rule (edge : History.Intercept.edge) (e : _ History.Event.t) =
   let now = Dsim.Engine.now engine in
   let within = now >= rule.r_from && now <= rule.r_until in
   let src_ok =
-    match rule.r_src with None -> true | Some s -> String.equal s edge.Kube.Intercept.src
+    match rule.r_src with None -> true | Some s -> String.equal s edge.History.Intercept.src
   in
   let dst_ok =
-    match rule.r_dst with None -> true | Some d -> String.equal d edge.Kube.Intercept.dst
+    match rule.r_dst with None -> true | Some d -> String.equal d edge.History.Intercept.dst
   in
   let key_ok =
     match rule.r_match.key_prefix with
@@ -119,7 +121,7 @@ let rec collect_rules acc = function
         r_from = from;
         r_until = until;
         r_hits = 0;
-        r_decision = Kube.Intercept.Delay extra;
+        r_decision = History.Intercept.Delay extra;
       }
       :: acc
   | Drop_events { src; dst; matching; from; until } ->
@@ -130,40 +132,45 @@ let rec collect_rules acc = function
         r_from = from;
         r_until = until;
         r_hits = 0;
-        r_decision = Kube.Intercept.Drop;
+        r_decision = History.Intercept.Drop;
       }
       :: acc
   | Crash_restart _ | Partition_window _ -> acc
   | Combo parts -> List.fold_left collect_rules acc parts
 
-let rec schedule_faults cluster = function
+let rec schedule_faults ~engine ~net = function
   | No_perturbation | Delay_stream _ | Drop_events _ -> ()
   | Crash_restart { victim; at; downtime } ->
-      let engine = Kube.Cluster.engine cluster in
-      let net = Kube.Cluster.net cluster in
       ignore
         (Dsim.Engine.schedule_at engine ~time:at (fun () -> Dsim.Network.crash net victim));
       ignore
         (Dsim.Engine.schedule_at engine ~time:(at + downtime) (fun () ->
              Dsim.Network.restart net victim))
   | Partition_window { a; b; from; until } ->
-      let engine = Kube.Cluster.engine cluster in
-      let net = Kube.Cluster.net cluster in
       ignore (Dsim.Engine.schedule_at engine ~time:from (fun () -> Dsim.Network.partition net a b));
       ignore (Dsim.Engine.schedule_at engine ~time:until (fun () -> Dsim.Network.heal net a b))
-  | Combo parts -> List.iter (schedule_faults cluster) parts
+  | Combo parts -> List.iter (schedule_faults ~engine ~net) parts
 
-let apply cluster strategy =
-  let rules = List.rev (collect_rules [] strategy) in
-  let engine = Kube.Cluster.engine cluster in
+let install_rules engine intercept rules =
   if rules <> [] then
-    Kube.Intercept.set_policy (Kube.Cluster.intercept cluster) (fun edge event ->
+    History.Intercept.set_policy intercept (fun edge event ->
         match List.find_opt (fun rule -> rule_matches engine rule edge event) rules with
         | Some rule ->
             rule.r_hits <- rule.r_hits + 1;
             rule.r_decision
-        | None -> Kube.Intercept.Pass);
-  schedule_faults cluster strategy
+        | None -> History.Intercept.Pass)
+
+let apply cluster strategy =
+  let rules = List.rev (collect_rules [] strategy) in
+  let engine = Kube.Cluster.engine cluster in
+  install_rules engine (Kube.Cluster.intercept cluster) rules;
+  schedule_faults ~engine ~net:(Kube.Cluster.net cluster) strategy
+
+let apply_hbase cluster strategy =
+  let rules = List.rev (collect_rules [] strategy) in
+  let engine = Hbaselike.Cluster.engine cluster in
+  install_rules engine (Hbaselike.Cluster.intercept cluster) rules;
+  schedule_faults ~engine ~net:(Hbaselike.Cluster.net cluster) strategy
 
 let staleness ?src ?key_prefix ~dst ~from ~until ~extra () =
   Delay_stream

@@ -65,6 +65,13 @@ val apply : Kube.Cluster.t -> t -> unit
     cluster's engine. Call after {!Kube.Cluster.create} (before or after
     [start]). Only one strategy should be applied per cluster. *)
 
+val apply_hbase : Hbaselike.Cluster.t -> t -> unit
+(** The same, against the HBase substrate: rules only inspect edge
+    endpoints, event key/op and the clock, so one strategy language
+    drives both interceptors. Delivery edges there are the ZooKeeper
+    replication stream (dst ["zk-follower"]) and the one-shot watch
+    notifications (dst = a region server). *)
+
 (** {2 Named composites for the three bug patterns} *)
 
 val staleness :

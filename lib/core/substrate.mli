@@ -1,0 +1,51 @@
+(** The shared substrate interface.
+
+    A {!spec} is the buildable description a test carries — which
+    infrastructure dialect to construct, with what configuration and
+    workload. A {!live} is the running cluster an outcome carries.
+    Everything the runner, campaigns, minimization and diagnosis need
+    from a cluster (construction, start, workload scheduling, trace,
+    metrics, committed-history frontier, commit anchors) dispatches
+    through here, so those layers are substrate-blind; substrate-specific
+    analyses reach the concrete cluster through {!kube} / {!hbase}. *)
+
+type spec =
+  | Kube of { config : Kube.Cluster.config; workload : Kube.Workload.t }
+  | Hbase of { config : Hbaselike.Cluster.config; workload : Hbaselike.Cluster.workload }
+
+type live = Kube_live of Kube.Cluster.t | Hbase_live of Hbaselike.Cluster.t
+
+val name : spec -> string
+(** ["kube"] or ["hbase"]. *)
+
+val seed : spec -> int64
+
+val create : spec -> live
+
+val start : live -> unit
+
+val schedule : live -> spec -> unit
+(** Schedule the spec's workload on the live cluster. Raises
+    [Invalid_argument] if the spec's dialect does not match. *)
+
+val run : until:int -> live -> unit
+
+val engine : live -> Dsim.Engine.t
+
+val net : live -> Dsim.Network.t
+
+val trace : live -> Dsim.Trace.t
+
+val metrics : live -> Dsim.Metrics.t
+
+val truth_rev : live -> int
+(** The committed history's frontier (store revision at the leader). *)
+
+val commit_trace_id : live -> rev:int -> int option
+(** Trace entry id of the store commit at [rev]. *)
+
+val kube : live -> Kube.Cluster.t
+(** Raises [Invalid_argument] on a non-kube cluster. *)
+
+val hbase : live -> Hbaselike.Cluster.t
+(** Raises [Invalid_argument] on a non-hbase cluster. *)

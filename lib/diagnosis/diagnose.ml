@@ -26,6 +26,8 @@ let suspect_components (v : Sieve.Oracle.violation) =
   | Sieve.Oracle.Replica_surplus _ -> [ "rsctl" ]
   | Sieve.Oracle.Healthy_pod_failed _ -> [ "nodectl" ]
   | Sieve.Oracle.Rollout_wedged _ -> [ "depctl" ]
+  | Sieve.Oracle.Region_stale_assign _ | Sieve.Oracle.Region_cas_wedged _ -> [ "master-1" ]
+  | Sieve.Oracle.Region_double_serve { servers; _ } -> List.sort String.compare servers
 
 (* "cassop#pods/" -> "cassop"; "api-2<-etcd" -> "api-2". *)
 let component_of_stream stream =
@@ -79,13 +81,13 @@ let classify ~hazards ~component ~key kind =
            skip whose consumer merely never reacts is an edge-trigger. *)
         if score `Staleness >= 3 then `Staleness else `Obs_gap
   in
-  let best =
+  let pick p =
     List.fold_left
       (fun best (h : Analysis.Hazard.t) ->
         if
           h.Analysis.Hazard.pattern = pattern
           && String.equal h.Analysis.Hazard.component component
-          && String.starts_with ~prefix:h.Analysis.Hazard.prefix key
+          && p h
         then
           match best with
           | Some (b : Analysis.Hazard.t) when b.Analysis.Hazard.severity >= h.Analysis.Hazard.severity
@@ -94,6 +96,16 @@ let classify ~hazards ~component ~key kind =
           | _ -> Some h
         else best)
       None hazards
+  in
+  let best =
+    match pick (fun h -> String.starts_with ~prefix:h.Analysis.Hazard.prefix key) with
+    | Some _ as b -> b
+    | None ->
+        (* The stale read and the write it feeds can live on different
+           prefixes (HBASE-3136: a stale registry read feeds the region
+           CAS) — fall back to the component's sharpest hazard of the
+           same class. *)
+        pick (fun _ -> true)
   in
   ( anti_pattern_of_pattern pattern,
     (match best with Some h -> h.Analysis.Hazard.severity | None -> 0),
@@ -115,6 +127,9 @@ let file_of_component component =
   let base =
     if String.length component >= 7 && String.sub component 0 7 = "kubelet" then
       "kubelet.ml"
+    else if String.starts_with ~prefix:"master-" component then "master.ml"
+    else if String.starts_with ~prefix:"rs-" component then "regionserver.ml"
+    else if String.starts_with ~prefix:"zk-" component then "zk.ml"
     else
       match component with
       | "depctl" -> "deployment.ml"
@@ -179,7 +194,7 @@ let of_outcome ?(target = fun _ -> true) ?minimized (outcome : Sieve.Runner.outc
   match outcome.Sieve.Runner.hooks with
   | None -> None
   | Some hooks -> (
-      let trace = Kube.Cluster.trace outcome.Sieve.Runner.cluster in
+      let trace = Sieve.Substrate.trace outcome.Sieve.Runner.live in
       let targeted =
         match List.find_opt (fun (_, v) -> target v) outcome.Sieve.Runner.violations with
         | Some _ as t -> t
@@ -197,8 +212,7 @@ let of_outcome ?(target = fun _ -> true) ?minimized (outcome : Sieve.Runner.outc
       match anchor_entry with
       | None -> None
       | Some anchor ->
-          let cluster = outcome.Sieve.Runner.cluster in
-          let monitor = Conformance.Hooks.monitor hooks in
+          let live = outcome.Sieve.Runner.live in
           let chain = Dsim.Trace.chain trace ~id:anchor.Dsim.Trace.id in
           let truncated =
             match chain with
@@ -217,18 +231,41 @@ let of_outcome ?(target = fun _ -> true) ?minimized (outcome : Sieve.Runner.outc
                 (Sieve.Oracle.bug_id v, Sieve.Oracle.describe v, suspect_components v)
             | None -> ("conformance", anchor.Dsim.Trace.detail, [])
           in
-          let config = outcome.Sieve.Runner.test.Sieve.Runner.config in
-          let hazards = Analysis.Hazard.of_config config in
-          let footprints = Analysis.Footprint.of_config config in
+          let spec = outcome.Sieve.Runner.test.Sieve.Runner.spec in
+          let footprints =
+            match spec with
+            | Sieve.Substrate.Kube { config; _ } -> Analysis.Footprint.of_config config
+            | Sieve.Substrate.Hbase { config; _ } -> Analysis.Footprint.of_hbase_config config
+          in
+          let hazards = Analysis.Hazard.of_footprints footprints in
           let divergence, suspect =
             match
-              pick_divergence (Conformance.Monitor.divergences monitor) ~suspects ~chain_actors
+              pick_divergence (Conformance.Handle.divergences hooks) ~suspects ~chain_actors
             with
             | Some d ->
                 let component = component_of_stream d.Conformance.Monitor.d_stream in
                 let key = d.Conformance.Monitor.d_key in
+                (* The diverged stream may belong to the store side (a
+                   replica's applied frontier left the leader-committed
+                   history): the code whose read-site the card must name
+                   is the consumer the violation implicates, so when the
+                   diverged component has no footprint, attribute the
+                   suspect section to the first implicated component
+                   that has one. *)
+                let suspect_component =
+                  if Analysis.Footprint.find footprints component <> None then component
+                  else
+                    match
+                      List.find_opt
+                        (fun c -> Analysis.Footprint.find footprints c <> None)
+                        suspects
+                    with
+                    | Some c -> c
+                    | None -> component
+                in
                 let anti_pattern, hazard_severity, hazard_reason =
-                  classify ~hazards ~component ~key d.Conformance.Monitor.d_kind
+                  classify ~hazards ~component:suspect_component ~key
+                    d.Conformance.Monitor.d_kind
                 in
                 ( {
                     Card.kind =
@@ -239,26 +276,39 @@ let of_outcome ?(target = fun _ -> true) ?minimized (outcome : Sieve.Runner.outc
                     key;
                     frontier = d.Conformance.Monitor.d_frontier;
                     event =
-                      Option.map History.Event.describe
-                        (Conformance.Monitor.committed_at monitor d.Conformance.Monitor.d_rev);
-                    trace_id =
-                      Kube.Etcd.commit_trace_id (Kube.Cluster.etcd cluster)
-                        ~rev:d.Conformance.Monitor.d_rev;
+                      Conformance.Handle.committed_describe hooks d.Conformance.Monitor.d_rev;
+                    trace_id = Sieve.Substrate.commit_trace_id live ~rev:d.Conformance.Monitor.d_rev;
                     detail = d.Conformance.Monitor.d_detail;
                   },
                   {
-                    Card.component;
-                    read_site = read_site_of ~footprints ~component ~key;
+                    Card.component = suspect_component;
+                    read_site = read_site_of ~footprints ~component:suspect_component ~key;
                     anti_pattern;
                     hazard_severity;
                     hazard_reason;
                   } )
             | None ->
-                (* No stream ever left the committed subsequence — the
-                   violation (if real) came from somewhere the monitor
-                   does not mirror. Name the best suspect and say so. *)
+                (* No mirrored stream ever left the committed
+                   subsequence — the partial view lived inside a protocol
+                   the monitor does not mirror (a one-shot watch's
+                   fire-to-rearm gap). Name the best suspect, and let its
+                   footprint still name the read-site and class. *)
                 let component =
                   match suspects with c :: _ -> c | [] -> anchor.Dsim.Trace.actor
+                in
+                let read_site, anti_pattern =
+                  match Analysis.Footprint.find footprints component with
+                  | Some fp -> (
+                      match fp.Analysis.Footprint.cached_reads with
+                      | site :: _ ->
+                          ( site,
+                            if
+                              List.exists (String.equal site)
+                                fp.Analysis.Footprint.edge_triggered
+                            then anti_pattern_of_pattern `Obs_gap
+                            else "unknown" )
+                      | [] -> ("", "unknown"))
+                  | None -> ("", "unknown")
                 in
                 ( {
                     Card.kind = "unknown";
@@ -273,17 +323,23 @@ let of_outcome ?(target = fun _ -> true) ?minimized (outcome : Sieve.Runner.outc
                   },
                   {
                     Card.component;
-                    read_site = "";
-                    anti_pattern = "unknown";
+                    read_site;
+                    anti_pattern;
                     hazard_severity = 0;
-                    hazard_reason = "";
+                    hazard_reason =
+                      (if String.equal anti_pattern "edge-trigger" then
+                         Printf.sprintf
+                           "%s's view of %s is edge-triggered; a notification missed between \
+                            fire and re-arm is never repaired"
+                           component read_site
+                       else "");
                   } )
           in
           let taint_path =
             taint_path_of ~component:suspect.Card.component
               ~anti_pattern:suspect.Card.anti_pattern
           in
-          let m = Kube.Cluster.metrics cluster in
+          let m = Sieve.Substrate.metrics live in
           Dsim.Metrics.incr m "diagnosis.cards";
           Dsim.Metrics.observe m "diagnosis.walk.depth" (float_of_int (List.length chain));
           if truncated then Dsim.Metrics.incr m "diagnosis.chain.truncated";
@@ -292,7 +348,7 @@ let of_outcome ?(target = fun _ -> true) ?minimized (outcome : Sieve.Runner.outc
               Card.bug;
               violation;
               test = outcome.Sieve.Runner.test.Sieve.Runner.name;
-              seed = Int64.to_int config.Kube.Cluster.seed;
+              seed = Int64.to_int (Sieve.Substrate.seed spec);
               divergence;
               suspect;
               chain =

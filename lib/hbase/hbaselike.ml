@@ -10,3 +10,4 @@
 module Zk = Zk
 module Master = Master
 module Regionserver = Regionserver
+module Cluster = Cluster

@@ -26,18 +26,25 @@ let engine t = Dsim.Network.engine t.net
 let record t detail = Dsim.Engine.record (engine t) ~actor:t.name ~kind:"hbase.master" detail
 
 (* One region repair: read the assignment and the live-server set from
-   the follower, pick the right server, CAS the transition at the
-   leader. A stale follower makes the CAS fail (HBASE-3136). *)
+   the follower, reassign only when the region is unassigned or parked on
+   a server that left the registry, CAS the transition at the leader. A
+   stale follower makes the CAS fail (HBASE-3136) — or, worse, makes the
+   dead assignment look healthy so no repair is ever attempted. *)
 let balance_region t region live_servers =
   match live_servers with
   | [] -> ()
   | servers ->
-      let desired =
-        List.nth servers (Hashtbl.hash region mod List.length servers)
-      in
       Zk.read t.zk ~src:t.name ~sync:t.sync_before_cas ("region/" ^ region) (function
         | Ok (current, mod_rev) ->
-            if current <> Some desired then
+            let needs_assign =
+              match current with
+              | None -> true
+              | Some server -> not (List.mem server servers)
+            in
+            if needs_assign then
+              let desired =
+                List.nth servers (Hashtbl.hash region mod List.length servers)
+              in
               Zk.cas t.zk ~src:t.name ~key:("region/" ^ region) ~expected_mod_rev:mod_rev
                 (Some desired) (function
                 | Ok true ->

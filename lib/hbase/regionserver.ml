@@ -3,7 +3,10 @@ type t = {
   name : string;
   zk : Zk.t;
   relookup_on_failure : bool;
+  rearm_then_read : bool;
+  watched_regions : string list;
   heartbeat_period : int;
+  serving : (string, unit) Hashtbl.t;
   mutable cached_master : string option;
   mutable heartbeats_ok : int;
   mutable heartbeat_failures : int;
@@ -19,6 +22,10 @@ let heartbeats_ok t = t.heartbeats_ok
 let heartbeat_failures t = t.heartbeat_failures
 
 let consecutive_failures t = t.consecutive_failures
+
+let serving t = List.sort String.compare (Hashtbl.fold (fun r () acc -> r :: acc) t.serving [])
+
+let is_serving t region = Hashtbl.mem t.serving region
 
 let engine t = Dsim.Network.engine t.net
 
@@ -50,6 +57,53 @@ let register t =
             (fun _ -> ())
     | Error `Unavailable -> ())
 
+(* --- region serving, driven by one-shot znode watches ---------------- *)
+
+let region_of_key key =
+  let prefix = "region/" in
+  if String.starts_with ~prefix key then
+    Some (String.sub key (String.length prefix) (String.length key - String.length prefix))
+  else None
+
+(* Adopt one observed assignment: serve the region iff it is ours. *)
+let apply_assignment t region assigned =
+  let mine = assigned = Some t.name in
+  if mine && not (Hashtbl.mem t.serving region) then begin
+    Hashtbl.replace t.serving region ();
+    record t (Printf.sprintf "serving %s" region)
+  end
+  else if (not mine) && Hashtbl.mem t.serving region then begin
+    Hashtbl.remove t.serving region;
+    record t (Printf.sprintf "stopped serving %s" region)
+  end
+
+let arm t region =
+  Zk.arm_watch t.zk ~src:t.name ("region/" ^ region) (function
+    | Ok (assigned, _) -> apply_assignment t region assigned
+    | Error `Unavailable -> ())
+
+(* A one-shot watch fired. The registration is already consumed: anything
+   committed between this event and our re-arm reaching the leader is
+   invisible. The bug-era server acts on the event's payload and re-arms
+   blind (the §4.2.3 edge-trigger); the fixed one re-arms *first* and
+   acts on the current value the re-arm returns, so a write that slipped
+   into the gap is still observed. *)
+let handle_notify t key (event : string History.Event.t) =
+  match region_of_key key with
+  | None -> ()
+  | Some region ->
+      if t.rearm_then_read then arm t region
+      else begin
+        (match event.History.Event.op with
+        | History.Event.Delete -> apply_assignment t region None
+        | History.Event.Create | History.Event.Update ->
+            apply_assignment t region event.History.Event.value);
+        Zk.arm_watch t.zk ~src:t.name ("region/" ^ region) (fun _ -> ())
+      end
+
+let on_cast t ~src:_ cast =
+  match cast with Zk.Zk_notify { key; event } -> handle_notify t key event | _ -> ()
+
 let heartbeat t =
   match t.cached_master with
   | None -> lookup_master t (fun _ -> ())
@@ -70,13 +124,17 @@ let heartbeat t =
               lookup_master t (fun _ -> ())
             end)
 
-let create ~net ~name ~zk ?(relookup_on_failure = false) ?(heartbeat_period = 150_000) () =
+let create ~net ~name ~zk ?(relookup_on_failure = false) ?(rearm_then_read = false)
+    ?(watched_regions = []) ?(heartbeat_period = 150_000) () =
   {
     net;
     name;
     zk;
     relookup_on_failure;
+    rearm_then_read;
+    watched_regions;
     heartbeat_period;
+    serving = Hashtbl.create 8;
     cached_master = None;
     heartbeats_ok = 0;
     heartbeat_failures = 0;
@@ -84,8 +142,9 @@ let create ~net ~name ~zk ?(relookup_on_failure = false) ?(heartbeat_period = 15
   }
 
 let start t =
-  Dsim.Network.register t.net t.name ~serve:(fun ~src:_ _ _ -> ()) ();
+  Dsim.Network.register t.net t.name ~serve:(fun ~src:_ _ _ -> ()) ~on_cast:(on_cast t) ();
   register t;
+  List.iter (arm t) t.watched_regions;
   Dsim.Engine.every (engine t) ~period:t.heartbeat_period (fun () ->
       if Dsim.Network.is_up t.net t.name then heartbeat t;
       true)

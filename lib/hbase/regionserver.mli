@@ -1,11 +1,20 @@
-(** HBase-style region server: registers itself in ZooKeeper, looks up
-    the master's address once, and heartbeats it.
+(** HBase-style region server: registers itself in ZooKeeper, tracks its
+    region assignments through one-shot znode watches, looks up the
+    master's address once, and heartbeats it.
 
     HBASE-5755 ("region server looking for master forever with cached
     stale data"): the master's location is cached at lookup time; after a
     master failover the cached address points at a corpse and the
     bug-era server retries it forever instead of re-reading ZooKeeper.
-    [relookup_on_failure] applies the fix. *)
+    [relookup_on_failure] applies the fix.
+
+    The serving set is one-shot-watch driven: each ["region/<r>"] key in
+    [watched_regions] is armed at start; when a watch fires, the bug-era
+    server adopts the event's payload and re-arms blind, so an
+    assignment committed between the firing and the re-arm is never
+    observed (it keeps serving a region it lost, or never starts serving
+    one it gained). [rearm_then_read] applies the fix: re-arm first,
+    adopt the value the re-arm returns. *)
 
 type t
 
@@ -14,6 +23,8 @@ val create :
   name:string ->
   zk:Zk.t ->
   ?relookup_on_failure:bool ->
+  ?rearm_then_read:bool ->
+  ?watched_regions:string list ->
   ?heartbeat_period:int ->
   unit ->
   t
@@ -22,6 +33,11 @@ val create :
 val start : t -> unit
 
 val name : t -> string
+
+val serving : t -> string list
+(** Regions this server currently believes it serves, sorted. *)
+
+val is_serving : t -> string -> bool
 
 val cached_master : t -> string option
 (** The master address this server currently believes in. *)

@@ -3,15 +3,27 @@ type Dsim.Network.request +=
   | Zk_cas of { key : string; expected_mod_rev : int; value : string option }
   | Zk_write of { key : string; value : string }
   | Zk_pull of { since : int }  (* follower catching up with the leader *)
+  | Zk_watch of { key : string }  (* arm a one-shot watch, reply with the current value *)
 
 type Dsim.Network.response +=
   | Zk_value of { value : (string * int) option; rev : int }
   | Zk_cas_result of bool
   | Zk_written
   | Zk_events of string History.Event.t list
-  | Zk_compacted of { compacted_rev : int; snapshot : (string * string) list; rev : int }
+  | Zk_compacted of {
+      compacted_rev : int;
+      snapshot : (string * string * int) list;  (* key, value, leader mod-revision *)
+      rev : int;
+    }
         (** The puller is below the compaction frontier: the intervening
             events are gone, so catch-up must be a full state transfer. *)
+
+type Dsim.Network.cast +=
+  | Zk_notify of { key : string; event : string History.Event.t }
+        (** One-shot watch firing: consumed at commit, delivered after one
+            network latency. The client must re-arm to hear anything more. *)
+
+type hub_order = Replication_first | Watches_first
 
 type t = {
   net : Dsim.Network.t;
@@ -19,11 +31,22 @@ type t = {
   follower_name : string;
   replication_lag : int;
   compaction_window : int option;
+  follower_leader_revs : bool;
+  intercept : string History.Intercept.t;
   leader_kv : string Etcdlike.Kv.t;
   leader_hub : string Etcdlike.Watch.t;  (* indexed fan-out over leader commits *)
   follower_kv : string Etcdlike.Kv.t;  (* replica applied with lag *)
+  fl_revs : (string, int) Hashtbl.t;  (* key -> leader mod-rev, as replicated *)
+  watches : (string, string list) Hashtbl.t;  (* key -> armed one-shot watchers *)
+  origins : (int, string) Hashtbl.t;  (* leader revision -> originating client *)
+  commit_ids : (int, int) Hashtbl.t;  (* leader revision -> trace entry id *)
+  mutable caught_up_to : int;  (* leader revision the replica has applied *)
+  mutable repl_ready_at : int;  (* FIFO frontier of the replication stream *)
   mutable leader_ops : int;
   mutable follower_resyncs : int;
+  mutable tap_apply : string History.Event.t -> unit;
+  mutable tap_resync : int -> unit;
+  mutable tap_read : src:string -> key:string -> unit;
 }
 
 let leader t = t.leader_name
@@ -34,7 +57,38 @@ let leader_kv t = t.leader_kv
 
 let leader_hub t = t.leader_hub
 
+let follower_kv t = t.follower_kv
+
+let intercept t = t.intercept
+
 let follower_rev t = History.State.rev (Etcdlike.Kv.state t.follower_kv)
+
+let follower_caught_up_to t = t.caught_up_to
+
+let serves_leader_revs t = t.follower_leader_revs
+
+(* The follower's state as readers observe it: values from the replica,
+   mod-revisions from whichever numbering domain [follower_read] serves.
+   This is the (H', S') a conformance check must judge — the replica's
+   raw local revisions are an implementation detail that stops matching
+   the committed numbering after a post-compaction resync. *)
+let observed_state t =
+  let serving =
+    List.map
+      (fun (key, (v, local_rev)) ->
+        let rev =
+          if t.follower_leader_revs then
+            Option.value (Hashtbl.find_opt t.fl_revs key) ~default:local_rev
+          else local_rev
+        in
+        (key, v, rev))
+      (History.State.bindings (Etcdlike.Kv.state t.follower_kv))
+  in
+  List.fold_left
+    (fun s (key, v, rev) ->
+      History.State.apply s (History.Event.make ~rev ~key ~op:History.Event.Create (Some v)))
+    History.State.empty
+    (List.sort (fun (_, _, a) (_, _, b) -> compare a b) serving)
 
 let leader_ops t = t.leader_ops
 
@@ -42,21 +96,65 @@ let follower_resyncs t = t.follower_resyncs
 
 let engine t = Dsim.Network.engine t.net
 
-(* Events the follower has not yet applied, by revision. *)
+let origin_of_rev t rev = Option.value (Hashtbl.find_opt t.origins rev) ~default:"boot"
+
+let commit_trace_id t ~rev = Hashtbl.find_opt t.commit_ids rev
+
+let on_follower_apply t f = t.tap_apply <- f
+
+let on_follower_resync t f = t.tap_resync <- f
+
+let on_follower_read t f = t.tap_read <- f
+
+(* Events the follower has not yet applied, by revision. The side table
+   remembers each key's *leader* mod-revision: the replica assigns its own
+   local revisions, and after a post-compaction resync the two numbering
+   domains drift apart for good — serving leader revisions to readers is
+   the HBASE-3136-family fix gated by [follower_leader_revs]. *)
 let follower_apply t (e : string History.Event.t) =
-  match e.History.Event.op, e.History.Event.value with
-  | History.Event.Delete, _ -> ignore (Etcdlike.Kv.delete t.follower_kv e.History.Event.key)
+  (match e.History.Event.op, e.History.Event.value with
+  | History.Event.Delete, _ ->
+      Hashtbl.remove t.fl_revs e.History.Event.key;
+      ignore (Etcdlike.Kv.delete t.follower_kv e.History.Event.key)
   | (History.Event.Create | History.Event.Update), Some v ->
+      Hashtbl.replace t.fl_revs e.History.Event.key e.History.Event.rev;
       ignore (Etcdlike.Kv.put t.follower_kv e.History.Event.key v)
-  | (History.Event.Create | History.Event.Update), None -> ()
+  | (History.Event.Create | History.Event.Update), None -> ());
+  t.tap_apply e
 
 let leader_snapshot t =
   History.State.bindings_with_prefix (Etcdlike.Kv.state t.leader_kv) ~prefix:""
-  |> List.map (fun (key, (v, _)) -> (key, v))
+  |> List.map (fun (key, (v, mod_rev)) -> (key, v, mod_rev))
+
+let note_origin t ~src (e : string History.Event.t) =
+  Hashtbl.replace t.origins e.History.Event.rev src
+
+(* One-shot watch dispatch: every registration on the key is consumed at
+   commit time; whether the notification reaches the watcher is the
+   interceptor's call (and the network's — a crashed watcher just misses
+   it). Anything committed between this firing and the client's re-arm is
+   invisible to the client: the protocol's built-in observability gap. *)
+let fire_watches t (e : string History.Event.t) =
+  let key = e.History.Event.key in
+  match Hashtbl.find_opt t.watches key with
+  | None | Some [] -> ()
+  | Some dsts ->
+      Hashtbl.remove t.watches key;
+      List.iter
+        (fun dst ->
+          let edge = { History.Intercept.src = t.leader_name; dst } in
+          let notify () = Dsim.Network.cast t.net ~src:t.leader_name ~dst (Zk_notify { key; event = e }) in
+          match History.Intercept.decide t.intercept edge e with
+          | History.Intercept.Drop ->
+              Dsim.Engine.record (engine t) ~actor:dst ~kind:"pipe.drop"
+                (Printf.sprintf "%s->%s %s" t.leader_name dst (History.Event.describe e))
+          | History.Intercept.Pass -> notify ()
+          | History.Intercept.Delay d -> ignore (Dsim.Engine.schedule (engine t) ~delay:d notify))
+        dsts
 
 (* The follower replica's revisions differ from the leader's (it assigns
    its own), so track the leader revision it has caught up to. *)
-let serve_leader t ~src:_ request reply =
+let serve_leader t ~src request reply =
   t.leader_ops <- t.leader_ops + 1;
   match request with
   | Zk_cas { key; expected_mod_rev; value } ->
@@ -69,12 +167,20 @@ let serve_leader t ~src:_ request reply =
             Etcdlike.Txn.eval t.leader_kv
               (Etcdlike.Txn.delete_if_unchanged ~key ~expected_mod_rev)
       in
+      List.iter (note_origin t ~src) outcome.Etcdlike.Txn.events;
       reply (Zk_cas_result outcome.Etcdlike.Txn.succeeded)
   | Zk_write { key; value } ->
-      ignore (Etcdlike.Kv.put t.leader_kv key value);
+      let e = Etcdlike.Kv.put t.leader_kv key value in
+      note_origin t ~src e;
       reply Zk_written
   | Zk_read { key; sync = _ } ->
       (* Reads addressed directly at the leader are linearizable. *)
+      reply (Zk_value { value = Etcdlike.Kv.get t.leader_kv key; rev = Etcdlike.Kv.rev t.leader_kv })
+  | Zk_watch { key } ->
+      (* getData(watch=true): arm (replacing any prior registration by the
+         same client) and return the current value in the same breath. *)
+      let armed = Option.value (Hashtbl.find_opt t.watches key) ~default:[] in
+      Hashtbl.replace t.watches key (List.filter (fun d -> not (String.equal d src)) armed @ [ src ]);
       reply (Zk_value { value = Etcdlike.Kv.get t.leader_kv key; rev = Etcdlike.Kv.rev t.leader_kv })
   | Zk_pull { since } -> (
       match Etcdlike.Kv.since t.leader_kv ~rev:since with
@@ -88,59 +194,100 @@ let serve_leader t ~src:_ request reply =
                { compacted_rev; snapshot = leader_snapshot t; rev = Etcdlike.Kv.rev t.leader_kv }))
   | _ -> ()
 
-type follower_state = { mutable caught_up_to : int (* leader revision *) }
-
-let follower_read t key =
-  Zk_value { value = Etcdlike.Kv.get t.follower_kv key; rev = follower_rev t }
+let follower_read t ~src key =
+  t.tap_read ~src ~key;
+  let value =
+    match Etcdlike.Kv.get t.follower_kv key with
+    | None -> None
+    | Some (v, local_rev) ->
+        if t.follower_leader_revs then
+          Some (v, Option.value (Hashtbl.find_opt t.fl_revs key) ~default:local_rev)
+        else Some (v, local_rev)
+  in
+  Zk_value { value; rev = follower_rev t }
 
 (* Full state transfer: make the replica's bindings equal the snapshot
    (its own revision counter keeps advancing — revisions are local), and
    advance the catch-up frontier past everything the snapshot covers. *)
-let follower_resync t state ~snapshot ~rev =
+let follower_resync t ~snapshot ~rev =
   let current =
     History.State.bindings_with_prefix (Etcdlike.Kv.state t.follower_kv) ~prefix:""
   in
   List.iter
     (fun (key, _) ->
-      if not (List.mem_assoc key snapshot) then ignore (Etcdlike.Kv.delete t.follower_kv key))
+      if not (List.exists (fun (k, _, _) -> String.equal k key) snapshot) then begin
+        Hashtbl.remove t.fl_revs key;
+        ignore (Etcdlike.Kv.delete t.follower_kv key)
+      end)
     current;
   List.iter
-    (fun (key, v) ->
+    (fun (key, v, mod_rev) ->
+      Hashtbl.replace t.fl_revs key mod_rev;
       match Etcdlike.Kv.get t.follower_kv key with
       | Some (v', _) when String.equal v' v -> ()
       | _ -> ignore (Etcdlike.Kv.put t.follower_kv key v))
     snapshot;
-  state.caught_up_to <- rev;
+  t.caught_up_to <- rev;
   t.follower_resyncs <- t.follower_resyncs + 1;
   Dsim.Engine.record (engine t) ~actor:t.follower_name ~kind:"zk.resync"
-    (Printf.sprintf "catch-up past compaction: full resync at leader rev %d" rev)
+    (Printf.sprintf "catch-up past compaction: full resync at leader rev %d" rev);
+  t.tap_resync rev
 
-let serve_follower t state ~src:_ request reply =
+let serve_follower t ~src request reply =
   match request with
   | Zk_read { key; sync } ->
-      if not sync then reply (follower_read t key)
+      if not sync then reply (follower_read t ~src key)
       else
         (* HBASE-3137's cost: catch up with the leader before serving. *)
         Dsim.Network.call t.net ~src:t.follower_name ~dst:t.leader_name
-          (Zk_pull { since = state.caught_up_to })
+          (Zk_pull { since = t.caught_up_to })
           (function
           | Ok (Zk_events events) ->
               List.iter
                 (fun (e : string History.Event.t) ->
-                  if e.History.Event.rev > state.caught_up_to then begin
+                  if e.History.Event.rev > t.caught_up_to then begin
                     follower_apply t e;
-                    state.caught_up_to <- e.History.Event.rev
+                    t.caught_up_to <- e.History.Event.rev
                   end)
                 events;
-              reply (follower_read t key)
+              reply (follower_read t ~src key)
           | Ok (Zk_compacted { compacted_rev = _; snapshot; rev }) ->
-              follower_resync t state ~snapshot ~rev;
-              reply (follower_read t key)
-          | _ -> reply (follower_read t key))
+              follower_resync t ~snapshot ~rev;
+              reply (follower_read t ~src key)
+          | _ -> reply (follower_read t ~src key))
   | _ -> ()
 
+(* Stream replication: each leader commit reaches the replica one lag
+   later, in order (the follower's (H', S')). The stream consults the
+   interceptor like any other delivery edge; FIFO order survives a Delay
+   because each event's apply time is clamped to the stream frontier. *)
+let deliver_replication t (event : string History.Event.t) =
+  let edge = { History.Intercept.src = t.leader_name; dst = t.follower_name } in
+  let extra =
+    match History.Intercept.decide t.intercept edge event with
+    | History.Intercept.Pass -> Some 0
+    | History.Intercept.Delay d -> Some d
+    | History.Intercept.Drop ->
+        Dsim.Engine.record (engine t) ~actor:t.follower_name ~kind:"pipe.drop"
+          (Printf.sprintf "%s->%s %s" t.leader_name t.follower_name (History.Event.describe event));
+        None
+  in
+  match extra with
+  | None -> ()
+  | Some extra ->
+      let now = Dsim.Engine.now (engine t) in
+      let at = max (now + t.replication_lag + extra) t.repl_ready_at in
+      t.repl_ready_at <- at;
+      ignore
+        (Dsim.Engine.schedule (engine t) ~delay:(at - now) (fun () ->
+             if event.History.Event.rev > t.caught_up_to then begin
+               follower_apply t event;
+               t.caught_up_to <- event.History.Event.rev
+             end))
+
 let create ~net ?(leader = "zk-leader") ?(follower = "zk-follower")
-    ?(replication_lag = 10_000) ?compaction_window () =
+    ?(replication_lag = 10_000) ?compaction_window ?(follower_leader_revs = false)
+    ?(hub_order = Replication_first) ?intercept () =
   let leader_kv = Etcdlike.Kv.create () in
   let t =
     {
@@ -149,30 +296,50 @@ let create ~net ?(leader = "zk-leader") ?(follower = "zk-follower")
       follower_name = follower;
       replication_lag;
       compaction_window;
+      follower_leader_revs;
+      intercept = (match intercept with Some i -> i | None -> History.Intercept.create ());
       leader_kv;
       leader_hub = Etcdlike.Watch.create leader_kv;
       follower_kv = Etcdlike.Kv.create ();
+      fl_revs = Hashtbl.create 64;
+      watches = Hashtbl.create 16;
+      origins = Hashtbl.create 256;
+      commit_ids = Hashtbl.create 256;
+      caught_up_to = 0;
+      repl_ready_at = 0;
       leader_ops = 0;
       follower_resyncs = 0;
+      tap_apply = (fun _ -> ());
+      tap_resync = (fun _ -> ());
+      tap_read = (fun ~src:_ ~key:_ -> ());
     }
   in
-  let state = { caught_up_to = 0 } in
-  (* Stream replication: each leader commit reaches the replica one lag
-     later, in order (the follower's (H', S')). The stream is a watcher
-     on the leader's dispatch hub, like any other subscriber. *)
-  (match
-     Etcdlike.Watch.watch t.leader_hub ~start_rev:0
-       ~deliver:(fun event ->
-         ignore
-           (Dsim.Engine.schedule (engine t) ~delay:t.replication_lag (fun () ->
-                if event.History.Event.rev > state.caught_up_to then begin
-                  follower_apply t event;
-                  state.caught_up_to <- event.History.Event.rev
-                end)))
-       ()
-   with
-  | Ok _ -> ()
-  | Error (`Compacted _) -> ());
+  let subscribe deliver =
+    match Etcdlike.Watch.watch t.leader_hub ~start_rev:0 ~deliver () with
+    | Ok _ -> ()
+    | Error (`Compacted _) -> ()
+  in
+  (* Two subscribers share the leader's dispatch hub: the replication
+     stream and the one-shot watch notifier. Registration order decides
+     same-commit fan-out order; semantics must not depend on it (the
+     compaction-resync suite runs under both). *)
+  (match hub_order with
+  | Replication_first ->
+      subscribe (deliver_replication t);
+      subscribe (fire_watches t)
+  | Watches_first ->
+      subscribe (fire_watches t);
+      subscribe (deliver_replication t));
+  (* Commit-side bookkeeping: every leader commit becomes a trace entry
+     (the causal anchor diagnosis cards point at) and a counter tick. *)
+  Etcdlike.Kv.on_commit t.leader_kv (fun (e : string History.Event.t) ->
+      let rev = e.History.Event.rev in
+      let id =
+        Dsim.Engine.emit (Dsim.Network.engine net) ~actor:t.leader_name ~kind:"zk.commit"
+          (Printf.sprintf "rev %d %s" rev (History.Event.describe e))
+      in
+      Hashtbl.replace t.commit_ids rev id;
+      Dsim.Metrics.incr (Dsim.Engine.metrics (Dsim.Network.engine net)) "zk.commits");
   (* Retention: keep only the last [w] events pullable. Registered after
      the hub's commit listener, so fan-out always precedes the trim. *)
   (match t.compaction_window with
@@ -180,7 +347,7 @@ let create ~net ?(leader = "zk-leader") ?(follower = "zk-follower")
       Etcdlike.Kv.on_commit t.leader_kv (fun _ -> Etcdlike.Kv.compact_keep_last t.leader_kv w)
   | None -> ());
   Dsim.Network.register net t.leader_name ~serve:(serve_leader t) ();
-  Dsim.Network.register net t.follower_name ~serve:(serve_follower t state) ();
+  Dsim.Network.register net t.follower_name ~serve:(serve_follower t) ();
   t
 
 let read t ~src ?(sync = false) key k =
@@ -198,4 +365,10 @@ let cas t ~src ~key ~expected_mod_rev value k =
 let write t ~src ~key value k =
   Dsim.Network.call t.net ~src ~dst:t.leader_name (Zk_write { key; value }) (function
     | Ok Zk_written -> k (Ok ())
+    | _ -> k (Error `Unavailable))
+
+let arm_watch t ~src key k =
+  Dsim.Network.call t.net ~src ~dst:t.leader_name (Zk_watch { key }) (function
+    | Ok (Zk_value { value; rev = _ }) ->
+        k (Ok (Option.map fst value, Option.value (Option.map snd value) ~default:0))
     | _ -> k (Error `Unavailable))

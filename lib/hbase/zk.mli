@@ -1,15 +1,25 @@
-(** ZooKeeper-style ensemble: a leader serving linearizable writes and
-    compare-and-set, and a follower serving reads from a replica that
-    lags by a configurable replication delay.
+(** ZooKeeper-style ensemble: a leader serving linearizable writes,
+    compare-and-set and one-shot watches, and a follower serving reads
+    from a replica that lags by a configurable replication delay.
 
     This is the substrate of the paper's HBase examples (§4.2.1): region
     transitions CAS against state *read from a follower's cache*
     (HBASE-3136), and the fix — forcing a [sync] before reading — trades
-    leader load for freshness (HBASE-3137). The same partial-history
-    model, one infrastructure over: the follower's replica is an
-    [(H', S')] of the leader's [(H, S)].
+    leader load for freshness (HBASE-3137). One-shot watches are the
+    §4.2.3 observability-gap generator: a registration is consumed when
+    the event commits, so anything committed between the firing and the
+    client's re-arm is invisible. The same partial-history model, one
+    infrastructure over: the follower's replica is an [(H', S')] of the
+    leader's [(H, S)].
 
     Values are strings; keys are free-form paths. *)
+
+type Dsim.Network.cast +=
+  | Zk_notify of { key : string; event : string History.Event.t }
+        (** One-shot watch firing, delivered to the watcher's
+            [on_cast] handler after one network latency. *)
+
+type hub_order = Replication_first | Watches_first
 
 type t
 
@@ -19,6 +29,9 @@ val create :
   ?follower:string ->
   ?replication_lag:int ->
   ?compaction_window:int ->
+  ?follower_leader_revs:bool ->
+  ?hub_order:hub_order ->
+  ?intercept:string History.Intercept.t ->
   unit ->
   t
 (** Defaults: nodes ["zk-leader"] / ["zk-follower"], replication lag
@@ -27,7 +40,18 @@ val create :
     leader's retained event log (default: unbounded); a follower whose
     catch-up pull lands below the compaction frontier receives a full
     state snapshot instead of events — {e not} an empty event list, so
-    compaction is never mistaken for being caught up. *)
+    compaction is never mistaken for being caught up.
+
+    [follower_leader_revs] (default off — the buggy era) makes follower
+    reads report each key's {e leader} mod-revision from the replicated
+    side table instead of the replica's local numbering, which drifts
+    permanently after a post-compaction resync.
+
+    [hub_order] picks the registration order of the replication stream
+    and the watch notifier on the leader's dispatch hub; semantics must
+    not depend on it. [intercept] is consulted on every delivery edge
+    (replication and watch notifications); pass the cluster's shared
+    interceptor so testing strategies can reach these edges. *)
 
 val leader : t -> string
 
@@ -40,8 +64,29 @@ val leader_hub : t -> string Etcdlike.Watch.t
 (** The leader's watch hub. Follower replication is one watcher on it;
     tests and oracles may register more. *)
 
+val follower_kv : t -> string Etcdlike.Kv.t
+(** The replica's materialized state — the follower's [S'], for the
+    conformance monitor's state checks. *)
+
+val intercept : t -> string History.Intercept.t
+
 val follower_rev : t -> int
-(** The follower replica's applied revision (≤ leader rev). *)
+(** The follower replica's applied revision in its {e local} numbering. *)
+
+val follower_caught_up_to : t -> int
+(** The leader revision the replica has applied up to — the follower's
+    frontier in the committed history's numbering. *)
+
+val serves_leader_revs : t -> bool
+(** Whether follower reads report leader mod-revisions (the fixed era).
+    When false, readers observe the replica's local numbering — which
+    drifts from the committed domain after a post-compaction resync. *)
+
+val observed_state : t -> string History.State.t
+(** The follower's state in the revision domain {!read} serves — the
+    observed (H', S') a conformance check must judge. Equal to the raw
+    replica state in the buggy era; carries leader mod-revisions under
+    [follower_leader_revs]. *)
 
 val leader_ops : t -> int
 (** Requests the leader has served — the load the HBASE-3137 fix
@@ -50,6 +95,25 @@ val leader_ops : t -> int
 val follower_resyncs : t -> int
 (** Full state transfers the follower performed after pulling below the
     leader's compaction frontier. *)
+
+val origin_of_rev : t -> int -> string
+(** Which client's request committed the revision ("boot" for seeds). *)
+
+val commit_trace_id : t -> rev:int -> int option
+(** Trace entry id of the leader commit at [rev]. *)
+
+(** {2 Delivery-boundary taps} (read-only; for the conformance monitor) *)
+
+val on_follower_apply : t -> (string History.Event.t -> unit) -> unit
+(** Fires after the replica applies a committed leader event, via the
+    replication stream or a sync-read catch-up pull. *)
+
+val on_follower_resync : t -> (int -> unit) -> unit
+(** Fires after a full state transfer, with the leader revision the
+    replica jumped to. *)
+
+val on_follower_read : t -> (src:string -> key:string -> unit) -> unit
+(** Fires when the follower serves a read, before the reply is sent. *)
 
 (** {2 Client operations} (asynchronous, over the network) *)
 
@@ -78,3 +142,15 @@ val cas :
 val write :
   t -> src:string -> key:string -> string -> ((unit, [ `Unavailable ]) result -> unit) -> unit
 (** Unconditional write at the leader. *)
+
+val arm_watch :
+  t ->
+  src:string ->
+  string ->
+  ((string option * int, [ `Unavailable ]) result -> unit) ->
+  unit
+(** Arms (or re-arms) a one-shot watch on the key at the leader and
+    returns the current value — ZooKeeper's [getData(watch=true)]. The
+    next commit on the key consumes the registration and delivers a
+    {!Zk_notify} cast to [src]; events between that firing and the next
+    re-arm are lost to the client. *)

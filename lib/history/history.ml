@@ -12,6 +12,7 @@ module Log = Log
 module Partial = Partial
 module View = View
 module Dispatch = Dispatch
+module Intercept = Intercept
 module Causality = Causality
 module Divergence = Divergence
 module Epoch = Epoch

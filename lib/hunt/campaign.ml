@@ -53,8 +53,14 @@ type planned_case = {
   scheduled : (int * Sieve.Planner.plan) list;  (* dispatch order *)
 }
 
+(* Coverage over the case's substrate; used both for scheduling and the
+   explored-space report. *)
+let coverage_of_case (case : Sieve.Bugs.case) ~events =
+  match case.Sieve.Bugs.spec with
+  | Sieve.Substrate.Kube { config; _ } -> Sieve.Coverage.create ~config ~events
+  | Sieve.Substrate.Hbase { config; _ } -> Sieve.Coverage.create_hbase ~config ~events
+
 let plan_case ?(hazard_rank = false) (case : Sieve.Bugs.case) =
-  let config = case.Sieve.Bugs.config in
   let horizon = case.Sieve.Bugs.horizon in
   let commits = Sieve.Runner.reference_commits (Sieve.Bugs.reference_test_of_case case) in
   let events =
@@ -68,19 +74,29 @@ let plan_case ?(hazard_rank = false) (case : Sieve.Bugs.case) =
      measurably delays some exposures (cassandra-operator-402 in the
      regression corpus). Direct Planner users can still opt into
      [Analysis.Hazard.boost]. *)
-  let hazards = if hazard_rank then Analysis.Hazard.of_config config else [] in
-  let plans = Array.of_list (Sieve.Planner.candidates_causal ~config ~commits ~horizon ()) in
-  let coverage = Sieve.Coverage.create ~config ~events in
+  let hazards, plans, targets, apiservers =
+    match case.Sieve.Bugs.spec with
+    | Sieve.Substrate.Kube { config; _ } ->
+        ( (if hazard_rank then Analysis.Hazard.of_config config else []),
+          Array.of_list (Sieve.Planner.candidates_causal ~config ~commits ~horizon ()),
+          Sieve.Planner.targets_of_config config,
+          List.init config.Kube.Cluster.apiservers (fun i -> Printf.sprintf "api-%d" (i + 1)) )
+    | Sieve.Substrate.Hbase { config; _ } ->
+        ( (if hazard_rank then
+             Analysis.Hazard.of_footprints (Analysis.Footprint.of_hbase_config config)
+           else []),
+          Array.of_list (Sieve.Planner.candidates_causal_hbase ~config ~commits ~horizon ()),
+          Sieve.Planner.targets_hbase config,
+          (* The explore baseline's "apiserver" endpoints are the store
+             addresses consumers actually talk to here. *)
+          [ "zk-leader"; "zk-follower" ] )
+  in
+  let coverage = coverage_of_case case ~events in
   let priority =
     if hazard_rank then Some (Analysis.Hazard.plan_score hazards coverage) else None
   in
   let scheduled = List.map (fun i -> (i, plans.(i))) (Schedule.order ?priority coverage plans) in
-  let components =
-    List.map (fun t -> t.Sieve.Planner.component) (Sieve.Planner.targets_of_config config)
-  in
-  let apiservers =
-    List.init config.Kube.Cluster.apiservers (fun i -> Printf.sprintf "api-%d" (i + 1))
-  in
+  let components = List.map (fun t -> t.Sieve.Planner.component) targets in
   { case; events; components; apiservers; scheduled }
 
 (* Round-robin across cases so early trials are diverse even when one
@@ -169,19 +185,19 @@ let plan ?budget ?(seed = 42L) ?(hazard_rank = false) ~cases () =
              origin;
              seed = seeds.(index);
              test =
-               Sieve.Runner.base_test
-                 ~name:(Printf.sprintf "%s:%s" case.Sieve.Bugs.id origin)
-                 ~config:case.Sieve.Bugs.config ~workload:case.Sieve.Bugs.workload
-                 ~horizon:case.Sieve.Bugs.horizon strategy;
+               {
+                 Sieve.Runner.name = Printf.sprintf "%s:%s" case.Sieve.Bugs.id origin;
+                 spec = case.Sieve.Bugs.spec;
+                 horizon = case.Sieve.Bugs.horizon;
+                 strategy;
+               };
            })
          slots)
   in
   let space =
     List.map
       (fun pc ->
-        let coverage =
-          Sieve.Coverage.create ~config:pc.case.Sieve.Bugs.config ~events:pc.events
-        in
+        let coverage = coverage_of_case pc.case ~events:pc.events in
         Array.iter
           (fun (t : trial) ->
             if String.equal t.case_id pc.case.Sieve.Bugs.id then

@@ -9,6 +9,9 @@ let component_of (v : Sieve.Oracle.violation) =
   | Sieve.Oracle.Replica_surplus _ -> "rsctl"
   | Sieve.Oracle.Healthy_pod_failed _ -> "nodectl"
   | Sieve.Oracle.Rollout_wedged _ -> "depctl"
+  | Sieve.Oracle.Region_stale_assign _ | Sieve.Oracle.Region_cas_wedged _ -> "master-1"
+  | Sieve.Oracle.Region_double_serve { servers; _ } ->
+      String.concat "+" (List.sort String.compare servers)
 
 let of_violation v =
   Printf.sprintf "%s/%s/%s" (Sieve.Oracle.bug_id v) (component_of v) (Sieve.Oracle.key v)

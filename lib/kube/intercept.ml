@@ -1,32 +1,25 @@
-type edge = { src : string; dst : string }
+(* The kube instantiation of the substrate-generic interceptor: the
+   payload is a [Resource.value], the machinery lives in
+   [History.Intercept] and is shared with the HBase substrate. *)
 
-let pp_edge ppf e = Format.fprintf ppf "%s->%s" e.src e.dst
+type edge = History.Intercept.edge = { src : string; dst : string }
 
-type decision = Pass | Drop | Delay of int
+let pp_edge = History.Intercept.pp_edge
 
-let pp_decision ppf = function
-  | Pass -> Format.pp_print_string ppf "pass"
-  | Drop -> Format.pp_print_string ppf "drop"
-  | Delay d -> Format.fprintf ppf "delay(%dus)" d
+type decision = History.Intercept.decision = Pass | Drop | Delay of int
+
+let pp_decision = History.Intercept.pp_decision
 
 type policy = edge -> Resource.value History.Event.t -> decision
 
-type t = {
-  mutable policy : policy;
-  mutable observer : edge -> Resource.value History.Event.t -> decision -> unit;
-}
+type t = Resource.value History.Intercept.t
 
-let pass_through _ _ = Pass
+let create () = History.Intercept.create ()
 
-let create () = { policy = pass_through; observer = (fun _ _ _ -> ()) }
+let decide = History.Intercept.decide
 
-let decide t edge event =
-  let decision = t.policy edge event in
-  t.observer edge event decision;
-  decision
+let set_policy = History.Intercept.set_policy
 
-let set_policy t policy = t.policy <- policy
+let clear = History.Intercept.clear
 
-let clear t = t.policy <- pass_through
-
-let set_observer t observer = t.observer <- observer
+let set_observer = History.Intercept.set_observer

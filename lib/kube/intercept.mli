@@ -8,14 +8,14 @@
     (staleness), drops (observability gaps) or merely observes (for
     planning) specific events on specific edges. *)
 
-type edge = {
+type edge = History.Intercept.edge = {
   src : string;  (** upstream address, e.g. ["etcd"] or ["api-2"] *)
   dst : string;  (** downstream address, e.g. ["api-2"] or ["kubelet-1"] *)
 }
 
 val pp_edge : Format.formatter -> edge -> unit
 
-type decision =
+type decision = History.Intercept.decision =
   | Pass
   | Drop  (** the event silently never arrives — the stream stays up *)
   | Delay of int
@@ -26,7 +26,7 @@ val pp_decision : Format.formatter -> decision -> unit
 
 type policy = edge -> Resource.value History.Event.t -> decision
 
-type t
+type t = Resource.value History.Intercept.t
 
 val create : unit -> t
 

@@ -212,8 +212,8 @@ let test_baseline_migration () =
 let test_footprint_consistency () =
   List.iter
     (fun (case : Sieve.Bugs.case) ->
-      let targets = Sieve.Planner.targets_of_config case.Sieve.Bugs.config in
-      let footprints = Analysis.Footprint.of_config case.Sieve.Bugs.config in
+      let targets = Sieve.Planner.targets_of_config (Sieve.Bugs.kube_config case) in
+      let footprints = Analysis.Footprint.of_config (Sieve.Bugs.kube_config case) in
       Alcotest.(check (list string))
         (case.Sieve.Bugs.id ^ " components")
         (List.map (fun (t : Sieve.Planner.target) -> t.Sieve.Planner.component) targets)
@@ -242,7 +242,7 @@ let test_footprint_consistency () =
    kubelet's pod handler and the scheduler's node cache, nothing else. *)
 let test_footprint_edge_triggered_mirrors_lint () =
   let case = Sieve.Bugs.k8s_56261 () in
-  let footprints = Analysis.Footprint.of_config case.Sieve.Bugs.config in
+  let footprints = Analysis.Footprint.of_config (Sieve.Bugs.kube_config case) in
   List.iter
     (fun (fp : Analysis.Footprint.t) ->
       let expected =
@@ -316,8 +316,8 @@ let test_footprint_replication () =
   (* And the footprint-vs-Planner consistency holds on the replicated
      config the REP family runs. *)
   let case = Sieve.Bugs.rep_minority () in
-  let targets = Sieve.Planner.targets_of_config case.Sieve.Bugs.config in
-  let footprints = Analysis.Footprint.of_config case.Sieve.Bugs.config in
+  let targets = Sieve.Planner.targets_of_config (Sieve.Bugs.kube_config case) in
+  let footprints = Analysis.Footprint.of_config (Sieve.Bugs.kube_config case) in
   Alcotest.(check (list string))
     "REP-MINORITY components"
     (List.map (fun (t : Sieve.Planner.target) -> t.Sieve.Planner.component) targets)
@@ -349,7 +349,7 @@ let test_hazard_graph_content () =
   (* Bug-era operator config: the 400/402 shape is a sev-3 staleness
      hazard; the fixed config's quorum re-list closes it for pods. *)
   let ca = Sieve.Bugs.ca_402 () in
-  let hazards = Analysis.Hazard.of_config ca.Sieve.Bugs.config in
+  let hazards = Analysis.Hazard.of_config (Sieve.Bugs.kube_config ca) in
   Alcotest.(check int) "cassop stale destructive pods" 3
     (severity_of hazards ~pattern:`Staleness ~component:"cassop"
        ~prefix:Kube.Resource.pods_prefix);
@@ -359,25 +359,29 @@ let test_hazard_graph_content () =
   (* The fix's quorum re-list closes the unguarded-destructive hazard;
      the sev-2 write/write conflict on pods remains (it is structural,
      not a guard question). *)
-  let fixed = Analysis.Hazard.of_config ca.Sieve.Bugs.fixed_config in
+  let fixed =
+    match ca.Sieve.Bugs.fixed_spec with
+    | Sieve.Substrate.Kube { config; _ } -> Analysis.Hazard.of_config config
+    | _ -> Alcotest.fail "CA-402 is a kube case"
+  in
   Alcotest.(check bool) "fixed operator: unguarded destructive staleness closed" true
     (severity_of fixed ~pattern:`Staleness ~component:"cassop"
        ~prefix:Kube.Resource.pods_prefix
     < 3);
   (* The scheduler's node cache is edge-triggered: maximal obs-gap. *)
   let k8s = Sieve.Bugs.k8s_56261 () in
-  let hazards = Analysis.Hazard.of_config k8s.Sieve.Bugs.config in
+  let hazards = Analysis.Hazard.of_config (Sieve.Bugs.kube_config k8s) in
   Alcotest.(check int) "scheduler edge-triggered nodes" 3
     (severity_of hazards ~pattern:`Obs_gap ~component:"scheduler"
        ~prefix:Kube.Resource.nodes_prefix);
   (* Restartable kubelet with destructive writes: time-travel hazard. *)
   let tt = Sieve.Bugs.k8s_59848 () in
-  let hazards = Analysis.Hazard.of_config tt.Sieve.Bugs.config in
+  let hazards = Analysis.Hazard.of_config (Sieve.Bugs.kube_config tt) in
   Alcotest.(check int) "kubelet restart time travel" 2
     (severity_of hazards ~pattern:`Time_travel ~component:"kubelet-1"
        ~prefix:Kube.Resource.pods_prefix);
   (* Scoring matches by key prefix, not exact key. *)
-  let ca_hazards = Analysis.Hazard.of_config ca.Sieve.Bugs.config in
+  let ca_hazards = Analysis.Hazard.of_config (Sieve.Bugs.kube_config ca) in
   Alcotest.(check int) "score matches by prefix" 3
     (Analysis.Hazard.score ca_hazards ~component:"cassop" ~key:"pods/cass-1"
        ~pattern:`Staleness);

@@ -366,6 +366,35 @@ let selftest_stable_across_seeds () =
         (Conformance.Selftest.run ~seed ()))
     [ 1L; 7L; 42L ]
 
+(* HBase-boundary mutations: each must trip with its *expected* code —
+   a lost one-shot notification is a gap, a truncated master view is a
+   state divergence, a forged znode payload is a content violation. *)
+let selftest_hbase_mutations_detected () =
+  let outcomes = Conformance.Selftest.run_hbase () in
+  Alcotest.(check int) "control + three mutations" 4 (List.length outcomes);
+  List.iter
+    (fun (o : Conformance.Selftest.outcome) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s %s (codes: %s)" o.Conformance.Selftest.mutation
+           (if o.Conformance.Selftest.tripped then "tripped" else "silent")
+           (String.concat ","
+              (List.map Conformance.Monitor.code_to_string o.Conformance.Selftest.codes)))
+        true
+        (Conformance.Selftest.hbase_ok o))
+    outcomes
+
+let selftest_hbase_stable_across_seeds () =
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun (o : Conformance.Selftest.outcome) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %Ld: %s" seed o.Conformance.Selftest.mutation)
+            true
+            (Conformance.Selftest.hbase_ok o))
+        (Conformance.Selftest.run_hbase ~seed ()))
+    [ 1L; 7L; 42L ]
+
 (* --- cluster tier: silence under faults, passivity ----------------- *)
 
 let cluster_test strategy =
@@ -477,6 +506,10 @@ let suites =
       [
         Alcotest.test_case "all mutations detected" `Quick selftest_all_mutations_detected;
         Alcotest.test_case "stable across seeds" `Quick selftest_stable_across_seeds;
+        Alcotest.test_case "hbase mutations trip their expected codes" `Quick
+          selftest_hbase_mutations_detected;
+        Alcotest.test_case "hbase mutations stable across seeds" `Quick
+          selftest_hbase_stable_across_seeds;
       ] );
     ( "conformance cluster",
       [

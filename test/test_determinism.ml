@@ -114,6 +114,50 @@ let replicated_hunt_jobs_identity () =
     (read_file "_hunt_test/rep-j1/journal.jsonl")
     (read_file "_hunt_test/rep-j4/journal.jsonl")
 
+(* The HBase substrate routes through the same engine discipline:
+   every case's trace must be byte-stable, and a hunt over the HBase
+   corpus must journal identically across job counts and across a
+   kill-and-resume. *)
+let hbase_runs_deterministic () =
+  List.iter
+    (fun case ->
+      let a = Sieve.Runner.run_test (Sieve.Bugs.test_of_case case) in
+      let b = Sieve.Runner.run_test (Sieve.Bugs.test_of_case case) in
+      Alcotest.(check string)
+        ("byte-identical traces for " ^ case.Sieve.Bugs.id)
+        (Sieve.Runner.trace_jsonl a) (Sieve.Runner.trace_jsonl b))
+    (Sieve.Bugs.hbase ())
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let hbase_hunt_jobs_and_resume_identity () =
+  mkdir_if_missing "_hunt_test";
+  let campaign ?(resume = false) ~jobs ~out () =
+    Hunt.Campaign.run ~jobs ~out ~resume ~budget:24 ~seed:42L ~minimize_budget:0
+      ~cases:(Sieve.Bugs.hbase ()) ()
+  in
+  let (_ : Hunt.Campaign.summary) = campaign ~jobs:1 ~out:"_hunt_test/hb-j1" () in
+  let (_ : Hunt.Campaign.summary) = campaign ~jobs:4 ~out:"_hunt_test/hb-j4" () in
+  let journal = read_file "_hunt_test/hb-j1/journal.jsonl" in
+  Alcotest.(check string) "parallel hbase journal identical" journal
+    (read_file "_hunt_test/hb-j4/journal.jsonl");
+  (* Kill-and-resume: rebuild the first half of the journal plus a torn
+     record, as if the campaign died mid-append; the resumed run must
+     converge to the uninterrupted bytes. *)
+  let lines = String.split_on_char '\n' journal in
+  let keep = List.filteri (fun i _ -> i < List.length lines / 2) lines in
+  mkdir_if_missing "_hunt_test/hb-res";
+  write_file "_hunt_test/hb-res/journal.jsonl"
+    (String.concat "\n" keep ^ "\n" ^ {|{"trial":999,"torn|});
+  let resumed = campaign ~jobs:4 ~resume:true ~out:"_hunt_test/hb-res" () in
+  Alcotest.(check bool) "some trials replayed" true (resumed.Hunt.Campaign.replayed > 0);
+  Alcotest.(check bool) "some trials executed" true (resumed.Hunt.Campaign.executed > 0);
+  Alcotest.(check string) "resumed hbase journal converges byte-for-byte" journal
+    (read_file "_hunt_test/hb-res/journal.jsonl")
+
 let suites =
   [
     ( "determinism",
@@ -124,5 +168,8 @@ let suites =
           hunt_journal_invariant_under_conformance;
         Alcotest.test_case "replicated runs deterministic" `Slow replicated_runs_deterministic;
         Alcotest.test_case "replicated hunt jobs identity" `Slow replicated_hunt_jobs_identity;
+        Alcotest.test_case "hbase runs deterministic" `Slow hbase_runs_deterministic;
+        Alcotest.test_case "hbase hunt jobs + resume identity" `Slow
+          hbase_hunt_jobs_and_resume_identity;
       ] );
   ]

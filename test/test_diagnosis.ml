@@ -97,12 +97,112 @@ let golden_cards () =
       (* For the drop-strategy cases, the divergence rev must be exactly
          the first event deliberately dropped on the suspect's edge —
          the card points at the first stale read, not a later symptom. *)
-      match first_drop_rev (Kube.Cluster.trace outcome.Sieve.Runner.cluster) ~component with
+      match
+        first_drop_rev (Kube.Cluster.trace (Sieve.Runner.kube_cluster outcome)) ~component
+      with
       | Some drop_rev when String.equal d.Diagnosis.Card.kind "skip" ->
           Alcotest.(check int) (id ^ " diverged at first dropped event") drop_rev
             d.Diagnosis.Card.rev
       | _ -> ())
     (Sieve.Bugs.all_with_extras ())
+
+(* HBase corpus golden cards. These cases exercise the card paths the
+   kube corpus cannot: a store-side divergence whose suspect is a
+   *different* component (the replication stream diverges at
+   zk-follower, the misbehaving reader is master-1), a revision-domain
+   rewind reported from outside the frontier checks, and a violation
+   with no mirrored-stream divergence at all (the one-shot watch gap
+   lives inside a protocol the monitor does not mirror). *)
+type hb_golden = {
+  hb_kind : string;
+  hb_stream : string;  (* "" = no divergence recorded *)
+  hb_rev : int;
+  hb_suspect : string;
+  hb_read_site : string;
+  hb_severity : int;
+  (* The static hazard graph credits the HB-FOLLOWER master's sync
+     guard, so its severity is 0 with no reason: the revision-domain
+     drift is precisely what static analysis misses and the dynamic
+     divergence still pins. *)
+  hb_reason_named : bool;
+}
+
+let hbase_golden =
+  [
+    ( "HB-ASSIGN",
+      {
+        hb_kind = "lag";
+        hb_stream = "zk-follower<-zk-leader";
+        hb_rev = 7;
+        hb_suspect = "master-1";
+        hb_read_site = "rs/registry";
+        hb_severity = 3;
+        hb_reason_named = true;
+      } );
+    ( "HB-WATCH",
+      {
+        hb_kind = "unknown";
+        hb_stream = "";
+        hb_rev = 0;
+        hb_suspect = "rs-1";
+        hb_read_site = "region/";
+        hb_severity = 0;
+        hb_reason_named = true;
+      } );
+    ( "HB-FOLLOWER",
+      {
+        hb_kind = "rewind";
+        hb_stream = "zk-follower<-zk-leader";
+        hb_rev = 13;
+        hb_suspect = "master-1";
+        hb_read_site = "rs/registry";
+        hb_severity = 0;
+        hb_reason_named = false;
+      } );
+  ]
+
+let hbase_golden_cards () =
+  List.iter
+    (fun (case : Sieve.Bugs.case) ->
+      let id = case.Sieve.Bugs.id in
+      let g = List.assoc id hbase_golden in
+      let _, card = Diagnosis.Diagnose.diagnose_case case in
+      let card =
+        match card with Some c -> c | None -> Alcotest.failf "%s: no card produced" id
+      in
+      Alcotest.(check string) (id ^ " bug id") id card.Diagnosis.Card.bug;
+      let d = card.Diagnosis.Card.divergence in
+      Alcotest.(check string) (id ^ " divergence kind") g.hb_kind d.Diagnosis.Card.kind;
+      Alcotest.(check string) (id ^ " divergence stream") g.hb_stream d.Diagnosis.Card.stream;
+      Alcotest.(check int) (id ^ " divergence rev") g.hb_rev d.Diagnosis.Card.rev;
+      (if not (String.equal g.hb_stream "") then
+         match d.Diagnosis.Card.event with
+         | Some ev -> Alcotest.(check bool) (id ^ " committed event named") true (ev <> "")
+         | None -> Alcotest.failf "%s: divergence carries no committed event" id);
+      let s = card.Diagnosis.Card.suspect in
+      Alcotest.(check string) (id ^ " suspect") g.hb_suspect s.Diagnosis.Card.component;
+      Alcotest.(check string) (id ^ " read-site") g.hb_read_site s.Diagnosis.Card.read_site;
+      (* The recovered class must be the corpus case's ground-truth
+         Section 4.2 pattern — stale-write, edge-trigger and
+         stale-resync across the three cases. *)
+      Alcotest.(check string)
+        (id ^ " anti-pattern")
+        (Diagnosis.Diagnose.anti_pattern_of_pattern case.Sieve.Bugs.pattern)
+        s.Diagnosis.Card.anti_pattern;
+      Alcotest.(check int) (id ^ " hazard severity") g.hb_severity s.Diagnosis.Card.hazard_severity;
+      Alcotest.(check bool)
+        (id ^ " hazard reason named")
+        g.hb_reason_named
+        (s.Diagnosis.Card.hazard_reason <> "");
+      let chain = card.Diagnosis.Card.chain in
+      Alcotest.(check bool)
+        (id ^ " chain anchored")
+        true
+        (chain.Diagnosis.Card.anchor > 0 && chain.Diagnosis.Card.length >= 1);
+      match Diagnosis.Card.validate (Diagnosis.Card.to_json card) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: card fails schema validation: %s" id e)
+    (Sieve.Bugs.hbase ())
 
 let minimized_plan_embedded () =
   let case = Sieve.Bugs.k8s_56261 () in
@@ -212,13 +312,13 @@ let conformance_anchor () =
   (* Forge a monitor trip the way Hooks records one, caused by a real
      commit — the anchor fallback must pick it up and the walk must
      reach the commit. *)
-  let trace = Kube.Cluster.trace outcome.Sieve.Runner.cluster in
+  let trace = Kube.Cluster.trace (Sieve.Runner.kube_cluster outcome) in
   let commit =
     match Dsim.Trace.find_all trace ~kind:"etcd.commit" with
     | e :: _ -> e
     | [] -> Alcotest.fail "reference run committed nothing"
   in
-  let engine = Kube.Cluster.engine outcome.Sieve.Runner.cluster in
+  let engine = Kube.Cluster.engine (Sieve.Runner.kube_cluster outcome) in
   Dsim.Engine.record ~cause:commit.Dsim.Trace.id engine ~actor:"conformance"
     ~kind:"conformance.violation" "future_rev: view claimed a revision the store never reached";
   match Sieve.Runner.violation_entry outcome with
@@ -301,7 +401,7 @@ let hunt_bytes_invariant_under_diagnose () =
 let diagnosis_metrics () =
   let outcome, card = Diagnosis.Diagnose.diagnose_case (Sieve.Bugs.k8s_56261 ()) in
   Alcotest.(check bool) "card produced" true (card <> None);
-  let m = Kube.Cluster.metrics outcome.Sieve.Runner.cluster in
+  let m = Kube.Cluster.metrics (Sieve.Runner.kube_cluster outcome) in
   Alcotest.(check int) "one card counted" 1 (Dsim.Metrics.count m "diagnosis.cards");
   Alcotest.(check bool) "walk depth sampled" true
     (Dsim.Metrics.samples m "diagnosis.walk.depth" > 0);
@@ -331,6 +431,7 @@ let suites =
     ( "diagnosis",
       [
         Alcotest.test_case "golden cards over the corpus" `Slow golden_cards;
+        Alcotest.test_case "golden cards over the hbase corpus" `Slow hbase_golden_cards;
         Alcotest.test_case "minimized plan embedded" `Slow minimized_plan_embedded;
         Alcotest.test_case "card schema validation" `Quick validate_accepts_and_rejects;
         Alcotest.test_case "conformance violations anchor the walk" `Slow conformance_anchor;

@@ -29,14 +29,15 @@ let fixes_are_targeted () =
      controller* fix is applied: the surplus must still happen. *)
   let config =
     {
-      rs_case.Sieve.Bugs.config with
+      (Sieve.Bugs.kube_config rs_case) with
       Kube.Cluster.with_node_controller = true;
       node_controller_fixed = true;
     }
   in
   let outcome =
     Sieve.Runner.run_test
-      (Sieve.Runner.base_test ~config ~workload:rs_case.Sieve.Bugs.workload
+      (Sieve.Runner.base_test ~config
+         ~workload:(Sieve.Bugs.kube_workload rs_case)
          ~horizon:rs_case.Sieve.Bugs.horizon rs_case.Sieve.Bugs.sieve_strategy)
   in
   Alcotest.(check bool) "unrelated fix does not mask EXT-RS" true (hit rs_case outcome)
@@ -47,14 +48,14 @@ let planner_finds_ext_rs () =
   let case = Sieve.Bugs.ext_rs_surplus () in
   let events = Sieve.Runner.reference_events (Sieve.Bugs.reference_test_of_case case) in
   let plans =
-    Sieve.Planner.candidates ~config:case.Sieve.Bugs.config ~events
+    Sieve.Planner.candidates ~config:(Sieve.Bugs.kube_config case) ~events
       ~horizon:case.Sieve.Bugs.horizon ()
   in
   let arr = Array.of_list plans in
   let result =
     Sieve.Runner.run_campaign
       ~make_test:(fun i ->
-        Sieve.Runner.base_test ~config:case.Sieve.Bugs.config ~workload:case.Sieve.Bugs.workload
+        Sieve.Runner.base_test ~config:(Sieve.Bugs.kube_config case) ~workload:(Sieve.Bugs.kube_workload case)
           ~horizon:case.Sieve.Bugs.horizon arr.(i).Sieve.Planner.strategy)
       ~candidates:(Array.length arr) ~target:case.Sieve.Bugs.matches ()
   in

@@ -58,14 +58,17 @@ let zk_sync_read_is_fresh () =
 (* Regression: a sync pull from below the leader's compaction frontier
    used to be answered with an empty event list, so the lagging follower
    concluded it was caught up and served stale (here: empty) state. The
-   leader must answer with a snapshot, and the follower must resync. *)
-let zk_compaction_pull_forces_resync () =
+   leader must answer with a snapshot, and the follower must resync.
+   Parameterized over the leader hub's fan-out order: the replication
+   stream and the watch notifier share the dispatch hub, and semantics
+   must not depend on which subscriber sees a commit first. *)
+let zk_compaction_pull_forces_resync ~hub_order () =
   let engine = Dsim.Engine.create () in
   let net = Dsim.Network.create engine in
   (* Replication lag far beyond the test horizon: the follower only ever
      catches up through sync pulls. *)
   let zk =
-    Hbaselike.Zk.create ~net ~replication_lag:100_000_000 ~compaction_window:2 ()
+    Hbaselike.Zk.create ~net ~replication_lag:100_000_000 ~compaction_window:2 ~hub_order ()
   in
   Dsim.Network.register net "client" ~serve:(fun ~src:_ _ _ -> ()) ();
   for i = 1 to 6 do
@@ -191,14 +194,156 @@ let hbase_5755_fix_relookup () =
   Alcotest.(check int) "heartbeats flowing again" 0
     (Hbaselike.Regionserver.consecutive_failures rs)
 
+(* --- qcheck differential: Zk op programs vs the sequential model ----
+
+   Random client programs — writes, guarded CAS (fresh and deliberately
+   stale), deletes, follower reads (cached and sync), one-shot watch
+   arms — run against the fixed-era stack ([follower_leader_revs], so
+   read revisions live in the leader's numbering) and are checked
+   op-by-op against {!Conformance.Model}, the pure sequential reference.
+   Each op quiesces before the next, which is what makes the sequential
+   model exact. The conformance monitor mirrors the leader's commits the
+   whole time and must stay silent: the fixed era has no partial-history
+   defect for it to find.
+
+   Two replication regimes: [`Streamed] (short lag, no compaction — the
+   follower catches up through the event stream) and [`Pulled] (lag
+   beyond the horizon plus an aggressive compaction window — the
+   follower catches up only through sync pulls, routinely crossing the
+   compaction frontier and forcing full-state resyncs). *)
+
+let run_zk_program ~regime ops =
+  let engine = Dsim.Engine.create ~seed:7L () in
+  let net = Dsim.Network.create engine in
+  let zk =
+    match regime with
+    | `Streamed -> Hbaselike.Zk.create ~net ~replication_lag:10_000 ~follower_leader_revs:true ()
+    | `Pulled ->
+        Hbaselike.Zk.create ~net ~replication_lag:100_000_000 ~compaction_window:3
+          ~follower_leader_revs:true ()
+  in
+  Dsim.Network.register net "client" ~serve:(fun ~src:_ _ _ -> ()) ();
+  let monitor =
+    Conformance.Monitor.create ~track_divergence:false ~on_violation:(fun _ -> ()) ()
+  in
+  Etcdlike.Kv.on_commit (Hbaselike.Zk.leader_kv zk) (Conformance.Monitor.note_commit monitor);
+  let stream = Hbaselike.Zk.follower zk ^ "<-" ^ Hbaselike.Zk.leader zk in
+  Hbaselike.Zk.on_follower_apply zk (fun e ->
+      Conformance.Monitor.observe_event monitor ~stream e);
+  Hbaselike.Zk.on_follower_resync zk (fun rev ->
+      Conformance.Monitor.observe_reset monitor ~stream ~rev (Hbaselike.Zk.observed_state zk));
+  let model = ref Conformance.Model.empty in
+  let agreed = ref true in
+  let now = ref 0 in
+  let quiesce () =
+    now := !now + 50_000;
+    Dsim.Engine.run ~until:!now engine
+  in
+  let vc = ref 0 in
+  let fresh_value () =
+    incr vc;
+    Printf.sprintf "v%d" !vc
+  in
+  let expect_read key =
+    match Conformance.Model.get !model key with Some (v, r) -> (Some v, r) | None -> (None, 0)
+  in
+  List.iter
+    (fun (kind, k) ->
+      let key = Printf.sprintf "k%d" k in
+      match kind with
+      | 0 ->
+          let v = fresh_value () in
+          let replied = ref false in
+          Hbaselike.Zk.write zk ~src:"client" ~key v (fun r -> replied := r = Ok ());
+          model := fst (Conformance.Model.put !model key v);
+          quiesce ();
+          if not !replied then agreed := false
+      | (1 | 2 | 3) as c ->
+          (* CAS: fresh put, stale put (guard must reject), fresh delete. *)
+          let current = match Conformance.Model.get !model key with Some (_, r) -> r | None -> 0 in
+          let expected = if c = 2 then current + 1 else current in
+          let value = if c = 3 then None else Some (fresh_value ()) in
+          let replied = ref None in
+          Hbaselike.Zk.cas zk ~src:"client" ~key ~expected_mod_rev:expected value (fun r ->
+              replied := Some r);
+          let txn =
+            match value with
+            | Some v -> Etcdlike.Txn.put_if_unchanged ~key ~expected_mod_rev:expected v
+            | None -> Etcdlike.Txn.delete_if_unchanged ~key ~expected_mod_rev:expected
+          in
+          let m, outcome = Conformance.Model.txn !model txn in
+          model := m;
+          quiesce ();
+          if !replied <> Some (Ok outcome.Etcdlike.Txn.succeeded) then agreed := false;
+          if c = 2 && outcome.Etcdlike.Txn.succeeded then agreed := false
+      | (4 | 5) as c ->
+          (* Follower read. Under [`Pulled] only sync reads are modelable
+             (a cached read is honestly stale there — the monitor's
+             territory, not the sequential model's). *)
+          let sync = c = 5 || regime = `Pulled in
+          let replied = ref None in
+          Hbaselike.Zk.read zk ~src:"client" ~sync key (fun r -> replied := Some r);
+          quiesce ();
+          if !replied <> Some (Ok (expect_read key)) then agreed := false
+      | _ ->
+          (* getData(watch=true): the arm reply carries the leader's
+             current value and per-key mod-revision. *)
+          let replied = ref None in
+          Hbaselike.Zk.arm_watch zk ~src:"client" key (fun r -> replied := Some r);
+          quiesce ();
+          if !replied <> Some (Ok (expect_read key)) then agreed := false)
+    ops;
+  (* Force a final catch-up so the replica's terminal state is checkable
+     under both regimes, then compare every observable. *)
+  let final = ref None in
+  Hbaselike.Zk.read zk ~src:"client" ~sync:true "k0" (fun r -> final := Some r);
+  quiesce ();
+  if !final <> Some (Ok (expect_read "k0")) then agreed := false;
+  let leader_ok =
+    History.State.bindings (Etcdlike.Kv.state (Hbaselike.Zk.leader_kv zk))
+    = Conformance.Model.bindings !model
+    && Etcdlike.Kv.rev (Hbaselike.Zk.leader_kv zk) = Conformance.Model.rev !model
+  in
+  (* Follower bindings compare value-by-value: its revision column is
+     local numbering by design (the fl_revs side-table is what serves
+     leader revisions to readers). *)
+  let follower_ok =
+    List.map (fun (k, (v, _)) -> (k, v))
+      (History.State.bindings (Etcdlike.Kv.state (Hbaselike.Zk.follower_kv zk)))
+    = List.map (fun (k, (v, _)) -> (k, v)) (Conformance.Model.bindings !model)
+    && Hbaselike.Zk.follower_caught_up_to zk = Conformance.Model.rev !model
+  in
+  Conformance.Monitor.check_state monitor
+    ~subject:(Hbaselike.Zk.follower zk)
+    ~rev:(Hbaselike.Zk.follower_caught_up_to zk)
+    (Hbaselike.Zk.observed_state zk);
+  let silent = Conformance.Monitor.violations monitor = [] in
+  !agreed && leader_ok && follower_ok && silent
+
+let gen_zk_program = QCheck.(list_of_size Gen.(1 -- 25) (pair (int_bound 6) (int_bound 3)))
+
+let qcheck_zk_streamed_agrees_with_model =
+  QCheck.Test.make ~name:"zk op programs agree with the sequential model (streamed)" ~count:60
+    gen_zk_program
+    (fun ops -> run_zk_program ~regime:`Streamed ops)
+
+let qcheck_zk_pulled_agrees_with_model =
+  QCheck.Test.make ~name:"zk op programs agree with the sequential model (pulled, resyncs)"
+    ~count:60 gen_zk_program
+    (fun ops -> run_zk_program ~regime:`Pulled ops)
+
 let suites =
   [
     ( "hbase",
       [
         Alcotest.test_case "zk replicates with lag" `Quick zk_replicates_with_lag;
         Alcotest.test_case "zk sync read is fresh" `Quick zk_sync_read_is_fresh;
-        Alcotest.test_case "zk compaction pull forces resync (regression)" `Quick
-          zk_compaction_pull_forces_resync;
+        Alcotest.test_case "zk compaction pull forces resync (replication-first hub)" `Quick
+          (zk_compaction_pull_forces_resync ~hub_order:Hbaselike.Zk.Replication_first);
+        Alcotest.test_case "zk compaction pull forces resync (watches-first hub)" `Quick
+          (zk_compaction_pull_forces_resync ~hub_order:Hbaselike.Zk.Watches_first);
+        Qcheck_util.to_alcotest qcheck_zk_streamed_agrees_with_model;
+        Qcheck_util.to_alcotest qcheck_zk_pulled_agrees_with_model;
         Alcotest.test_case "zk cas guards" `Quick zk_cas_guards;
         Alcotest.test_case "master assigns all regions" `Quick master_assigns_all_regions;
         Alcotest.test_case "HBASE-3136: stale CAS failures (+3137 cost)" `Quick

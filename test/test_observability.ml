@@ -83,7 +83,7 @@ let trace_jsonl_round_trips () =
       match Dsim.Trace.of_jsonl dump with
       | Error msg -> Alcotest.failf "trace dump does not parse: %s" msg
       | Ok imported ->
-          let live = Kube.Cluster.trace outcome.Sieve.Runner.cluster in
+          let live = Kube.Cluster.trace (Sieve.Runner.kube_cluster outcome) in
           Alcotest.(check int) "all entries exported" (Dsim.Trace.length live)
             (Dsim.Trace.length imported);
           (* Chain extraction works identically on the imported trace. *)
@@ -119,7 +119,7 @@ let oracle_violations_counted () =
   | None -> Alcotest.fail "missing corpus bug"
   | Some case ->
       let outcome = Sieve.Runner.run_test (Sieve.Bugs.test_of_case case) in
-      let m = Kube.Cluster.metrics outcome.Sieve.Runner.cluster in
+      let m = Kube.Cluster.metrics (Sieve.Runner.kube_cluster outcome) in
       Alcotest.(check int) "violations counter matches oracle"
         (List.length outcome.Sieve.Runner.violations)
         (Dsim.Metrics.count m "oracle.violations");

@@ -6,7 +6,8 @@ let sealed config = { config with Kube.Cluster.api_epoch_seal = Some 5 }
 
 let run case config =
   Sieve.Runner.run_test
-    (Sieve.Runner.base_test ~config ~workload:case.Sieve.Bugs.workload
+    (Sieve.Runner.base_test ~config
+       ~workload:(Sieve.Bugs.kube_workload case)
        ~horizon:case.Sieve.Bugs.horizon case.Sieve.Bugs.sieve_strategy)
 
 let hit case (o : Sieve.Runner.outcome) =
@@ -16,9 +17,9 @@ let seal_detects_and_heals_dropped_event () =
   (* Straight 56261 setup under seals: the dropped node-deletion is
      detected within an epoch and the scheduler re-lists. *)
   let case = Sieve.Bugs.k8s_56261 () in
-  let outcome = run case (sealed case.Sieve.Bugs.config) in
+  let outcome = run case (sealed (Sieve.Bugs.kube_config case)) in
   Alcotest.(check bool) "bug closed" false (hit case outcome);
-  let scheduler = Option.get (Kube.Cluster.scheduler outcome.Sieve.Runner.cluster) in
+  let scheduler = Option.get (Kube.Cluster.scheduler (Sieve.Runner.kube_cluster outcome)) in
   Alcotest.(check bool) "a gap was detected" true
     (Kube.Informer.gaps_detected (Kube.Scheduler.nodes_informer scheduler) >= 1)
 
@@ -27,7 +28,7 @@ let seals_close_gap_bugs () =
     (fun id ->
       let case = Option.get (Sieve.Bugs.find id) in
       Alcotest.(check bool) (id ^ " closed by seals") false
-        (hit case (run case (sealed case.Sieve.Bugs.config))))
+        (hit case (run case (sealed (Sieve.Bugs.kube_config case)))))
     [ "K8s-56261"; "CA-398"; "CA-400"; "CA-402"; "EXT-NC"; "EXT-DEP" ]
 
 let seals_do_not_fix_staleness_or_time_travel () =
@@ -38,7 +39,7 @@ let seals_do_not_fix_staleness_or_time_travel () =
     (fun id ->
       let case = Option.get (Sieve.Bugs.find id) in
       Alcotest.(check bool) (id ^ " rightly still reproduces") true
-        (hit case (run case (sealed case.Sieve.Bugs.config))))
+        (hit case (run case (sealed (Sieve.Bugs.kube_config case)))))
     [ "K8s-59848"; "EXT-RS" ]
 
 let no_false_positives_in_calm_runs () =
